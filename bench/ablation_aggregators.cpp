@@ -1,0 +1,68 @@
+// Ablation: collective buffering on/off and processes per node (the paper's
+// footnote 3 fixes one aggregator per node; Fig. 3 varies ppn and finds
+// node-wise performance roughly constant). Runs the MPI-IO Test write side
+// at a fixed node count, sweeping ppn, with and without collective
+// buffering, on the Minerva model.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "mpiio/driver.hpp"
+#include "simfs/presets.hpp"
+
+using namespace ldplfs;
+using namespace ldplfs::literals;
+
+namespace {
+
+double run(std::uint32_t ppn, mpiio::Route route, bool cb) {
+  const mpi::Topology topo{16, ppn};
+  simfs::ClusterModel cluster(simfs::minerva());
+  mpiio::DriverOptions options;
+  options.route = route;
+  options.collective_buffering = cb;
+  mpiio::IoDriver driver(cluster, topo, options);
+  const std::uint64_t per_rank = 256_MiB;
+  const std::uint64_t block = 8_MiB;
+  driver.open(true);
+  for (std::uint64_t phase = 0; phase < per_rank / block; ++phase) {
+    driver.write_collective(block, phase);
+  }
+  driver.close();
+  return driver.stats().write_bandwidth_mbps();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+  std::printf("Ablation: collective buffering & processes per node "
+              "(MPI-IO Test writes, 16 Minerva nodes, 256 MiB/proc)\n");
+
+  const std::vector<std::uint64_t> ppns{1, 2, 4, 8, 12};
+  bench::Series mpiio_cb{"MPI-IO+cb", {}};
+  bench::Series mpiio_nocb{"MPI-IO", {}};
+  bench::Series plfs_cb{"LDPLFS+cb", {}};
+  bench::Series plfs_nocb{"LDPLFS", {}};
+  for (std::uint64_t ppn : ppns) {
+    const auto p = static_cast<std::uint32_t>(ppn);
+    mpiio_cb.values.push_back(run(p, mpiio::Route::kMpiio, true));
+    mpiio_nocb.values.push_back(run(p, mpiio::Route::kMpiio, false));
+    plfs_cb.values.push_back(run(p, mpiio::Route::kLdplfs, true));
+    plfs_nocb.values.push_back(run(p, mpiio::Route::kLdplfs, false));
+  }
+  bench::print_panel("Write bandwidth vs ppn (16 nodes)", "ppn", ppns,
+                     {mpiio_cb, mpiio_nocb, plfs_cb, plfs_nocb});
+  bench::append_csv(csv, "ablation_aggregators", ppns,
+                    {mpiio_cb, mpiio_nocb, plfs_cb, plfs_nocb});
+
+  std::printf(
+      "\nReading: with buffering on, node-wise bandwidth stays roughly\n"
+      "constant as ppn grows (one aggregator per node does all the I/O,\n"
+      "exactly the paper's footnote-3 setup, with a small on-node exchange\n"
+      "overhead). Without buffering, the shared-file MPI-IO path degrades\n"
+      "with ppn (more writers fighting over extent locks), while PLFS\n"
+      "degrades only via more concurrent streams.\n");
+  return 0;
+}

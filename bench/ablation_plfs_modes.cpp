@@ -1,0 +1,73 @@
+// Ablation (paper §V-A future work): how much of PLFS's win comes from the
+// log structure and how much from file partitioning? Runs FLASH-IO on the
+// Sierra model with the two ingredients toggled independently:
+//
+//   both        — real PLFS (log-structured + file-per-writer)
+//   log only    — one shared container log, serialised appends
+//   part. only  — file per writer, but in-place (seek-bound drain)
+//   neither     — plain shared-file MPI-IO, for reference
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "simfs/presets.hpp"
+#include "workloads/flash_io.hpp"
+
+using namespace ldplfs;
+
+namespace {
+
+double run_mode(std::uint64_t cores, bool log, bool part) {
+  mpi::Topology topo{static_cast<std::uint32_t>(cores / 12), 12};
+  simfs::ClusterModel cluster(simfs::sierra());
+  mpiio::DriverOptions options;
+  options.route = mpiio::Route::kRomioPlfs;
+  options.collective_buffering = false;
+  options.plfs_log_structure = log;
+  options.plfs_partitioning = part;
+  mpiio::IoDriver driver(cluster, topo, options);
+
+  workloads::FlashIoParams params;
+  const std::uint64_t per_var = params.per_rank_bytes / params.num_variables;
+  driver.open(true);
+  for (std::uint32_t v = 0; v < params.num_variables; ++v) {
+    if (v != 0) driver.compute(params.compute_between_vars_s);
+    driver.write_independent(per_var, v);
+  }
+  driver.close();
+  return driver.stats().write_bandwidth_mbps();
+}
+
+double run_mpiio(std::uint64_t cores) {
+  mpi::Topology topo{static_cast<std::uint32_t>(cores / 12), 12};
+  const auto result = workloads::run_flash_io(
+      simfs::sierra(), topo, mpiio::Route::kMpiio, {});
+  return result.write_mbps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+  const std::vector<std::uint64_t> cores{48, 192, 768, 3072};
+
+  std::printf("Ablation: PLFS ingredients in isolation "
+              "(FLASH-IO on the Sierra model)\n");
+  std::vector<bench::Series> series{
+      {"both", {}}, {"log-only", {}}, {"part-only", {}}, {"neither", {}}};
+  for (std::uint64_t c : cores) {
+    series[0].values.push_back(run_mode(c, true, true));
+    series[1].values.push_back(run_mode(c, true, false));
+    series[2].values.push_back(run_mode(c, false, true));
+    series[3].values.push_back(run_mpiio(c));
+  }
+  bench::print_panel("PLFS mode ablation", "cores", cores, series);
+  bench::append_csv(csv, "ablation_modes", cores, series);
+
+  std::printf(
+      "\nReading: partitioning is the load-bearing ingredient at small and\n"
+      "medium scale (no shared-tail serialisation); the log structure's\n"
+      "sequential drain multiplies it. The paper's future work (§V-A) asks\n"
+      "exactly this question.\n");
+  return 0;
+}

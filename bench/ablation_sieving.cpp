@@ -1,0 +1,76 @@
+// Ablation: data sieving (ROMIO's second optimisation, paper §II — "shown
+// to be extremely beneficial when utilising file views to manage
+// interleaved writes"). Sweeps the strided piece size on the Minerva model
+// with sieving on/off for reads and writes, locating the crossover: tiny
+// pieces are dominated by per-op positioning (sieving wins big), large
+// pieces make the sieving window's amplification a pure loss.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "mpiio/driver.hpp"
+#include "simfs/presets.hpp"
+
+using namespace ldplfs;
+using namespace ldplfs::literals;
+
+namespace {
+
+constexpr std::uint64_t kRegionPerRank = 4_MiB;  // bytes each rank touches
+
+double run(std::uint64_t piece, bool sieving, bool write_side) {
+  const mpi::Topology topo{8, 2};
+  simfs::ClusterModel cluster(simfs::minerva());
+  mpiio::DriverOptions options;
+  options.route = mpiio::Route::kMpiio;
+  options.data_sieving = sieving;
+  mpiio::IoDriver driver(cluster, topo, options);
+  driver.open(true);
+  const std::uint64_t pieces = kRegionPerRank / piece;
+  if (write_side) {
+    driver.write_strided(piece, pieces, 0);
+  } else {
+    driver.read_strided(piece, pieces, 0);
+  }
+  driver.close();
+  return write_side ? driver.stats().write_bandwidth_mbps()
+                    : driver.stats().read_bandwidth_mbps();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+  std::printf("Ablation: data sieving vs strided piece size "
+              "(16 ranks on the Minerva model, %s per rank)\n",
+              format_bytes(kRegionPerRank).c_str());
+
+  const std::vector<std::uint64_t> piece_kib{4, 16, 64, 256, 1024};
+  bench::Series read_sieve{"read+sieve", {}};
+  bench::Series read_naive{"read", {}};
+  bench::Series write_sieve{"write+sieve", {}};
+  bench::Series write_naive{"write", {}};
+  for (std::uint64_t kib : piece_kib) {
+    const std::uint64_t piece = kib * 1_KiB;
+    read_sieve.values.push_back(run(piece, true, false));
+    read_naive.values.push_back(run(piece, false, false));
+    write_sieve.values.push_back(run(piece, true, true));
+    write_naive.values.push_back(run(piece, false, true));
+  }
+  bench::print_panel("Strided bandwidth vs piece size (KiB)", "piece",
+                     piece_kib,
+                     {read_sieve, read_naive, write_sieve, write_naive});
+  bench::append_csv(csv, "ablation_sieving", piece_kib,
+                    {read_sieve, read_naive, write_sieve, write_naive});
+
+  std::printf(
+      "\nReading: for KB-scale strided pieces the naive path drowns in\n"
+      "per-piece positioning and lock traffic; sieving turns the same\n"
+      "access into a handful of large sequential window transfers. As the\n"
+      "piece size approaches the sieve buffer the window amplification\n"
+      "stops paying for itself — the classic ROMIO trade-off the paper\n"
+      "cites, and one reason LDPLFS's \"keep ROMIO above PLFS\" layering\n"
+      "matters (the PLFS API alone gets neither optimisation).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared output helpers for the paper-reproduction bench binaries: aligned
+// series tables on stdout plus optional CSV (--csv PATH) for plotting.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ldplfs::bench {
+
+/// One plotted series: name + y value per x point.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Print a panel like the paper's figures: x column + one column per series.
+inline void print_panel(const std::string& title, const std::string& x_label,
+                        const std::vector<std::uint64_t>& xs,
+                        const std::vector<Series>& series,
+                        const std::string& unit = "MB/s") {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-8s", x_label.c_str());
+  for (const auto& s : series) std::printf("%14s", s.name.c_str());
+  std::printf("   [%s]\n", unit.c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-8llu", static_cast<unsigned long long>(xs[i]));
+    for (const auto& s : series) std::printf("%14.1f", s.values[i]);
+    std::printf("\n");
+  }
+}
+
+/// Append a panel to a CSV file (long format: panel,x,series,value).
+inline void append_csv(const std::string& path, const std::string& panel,
+                       const std::vector<std::uint64_t>& xs,
+                       const std::vector<Series>& series) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (const auto& s : series) {
+      out << panel << ',' << xs[i] << ',' << s.name << ',' << s.values[i]
+          << '\n';
+    }
+  }
+}
+
+/// Tiny arg scan: returns the value after `flag`, or fallback.
+inline std::string arg_value(int argc, char** argv, const std::string& flag,
+                             const std::string& fallback = {}) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace ldplfs::bench

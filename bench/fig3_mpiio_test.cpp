@@ -1,0 +1,66 @@
+// Figure 3 reproduction: MPI-IO Test bandwidths on the Minerva (GPFS)
+// model — six panels: write and read at 1, 2 and 4 processes per node over
+// 1..64 nodes, comparing plain MPI-IO, PLFS-through-FUSE, the PLFS ROMIO
+// driver, and LDPLFS.
+//
+// Usage: fig3_mpiio_test [--quick] [--csv out.csv]
+//   --quick  scales the per-process volume down 8x (same shapes, faster)
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "simfs/presets.hpp"
+#include "workloads/mpiio_test.hpp"
+
+using namespace ldplfs;
+using namespace ldplfs::literals;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+
+  workloads::MpiioTestParams params;
+  // Quick mode halves the volume; it must stay well above the client cache
+  // or the PLFS curves degenerate into pure memcpy speed.
+  params.per_rank_bytes = quick ? 512_MiB : 1_GiB;
+  params.block_bytes = 8_MiB;
+
+  const std::vector<std::uint64_t> node_counts{1, 2, 4, 8, 16, 32, 64};
+  const std::vector<std::pair<mpiio::Route, const char*>> routes{
+      {mpiio::Route::kMpiio, "MPI-IO"},
+      {mpiio::Route::kFuse, "FUSE"},
+      {mpiio::Route::kRomioPlfs, "ROMIO"},
+      {mpiio::Route::kLdplfs, "LDPLFS"},
+  };
+
+  std::printf("Figure 3: MPI-IO Test on the Minerva/GPFS model "
+              "(%s per process, 8 MiB blocks, collective buffering on)\n",
+              format_bytes(params.per_rank_bytes).c_str());
+
+  for (std::uint32_t ppn : {1u, 2u, 4u}) {
+    std::vector<bench::Series> write_series;
+    std::vector<bench::Series> read_series;
+    for (const auto& [route, name] : routes) {
+      bench::Series ws{name, {}};
+      bench::Series rs{name, {}};
+      for (std::uint64_t nodes : node_counts) {
+        mpi::Topology topo{static_cast<std::uint32_t>(nodes), ppn};
+        const auto result =
+            workloads::run_mpiio_test(simfs::minerva(), topo, route, params);
+        ws.values.push_back(result.write_mbps);
+        rs.values.push_back(result.read_mbps);
+      }
+      write_series.push_back(std::move(ws));
+      read_series.push_back(std::move(rs));
+    }
+    char title[64];
+    std::snprintf(title, sizeof title, "Fig 3: Write (%u proc/node)", ppn);
+    bench::print_panel(title, "nodes", node_counts, write_series);
+    bench::append_csv(csv, title, node_counts, write_series);
+    std::snprintf(title, sizeof title, "Fig 3: Read (%u proc/node)", ppn);
+    bench::print_panel(title, "nodes", node_counts, read_series);
+    bench::append_csv(csv, title, node_counts, read_series);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 5 reproduction: FLASH-IO weak-scaled on the Sierra/Lustre model,
+// 12..3072 cores (all 12 cores per node), MPI-IO vs PLFS through ROMIO and
+// LDPLFS. The headline shape: MPI-IO creeps up to a ~550 MB/s plateau;
+// PLFS peaks around 16 nodes (~1.6 GB/s) and then *collapses below MPI-IO*
+// as the dedicated MDS and the per-process file explosion take over.
+//
+// Usage: fig5_flashio [--quick] [--csv out.csv]
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "simfs/presets.hpp"
+#include "simfs/report.hpp"
+#include "workloads/flash_io.hpp"
+
+using namespace ldplfs;
+using namespace ldplfs::literals;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::string csv = bench::arg_value(argc, argv, "--csv");
+
+  workloads::FlashIoParams params;
+  if (quick) params.per_rank_bytes = 64_MiB;
+
+  const std::vector<std::uint64_t> cores{12,  24,  48,   96,  192,
+                                         384, 768, 1536, 3072};
+  const std::vector<std::pair<mpiio::Route, const char*>> routes{
+      {mpiio::Route::kMpiio, "MPI-IO"},
+      {mpiio::Route::kRomioPlfs, "ROMIO"},
+      {mpiio::Route::kLdplfs, "LDPLFS"},
+  };
+
+  std::printf("Figure 5: FLASH-IO weak scaling on the Sierra/Lustre model "
+              "(%s per process, %u variables)\n",
+              format_bytes(params.per_rank_bytes).c_str(),
+              params.num_variables);
+
+  std::vector<bench::Series> series;
+  for (const auto& [route, name] : routes) {
+    bench::Series s{name, {}};
+    for (std::uint64_t c : cores) {
+      mpi::Topology topo{static_cast<std::uint32_t>(c / 12), 12};
+      if (topo.nodes == 0) topo = {1, static_cast<std::uint32_t>(c)};
+      const auto result =
+          workloads::run_flash_io(simfs::sierra(), topo, route, params);
+      s.values.push_back(result.write_mbps);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_panel("Fig 5: FLASH-IO write bandwidth", "cores", cores,
+                     series);
+  bench::append_csv(csv, "Fig 5", cores, series);
+
+  if (bench::has_flag(argc, argv, "--stats")) {
+    // Where does the time go at the collapse point? Re-run 3,072 cores
+    // keeping the cluster, then dump the resource report.
+    std::printf("\n-- resource report @3072 cores, ROMIO-PLFS --\n");
+    simfs::ClusterModel cluster(simfs::sierra());
+    mpiio::DriverOptions options;
+    options.route = mpiio::Route::kRomioPlfs;
+    options.collective_buffering = false;
+    mpiio::IoDriver driver(cluster, {256, 12}, options);
+    driver.open(true);
+    const std::uint64_t per_var = params.per_rank_bytes / params.num_variables;
+    for (std::uint32_t v = 0; v < params.num_variables; ++v) {
+      driver.write_independent(per_var, v);
+    }
+    driver.close();
+    simfs::collect_report(cluster).print();
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Microbenchmarks (google-benchmark) for the real stratum: the costs that
+// determine LDPLFS's per-op overhead claim — fd-table routing, extent-map
+// operations, index merge, MD5 — measured on this machine.
+//
+// The headline microbenchmark is BM_RouterOverhead vs BM_RawSyscall: the
+// paper's pitch is that interposition adds only bookkeeping (a table lookup
+// and an lseek) per POSIX call.
+#include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/md5.hpp"
+#include "common/rng.hpp"
+#include "core/mounts.hpp"
+#include "core/router.hpp"
+#include "plfs/extent_map.hpp"
+#include "plfs/index.hpp"
+#include "plfs/plfs.hpp"
+#include "posix/fd.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ldplfs;
+
+std::string scratch_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                    "/ldplfs_micro_XXXXXX";
+  std::vector<char> buf(dir.begin(), dir.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) std::abort();
+  return buf.data();
+}
+
+// --- ExtentMap ---------------------------------------------------------
+
+void BM_ExtentMapSequentialInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    plfs::ExtentMap map;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      map.insert({i * 100, 100, 0, i * 100, i});
+    }
+    benchmark::DoNotOptimize(map.extent_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExtentMapSequentialInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExtentMapOverlappingInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(7);
+  std::vector<plfs::Extent> extents;
+  extents.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t off = rng.below(n * 50);
+    extents.push_back({off, 1 + rng.below(400), 0, off, i});
+  }
+  for (auto _ : state) {
+    plfs::ExtentMap map;
+    for (const auto& e : extents) map.insert(e);
+    benchmark::DoNotOptimize(map.extent_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExtentMapOverlappingInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExtentMapLookup(benchmark::State& state) {
+  plfs::ExtentMap map;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    map.insert({i * 100, 100, 0, i * 100, i});
+  }
+  Rng rng(9);
+  for (auto _ : state) {
+    const std::uint64_t off = rng.below(100000 * 100 - 8192);
+    benchmark::DoNotOptimize(map.lookup(off, 8192));
+  }
+}
+BENCHMARK(BM_ExtentMapLookup);
+
+// --- Index merge --------------------------------------------------------
+
+void BM_GlobalIndexMerge(benchmark::State& state) {
+  // `writers` droppings, each with 1000 coalesce-resistant records.
+  const auto writers = static_cast<std::size_t>(state.range(0));
+  std::vector<plfs::IndexDropping> sources(writers);
+  for (std::size_t w = 0; w < writers; ++w) {
+    sources[w].data_paths = {"hostdir.0/dropping.data." + std::to_string(w)};
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      sources[w].records.push_back(
+          {(i * writers + w) * 4096, 4096, i * 4096, i * writers + w, 0, 0});
+    }
+  }
+  for (auto _ : state) {
+    auto index = plfs::GlobalIndex::merge(sources);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(writers * 1000));
+}
+BENCHMARK(BM_GlobalIndexMerge)->Arg(4)->Arg(16)->Arg(64);
+
+// --- MD5 ---------------------------------------------------------------
+
+void BM_Md5Throughput(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> data(size, std::byte{0x5a});
+  for (auto _ : state) {
+    Md5 hasher;
+    hasher.update(data.data(), data.size());
+    benchmark::DoNotOptimize(hasher.finish());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64 << 10)->Arg(4 << 20);
+
+// --- Router overhead: the LDPLFS per-op cost claim -----------------------
+
+void BM_RawSyscallWrite(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  const std::string path = dir + "/raw";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  char buf[4096] = {1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(::write(fd, buf, sizeof buf));
+    ::lseek(fd, 0, SEEK_SET);
+  }
+  ::close(fd);
+  (void)posix::remove_tree(dir);
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RawSyscallWrite);
+
+void BM_RouterPlfsWrite(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  core::MountTable mounts;
+  mounts.add(dir);
+  core::Router router(core::libc_calls(), mounts);
+  const std::string path = dir + "/routed";
+  const int fd = router.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  char buf[4096] = {1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.write(fd, buf, sizeof buf));
+    router.lseek(fd, 0, SEEK_SET);
+  }
+  router.close(fd);
+  (void)posix::remove_tree(dir);
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RouterPlfsWrite);
+
+void BM_RouterPassthroughWrite(benchmark::State& state) {
+  // Same router, path outside any mount: measures pure routing overhead.
+  const std::string dir = scratch_dir();
+  core::MountTable mounts;
+  mounts.add(dir + "/not-here");
+  core::Router router(core::libc_calls(), mounts);
+  const std::string path = dir + "/plain";
+  const int fd = router.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  char buf[4096] = {1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.write(fd, buf, sizeof buf));
+    router.lseek(fd, 0, SEEK_SET);
+  }
+  router.close(fd);
+  (void)posix::remove_tree(dir);
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RouterPassthroughWrite);
+
+// --- PLFS end-to-end throughput on local disk ----------------------------
+
+void BM_PlfsStreamWrite(benchmark::State& state) {
+  const std::string dir = scratch_dir();
+  const auto block = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> buf(block, std::byte{0x77});
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string path = dir + "/f" + std::to_string(total);
+    state.ResumeTiming();
+    auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+    std::uint64_t off = 0;
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(fd.value()->write(buf, off, 1));
+      off += block;
+    }
+    (void)plfs::plfs_close(fd.value(), 1);
+    ++total;
+  }
+  (void)posix::remove_tree(dir);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(block) *
+                          16);
+}
+BENCHMARK(BM_PlfsStreamWrite)->Arg(64 << 10)->Arg(1 << 20);
+
+// --- Simulator engine speed ----------------------------------------------
+
+void BM_SimEngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(static_cast<double>(i) * 1e-6,
+                         [&count] { ++count; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimEngineEvents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table I reproduction: the benchmarking-platform spec table, printed from
+// the same preset structs that parameterise the simulator, so the model
+// inputs are auditable against the paper.
+#include <cstdio>
+
+#include "simfs/presets.hpp"
+
+int main() {
+  const auto specs = ldplfs::simfs::all_platform_specs();
+  std::printf("Table I: Benchmarking platforms\n\n");
+  std::printf("%-24s", "");
+  for (const auto& s : specs) std::printf("%-28s", s.name.c_str());
+  std::printf("\n");
+
+  auto row = [&](const char* label, auto getter) {
+    std::printf("%-24s", label);
+    for (const auto& s : specs) std::printf("%-28s", getter(s).c_str());
+    std::printf("\n");
+  };
+  using Spec = ldplfs::simfs::PlatformSpec;
+  row("Processor", [](const Spec& s) { return s.processor; });
+  row("CPU Speed", [](const Spec& s) { return s.cpu_speed; });
+  row("Cores per Node",
+      [](const Spec& s) { return std::to_string(s.cores_per_node); });
+  row("Nodes", [](const Spec& s) { return std::to_string(s.nodes); });
+  row("Interconnect", [](const Spec& s) { return s.interconnect; });
+  row("File System", [](const Spec& s) { return s.file_system; });
+  row("I/O Servers / OSS",
+      [](const Spec& s) { return std::to_string(s.io_servers); });
+  row("Theoretical Bandwidth",
+      [](const Spec& s) { return s.theoretical_bandwidth; });
+  std::printf("%-24s\n", "Storage Disks");
+  row("  Number of Disks",
+      [](const Spec& s) { return std::to_string(s.data_disks); });
+  row("  Disk Type", [](const Spec& s) { return s.data_disk_type; });
+  row("  Disk Speed", [](const Spec& s) { return s.data_disk_speed; });
+  row("  Raid Level", [](const Spec& s) { return s.data_raid; });
+  std::printf("%-24s\n", "Metadata Disks");
+  row("  Number of Disks",
+      [](const Spec& s) { return std::to_string(s.metadata_disks); });
+  row("  Disk Type", [](const Spec& s) { return s.metadata_disk_type; });
+  row("  Disk Speed", [](const Spec& s) { return s.metadata_disk_speed; });
+  row("  Raid Level", [](const Spec& s) { return s.metadata_raid; });
+
+  // Derived model parameters, for auditability.
+  std::printf("\nCalibrated model parameters (see EXPERIMENTS.md):\n");
+  for (const auto& cfg : {ldplfs::simfs::minerva(), ldplfs::simfs::sierra()}) {
+    std::printf(
+        "  %-8s backend %.0f MB/s effective, client %.0f MB/s, cache %llu "
+        "MiB/node, MDS %s\n",
+        cfg.name.c_str(), cfg.backend_streaming_bps() / 1e6,
+        cfg.client_nic.bandwidth_bps / 1e6,
+        static_cast<unsigned long long>(cfg.client_cache_bytes >> 20),
+        cfg.dedicated_mds ? "dedicated (congestible)" : "distributed");
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Table II reproduction — with REAL I/O. Unlike the figure benches (which
+// model the paper's clusters), this one exercises the actual PLFS library
+// and LDPLFS router on the local file system, exactly what the paper did on
+// Minerva's login node: time cp/cat/grep/md5sum against a PLFS container
+// and against a flat UNIX file of the same content.
+//
+// Absolute times depend on this machine; the property that reproduces the
+// paper is *parity* — container ops through LDPLFS cost about the same as
+// flat-file ops (the paper found the container marginally faster thanks to
+// extra file streams; on a single local disk expect rough equality).
+//
+// Usage: table2_unix_tools [--size BYTES] [--dir DIR]
+//   default size 256 MiB (the paper used 4 GB; pass --size 4G to match)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/md5.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/mounts.hpp"
+#include "core/router.hpp"
+#include "posix/fd.hpp"
+#include "tools/tool_common.hpp"
+
+using namespace ldplfs;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Flush all dirty pages so one timing's writeback does not bleed into the
+/// next (the timings themselves are page-cache-warm, like the paper's
+/// login-node runs).
+void settle() { ::sync(); }
+
+/// Fill `path` through the router with `size` pseudo-random bytes.
+bool fill_file(core::Router& router, const std::string& path,
+               std::uint64_t size) {
+  const int fd = router.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  Rng rng(42);
+  std::vector<char> block(4u << 20);
+  std::uint64_t written = 0;
+  while (written < size) {
+    // Mostly-text content so grep has lines to scan.
+    for (std::size_t i = 0; i < block.size(); i += 64) {
+      std::snprintf(block.data() + i, 64,
+                    "line %12llu payload %016llx pattern %s\n",
+                    static_cast<unsigned long long>(written + i),
+                    static_cast<unsigned long long>(rng.next()),
+                    (rng.below(1000) == 0) ? "NEEDLE" : "hay");
+      block[i + 63] = '\n';
+    }
+    const std::uint64_t n = std::min<std::uint64_t>(block.size(), size - written);
+    if (router.write(fd, block.data(), n) != static_cast<ssize_t>(n)) {
+      router.close(fd);
+      return false;
+    }
+    written += n;
+  }
+  return router.close(fd) == 0;
+}
+
+double time_cat(core::Router& router, const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = router.open(path.c_str(), O_RDONLY, 0);
+  std::vector<char> buf(4u << 20);
+  ssize_t n;
+  std::uint64_t total = 0;
+  while ((n = router.read(fd, buf.data(), buf.size())) > 0) total += n;
+  router.close(fd);
+  return seconds_since(start);
+}
+
+double time_grep(core::Router& router, const std::string& path,
+                 long long& hits) {
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = router.open(path.c_str(), O_RDONLY, 0);
+  tools::LineReader reader(fd);
+  std::string line;
+  hits = 0;
+  while (reader.next(line)) {
+    if (line.find("NEEDLE") != std::string::npos) ++hits;
+  }
+  router.close(fd);
+  return seconds_since(start);
+}
+
+double time_md5(core::Router& router, const std::string& path,
+                std::string& digest) {
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = router.open(path.c_str(), O_RDONLY, 0);
+  Md5 hasher;
+  std::vector<char> buf(4u << 20);
+  ssize_t n;
+  while ((n = router.read(fd, buf.data(), buf.size())) > 0) {
+    hasher.update(buf.data(), static_cast<std::size_t>(n));
+  }
+  router.close(fd);
+  digest = Md5::to_hex(hasher.finish());
+  return seconds_since(start);
+}
+
+double time_cp(const std::string& src, const std::string& dst) {
+  const auto start = std::chrono::steady_clock::now();
+  if (tools::copy_path(src, dst) < 0) return -1.0;
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t size =
+      parse_bytes(bench::arg_value(argc, argv, "--size", "256M"));
+  std::string dir = bench::arg_value(argc, argv, "--dir", "");
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/ldplfs_table2";
+  }
+  (void)posix::remove_tree(dir);
+  if (!posix::make_dirs(dir)) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  const std::string mount = dir + "/mount";
+  (void)posix::make_dirs(mount);
+  core::MountTable::instance().add(mount);
+  auto& router = tools::router();
+
+  const std::string container = mount + "/bench.dat";
+  const std::string flat = dir + "/bench.flat";
+
+  std::printf("Table II: UNIX tool timings, %s file, real I/O in %s\n\n",
+              format_bytes(size).c_str(), dir.c_str());
+
+  if (!fill_file(router, container, size) || !fill_file(router, flat, size)) {
+    std::fprintf(stderr, "fill failed\n");
+    return 1;
+  }
+
+  // cp: container -> flat (read side), flat -> container (write side),
+  // flat -> flat (baseline, the paper's single UNIX-file column).
+  settle();
+  const double cp_read = time_cp(container, dir + "/out.fromplfs");
+  settle();
+  const double cp_write = time_cp(flat, mount + "/out.toplfs.dat");
+  settle();
+  const double cp_flat = time_cp(flat, dir + "/out.flat");
+
+  settle();
+  const double cat_plfs = time_cat(router, container);
+  settle();
+  const double cat_flat = time_cat(router, flat);
+
+  long long hits_plfs = 0, hits_flat = 0;
+  settle();
+  const double grep_plfs = time_grep(router, container, hits_plfs);
+  settle();
+  const double grep_flat = time_grep(router, flat, hits_flat);
+
+  std::string md5_plfs, md5_flat;
+  settle();
+  const double md5_plfs_s = time_md5(router, container, md5_plfs);
+  settle();
+  const double md5_flat_s = time_md5(router, flat, md5_flat);
+
+  std::printf("%-14s%22s%22s\n", "", "PLFS Container", "Standard UNIX File");
+  std::printf("%-14s%20.3fs%20.3fs\n", "cp (read)", cp_read, cp_flat);
+  std::printf("%-14s%20.3fs%22s\n", "cp (write)", cp_write, "");
+  std::printf("%-14s%20.3fs%20.3fs\n", "cat", cat_plfs, cat_flat);
+  std::printf("%-14s%20.3fs%20.3fs\n", "grep", grep_plfs, grep_flat);
+  std::printf("%-14s%20.3fs%20.3fs\n", "md5sum", md5_plfs_s, md5_flat_s);
+
+  int rc = 0;
+  if (md5_plfs != md5_flat) {
+    std::fprintf(stderr, "\nFAIL: digests differ (%s vs %s)\n",
+                 md5_plfs.c_str(), md5_flat.c_str());
+    rc = 1;
+  } else {
+    std::printf("\ncontent verified: md5 %s, grep hits %lld == %lld\n",
+                md5_plfs.c_str(), hits_plfs, hits_flat);
+  }
+  if (hits_plfs != hits_flat) rc = 1;
+  (void)posix::remove_tree(dir);
+  return rc;
+}

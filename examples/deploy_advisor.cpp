@@ -1,0 +1,81 @@
+// Deploy advisor: "should my machine deploy PLFS for this workload?" —
+// answered from the closed-form model, no simulation, no benchmarking
+// (the paper's §V-A vision of highlighting systems where PLFS helps or
+// hurts before anyone rebuilds an MPI stack).
+//
+//   $ ./examples/deploy_advisor [--machine sierra|minerva]
+//         [--nodes N] [--ppn P] [--mb-per-rank M] [--phases K]
+//         [--compute-gap SECONDS]
+//
+// Prints the predicted bandwidth for plain MPI-IO and for PLFS (via LDPLFS),
+// the binding regime, and a recommendation.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "simfs/analytic.hpp"
+#include "simfs/presets.hpp"
+
+using namespace ldplfs::simfs;
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string machine = arg_value(argc, argv, "--machine", "sierra");
+  const ClusterConfig config = machine == "minerva" ? minerva() : sierra();
+
+  WorkloadShape shape;
+  shape.nodes =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--nodes", "64")));
+  shape.ppn =
+      static_cast<std::uint32_t>(std::atoi(arg_value(argc, argv, "--ppn", "12")));
+  const double mb_per_rank =
+      std::atof(arg_value(argc, argv, "--mb-per-rank", "205"));
+  shape.phases = static_cast<std::uint32_t>(
+      std::atoi(arg_value(argc, argv, "--phases", "24")));
+  shape.bytes_per_rank_per_phase = static_cast<std::uint64_t>(
+      mb_per_rank * 1e6 / shape.phases);
+  shape.compute_between_phases_s =
+      std::atof(arg_value(argc, argv, "--compute-gap", "0.02"));
+  shape.independent_writers = true;
+
+  const auto plfs = predict_plfs(config, shape);
+  const auto ufs = predict_mpiio(config, shape);
+  const double speedup = plfs_speedup(config, shape);
+
+  std::printf("machine:   %s (%u I/O servers, %s metadata)\n",
+              config.name.c_str(), config.io_servers,
+              config.dedicated_mds ? "dedicated MDS" : "distributed");
+  std::printf("workload:  %u nodes x %u ppn, %.0f MB/rank over %u phases\n\n",
+              shape.nodes, shape.ppn, mb_per_rank, shape.phases);
+  std::printf("  plain MPI-IO : %8.0f MB/s  (%s regime)\n",
+              ufs.bandwidth_mbps, regime_name(ufs.regime));
+  std::printf("  PLFS/LDPLFS  : %8.0f MB/s  (%s regime, %.1fs metadata)\n\n",
+              plfs.bandwidth_mbps, regime_name(plfs.regime),
+              plfs.meta_time_s);
+
+  if (speedup > 1.25) {
+    std::printf("RECOMMEND: deploy LDPLFS — predicted %.1fx speedup.\n",
+                speedup);
+  } else if (speedup < 0.8) {
+    std::printf(
+        "AVOID: PLFS predicted to HURT here (%.2fx) — the file-per-process\n"
+        "explosion outweighs its wins at this scale (the paper's Fig. 5\n"
+        "regime). Consider aggregated writers or a burst buffer.\n",
+        speedup);
+  } else {
+    std::printf("NEUTRAL: predicted %.2fx — benchmark before deciding.\n",
+                speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "common/logging.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ldplfs {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("LDPLFS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> threshold{static_cast<int>(level_from_env())};
+  return threshold;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) >
+      threshold_storage().load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[1024];
+  int off = std::snprintf(buf, sizeof buf, "[ldplfs %s] ", level_tag(level));
+  if (off < 0) return;
+  va_list args;
+  va_start(args, fmt);
+  int body = std::vsnprintf(buf + off, sizeof buf - static_cast<size_t>(off) - 1,
+                            fmt, args);
+  va_end(args);
+  if (body < 0) return;
+  size_t len = static_cast<size_t>(off) +
+               std::min(static_cast<size_t>(body),
+                        sizeof buf - static_cast<size_t>(off) - 1);
+  buf[len++] = '\n';
+  // Single write keeps messages atomic across threads for typical sizes.
+  [[maybe_unused]] ssize_t rc = ::write(STDERR_FILENO, buf, len);
+}
+
+}  // namespace ldplfs

@@ -1,0 +1,31 @@
+// Tiny leveled logger. The preload shim logs from inside interposed libc
+// calls, so this writes directly with write(2) on a pre-formatted buffer —
+// no iostreams, no allocation after setup, no locale machinery.
+#pragma once
+
+#include <cstdarg>
+
+namespace ldplfs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global threshold; messages above it are dropped. Initialised from the
+/// LDPLFS_LOG environment variable ("error", "warn", "info", "debug") on
+/// first use.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// printf-style log statement. Thread-safe (single write(2) per message).
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define LDPLFS_LOG_ERROR(...) \
+  ::ldplfs::log_message(::ldplfs::LogLevel::kError, __VA_ARGS__)
+#define LDPLFS_LOG_WARN(...) \
+  ::ldplfs::log_message(::ldplfs::LogLevel::kWarn, __VA_ARGS__)
+#define LDPLFS_LOG_INFO(...) \
+  ::ldplfs::log_message(::ldplfs::LogLevel::kInfo, __VA_ARGS__)
+#define LDPLFS_LOG_DEBUG(...) \
+  ::ldplfs::log_message(::ldplfs::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace ldplfs

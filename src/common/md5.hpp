@@ -1,0 +1,42 @@
+// Self-contained MD5 (RFC 1321) used by ldp-md5sum and by tests that compare
+// container contents against flat files. Streaming interface so multi-GiB
+// files hash in constant memory.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ldplfs {
+
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorb more input. May be called any number of times.
+  void update(std::span<const std::byte> data);
+  void update(const void* data, std::size_t len);
+
+  /// Finalise and return the 16-byte digest. The object must not be updated
+  /// afterwards (construct a fresh one to hash again).
+  std::array<std::uint8_t, 16> finish();
+
+  /// Convenience: hex digest of a buffer.
+  static std::string hex_digest(std::span<const std::byte> data);
+  static std::string hex_digest(const std::string& data);
+
+  /// Render a digest as lowercase hex.
+  static std::string to_hex(const std::array<std::uint8_t, 16>& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace ldplfs

@@ -1,0 +1,86 @@
+#include "common/paths.hpp"
+
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ldplfs {
+
+std::string normalize_path(std::string_view path, std::string_view cwd) {
+  std::string full;
+  if (!path.empty() && path.front() == '/') {
+    full.assign(path);
+  } else if (!cwd.empty()) {
+    full.assign(cwd);
+    full += '/';
+    full += path;
+  } else {
+    full.assign(path);
+  }
+
+  const bool absolute = !full.empty() && full.front() == '/';
+  std::vector<std::string> stack;
+  for (auto& part : split_nonempty(full, '/')) {
+    if (part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back(std::move(part));
+      }
+      // ".." at the root of an absolute path vanishes, as in realpath(3).
+      continue;
+    }
+    stack.push_back(std::move(part));
+  }
+
+  std::string out = absolute ? "/" : "";
+  out += join(stack, "/");
+  if (out.empty()) out = ".";
+  return out;
+}
+
+bool path_under(std::string_view path, std::string_view root) {
+  if (root.empty()) return false;
+  while (root.size() > 1 && root.back() == '/') root.remove_suffix(1);
+  if (path == root) return true;
+  if (path.size() <= root.size()) return false;
+  return path.substr(0, root.size()) == root && path[root.size()] == '/';
+}
+
+std::string path_suffix(std::string_view path, std::string_view root) {
+  while (root.size() > 1 && root.back() == '/') root.remove_suffix(1);
+  if (path == root) return "";
+  std::string_view rest = path.substr(root.size());
+  while (!rest.empty() && rest.front() == '/') rest.remove_prefix(1);
+  return std::string(rest);
+}
+
+std::string path_join(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  if (out != "/") out += '/';
+  while (!b.empty() && b.front() == '/') b.remove_prefix(1);
+  out += b;
+  return out;
+}
+
+std::string path_basename(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  if (path == "/") return "/";
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return std::string(path);
+  return std::string(path.substr(pos + 1));
+}
+
+std::string path_dirname(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return ".";
+  if (pos == 0) return "/";
+  return std::string(path.substr(0, pos));
+}
+
+}  // namespace ldplfs

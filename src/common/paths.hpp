@@ -1,0 +1,38 @@
+// Path manipulation for mount-point matching.
+//
+// The LDPLFS core decides per-call whether a path belongs to a PLFS mount
+// point; these helpers implement lexical normalisation ("." / ".." / "//"
+// squashing) and prefix containment the way the dynamic loader shim needs
+// them: purely lexically, with no filesystem access (an interposed open()
+// must not recursively stat the world).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ldplfs {
+
+/// Lexically normalise a path: collapse "//", resolve "." and "..".
+/// Keeps the path absolute if it was absolute; a relative input is resolved
+/// against `cwd` when provided (otherwise left relative but squashed).
+std::string normalize_path(std::string_view path, std::string_view cwd = {});
+
+/// True when `path` equals `root` or lies underneath it (both should be
+/// normalised and absolute). "/mnt/plfs" contains "/mnt/plfs/a" but not
+/// "/mnt/plfsx".
+bool path_under(std::string_view path, std::string_view root);
+
+/// The portion of `path` below `root` with no leading '/'; empty when
+/// path == root. Precondition: path_under(path, root).
+std::string path_suffix(std::string_view path, std::string_view root);
+
+/// Join two path fragments with exactly one '/'.
+std::string path_join(std::string_view a, std::string_view b);
+
+/// Final component ("" for "/").
+std::string path_basename(std::string_view path);
+
+/// Everything before the final component ("/" for top-level entries).
+std::string path_dirname(std::string_view path);
+
+}  // namespace ldplfs

@@ -1,0 +1,68 @@
+// Minimal expected-style result type carrying an errno value on failure.
+//
+// The LDPLFS core must report failures exactly the way POSIX does (return -1,
+// set errno), so errors are represented as plain errno codes end to end rather
+// than exceptions: the preload shim cannot let exceptions escape into foreign
+// C callers.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ldplfs {
+
+/// An errno-carrying error. Zero is never a valid Errno payload.
+struct Errno {
+  int code = EIO;
+
+  [[nodiscard]] std::string message() const { return std::strerror(code); }
+  friend bool operator==(const Errno&, const Errno&) = default;
+};
+
+/// Result<T>: either a value or an Errno. Deliberately tiny — no monadic
+/// combinators, just the operations the call sites need.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}      // NOLINT(google-explicit-constructor)
+  Result(Errno error) : repr_(error) {}             // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(repr_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(repr_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  [[nodiscard]] Errno error() const { return std::get<Errno>(repr_); }
+  [[nodiscard]] int error_code() const { return error().code; }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errno> repr_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                // success
+  Status(Errno error) : error_(error) {}             // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return error_.code == 0; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] Errno error() const { return error_; }
+  [[nodiscard]] int error_code() const { return error_.code; }
+
+  static Status success() { return Status{}; }
+
+ private:
+  Errno error_{0};
+};
+
+}  // namespace ldplfs

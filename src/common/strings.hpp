@@ -1,0 +1,29 @@
+// String helpers used across modules. All pure functions, no allocation
+// surprises beyond the returned containers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldplfs {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on `sep`, dropping empty fields (handy for "a::b:" style lists).
+std::vector<std::string> split_nonempty(std::string_view text, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Parse a non-negative integer; returns -1 on malformed input.
+long long parse_ll(std::string_view text);
+
+}  // namespace ldplfs

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldplfs {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < suffix.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, suffix[idx]);
+  }
+  return buf;
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return 0;
+  std::uint64_t mult = 1;
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': mult = KiB; break;
+      case 'M': mult = MiB; break;
+      case 'G': mult = GiB; break;
+      case 'T': mult = TiB; break;
+      case 'B': mult = 1; break;
+      default: return 0;
+    }
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(mult));
+}
+
+}  // namespace ldplfs

@@ -1,0 +1,33 @@
+// Byte-size units and helpers shared across the real and simulated strata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldplfs {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+// Decimal units (disk vendors, network links).
+inline constexpr std::uint64_t KB = 1000ULL;
+inline constexpr std::uint64_t MB = 1000ULL * KB;
+inline constexpr std::uint64_t GB = 1000ULL * MB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+}  // namespace literals
+
+/// Render a byte count as a human-readable string, e.g. "8.0 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parse strings like "8M", "1G", "512K", "4096" into a byte count.
+/// Accepts suffixes K/M/G/T (binary) with optional "iB"/"B". Returns 0 on
+/// malformed input.
+std::uint64_t parse_bytes(const std::string& text);
+
+}  // namespace ldplfs

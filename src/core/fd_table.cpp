@@ -1,0 +1,54 @@
+#include "core/fd_table.hpp"
+
+namespace ldplfs::core {
+
+void FdTable::insert(int fd, std::shared_ptr<OpenFile> file) {
+  std::lock_guard lock(mu_);
+  table_[fd] = std::move(file);
+}
+
+std::shared_ptr<OpenFile> FdTable::lookup(int fd) const {
+  std::lock_guard lock(mu_);
+  auto it = table_.find(fd);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<OpenFile> FdTable::erase(int fd) {
+  std::lock_guard lock(mu_);
+  auto it = table_.find(fd);
+  if (it == table_.end()) return nullptr;
+  auto file = std::move(it->second);
+  table_.erase(it);
+  return file;
+}
+
+std::shared_ptr<OpenFile> FdTable::find_by_path(
+    const std::string& path) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [fd, file] : table_) {
+    if (file->handle().path() == path) return file;
+  }
+  return nullptr;
+}
+
+void FdTable::alias(int newfd, std::shared_ptr<OpenFile> file) {
+  std::lock_guard lock(mu_);
+  table_[newfd] = std::move(file);
+}
+
+bool FdTable::contains(int fd) const {
+  std::lock_guard lock(mu_);
+  return table_.count(fd) != 0;
+}
+
+std::size_t FdTable::size() const {
+  std::lock_guard lock(mu_);
+  return table_.size();
+}
+
+void FdTable::clear() {
+  std::lock_guard lock(mu_);
+  table_.clear();
+}
+
+}  // namespace ldplfs::core

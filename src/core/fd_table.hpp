@@ -1,0 +1,79 @@
+// fd → PLFS-handle lookup table (the structure in the paper's Fig. 2).
+//
+// Every PLFS open is backed by a *shadow fd*: a real, unlinked temporary
+// file descriptor returned to the application. The shadow serves two jobs
+// the paper describes: it reserves a genuine POSIX fd number, and its kernel
+// file offset stores the cursor (maintained with lseek) that the positional
+// PLFS API lacks. dup()ed descriptors alias the same table entry and — since
+// dup shares the kernel file description — the same cursor, giving correct
+// POSIX dup semantics for free.
+#pragma once
+
+#include <sys/types.h>
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "plfs/plfs.hpp"
+
+namespace ldplfs::core {
+
+/// State shared by all fds aliasing one PLFS open.
+class OpenFile {
+ public:
+  OpenFile(std::shared_ptr<plfs::FileHandle> handle, int flags, pid_t pid)
+      : handle_(std::move(handle)), flags_(flags), pid_(pid) {}
+  ~OpenFile() { (void)close_stream(); }
+
+  OpenFile(const OpenFile&) = delete;
+  OpenFile& operator=(const OpenFile&) = delete;
+
+  [[nodiscard]] plfs::FileHandle& handle() { return *handle_; }
+  [[nodiscard]] int flags() const { return flags_; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+  /// Close the writer stream once; later calls are no-ops.
+  Status close_stream() {
+    if (closed_) return Status::success();
+    closed_ = true;
+    return handle_->close(pid_);
+  }
+
+ private:
+  std::shared_ptr<plfs::FileHandle> handle_;
+  int flags_;
+  pid_t pid_;
+  bool closed_ = false;
+};
+
+class FdTable {
+ public:
+  void insert(int fd, std::shared_ptr<OpenFile> file);
+
+  /// nullptr when `fd` is not a PLFS fd.
+  [[nodiscard]] std::shared_ptr<OpenFile> lookup(int fd) const;
+
+  /// Remove the mapping; returns it (possibly the last reference, whose
+  /// destruction closes the writer stream). nullptr if absent.
+  std::shared_ptr<OpenFile> erase(int fd);
+
+  /// Alias `newfd` to the same open file (dup/dup2).
+  void alias(int newfd, std::shared_ptr<OpenFile> file);
+
+  /// Any open file whose handle targets `path` (nullptr if none). Used by
+  /// stat to prefer live handle state over the on-disk index.
+  [[nodiscard]] std::shared_ptr<OpenFile> find_by_path(
+      const std::string& path) const;
+
+  [[nodiscard]] bool contains(int fd) const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<OpenFile>> table_;
+};
+
+}  // namespace ldplfs::core

@@ -1,0 +1,115 @@
+#include "core/mounts.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "common/paths.hpp"
+#include "common/strings.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::core {
+
+namespace {
+std::string current_dir() {
+  char buf[4096];
+  if (::getcwd(buf, sizeof buf) == nullptr) return "/";
+  return buf;
+}
+}  // namespace
+
+void MountTable::add(const std::string& path) {
+  std::string normal = normalize_path(path, current_dir());
+  std::unique_lock lock(mu_);
+  if (std::find(mounts_.begin(), mounts_.end(), normal) == mounts_.end()) {
+    mounts_.push_back(std::move(normal));
+    // Longest mount first so nested mounts match the innermost root.
+    std::sort(mounts_.begin(), mounts_.end(),
+              [](const std::string& a, const std::string& b) {
+                return a.size() > b.size();
+              });
+  }
+}
+
+bool MountTable::remove(const std::string& path) {
+  const std::string normal = normalize_path(path, current_dir());
+  std::unique_lock lock(mu_);
+  auto it = std::find(mounts_.begin(), mounts_.end(), normal);
+  if (it == mounts_.end()) return false;
+  mounts_.erase(it);
+  return true;
+}
+
+void MountTable::clear() {
+  std::unique_lock lock(mu_);
+  mounts_.clear();
+}
+
+std::optional<std::string> MountTable::match(
+    const std::string& normalized_path) const {
+  std::shared_lock lock(mu_);
+  for (const auto& mount : mounts_) {
+    if (path_under(normalized_path, mount)) return mount;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> MountTable::mounts() const {
+  std::shared_lock lock(mu_);
+  return mounts_;
+}
+
+bool MountTable::empty() const {
+  std::shared_lock lock(mu_);
+  return mounts_.empty();
+}
+
+int MountTable::load_from_env() {
+  int added = 0;
+  for (const char* var : {"LDPLFS_MOUNTS", "PLFS_MOUNTS"}) {
+    if (const char* value = std::getenv(var)) {
+      for (const auto& path : split_nonempty(value, ':')) {
+        add(path);
+        ++added;
+      }
+    }
+  }
+  if (const char* rc = std::getenv("LDPLFS_RC")) {
+    added += load_rc_file(rc);
+  }
+  return added;
+}
+
+int MountTable::load_rc_file(const std::string& path) {
+  auto content = posix::read_file(path);
+  if (!content) {
+    LDPLFS_LOG_WARN("cannot read rc file %s: %s", path.c_str(),
+                    content.error().message().c_str());
+    return 0;
+  }
+  int added = 0;
+  for (const auto& raw_line : split(content.value(), '\n')) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_nonempty(line, ' ');
+    if (fields.size() == 2 && fields[0] == "mount") {
+      add(fields[1]);
+      ++added;
+    } else {
+      LDPLFS_LOG_WARN("rc file %s: ignoring malformed line '%.*s'",
+                      path.c_str(), static_cast<int>(line.size()),
+                      line.data());
+    }
+  }
+  return added;
+}
+
+MountTable& MountTable::instance() {
+  static MountTable table;
+  return table;
+}
+
+}  // namespace ldplfs::core

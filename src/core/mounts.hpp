@@ -1,0 +1,51 @@
+// PLFS mount-point table.
+//
+// LDPLFS decides per POSIX call whether a path belongs to PLFS by matching
+// it against this table. Mount points are configured without touching the
+// application: the LDPLFS_MOUNTS (or PLFS_MOUNTS) environment variable holds
+// a colon-separated list, and/or LDPLFS_RC names a plfsrc-style file with
+// "mount <path>" lines. A mount point is simply a backend directory on the
+// underlying file system — containers live directly inside it.
+#pragma once
+
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace ldplfs::core {
+
+class MountTable {
+ public:
+  MountTable() = default;
+
+  /// Add a mount point (normalised; duplicates ignored). Relative paths are
+  /// resolved against the current working directory at call time.
+  void add(const std::string& path);
+  bool remove(const std::string& path);
+  void clear();
+
+  /// Longest-prefix match: the mount point containing `normalized_path`,
+  /// or nullopt. The input must already be absolute and normalised.
+  [[nodiscard]] std::optional<std::string> match(
+      const std::string& normalized_path) const;
+
+  [[nodiscard]] std::vector<std::string> mounts() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Populate from LDPLFS_MOUNTS / PLFS_MOUNTS / LDPLFS_RC. Returns the
+  /// number of mount points added.
+  int load_from_env();
+
+  /// Parse a plfsrc-style config: "mount <path>" lines, '#' comments.
+  int load_rc_file(const std::string& path);
+
+  /// Process-wide instance used by the preload shim.
+  static MountTable& instance();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::string> mounts_;
+};
+
+}  // namespace ldplfs::core

@@ -1,0 +1,49 @@
+#include "core/real_calls.hpp"
+
+#include <cstdio>
+
+namespace ldplfs::core {
+
+namespace {
+
+int libc_open(const char* path, int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+int libc_stat(const char* path, struct ::stat* st) { return ::stat(path, st); }
+int libc_lstat(const char* path, struct ::stat* st) {
+  return ::lstat(path, st);
+}
+int libc_fstat(int fd, struct ::stat* st) { return ::fstat(fd, st); }
+
+}  // namespace
+
+const RealCalls& libc_calls() {
+  static const RealCalls calls = [] {
+    RealCalls c;
+    c.open = libc_open;
+    c.close = ::close;
+    c.read = ::read;
+    c.write = ::write;
+    c.pread = ::pread;
+    c.pwrite = ::pwrite;
+    c.lseek = ::lseek;
+    c.dup = ::dup;
+    c.dup2 = ::dup2;
+    c.fsync = ::fsync;
+    c.fdatasync = ::fdatasync;
+    c.ftruncate = ::ftruncate;
+    c.truncate = ::truncate;
+    c.unlink = ::unlink;
+    c.access = ::access;
+    c.stat = libc_stat;
+    c.lstat = libc_lstat;
+    c.fstat = libc_fstat;
+    c.rename = ::rename;
+    c.mkdir = ::mkdir;
+    c.rmdir = ::rmdir;
+    return c;
+  }();
+  return calls;
+}
+
+}  // namespace ldplfs::core

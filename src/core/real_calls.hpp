@@ -1,0 +1,41 @@
+// Table of "real" libc entry points used for passthrough and for shadow-fd
+// bookkeeping. The preload shim fills this via dlsym(RTLD_NEXT, ...) because
+// its own exported symbols shadow libc's; in-process users (unit tests, the
+// ldp-* tools) use the default table that calls libc directly.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ldplfs::core {
+
+struct RealCalls {
+  int (*open)(const char*, int, mode_t) = nullptr;
+  int (*close)(int) = nullptr;
+  ssize_t (*read)(int, void*, size_t) = nullptr;
+  ssize_t (*write)(int, const void*, size_t) = nullptr;
+  ssize_t (*pread)(int, void*, size_t, off_t) = nullptr;
+  ssize_t (*pwrite)(int, const void*, size_t, off_t) = nullptr;
+  off_t (*lseek)(int, off_t, int) = nullptr;
+  int (*dup)(int) = nullptr;
+  int (*dup2)(int, int) = nullptr;
+  int (*fsync)(int) = nullptr;
+  int (*fdatasync)(int) = nullptr;
+  int (*ftruncate)(int, off_t) = nullptr;
+  int (*truncate)(const char*, off_t) = nullptr;
+  int (*unlink)(const char*) = nullptr;
+  int (*access)(const char*, int) = nullptr;
+  int (*stat)(const char*, struct ::stat*) = nullptr;
+  int (*lstat)(const char*, struct ::stat*) = nullptr;
+  int (*fstat)(int, struct ::stat*) = nullptr;
+  int (*rename)(const char*, const char*) = nullptr;
+  int (*mkdir)(const char*, mode_t) = nullptr;
+  int (*rmdir)(const char*) = nullptr;
+};
+
+/// Table pointing straight at libc (safe when nothing is interposed).
+const RealCalls& libc_calls();
+
+}  // namespace ldplfs::core

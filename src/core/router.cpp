@@ -1,0 +1,396 @@
+#include "core/router.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <ctime>
+
+#include <cerrno>
+#include <cstdio>
+#include <span>
+
+#include "common/logging.hpp"
+#include "common/paths.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::core {
+
+namespace {
+
+/// POSIX-style error return: set errno from a Status/Result error.
+int fail(Errno e) {
+  errno = e.code;
+  return -1;
+}
+
+std::string current_dir() {
+  char buf[4096];
+  if (::getcwd(buf, sizeof buf) == nullptr) return "/";
+  return buf;
+}
+
+}  // namespace
+
+Router::Resolved Router::resolve(const char* path) const {
+  Resolved r;
+  if (path == nullptr) return r;
+  r.path = normalize_path(path, current_dir());
+  r.in_mount = mounts_.match(r.path).has_value();
+  return r;
+}
+
+bool Router::path_in_mount(const char* path) const {
+  return resolve(path).in_mount;
+}
+
+bool Router::path_is_container(const char* path) const {
+  const Resolved r = resolve(path);
+  return r.in_mount && plfs::plfs_is_container(r.path);
+}
+
+int Router::make_shadow_fd() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir == nullptr || tmpdir[0] == '\0') tmpdir = "/tmp";
+#ifdef O_TMPFILE
+  int fd = real_.open(tmpdir, O_TMPFILE | O_RDWR, 0600);
+  if (fd >= 0) return fd;
+#endif
+  // Fallback: create-and-unlink with a unique name.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    char name[512];
+    std::snprintf(name, sizeof name, "%s/.ldplfs.shadow.%ld.%d", tmpdir,
+                  static_cast<long>(::getpid()), attempt);
+    const int fallback_fd = real_.open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fallback_fd >= 0) {
+      real_.unlink(name);
+      return fallback_fd;
+    }
+    if (errno != EEXIST) break;
+  }
+  return -1;
+}
+
+int Router::open_plfs(const Resolved& where, int flags, mode_t mode) {
+  const pid_t pid = ::getpid();
+  auto handle = plfs::plfs_open(where.path, flags, pid, mode);
+  if (!handle) return fail(handle.error());
+
+  const int shadow = make_shadow_fd();
+  if (shadow < 0) {
+    LDPLFS_LOG_ERROR("cannot create shadow fd for %s", where.path.c_str());
+    return -1;  // errno from open
+  }
+
+  // Note: O_APPEND does not move the initial offset — POSIX starts every
+  // open at 0 and appending happens per write (Router::write).
+
+  table_.insert(shadow,
+                std::make_shared<OpenFile>(std::move(handle).value(), flags, pid));
+  LDPLFS_LOG_DEBUG("open(%s) -> plfs fd %d", where.path.c_str(), shadow);
+  return shadow;
+}
+
+int Router::open(const char* path, int flags, mode_t mode) {
+  const Resolved where = resolve(path);
+  if (!where.in_mount) return real_.open(path, flags, mode);
+
+  struct ::stat st{};
+  const bool exists = real_.lstat(where.path.c_str(), &st) == 0;
+  const bool container = exists && S_ISDIR(st.st_mode) &&
+                         plfs::plfs_is_container(where.path);
+  if (container) return open_plfs(where, flags, mode);
+  if (exists) {
+    // A plain file or directory inside the backend (dotfiles, the mount
+    // root itself, hostdir internals) — not ours, pass straight through.
+    return real_.open(path, flags, mode);
+  }
+  if ((flags & O_CREAT) != 0 && (flags & O_DIRECTORY) == 0) {
+    return open_plfs(where, flags, mode);
+  }
+  return real_.open(path, flags, mode);
+}
+
+int Router::creat(const char* path, mode_t mode) {
+  return open(path, O_WRONLY | O_CREAT | O_TRUNC, mode);
+}
+
+int Router::dup(int fd) {
+  auto of = table_.lookup(fd);
+  const int newfd = real_.dup(fd);
+  if (newfd >= 0 && of) table_.alias(newfd, std::move(of));
+  return newfd;
+}
+
+int Router::dup2(int oldfd, int newfd) {
+  auto of = table_.lookup(oldfd);
+  // dup2 implicitly closes newfd: retire any PLFS state it held.
+  if (oldfd != newfd) {
+    if (auto old_target = table_.erase(newfd)) {
+      (void)old_target;  // writer stream closes if this was the last alias
+    }
+  }
+  const int result = real_.dup2(oldfd, newfd);
+  if (result >= 0 && of && oldfd != newfd) table_.alias(result, std::move(of));
+  return result;
+}
+
+ssize_t Router::read(int fd, void* buf, size_t count) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.read(fd, buf, count);
+
+  const off_t cursor = real_.lseek(fd, 0, SEEK_CUR);
+  if (cursor < 0) return -1;
+  auto n = of->handle().read(
+      std::span<std::byte>(static_cast<std::byte*>(buf), count),
+      static_cast<std::uint64_t>(cursor));
+  if (!n) return fail(n.error());
+  real_.lseek(fd, cursor + static_cast<off_t>(n.value()), SEEK_SET);
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::write(int fd, const void* buf, size_t count) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.write(fd, buf, count);
+
+  std::uint64_t offset;
+  if ((of->flags() & O_APPEND) != 0) {
+    auto size = of->handle().size();
+    if (!size) return fail(size.error());
+    offset = size.value();
+  } else {
+    const off_t cursor = real_.lseek(fd, 0, SEEK_CUR);
+    if (cursor < 0) return -1;
+    offset = static_cast<std::uint64_t>(cursor);
+  }
+  auto n = of->handle().write(
+      std::span<const std::byte>(static_cast<const std::byte*>(buf), count),
+      offset, of->pid());
+  if (!n) return fail(n.error());
+  real_.lseek(fd, static_cast<off_t>(offset + n.value()), SEEK_SET);
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::pread(int fd, void* buf, size_t count, off_t offset) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.pread(fd, buf, count, offset);
+  auto n = of->handle().read(
+      std::span<std::byte>(static_cast<std::byte*>(buf), count),
+      static_cast<std::uint64_t>(offset));
+  if (!n) return fail(n.error());
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.pwrite(fd, buf, count, offset);
+  std::uint64_t target = static_cast<std::uint64_t>(offset);
+  if ((of->flags() & O_APPEND) != 0) {
+    // Linux quirk (pwrite(2) BUGS): on an O_APPEND descriptor pwrite
+    // appends at EOF, ignoring the offset. Interposition must match the
+    // platform the application was written against.
+    auto size = of->handle().size();
+    if (!size) return fail(size.error());
+    target = size.value();
+  }
+  auto n = of->handle().write(
+      std::span<const std::byte>(static_cast<const std::byte*>(buf), count),
+      target, of->pid());
+  if (!n) return fail(n.error());
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
+  auto of = table_.lookup(fd);
+  if (!of) return ::readv(fd, iov, iovcnt);
+  // Vectored I/O decomposes into sequential reads; POSIX requires the
+  // whole call to be atomic with respect to the offset, which holds here
+  // because the cursor only moves through this thread's own calls.
+  ssize_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) continue;
+    const ssize_t n = read(fd, iov[i].iov_base, iov[i].iov_len);
+    if (n < 0) return total > 0 ? total : -1;
+    total += n;
+    if (static_cast<size_t>(n) < iov[i].iov_len) break;  // EOF
+  }
+  return total;
+}
+
+ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
+  auto of = table_.lookup(fd);
+  if (!of) return ::writev(fd, iov, iovcnt);
+  ssize_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) continue;
+    const ssize_t n = write(fd, iov[i].iov_base, iov[i].iov_len);
+    if (n < 0) return total > 0 ? total : -1;
+    total += n;
+    if (static_cast<size_t>(n) < iov[i].iov_len) break;
+  }
+  return total;
+}
+
+off_t Router::lseek(int fd, off_t offset, int whence) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.lseek(fd, offset, whence);
+  if (whence == SEEK_END) {
+    auto size = of->handle().size();
+    if (!size) return fail(size.error());
+    return real_.lseek(fd, static_cast<off_t>(size.value()) + offset,
+                       SEEK_SET);
+  }
+  // SEEK_SET / SEEK_CUR live entirely in the shadow fd's kernel offset.
+  return real_.lseek(fd, offset, whence);
+}
+
+int Router::close(int fd) {
+  auto of = table_.erase(fd);
+  if (!of) return real_.close(fd);
+  int result = 0;
+  if (of.use_count() == 1) {
+    // Last alias: shut down the writer stream and surface its errors here,
+    // like close(2) surfaces deferred write errors.
+    if (auto s = of->close_stream(); !s) result = fail(s.error());
+  }
+  if (real_.close(fd) != 0) result = -1;
+  return result;
+}
+
+int Router::fsync(int fd) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.fsync(fd);
+  if (auto s = of->handle().sync(of->pid()); !s) return fail(s.error());
+  return 0;
+}
+
+int Router::fdatasync(int fd) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.fdatasync(fd);
+  if (auto s = of->handle().sync(of->pid()); !s) return fail(s.error());
+  return 0;
+}
+
+int Router::ftruncate(int fd, off_t length) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.ftruncate(fd, length);
+  if (length < 0) return fail(Errno{EINVAL});
+  if (auto s = of->handle().truncate(static_cast<std::uint64_t>(length),
+                                     of->pid());
+      !s) {
+    return fail(s.error());
+  }
+  return 0;
+}
+
+void Router::fill_stat(struct ::stat* st, const plfs::FileAttr& attr) const {
+  *st = {};
+  st->st_mode = S_IFREG | (attr.mode & 07777);
+  st->st_size = static_cast<off_t>(attr.size);
+  st->st_nlink = 1;
+  st->st_uid = ::getuid();
+  st->st_gid = ::getgid();
+  st->st_blksize = 4096;
+  st->st_blocks = static_cast<blkcnt_t>((attr.size + 511) / 512);
+  st->st_mtime = attr.mtime;
+  st->st_atime = attr.mtime;
+  st->st_ctime = attr.mtime;
+}
+
+int Router::stat(const char* path, struct ::stat* st) {
+  const Resolved where = resolve(path);
+  if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    return real_.stat(path, st);
+  }
+  // If this process has the file open for writing, unflushed records make
+  // the on-disk index lag; answer from the live handle instead, the way
+  // the kernel answers stat from the in-memory inode.
+  if (auto open_file = table_.find_by_path(where.path)) {
+    auto size = open_file->handle().size();
+    if (!size) return fail(size.error());
+    plfs::FileAttr attr;
+    attr.size = size.value();
+    auto disk = plfs::plfs_getattr(where.path);
+    if (disk) attr.mode = disk.value().mode;
+    fill_stat(st, attr);
+    return 0;
+  }
+  auto attr = plfs::plfs_getattr(where.path);
+  if (!attr) return fail(attr.error());
+  fill_stat(st, attr.value());
+  return 0;
+}
+
+int Router::lstat(const char* path, struct ::stat* st) {
+  // Containers are directories, never symlinks; present them as files.
+  return stat(path, st);
+}
+
+int Router::fstat(int fd, struct ::stat* st) {
+  auto of = table_.lookup(fd);
+  if (!of) return real_.fstat(fd, st);
+  auto size = of->handle().size();
+  if (!size) return fail(size.error());
+  plfs::FileAttr attr;
+  attr.size = size.value();
+  attr.mtime = ::time(nullptr);  // file is open and live
+  fill_stat(st, attr);
+  return 0;
+}
+
+int Router::unlink(const char* path) {
+  const Resolved where = resolve(path);
+  if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    return real_.unlink(path);
+  }
+  if (auto s = plfs::plfs_unlink(where.path); !s) return fail(s.error());
+  return 0;
+}
+
+int Router::access(const char* path, int amode) {
+  const Resolved where = resolve(path);
+  if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    return real_.access(path, amode);
+  }
+  if (auto s = plfs::plfs_access(where.path, amode); !s) {
+    return fail(s.error());
+  }
+  return 0;
+}
+
+int Router::truncate(const char* path, off_t length) {
+  const Resolved where = resolve(path);
+  if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    return real_.truncate(path, length);
+  }
+  if (length < 0) return fail(Errno{EINVAL});
+  if (auto s = plfs::plfs_trunc(where.path,
+                                static_cast<std::uint64_t>(length));
+      !s) {
+    return fail(s.error());
+  }
+  return 0;
+}
+
+int Router::rename(const char* from, const char* to) {
+  const Resolved src = resolve(from);
+  if (!src.in_mount || !plfs::plfs_is_container(src.path)) {
+    return real_.rename(from, to);
+  }
+  const Resolved dst = resolve(to);
+  if (!dst.in_mount) {
+    // Renaming a container out of PLFS would need a copy; EXDEV tells the
+    // caller to do exactly what mv(1) does across devices.
+    return fail(Errno{EXDEV});
+  }
+  if (auto s = plfs::plfs_rename(src.path, dst.path); !s) {
+    return fail(s.error());
+  }
+  return 0;
+}
+
+Router& Router::instance() {
+  static Router router(libc_calls(), MountTable::instance());
+  return router;
+}
+
+}  // namespace ldplfs::core

@@ -1,0 +1,57 @@
+// Cost model for the MPI collectives the I/O middleware relies on.
+//
+// Standard LogP-flavoured estimates: tree barriers/allreduces in
+// log2(p) rounds; the collective-buffering data exchange as a gather of
+// each node's data onto its aggregator (intra-node through shared memory,
+// negligible network), plus a small allreduce for offset agreement. These
+// costs are what make adding processes per node slightly *slow down*
+// node-constant I/O in Fig. 3 — the paper calls out exactly this on-node
+// communication/synchronisation overhead.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "mpi/topology.hpp"
+
+namespace ldplfs::mpi {
+
+struct CollectiveModel {
+  double point_latency_s = 3e-6;   // one message hop
+  double memcpy_bps = 6e9;         // intra-node staging rate
+  double nic_bps = 3.2e9;          // inter-node rate (used when ppn spans)
+
+  [[nodiscard]] static std::uint32_t log2_ceil(std::uint32_t p) {
+    return p <= 1 ? 0 : 32 - std::countl_zero(p - 1);
+  }
+
+  /// Barrier / small allreduce across p ranks.
+  [[nodiscard]] double barrier_s(std::uint32_t p) const {
+    return 2.0 * point_latency_s * log2_ceil(p);
+  }
+
+  /// Two-phase collective-buffering exchange: ranks redistribute their
+  /// (generally strided) data onto the aggregators. Intra-node shares move
+  /// at memcpy speed; with strided file layouts roughly half of each
+  /// node's aggregate crosses the network to remote aggregators.
+  [[nodiscard]] double cb_exchange_s(const Topology& topo,
+                                     std::uint64_t bytes_per_rank) const {
+    const double node_bytes =
+        static_cast<double>(bytes_per_rank) * static_cast<double>(topo.ppn);
+    const double remote = 0.5 * node_bytes / nic_bps;
+    double staged = 0.0;
+    if (topo.ppn > 1) {
+      staged = static_cast<double>(bytes_per_rank) *
+               static_cast<double>(topo.ppn - 1) / memcpy_bps;
+    }
+    return staged + remote + barrier_s(topo.nranks());
+  }
+
+  /// Read-side redistribution: aggregator scatters to node peers.
+  [[nodiscard]] double cb_scatter_s(const Topology& topo,
+                                    std::uint64_t bytes_per_rank) const {
+    return cb_exchange_s(topo, bytes_per_rank);
+  }
+};
+
+}  // namespace ldplfs::mpi

@@ -1,0 +1,36 @@
+// Process topology for simulated MPI jobs: ranks laid out block-wise over
+// nodes (rank / ppn = node), matching how mpirun fills nodes on the paper's
+// clusters. Collective buffering uses one aggregator per node (the ROMIO
+// default the paper's footnote 3 cites).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ldplfs::mpi {
+
+struct Topology {
+  std::uint32_t nodes = 1;
+  std::uint32_t ppn = 1;  // processes per node
+
+  [[nodiscard]] std::uint32_t nranks() const { return nodes * ppn; }
+  [[nodiscard]] std::uint32_t node_of(std::uint32_t rank) const {
+    return rank / ppn;
+  }
+  [[nodiscard]] bool is_aggregator(std::uint32_t rank) const {
+    return rank % ppn == 0;  // first rank on each node
+  }
+  [[nodiscard]] std::uint32_t aggregator_of_node(std::uint32_t node) const {
+    return node * ppn;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> aggregators() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      out.push_back(aggregator_of_node(n));
+    }
+    return out;
+  }
+};
+
+}  // namespace ldplfs::mpi

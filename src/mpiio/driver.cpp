@@ -1,0 +1,488 @@
+#include "mpiio/driver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ldplfs::mpiio {
+
+std::uint64_t IoDriver::next_file_id_ = 1;
+
+const char* route_name(Route route) {
+  switch (route) {
+    case Route::kMpiio: return "MPI-IO";
+    case Route::kRomioPlfs: return "ROMIO";
+    case Route::kLdplfs: return "LDPLFS";
+    case Route::kFuse: return "FUSE";
+  }
+  return "?";
+}
+
+IoDriver::IoDriver(simfs::ClusterModel& cluster, mpi::Topology topo,
+                   DriverOptions options)
+    : cluster_(cluster), topo_(topo), options_(options) {
+  // Each job gets a fresh file-id range so lock ownership never leaks
+  // between experiments.
+  shared_file_id_ = next_file_id_;
+  next_file_id_ += static_cast<std::uint64_t>(topo_.nranks()) + 2;
+  collectives_.memcpy_bps = cluster_.config().memcpy_bps;
+  collectives_.nic_bps = cluster_.config().client_nic.bandwidth_bps;
+}
+
+std::vector<std::uint32_t> IoDriver::writers(bool collective) const {
+  if (collective && options_.collective_buffering) return topo_.aggregators();
+  std::vector<std::uint32_t> all(topo_.nranks());
+  for (std::uint32_t r = 0; r < all.size(); ++r) all[r] = r;
+  return all;
+}
+
+double IoDriver::op_overhead_s() const {
+  const auto& cfg = cluster_.config();
+  switch (options_.route) {
+    case Route::kMpiio: return cfg.mpiio_op_s;
+    case Route::kRomioPlfs: return cfg.mpiio_op_s + cfg.plfs_api_op_s;
+    case Route::kLdplfs:
+      return cfg.mpiio_op_s + cfg.plfs_api_op_s + cfg.ldplfs_op_extra_s;
+    case Route::kFuse:
+      return cfg.mpiio_op_s + cfg.plfs_api_op_s + cfg.fuse_op_extra_s;
+  }
+  return cfg.mpiio_op_s;
+}
+
+std::uint64_t IoDriver::file_for_writer(std::uint32_t writer) const {
+  // Partitioning: one file (dropping) per writer; without it every writer
+  // appends to the single shared container log.
+  if (is_plfs() && options_.plfs_partitioning) {
+    return shared_file_id_ + 1 + writer;
+  }
+  return shared_file_id_;
+}
+
+void IoDriver::append_write_ops(std::vector<simfs::RankOp>& ops,
+                                std::uint32_t writer, std::uint64_t bytes,
+                                std::uint64_t offset) {
+  const auto& cfg = cluster_.config();
+  if (!is_plfs()) {
+    // Shared file: synchronous locked writes at stripe granularity.
+    const std::uint64_t chunk = cfg.stripe_bytes;
+    for (std::uint64_t done = 0; done < bytes; done += chunk) {
+      simfs::RankOp op;
+      op.kind = simfs::OpKind::kWrite;
+      op.bytes = std::min(chunk, bytes - done);
+      op.file = shared_file_id_;
+      op.offset = offset + done;
+      op.sequential = false;  // interleaved writer regions at the array
+      op.locked = true;
+      op.cpu_s = op_overhead_s();
+      ops.push_back(op);
+    }
+    return;
+  }
+
+  const std::uint64_t file = file_for_writer(writer);
+  const bool log = options_.plfs_log_structure;
+  if (options_.route == Route::kFuse) {
+    // Write-through in fuse_chunk_bytes pieces, each a full round trip.
+    const std::uint64_t chunk = options_.fuse_chunk_bytes;
+    for (std::uint64_t done = 0; done < bytes; done += chunk) {
+      simfs::RankOp op;
+      op.kind = simfs::OpKind::kWrite;
+      op.bytes = std::min(chunk, bytes - done);
+      op.file = file;
+      op.offset = offset + done;
+      op.sequential = log;
+      op.synchronous = true;
+      // Each chunk also pays the user-space copy through the daemon.
+      op.cpu_s = op_overhead_s() +
+                 static_cast<double>(op.bytes) / cfg.fuse_copy_bps;
+      ops.push_back(op);
+    }
+    return;
+  }
+
+  simfs::RankOp op;
+  op.kind = simfs::OpKind::kWrite;
+  op.bytes = bytes;
+  op.file = file;
+  op.offset = offset;
+  op.sequential = log;
+  op.random_drain = !log;
+  // Without partitioning all writers funnel through the shared log tail:
+  // serialised appends, modelled as locked writes on one domain.
+  if (!options_.plfs_partitioning) {
+    op.locked = true;
+    op.offset = 0;  // single lock domain: the log tail
+    op.sequential = log;
+  }
+  op.cpu_s = op_overhead_s();
+  ops.push_back(op);
+
+  // Every data write appends a record to the paired *index* dropping — a
+  // tiny write, but a second live stream per writer. The paper's §IV calls
+  // this out ("at least one for the data and one for the index") as part
+  // of why file counts explode at scale.
+  simfs::RankOp index_op;
+  index_op.kind = simfs::OpKind::kWrite;
+  index_op.bytes = 48;
+  index_op.file = file + (1ull << 40);  // the writer's index dropping
+  index_op.offset = 0;
+  index_op.sequential = true;
+  index_op.internal = true;  // bookkeeping bytes, not application data
+  index_op.cpu_s = 0.0;
+  ops.push_back(index_op);
+}
+
+void IoDriver::append_read_ops(std::vector<simfs::RankOp>& ops,
+                               std::uint32_t writer, std::uint64_t bytes,
+                               std::uint64_t offset) {
+  const auto& cfg = cluster_.config();
+  std::uint64_t chunk;
+  bool sequential;
+  std::uint64_t file;
+  if (!is_plfs()) {
+    chunk = cfg.stripe_bytes;
+    sequential = false;  // shared file: interleaved regions
+    file = shared_file_id_;
+  } else if (options_.route == Route::kFuse) {
+    chunk = options_.fuse_chunk_bytes;
+    sequential = true;  // own dropping, log order
+    file = file_for_writer(writer);
+  } else {
+    chunk = bytes;  // PLFS read of own region: one streaming request
+    sequential = true;
+    file = file_for_writer(writer);
+  }
+  for (std::uint64_t done = 0; done < bytes; done += chunk) {
+    simfs::RankOp op;
+    op.kind = simfs::OpKind::kRead;
+    op.bytes = std::min(chunk, bytes - done);
+    op.file = file;
+    op.offset = offset + done;
+    op.sequential = sequential;
+    op.cpu_s = op_overhead_s();
+    if (options_.route == Route::kFuse) {
+      op.cpu_s += static_cast<double>(op.bytes) / cfg.fuse_copy_bps;
+    }
+    ops.push_back(op);
+  }
+}
+
+double IoDriver::open(bool create) {
+  std::vector<simfs::RankProgram> programs;
+  programs.reserve(topo_.nranks());
+  const double sw = op_overhead_s();
+
+  for (std::uint32_t rank = 0; rank < topo_.nranks(); ++rank) {
+    simfs::RankProgram program;
+    program.rank = rank;
+    program.node = topo_.node_of(rank);
+    if (!is_plfs()) {
+      // Shared file: rank 0 creates, everyone opens.
+      if (rank == 0 && create) {
+        program.ops.push_back({simfs::OpKind::kMetaCreate, 0,
+                               shared_file_id_, 0, true, false, false, false,
+                               sw});
+      }
+      program.ops.push_back({simfs::OpKind::kMetaOpen, 0, shared_file_id_, 0,
+                             true, false, false, false, sw});
+    } else {
+      // PLFS container: rank 0 creates the container skeleton; every rank
+      // stats the access marker; every *writer* creates its data + index
+      // droppings and registers in openhosts (3 creates).
+      if (rank == 0 && create) {
+        for (int i = 0; i < 4; ++i) {  // container dir, access, creator, dirs
+          program.ops.push_back({simfs::OpKind::kMetaCreate, 0,
+                                 shared_file_id_, 0, true, false, false,
+                                 false, sw});
+        }
+      }
+      program.ops.push_back({simfs::OpKind::kMetaOpen, 0, shared_file_id_, 0,
+                             true, false, false, false, sw});
+    }
+    programs.push_back(std::move(program));
+  }
+  const auto result = cluster_.run_phase(programs);
+  stats_.open_s += result.duration_s;
+  stats_.meta_ops += result.meta_ops;
+  opened_ = true;
+  return result.duration_s;
+}
+
+double IoDriver::run_write(std::uint64_t bytes_per_rank,
+                           std::uint64_t phase_index, bool collective) {
+  const auto writer_ranks = writers(collective);
+  const std::uint64_t writer_bytes =
+      bytes_per_rank * topo_.nranks() / writer_ranks.size();
+  const std::uint64_t phase_base =
+      phase_index * bytes_per_rank * topo_.nranks();
+  const double sw = op_overhead_s();
+
+  const bool first_write = writer_count_ == 0;
+  std::vector<simfs::RankProgram> programs;
+  programs.reserve(writer_ranks.size());
+  for (std::size_t w = 0; w < writer_ranks.size(); ++w) {
+    const std::uint32_t rank = writer_ranks[w];
+    simfs::RankProgram program;
+    program.rank = rank;
+    program.node = topo_.node_of(rank);
+
+    // Collective buffering: pay the exchange onto the aggregator first.
+    if (collective && options_.collective_buffering) {
+      program.ops.push_back(
+          {simfs::OpKind::kCompute, 0, 0, 0, true, false, false, false,
+           collectives_.cb_exchange_s(topo_, bytes_per_rank)});
+    }
+    // PLFS: a writer's first write creates its droppings + registration.
+    if (is_plfs() && first_write) {
+      for (int i = 0; i < 3; ++i) {
+        program.ops.push_back({simfs::OpKind::kMetaCreate, 0,
+                               file_for_writer(rank), 0, true, false, false,
+                               false, sw});
+      }
+    }
+    append_write_ops(program.ops, rank,
+                     writer_bytes, phase_base + w * writer_bytes);
+    programs.push_back(std::move(program));
+  }
+  if (first_write) writer_count_ = writer_ranks.size();
+
+  const auto result = cluster_.run_phase(programs);
+  stats_.write_s += result.duration_s;
+  stats_.bytes_written += result.bytes_written;
+  stats_.meta_ops += result.meta_ops;
+  return result.duration_s;
+}
+
+double IoDriver::write_collective(std::uint64_t bytes_per_rank,
+                                  std::uint64_t phase_index) {
+  return run_write(bytes_per_rank, phase_index, /*collective=*/true);
+}
+
+double IoDriver::write_independent(std::uint64_t bytes_per_rank,
+                                   std::uint64_t phase_index) {
+  return run_write(bytes_per_rank, phase_index, /*collective=*/false);
+}
+
+double IoDriver::read_collective(std::uint64_t bytes_per_rank,
+                                 std::uint64_t phase_index) {
+  const auto reader_ranks = writers(true);
+  const std::uint64_t reader_bytes =
+      bytes_per_rank * topo_.nranks() / reader_ranks.size();
+  const std::uint64_t phase_base =
+      phase_index * bytes_per_rank * topo_.nranks();
+  const double sw = op_overhead_s();
+
+  std::vector<simfs::RankProgram> programs;
+  programs.reserve(reader_ranks.size());
+  const bool build_index = is_plfs() && phase_index == 0;
+  for (std::size_t w = 0; w < reader_ranks.size(); ++w) {
+    const std::uint32_t rank = reader_ranks[w];
+    simfs::RankProgram program;
+    program.rank = rank;
+    program.node = topo_.node_of(rank);
+
+    // PLFS read-open: every reader merges the global index — a metadata
+    // lookup per index dropping plus the (small, server-cached) index data
+    // itself, modelled as one aggregate read. The per-dropping lookups are
+    // what lands on the MDS at scale.
+    if (build_index) {
+      const std::uint64_t droppings = std::max<std::uint64_t>(
+          writer_count_, reader_ranks.size());
+      for (std::uint64_t d = 0; d < droppings; ++d) {
+        program.ops.push_back({simfs::OpKind::kMetaStat, 0,
+                               shared_file_id_ + 1 + d, 0, true, false,
+                               false, false, sw});
+      }
+      simfs::RankOp index_read;
+      index_read.kind = simfs::OpKind::kRead;
+      index_read.bytes = droppings * 4096;
+      index_read.file = shared_file_id_ + 1 + rank;
+      index_read.sequential = true;
+      index_read.internal = true;
+      index_read.cpu_s = sw;
+      program.ops.push_back(index_read);
+    }
+    append_read_ops(program.ops, rank, reader_bytes,
+                    phase_base + w * reader_bytes);
+    // Scatter back to node peers.
+    if (options_.collective_buffering && topo_.ppn > 1) {
+      program.ops.push_back(
+          {simfs::OpKind::kCompute, 0, 0, 0, true, false, false, false,
+           collectives_.cb_scatter_s(topo_, bytes_per_rank)});
+    }
+    programs.push_back(std::move(program));
+  }
+  const auto result = cluster_.run_phase(programs);
+  stats_.read_s += result.duration_s;
+  stats_.bytes_read += result.bytes_read;
+  stats_.meta_ops += result.meta_ops;
+  return result.duration_s;
+}
+
+namespace {
+
+/// Shared strided-access geometry: piece p of rank r sits at
+/// ((p * nranks) + r) * piece_bytes within the phase's region.
+struct StridedLayout {
+  std::uint64_t piece_bytes;
+  std::uint64_t pieces_per_rank;
+  std::uint32_t nranks;
+
+  [[nodiscard]] std::uint64_t region_bytes() const {
+    return piece_bytes * pieces_per_rank * nranks;
+  }
+  [[nodiscard]] std::uint64_t offset(std::uint32_t rank,
+                                     std::uint64_t piece) const {
+    return (piece * nranks + rank) * piece_bytes;
+  }
+};
+
+}  // namespace
+
+double IoDriver::read_strided(std::uint64_t piece_bytes,
+                              std::uint64_t pieces_per_rank,
+                              std::uint64_t phase_index) {
+  const auto& cfg = cluster_.config();
+  const StridedLayout layout{piece_bytes, pieces_per_rank, topo_.nranks()};
+  const std::uint64_t phase_base = phase_index * layout.region_bytes();
+  const double sw = op_overhead_s();
+
+  std::vector<simfs::RankProgram> programs;
+  programs.reserve(topo_.nranks());
+  for (std::uint32_t rank = 0; rank < topo_.nranks(); ++rank) {
+    simfs::RankProgram program;
+    program.rank = rank;
+    program.node = topo_.node_of(rank);
+
+    if (options_.data_sieving) {
+      // One covering window per rank, read in sieve-buffer chunks; the
+      // pieces are extracted in memory (memcpy cost on the cpu leg).
+      const std::uint64_t window = layout.region_bytes();
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(options_.sieve_buffer_bytes, window);
+      for (std::uint64_t done = 0; done < window; done += chunk) {
+        simfs::RankOp op;
+        op.kind = simfs::OpKind::kRead;
+        op.bytes = std::min(chunk, window - done);
+        op.file = shared_file_id_;
+        op.offset = phase_base + done;
+        op.sequential = true;  // large contiguous window
+        op.cpu_s = sw + static_cast<double>(op.bytes) / cfg.memcpy_bps;
+        program.ops.push_back(op);
+      }
+    } else {
+      for (std::uint64_t piece = 0; piece < pieces_per_rank; ++piece) {
+        simfs::RankOp op;
+        op.kind = simfs::OpKind::kRead;
+        op.bytes = piece_bytes;
+        op.file = shared_file_id_;
+        op.offset = phase_base + layout.offset(rank, piece);
+        op.sequential = false;  // strided holes between pieces
+        op.cpu_s = sw;
+        program.ops.push_back(op);
+      }
+    }
+    programs.push_back(std::move(program));
+  }
+  const auto result = cluster_.run_phase(programs);
+  stats_.read_s += result.duration_s;
+  // Only the application-visible bytes count toward bandwidth; the sieving
+  // amplification is the cost being modelled, not data delivered.
+  stats_.bytes_read += layout.region_bytes();
+  return result.duration_s;
+}
+
+double IoDriver::write_strided(std::uint64_t piece_bytes,
+                               std::uint64_t pieces_per_rank,
+                               std::uint64_t phase_index) {
+  const auto& cfg = cluster_.config();
+  const StridedLayout layout{piece_bytes, pieces_per_rank, topo_.nranks()};
+  const std::uint64_t phase_base = phase_index * layout.region_bytes();
+  const double sw = op_overhead_s();
+
+  std::vector<simfs::RankProgram> programs;
+  programs.reserve(topo_.nranks());
+  for (std::uint32_t rank = 0; rank < topo_.nranks(); ++rank) {
+    simfs::RankProgram program;
+    program.rank = rank;
+    program.node = topo_.node_of(rank);
+
+    if (options_.data_sieving) {
+      // Write sieving is read-modify-write under the extent lock: read the
+      // window chunk, patch the rank's pieces, write the chunk back.
+      const std::uint64_t window = layout.region_bytes();
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(options_.sieve_buffer_bytes, window);
+      for (std::uint64_t done = 0; done < window; done += chunk) {
+        const std::uint64_t len = std::min(chunk, window - done);
+        simfs::RankOp rd;
+        rd.kind = simfs::OpKind::kRead;
+        rd.bytes = len;
+        rd.file = shared_file_id_;
+        rd.offset = phase_base + done;
+        rd.sequential = true;
+        rd.cpu_s = sw + static_cast<double>(len) / cfg.memcpy_bps;
+        program.ops.push_back(rd);
+        simfs::RankOp wr;
+        wr.kind = simfs::OpKind::kWrite;
+        wr.bytes = len;
+        wr.file = shared_file_id_;
+        wr.offset = phase_base + done;
+        wr.sequential = true;
+        wr.locked = true;  // RMW must hold the extent lock
+        wr.cpu_s = sw;
+        program.ops.push_back(wr);
+      }
+    } else {
+      for (std::uint64_t piece = 0; piece < pieces_per_rank; ++piece) {
+        simfs::RankOp op;
+        op.kind = simfs::OpKind::kWrite;
+        op.bytes = piece_bytes;
+        op.file = shared_file_id_;
+        op.offset = phase_base + layout.offset(rank, piece);
+        op.sequential = false;
+        op.locked = true;
+        op.cpu_s = sw;
+        program.ops.push_back(op);
+      }
+    }
+    programs.push_back(std::move(program));
+  }
+  const auto result = cluster_.run_phase(programs);
+  stats_.write_s += result.duration_s;
+  stats_.bytes_written += layout.region_bytes();
+  return result.duration_s;
+}
+
+double IoDriver::close() {
+  std::vector<simfs::RankProgram> programs;
+  const double sw = op_overhead_s();
+  if (is_plfs()) {
+    // Each writer drops a metadata hint and removes its openhosts entry.
+    const auto writer_ranks = writers(true);
+    for (std::uint32_t rank : writer_ranks) {
+      simfs::RankProgram program;
+      program.rank = rank;
+      program.node = topo_.node_of(rank);
+      program.ops.push_back({simfs::OpKind::kMetaCreate, 0,
+                             file_for_writer(rank), 0, true, false, false,
+                             false, sw});
+      program.ops.push_back({simfs::OpKind::kMetaRemove, 0,
+                             file_for_writer(rank), 0, true, false, false,
+                             false, sw});
+      programs.push_back(std::move(program));
+    }
+  } else {
+    simfs::RankProgram program;
+    program.rank = 0;
+    program.node = 0;
+    program.ops.push_back({simfs::OpKind::kMetaStat, 0, shared_file_id_, 0,
+                           true, false, false, false, sw});
+    programs.push_back(std::move(program));
+  }
+  const auto result = cluster_.run_phase(programs);
+  stats_.close_s += result.duration_s;
+  stats_.meta_ops += result.meta_ops;
+  return result.duration_s;
+}
+
+}  // namespace ldplfs::mpiio

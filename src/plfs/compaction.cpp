@@ -1,0 +1,121 @@
+#include "plfs/compaction.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "common/paths.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index.hpp"
+#include "plfs/read_file.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+Result<CompactionStats> plfs_compact(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+
+  auto open_hosts = read_open_hosts(path);
+  if (!open_hosts) return open_hosts.error();
+  if (!open_hosts.value().empty()) return Errno{EBUSY};
+
+  auto index = GlobalIndex::build(path);
+  if (!index) return index.error();
+
+  auto old_data = find_data_droppings(path);
+  if (!old_data) return old_data.error();
+  auto old_index = find_index_droppings(path);
+  if (!old_index) return old_index.error();
+
+  CompactionStats stats;
+  stats.droppings_before = old_data.value().size();
+  stats.extents = index.value().extent_map().extent_count();
+  for (const auto& dropping : old_data.value()) {
+    auto st = posix::stat_path(dropping);
+    if (st) {
+      stats.reclaimed_bytes += static_cast<std::uint64_t>(st.value().st_size);
+    }
+  }
+
+  // Nothing live: drop everything (equivalent to truncate-to-zero).
+  const auto& extents = index.value().extent_map();
+  if (extents.empty() && index.value().size() == 0) {
+    for (const auto& p : old_index.value()) {
+      if (auto s = posix::remove_file(p); !s) return s.error();
+    }
+    for (const auto& p : old_data.value()) {
+      if (auto s = posix::remove_file(p); !s) return s.error();
+    }
+    return stats;
+  }
+
+  // --- write the compacted data dropping -----------------------------------
+  ContainerLayout layout(path);
+  WriterId compactor{local_hostname(), ::getpid(), next_timestamp()};
+  const std::string hostdir = layout.hostdir_for(compactor.host);
+  if (auto s = posix::make_dirs(hostdir); !s) return s.error();
+  const std::string new_data_path = layout.data_dropping_path(compactor);
+  const std::string new_data_rel =
+      path_join(path_basename(hostdir),
+                ContainerLayout::data_dropping_name(compactor));
+
+  auto reader = ReadFile::with_index(path, std::move(index).value());
+  auto out = posix::open_fd(new_data_path, O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (!out) return out.error();
+
+  // Copy live extents in logical order; record them for the new index.
+  auto new_index =
+      IndexWriter::create(layout.index_dropping_path(compactor), new_data_rel);
+  if (!new_index) return new_index.error();
+
+  std::vector<std::byte> buf;
+  std::uint64_t physical = 0;
+  for (const auto& extent : reader->index().extent_map().extents()) {
+    buf.resize(extent.length);
+    auto n = reader->read(buf, extent.logical);
+    if (!n) return n.error();
+    if (n.value() != extent.length) return Errno{EIO};
+    if (auto s = posix::write_all(out.value().get(), buf); !s) {
+      return s.error();
+    }
+    new_index.value().add_write(extent.logical, extent.length, physical,
+                                next_timestamp());
+    physical += extent.length;
+    stats.live_bytes += extent.length;
+  }
+  // Preserve truncate-up tails (size beyond the last mapped byte).
+  if (reader->index().size() > reader->index().extent_map().mapped_end()) {
+    new_index.value().add_truncate(reader->index().size(), next_timestamp());
+  }
+  if (::fsync(out.value().get()) != 0) return Errno{errno};
+  if (auto s = new_index.value().close(); !s) return s.error();
+
+  const std::uint64_t logical_size = reader->index().size();
+
+  // --- commit: remove everything the new pair replaces ---------------------
+  reader.reset();  // release fds on the old droppings before unlinking
+  for (const auto& p : old_index.value()) {
+    if (auto s = posix::remove_file(p); !s) return s.error();
+  }
+  for (const auto& p : old_data.value()) {
+    if (auto s = posix::remove_file(p); !s) return s.error();
+  }
+  // Refresh the metadata hint to the compacted truth.
+  auto hints = posix::list_dir(layout.metadata_path());
+  if (hints) {
+    for (const auto& name : hints.value()) {
+      (void)posix::remove_file(path_join(layout.metadata_path(), name));
+    }
+  }
+  MetaHint hint{logical_size, stats.live_bytes, compactor.host,
+                compactor.pid};
+  (void)posix::write_file(
+      path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)), "");
+
+  stats.droppings_after = 1;
+  stats.reclaimed_bytes -= std::min(stats.reclaimed_bytes, stats.live_bytes);
+  return stats;
+}
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,36 @@
+// Container compaction: log garbage collection.
+//
+// A log-structured container never rewrites history — overwritten and
+// truncated bytes stay in the data droppings as dead weight, and long-lived
+// files accumulate droppings from every writer that ever touched them.
+// Compaction rewrites the container to its minimal form: one data dropping
+// holding exactly the live bytes in logical order, plus one flattened index
+// describing it.
+//
+// The rewrite is crash-safe in the usual log-structured way: the new
+// droppings are written under fresh names first, the new index is the
+// commit point (its records carry timestamps newer than everything they
+// replace), and only then are the old droppings unlinked. A reader racing
+// the compaction sees either the old state or the new state, never a mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ldplfs::plfs {
+
+struct CompactionStats {
+  std::uint64_t live_bytes = 0;        // logical bytes kept
+  std::uint64_t reclaimed_bytes = 0;   // dead log bytes dropped
+  std::uint64_t droppings_before = 0;  // data droppings before
+  std::uint64_t droppings_after = 0;   // data droppings after (0 or 1)
+  std::uint64_t extents = 0;           // live extents copied
+};
+
+/// Compact the container at `path`. No writer may have the file open
+/// (EBUSY otherwise — checked via openhosts/ registrations).
+Result<CompactionStats> plfs_compact(const std::string& path);
+
+}  // namespace ldplfs::plfs

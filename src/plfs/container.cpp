@@ -1,0 +1,202 @@
+#include "plfs/container.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "common/paths.hpp"
+#include "common/strings.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+namespace {
+
+std::string writer_suffix(const WriterId& writer) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%llu.%s.%ld",
+                static_cast<unsigned long long>(writer.open_ts),
+                writer.host.c_str(), static_cast<long>(writer.pid));
+  return buf;
+}
+
+/// Collect droppings with a given filename prefix across all hostdirs.
+Result<std::vector<std::string>> find_droppings(const std::string& root,
+                                                const char* prefix) {
+  auto entries = posix::list_dir(root);
+  if (!entries) return entries.error();
+  std::vector<std::string> out;
+  for (const auto& entry : entries.value()) {
+    if (!starts_with(entry, kHostDirPrefix)) continue;
+    const std::string hostdir = path_join(root, entry);
+    auto files = posix::list_dir(hostdir);
+    if (!files) return files.error();
+    for (const auto& file : files.value()) {
+      if (starts_with(file, prefix)) out.push_back(path_join(hostdir, file));
+    }
+  }
+  // list_dir sorts per directory; the concatenation is already
+  // deterministic because hostdir entries are sorted too.
+  return out;
+}
+
+}  // namespace
+
+ContainerLayout::ContainerLayout(std::string root, unsigned hostdirs)
+    : root_(std::move(root)), hostdirs_(hostdirs == 0 ? 1 : hostdirs) {}
+
+std::string ContainerLayout::access_path() const {
+  return path_join(root_, kAccessFile);
+}
+std::string ContainerLayout::creator_path() const {
+  return path_join(root_, kCreatorFile);
+}
+std::string ContainerLayout::openhosts_path() const {
+  return path_join(root_, kOpenHostsDir);
+}
+std::string ContainerLayout::metadata_path() const {
+  return path_join(root_, kMetadataDir);
+}
+
+unsigned ContainerLayout::hostdir_bucket(const std::string& host) const {
+  return static_cast<unsigned>(std::hash<std::string>{}(host) % hostdirs_);
+}
+
+std::string ContainerLayout::hostdir_path(unsigned bucket) const {
+  return path_join(root_, kHostDirPrefix + std::to_string(bucket));
+}
+
+std::string ContainerLayout::hostdir_for(const std::string& host) const {
+  return hostdir_path(hostdir_bucket(host));
+}
+
+std::string ContainerLayout::data_dropping_name(const WriterId& writer) {
+  return kDataDroppingPrefix + writer_suffix(writer);
+}
+
+std::string ContainerLayout::index_dropping_name(const WriterId& writer) {
+  return kIndexDroppingPrefix + writer_suffix(writer);
+}
+
+std::string ContainerLayout::data_dropping_path(const WriterId& writer) const {
+  return path_join(hostdir_for(writer.host), data_dropping_name(writer));
+}
+
+std::string ContainerLayout::index_dropping_path(const WriterId& writer) const {
+  return path_join(hostdir_for(writer.host), index_dropping_name(writer));
+}
+
+std::string ContainerLayout::openhost_path(const WriterId& writer) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "host.%s.%ld.%llu", writer.host.c_str(),
+                static_cast<long>(writer.pid),
+                static_cast<unsigned long long>(writer.open_ts));
+  return path_join(openhosts_path(), buf);
+}
+
+std::string ContainerLayout::meta_name(const MetaHint& hint) {
+  char buf[200];
+  std::snprintf(buf, sizeof buf, "meta.%llu.%llu.%s.%ld",
+                static_cast<unsigned long long>(hint.eof),
+                static_cast<unsigned long long>(hint.bytes),
+                hint.host.c_str(), static_cast<long>(hint.pid));
+  return buf;
+}
+
+bool ContainerLayout::parse_meta_name(const std::string& name, MetaHint& out) {
+  auto parts = split(name, '.');
+  if (parts.size() < 5 || parts[0] != "meta") return false;
+  const long long eof = parse_ll(parts[1]);
+  const long long bytes = parse_ll(parts[2]);
+  const long long pid = parse_ll(parts.back());
+  if (eof < 0 || bytes < 0 || pid < 0) return false;
+  out.eof = static_cast<std::uint64_t>(eof);
+  out.bytes = static_cast<std::uint64_t>(bytes);
+  // Host may itself contain dots: everything between field 2 and the pid.
+  std::vector<std::string> host_parts(parts.begin() + 3, parts.end() - 1);
+  out.host = join(host_parts, ".");
+  out.pid = static_cast<pid_t>(pid);
+  return true;
+}
+
+bool is_container(const std::string& path) {
+  return posix::is_directory(path) &&
+         posix::exists(path_join(path, kAccessFile));
+}
+
+Status create_container(const std::string& path, mode_t mode,
+                        const std::string& host, pid_t pid,
+                        unsigned hostdirs) {
+  if (posix::exists(path)) return Errno{EEXIST};
+  ContainerLayout layout(path, hostdirs);
+  if (auto s = posix::make_dirs(path); !s) return s;
+  if (auto s = posix::make_dir(layout.openhosts_path()); !s) return s;
+  if (auto s = posix::make_dir(layout.metadata_path()); !s) return s;
+  char creator[256];
+  std::snprintf(creator, sizeof creator, "host=%s pid=%ld mode=%o hostdirs=%u\n",
+                host.c_str(), static_cast<long>(pid),
+                static_cast<unsigned>(mode), hostdirs);
+  if (auto s = posix::write_file(layout.creator_path(), creator); !s) return s;
+  // The access file is written last: its presence is the commit point that
+  // marks the directory as a fully-formed container.
+  return posix::write_file(layout.access_path(), "");
+}
+
+Status remove_container(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+  return posix::remove_tree(path);
+}
+
+Result<std::vector<std::string>> find_index_droppings(const std::string& root) {
+  return find_droppings(root, kIndexDroppingPrefix);
+}
+
+Result<std::vector<std::string>> find_data_droppings(const std::string& root) {
+  return find_droppings(root, kDataDroppingPrefix);
+}
+
+Result<std::vector<MetaHint>> read_meta_hints(const std::string& root) {
+  ContainerLayout layout(root);
+  auto entries = posix::list_dir(layout.metadata_path());
+  if (!entries) return entries.error();
+  std::vector<MetaHint> hints;
+  for (const auto& name : entries.value()) {
+    MetaHint hint;
+    if (ContainerLayout::parse_meta_name(name, hint)) hints.push_back(hint);
+  }
+  return hints;
+}
+
+Result<std::vector<std::string>> read_open_hosts(const std::string& root) {
+  ContainerLayout layout(root);
+  return posix::list_dir(layout.openhosts_path());
+}
+
+const std::string& local_hostname() {
+  static const std::string name = [] {
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof buf - 1) != 0) return std::string("localhost");
+    return std::string(buf);
+  }();
+  return name;
+}
+
+std::uint64_t next_timestamp() {
+  static std::atomic<std::uint64_t> last{0};
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::uint64_t prev = last.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t next = now > prev ? now : prev + 1;
+    if (last.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+}  // namespace ldplfs::plfs

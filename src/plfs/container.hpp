@@ -1,0 +1,125 @@
+// PLFS container layout (paper Fig. 1).
+//
+// A logical file at <backend>/foo is stored as a directory:
+//
+//   <backend>/foo/
+//     access                       marker: "this directory is a container"
+//     creator                      text: creating host/pid/mode
+//     openhosts/                   one entry per writer with the file open
+//       host.<host>.<pid>
+//     metadata/                    size hints dropped at close (name-encoded,
+//       meta.<eof>.<bytes>.<host>.<pid>    so reading them costs only readdir)
+//     hostdir.<N>/                 N = hash(host) % subdirs
+//       dropping.data.<ts>.<host>.<pid>    log-structured data
+//       dropping.index.<ts>.<host>.<pid>   extent records for that data
+//
+// Each writer appends to exactly one data dropping and describes its writes
+// in the paired index dropping; readers merge every index dropping into a
+// global extent map (see index.hpp).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ldplfs::plfs {
+
+inline constexpr const char* kAccessFile = "access";
+inline constexpr const char* kCreatorFile = "creator";
+inline constexpr const char* kOpenHostsDir = "openhosts";
+inline constexpr const char* kMetadataDir = "metadata";
+inline constexpr const char* kHostDirPrefix = "hostdir.";
+inline constexpr const char* kDataDroppingPrefix = "dropping.data.";
+inline constexpr const char* kIndexDroppingPrefix = "dropping.index.";
+/// Number of hostdir buckets a container is created with.
+inline constexpr unsigned kDefaultHostDirs = 32;
+
+/// Identity of one writer stream.
+struct WriterId {
+  std::string host;
+  pid_t pid = 0;
+  /// Open timestamp (ns); differentiates droppings when the same pid
+  /// reopens a file, so physical offsets never collide.
+  std::uint64_t open_ts = 0;
+};
+
+/// Size hint recovered from a metadata dropping filename.
+struct MetaHint {
+  std::uint64_t eof = 0;          // highest logical offset + 1 seen by writer
+  std::uint64_t bytes = 0;        // total bytes written by writer
+  std::string host;
+  pid_t pid = 0;
+};
+
+/// Pure-layout helper: computes paths within one container root. Stateless
+/// apart from the root path; all methods are const.
+class ContainerLayout {
+ public:
+  explicit ContainerLayout(std::string root, unsigned hostdirs = kDefaultHostDirs);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] unsigned hostdir_count() const { return hostdirs_; }
+
+  [[nodiscard]] std::string access_path() const;
+  [[nodiscard]] std::string creator_path() const;
+  [[nodiscard]] std::string openhosts_path() const;
+  [[nodiscard]] std::string metadata_path() const;
+
+  [[nodiscard]] unsigned hostdir_bucket(const std::string& host) const;
+  [[nodiscard]] std::string hostdir_path(unsigned bucket) const;
+  [[nodiscard]] std::string hostdir_for(const std::string& host) const;
+
+  /// Dropping file names (relative to their hostdir).
+  [[nodiscard]] static std::string data_dropping_name(const WriterId& writer);
+  [[nodiscard]] static std::string index_dropping_name(const WriterId& writer);
+
+  /// Full paths for a writer's droppings.
+  [[nodiscard]] std::string data_dropping_path(const WriterId& writer) const;
+  [[nodiscard]] std::string index_dropping_path(const WriterId& writer) const;
+
+  [[nodiscard]] std::string openhost_path(const WriterId& writer) const;
+  [[nodiscard]] static std::string meta_name(const MetaHint& hint);
+  /// Parses "meta.<eof>.<bytes>.<host>.<pid>"; false on foreign names.
+  static bool parse_meta_name(const std::string& name, MetaHint& out);
+
+ private:
+  std::string root_;
+  unsigned hostdirs_;
+};
+
+/// True when `path` is a PLFS container directory (exists + access marker).
+bool is_container(const std::string& path);
+
+/// Create a container directory tree; EEXIST if one is already there.
+Status create_container(const std::string& path, mode_t mode,
+                        const std::string& host, pid_t pid,
+                        unsigned hostdirs = kDefaultHostDirs);
+
+/// Recursively delete a container. ENOTDIR/ENOENT pass through.
+Status remove_container(const std::string& path);
+
+/// Every index-dropping path in the container, sorted for determinism.
+Result<std::vector<std::string>> find_index_droppings(const std::string& root);
+
+/// Every data-dropping path in the container, sorted.
+Result<std::vector<std::string>> find_data_droppings(const std::string& root);
+
+/// Size hints from the metadata directory (may be empty).
+Result<std::vector<MetaHint>> read_meta_hints(const std::string& root);
+
+/// Writers currently registered in openhosts/ (possibly stale after crash).
+Result<std::vector<std::string>> read_open_hosts(const std::string& root);
+
+/// Hostname of this machine (cached).
+const std::string& local_hostname();
+
+/// Monotonic-per-process wall-clock nanoseconds used to order droppings and
+/// index records across writers (Lamport-adjusted so repeated calls are
+/// strictly increasing within a process).
+std::uint64_t next_timestamp();
+
+}  // namespace ldplfs::plfs

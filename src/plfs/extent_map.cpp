@@ -1,0 +1,117 @@
+#include "plfs/extent_map.hpp"
+
+#include <algorithm>
+
+namespace ldplfs::plfs {
+
+namespace {
+std::uint64_t extent_end(const Extent& e) { return e.logical + e.length; }
+}  // namespace
+
+void ExtentMap::insert(const Extent& e) {
+  if (e.length == 0) return;
+  const std::uint64_t new_begin = e.logical;
+  const std::uint64_t new_end = extent_end(e);
+
+  // Find the first extent that could overlap: the one before new_begin may
+  // straddle it.
+  auto it = map_.lower_bound(new_begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (extent_end(prev->second) > new_begin) it = prev;
+  }
+
+  while (it != map_.end() && it->second.logical < new_end) {
+    Extent old = it->second;
+    it = map_.erase(it);
+    // Left remainder of the old extent survives.
+    if (old.logical < new_begin) {
+      Extent left = old;
+      left.length = new_begin - old.logical;
+      map_.emplace(left.logical, left);
+    }
+    // Right remainder survives, shifted within its dropping.
+    if (extent_end(old) > new_end) {
+      Extent right = old;
+      const std::uint64_t cut = new_end - old.logical;
+      right.logical = new_end;
+      right.physical = old.physical + cut;
+      right.length = extent_end(old) - new_end;
+      it = map_.emplace(right.logical, right).first;
+      ++it;
+    }
+  }
+  map_.emplace(new_begin, e);
+}
+
+std::vector<MappedPiece> ExtentMap::lookup(std::uint64_t offset,
+                                           std::uint64_t length) const {
+  std::vector<MappedPiece> pieces;
+  if (length == 0) return pieces;
+  const std::uint64_t end = offset + length;
+  std::uint64_t cursor = offset;
+
+  auto it = map_.lower_bound(offset);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (extent_end(prev->second) > offset) it = prev;
+  }
+
+  while (cursor < end) {
+    if (it == map_.end() || it->second.logical >= end) {
+      pieces.push_back({cursor, end - cursor, /*hole=*/true, 0, 0});
+      break;
+    }
+    const Extent& e = it->second;
+    if (e.logical > cursor) {
+      pieces.push_back({cursor, e.logical - cursor, /*hole=*/true, 0, 0});
+      cursor = e.logical;
+    }
+    const std::uint64_t skip = cursor - e.logical;  // offset into this extent
+    const std::uint64_t take = std::min(extent_end(e), end) - cursor;
+    pieces.push_back(
+        {cursor, take, /*hole=*/false, e.dropping, e.physical + skip});
+    cursor += take;
+    ++it;
+  }
+  return pieces;
+}
+
+void ExtentMap::truncate(std::uint64_t size) {
+  auto it = map_.lower_bound(size);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (extent_end(prev->second) > size) {
+      prev->second.length = size - prev->second.logical;
+      if (prev->second.length == 0) map_.erase(prev);
+    }
+  }
+  map_.erase(map_.lower_bound(size), map_.end());
+}
+
+std::uint64_t ExtentMap::mapped_end() const {
+  if (map_.empty()) return 0;
+  return extent_end(std::prev(map_.end())->second);
+}
+
+std::vector<Extent> ExtentMap::extents() const {
+  std::vector<Extent> out;
+  out.reserve(map_.size());
+  for (const auto& [key, extent] : map_) out.push_back(extent);
+  return out;
+}
+
+bool ExtentMap::check_invariants() const {
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [key, extent] : map_) {
+    if (key != extent.logical) return false;
+    if (extent.length == 0) return false;
+    if (!first && extent.logical < prev_end) return false;
+    prev_end = extent_end(extent);
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,68 @@
+// ExtentMap: the core data structure behind PLFS reads.
+//
+// Maps logical byte ranges of a file onto (data-dropping, physical-offset)
+// pairs. Inserts carry "newest wins" semantics: the caller feeds extents in
+// authority order (ascending timestamp) and each insert overwrites whatever
+// it overlaps, splitting older extents as needed. Lookups return a gap-free
+// cover of the requested range where unmapped bytes appear as holes (reads
+// of holes are zero-filled, giving POSIX sparse-file semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ldplfs::plfs {
+
+/// One mapped run of bytes.
+struct Extent {
+  std::uint64_t logical = 0;    // logical start offset
+  std::uint64_t length = 0;     // bytes
+  std::uint32_t dropping = 0;   // data-dropping id (caller-defined)
+  std::uint64_t physical = 0;   // offset within that dropping
+  std::uint64_t timestamp = 0;  // authority order (diagnostics only here)
+};
+
+/// Piece of a lookup result; covers part of the requested range.
+struct MappedPiece {
+  std::uint64_t logical = 0;
+  std::uint64_t length = 0;
+  bool hole = false;            // true: no data, read as zeros
+  std::uint32_t dropping = 0;   // valid when !hole
+  std::uint64_t physical = 0;   // valid when !hole
+};
+
+class ExtentMap {
+ public:
+  /// Insert with overwrite: `e` takes priority over anything it overlaps.
+  /// Zero-length extents are ignored.
+  void insert(const Extent& e);
+
+  /// Cover [offset, offset+length) with pieces (data runs and holes), in
+  /// logical order, with no gaps and no overlap. length == 0 → empty.
+  [[nodiscard]] std::vector<MappedPiece> lookup(std::uint64_t offset,
+                                                std::uint64_t length) const;
+
+  /// Drop all mapping at or beyond `size`; extents straddling it are cut.
+  void truncate(std::uint64_t size);
+
+  /// One past the last mapped byte (0 when empty). Note: the *file* size can
+  /// exceed this after truncate-up; GlobalIndex tracks that separately.
+  [[nodiscard]] std::uint64_t mapped_end() const;
+
+  [[nodiscard]] std::size_t extent_count() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+  /// All extents in logical order (for flattening and inspection).
+  [[nodiscard]] std::vector<Extent> extents() const;
+
+  /// Internal invariant checker used by tests: sorted, non-overlapping,
+  /// non-empty, key matches extent.logical.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  // Key = logical start. Values never overlap and never have length 0.
+  std::map<std::uint64_t, Extent> map_;
+};
+
+}  // namespace ldplfs::plfs

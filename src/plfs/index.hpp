@@ -1,0 +1,98 @@
+// Global index construction and writer-side index buffering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "plfs/extent_map.hpp"
+#include "plfs/index_format.hpp"
+
+namespace ldplfs::plfs {
+
+/// The merged view of every index dropping in a container: an extent map
+/// over data droppings plus the logical file size (which can exceed the
+/// mapped extent after truncate-up, and can be cut below it by truncate-down).
+class GlobalIndex {
+ public:
+  /// Merge every index dropping under `container_root`. Records across all
+  /// droppings are applied in ascending timestamp order (ties broken by
+  /// dropping path for determinism), so later writes overwrite earlier ones.
+  static Result<GlobalIndex> build(const std::string& container_root);
+
+  /// Build from already-parsed droppings (unit tests, simulator).
+  /// `sources[i]` supplies record dropping_refs into its own path table.
+  static GlobalIndex merge(const std::vector<IndexDropping>& sources);
+
+  [[nodiscard]] std::uint64_t size() const { return logical_size_; }
+  [[nodiscard]] const ExtentMap& extent_map() const { return extents_; }
+
+  /// Data-dropping paths (relative to the container root); MappedPiece /
+  /// Extent `dropping` ids index into this table.
+  [[nodiscard]] const std::vector<std::string>& data_paths() const {
+    return data_paths_;
+  }
+
+  [[nodiscard]] std::vector<MappedPiece> lookup(std::uint64_t offset,
+                                                std::uint64_t length) const {
+    return extents_.lookup(offset, length);
+  }
+
+  /// Serialise this merged index as a single flattened dropping.
+  [[nodiscard]] std::string encode_flattened() const;
+
+ private:
+  void apply(const IndexRecord& rec, std::uint32_t global_ref);
+
+  ExtentMap extents_;
+  std::uint64_t logical_size_ = 0;
+  std::vector<std::string> data_paths_;
+};
+
+/// Writer-side index buffer: accumulates records for one writer's data
+/// dropping and appends them (after the header on first flush) to the
+/// index dropping file. Consecutive sequential writes are coalesced into a
+/// single record, which is what keeps PLFS index droppings small for
+/// checkpoint-style streams.
+class IndexWriter {
+ public:
+  /// `index_path` is created (exclusive); `data_path_rel` goes in the path
+  /// table so readers can resolve records.
+  static Result<IndexWriter> create(const std::string& index_path,
+                                    const std::string& data_path_rel);
+
+  IndexWriter(IndexWriter&& other) noexcept;
+  IndexWriter& operator=(IndexWriter&& other) noexcept;
+  IndexWriter(const IndexWriter&) = delete;
+  IndexWriter& operator=(const IndexWriter&) = delete;
+  ~IndexWriter();
+
+  /// Record a write of `length` bytes at logical `offset` stored at
+  /// `physical` in the data dropping.
+  void add_write(std::uint64_t offset, std::uint64_t length,
+                 std::uint64_t physical, std::uint64_t timestamp);
+
+  /// Record a truncate to `size`.
+  void add_truncate(std::uint64_t size, std::uint64_t timestamp);
+
+  /// Append buffered records to the file.
+  Status flush();
+
+  /// Flush and close. Idempotent.
+  Status close();
+
+  [[nodiscard]] std::uint64_t records_written() const {
+    return records_written_;
+  }
+
+ private:
+  IndexWriter() = default;
+
+  std::string index_path_;
+  int fd_ = -1;
+  std::vector<IndexRecord> pending_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace ldplfs::plfs

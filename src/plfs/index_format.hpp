@@ -1,0 +1,58 @@
+// On-disk format of index droppings.
+//
+//   [ header ]  magic "PLFSIDX1", version, path-table count
+//   [ paths  ]  count × (u16 length + bytes) — data-dropping paths relative
+//               to the container root; records refer to them by position
+//   [ records ] fixed 40-byte records appended until EOF
+//
+// A writer's own index dropping has a single-entry path table (its paired
+// data dropping). A flattened index (ldp-flatten / plfs_flatten) carries the
+// full table so one file can describe extents in many data droppings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ldplfs::plfs {
+
+inline constexpr char kIndexMagic[8] = {'P', 'L', 'F', 'S',
+                                        'I', 'D', 'X', '1'};
+inline constexpr std::uint32_t kIndexVersion = 1;
+
+/// Record kinds. A truncate record sets the logical size to `length`
+/// (logical/physical are zero) and masks older extents beyond it.
+enum class RecordKind : std::uint32_t { kData = 0, kTruncate = 1 };
+
+/// One 40-byte on-disk record. Plain little-endian struct; this codebase
+/// targets little-endian hosts (checked statically in index_format.cpp).
+struct IndexRecord {
+  std::uint64_t logical_offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t physical_offset = 0;
+  std::uint64_t timestamp = 0;       // next_timestamp() at write time
+  std::uint32_t dropping_ref = 0;    // index into the path table
+  std::uint32_t kind = 0;            // RecordKind
+};
+static_assert(sizeof(IndexRecord) == 40, "on-disk record must stay 40 bytes");
+
+/// Parsed contents of one index dropping.
+struct IndexDropping {
+  std::vector<std::string> data_paths;  // relative to container root
+  std::vector<IndexRecord> records;
+};
+
+/// Serialise header + path table (records are appended afterwards).
+std::string encode_index_header(const std::vector<std::string>& data_paths);
+
+/// Parse a complete index dropping from a buffer. EINVAL on corruption;
+/// a trailing partial record (torn write) is ignored, matching the
+/// crash-consistency story of log-structured droppings.
+Result<IndexDropping> decode_index_dropping(const std::string& bytes);
+
+/// Read + parse an index dropping from disk.
+Result<IndexDropping> load_index_dropping(const std::string& path);
+
+}  // namespace ldplfs::plfs

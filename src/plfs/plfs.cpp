@@ -1,0 +1,308 @@
+#include "plfs/plfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/paths.hpp"
+#include "common/strings.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+namespace {
+
+/// How many writes may accumulate before a read re-snapshots the index.
+/// Any write invalidates the snapshot; the counter exists only to avoid
+/// rebuilding when nothing changed.
+constexpr std::uint64_t kAlwaysRefresh = 0;
+
+std::string writer_host(const OpenOptions& opts) {
+  return opts.host_override.empty() ? local_hostname() : opts.host_override;
+}
+
+}  // namespace
+
+FileHandle::FileHandle(std::string path, int flags, OpenOptions opts)
+    : path_(std::move(path)), flags_(flags), opts_(std::move(opts)) {}
+
+Result<WriteFile*> FileHandle::writer_for(pid_t pid) {
+  auto it = writers_.find(pid);
+  if (it != writers_.end()) return it->second.get();
+  WriterId id{writer_host(opts_), pid, next_timestamp()};
+  auto wf = WriteFile::open(path_, id);
+  if (!wf) return wf.error();
+  WriteFile* raw = wf.value().get();
+  writers_.emplace(pid, std::move(wf).value());
+  return raw;
+}
+
+Result<std::size_t> FileHandle::write(std::span<const std::byte> data,
+                                      std::uint64_t offset, pid_t pid) {
+  if ((flags_ & O_ACCMODE) == O_RDONLY) return Errno{EBADF};
+  std::lock_guard lock(mu_);
+  auto writer = writer_for(pid);
+  if (!writer) return writer.error();
+  auto n = writer.value()->write(data, offset);
+  if (n) ++writes_since_snapshot_;
+  return n;
+}
+
+Status FileHandle::flush_writers_locked() {
+  for (auto& [pid, writer] : writers_) {
+    if (auto s = writer->sync(); !s) return s;
+  }
+  return Status::success();
+}
+
+Result<ReadFile*> FileHandle::reader_locked() {
+  if (reader_ && writes_since_snapshot_ == kAlwaysRefresh) {
+    return reader_.get();
+  }
+  if (auto s = flush_writers_locked(); !s) return s.error();
+  auto rf = ReadFile::open(path_);
+  if (!rf) return rf.error();
+  reader_ = std::move(rf).value();
+  writes_since_snapshot_ = 0;
+  return reader_.get();
+}
+
+Result<std::size_t> FileHandle::read(std::span<std::byte> out,
+                                     std::uint64_t offset) {
+  if ((flags_ & O_ACCMODE) == O_WRONLY) return Errno{EBADF};
+  std::lock_guard lock(mu_);
+  auto reader = reader_locked();
+  if (!reader) return reader.error();
+  return reader.value()->read(out, offset);
+}
+
+Status FileHandle::sync(pid_t pid) {
+  std::lock_guard lock(mu_);
+  auto it = writers_.find(pid);
+  if (it == writers_.end()) return Status::success();
+  return it->second->sync();
+}
+
+Status FileHandle::close(pid_t pid) {
+  std::lock_guard lock(mu_);
+  auto it = writers_.find(pid);
+  if (it != writers_.end()) {
+    Status s = it->second->close();
+    writers_.erase(it);
+    return s;
+  }
+  return Status::success();
+}
+
+Result<std::uint64_t> FileHandle::size() {
+  std::lock_guard lock(mu_);
+  auto reader = reader_locked();
+  if (!reader) return reader.error();
+  return reader.value()->size();
+}
+
+Status FileHandle::truncate(std::uint64_t size, pid_t pid) {
+  if ((flags_ & O_ACCMODE) == O_RDONLY) return Errno{EBADF};
+  std::lock_guard lock(mu_);
+  auto writer = writer_for(pid);
+  if (!writer) return writer.error();
+  ++writes_since_snapshot_;
+  if (auto s = writer.value()->truncate(size); !s) return s;
+  // Sibling writer streams on this handle must not later re-advertise a
+  // pre-truncate EOF in their metadata hints.
+  for (auto& [other_pid, other] : writers_) {
+    if (other_pid != pid) other->clamp_eof(size);
+  }
+  return Status::success();
+}
+
+Result<std::shared_ptr<FileHandle>> plfs_open(const std::string& path,
+                                              int flags, pid_t pid,
+                                              mode_t mode, OpenOptions opts) {
+  const bool exists = posix::exists(path);
+  const bool container = exists && is_container(path);
+  if (exists && !container) {
+    // A plain directory (or foreign file) occupies the name.
+    return Errno{posix::is_directory(path) ? EISDIR : ENOTSUP};
+  }
+  if (!container) {
+    if ((flags & O_CREAT) == 0) return Errno{ENOENT};
+    if (auto s = create_container(path, mode, writer_host(opts), pid,
+                                  opts.hostdirs);
+        !s) {
+      // A concurrent creator racing us is fine unless O_EXCL.
+      if (s.error_code() != EEXIST || (flags & O_EXCL) != 0) return s.error();
+    }
+  } else {
+    if ((flags & O_CREAT) != 0 && (flags & O_EXCL) != 0) return Errno{EEXIST};
+  }
+
+  if ((flags & O_TRUNC) != 0 && (flags & O_ACCMODE) != O_RDONLY && container) {
+    // Truncate-to-zero at open clears the container's droppings outright
+    // (rather than masking them with a truncate record), so repeated
+    // O_TRUNC checkpoint cycles do not accumulate dead log data.
+    if (auto s = plfs_trunc(path, 0); !s) return s.error();
+  }
+  return std::make_shared<FileHandle>(path, flags, opts);
+}
+
+Result<std::size_t> plfs_write(FileHandle& fd, std::span<const std::byte> data,
+                               std::uint64_t offset, pid_t pid) {
+  return fd.write(data, offset, pid);
+}
+
+Result<std::size_t> plfs_read(FileHandle& fd, std::span<std::byte> out,
+                              std::uint64_t offset) {
+  return fd.read(out, offset);
+}
+
+Status plfs_sync(FileHandle& fd, pid_t pid) { return fd.sync(pid); }
+
+Status plfs_close(const std::shared_ptr<FileHandle>& fd, pid_t pid) {
+  if (!fd) return Errno{EBADF};
+  return fd->close(pid);
+}
+
+Result<FileAttr> plfs_getattr(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+  FileAttr attr;
+
+  // mtime: closes drop metadata hints, so the metadata directory's mtime
+  // tracks the last completed write burst; fall back to the container dir.
+  ContainerLayout mtime_layout(path);
+  if (auto st = posix::stat_path(mtime_layout.metadata_path())) {
+    attr.mtime = st.value().st_mtime;
+  }
+  if (auto st = posix::stat_path(path)) {
+    attr.mtime = std::max(attr.mtime, st.value().st_mtime);
+  }
+
+  auto creator = posix::read_file(path_join(path, kCreatorFile));
+  if (creator) {
+    const auto pos = creator.value().find("mode=");
+    if (pos != std::string::npos) {
+      attr.mode = static_cast<mode_t>(
+          std::strtoul(creator.value().c_str() + pos + 5, nullptr, 8));
+    }
+  }
+
+  // Fast path (same trick as PLFS): when no writer has the file open, the
+  // name-encoded metadata hints give the size without touching any index.
+  auto open_hosts = read_open_hosts(path);
+  if (open_hosts && open_hosts.value().empty()) {
+    auto hints = read_meta_hints(path);
+    if (hints && !hints.value().empty()) {
+      // Hints are per-writer; also count index droppings so that a writer
+      // that crashed before dropping a hint does not go unnoticed.
+      auto droppings = find_index_droppings(path);
+      if (droppings &&
+          droppings.value().size() <= hints.value().size()) {
+        for (const auto& hint : hints.value()) {
+          attr.size = std::max(attr.size, hint.eof);
+        }
+        attr.from_hints = true;
+        return attr;
+      }
+    }
+  }
+
+  auto index = GlobalIndex::build(path);
+  if (!index) return index.error();
+  attr.size = index.value().size();
+  return attr;
+}
+
+Status plfs_unlink(const std::string& path) { return remove_container(path); }
+
+Status plfs_trunc(const std::string& path, std::uint64_t size) {
+  if (!is_container(path)) return Errno{ENOENT};
+  if (size == 0) {
+    // Truncate-to-zero drops history entirely: remove droppings and hints
+    // rather than masking them (this is what keeps repeated O_TRUNC
+    // checkpoint cycles from growing the container forever).
+    auto index_paths = find_index_droppings(path);
+    if (!index_paths) return index_paths.error();
+    for (const auto& p : index_paths.value()) {
+      if (auto s = posix::remove_file(p); !s) return s;
+    }
+    auto data_paths = find_data_droppings(path);
+    if (!data_paths) return data_paths.error();
+    for (const auto& p : data_paths.value()) {
+      if (auto s = posix::remove_file(p); !s) return s;
+    }
+    ContainerLayout layout(path);
+    auto metas = posix::list_dir(layout.metadata_path());
+    if (metas) {
+      for (const auto& name : metas.value()) {
+        (void)posix::remove_file(path_join(layout.metadata_path(), name));
+      }
+    }
+    return Status::success();
+  }
+  // Non-zero truncate: record it through a short-lived writer stream.
+  WriterId id{local_hostname(), ::getpid(), next_timestamp()};
+  auto wf = WriteFile::open(path, id);
+  if (!wf) return wf.error();
+  if (auto s = wf.value()->truncate(size); !s) return s;
+  return wf.value()->close();
+}
+
+Status plfs_access(const std::string& path, int amode) {
+  if (!is_container(path)) return Errno{ENOENT};
+  const std::string marker = path_join(path, kAccessFile);
+  if (::access(marker.c_str(), amode & ~X_OK) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status plfs_rename(const std::string& from, const std::string& to) {
+  if (!is_container(from)) return Errno{ENOENT};
+  if (is_container(to)) {
+    if (auto s = remove_container(to); !s) return s;
+  }
+  return posix::rename_path(from, to);
+}
+
+Result<std::vector<DirEntry>> plfs_readdir(const std::string& path) {
+  auto names = posix::list_dir(path);
+  if (!names) return names.error();
+  std::vector<DirEntry> out;
+  out.reserve(names.value().size());
+  for (const auto& name : names.value()) {
+    const std::string full = path_join(path, name);
+    DirEntry entry;
+    entry.name = name;
+    entry.is_plfs_file = is_container(full);
+    entry.is_directory = !entry.is_plfs_file && posix::is_directory(full);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Status plfs_flatten(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+  auto index = GlobalIndex::build(path);
+  if (!index) return index.error();
+  auto old_droppings = find_index_droppings(path);
+  if (!old_droppings) return old_droppings.error();
+
+  ContainerLayout layout(path);
+  WriterId id{local_hostname(), ::getpid(), next_timestamp()};
+  const std::string hostdir = layout.hostdir_for(id.host);
+  if (auto s = posix::make_dirs(hostdir); !s) return s;
+  const std::string flat_path =
+      path_join(hostdir, ContainerLayout::index_dropping_name(id));
+  if (auto s = posix::write_file(flat_path, index.value().encode_flattened());
+      !s) {
+    return s;
+  }
+  for (const auto& old : old_droppings.value()) {
+    if (auto s = posix::remove_file(old); !s) return s;
+  }
+  return Status::success();
+}
+
+bool plfs_is_container(const std::string& path) { return is_container(path); }
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,132 @@
+// Public PLFS API — the C++ face of the substrate LDPLFS retargets to.
+//
+// Mirrors the shape of the PLFS user-level API the paper shows in Listing 1:
+// positional read/write taking an explicit offset and a pid, an opaque
+// per-open handle (Plfs_fd there, FileHandle here), and container-level
+// operations (getattr/unlink/trunc/access/rename/readdir/flatten).
+//
+// Thread safety: FileHandle serialises internal state with a mutex; distinct
+// pids writing through one handle get distinct writer streams (data +
+// index droppings), which is exactly the paper's n-processes → n-files
+// partitioning.
+#pragma once
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "plfs/read_file.hpp"
+#include "plfs/write_file.hpp"
+
+namespace ldplfs::plfs {
+
+/// Equivalent of Plfs_open_opts: container shape knobs.
+struct OpenOptions {
+  unsigned hostdirs = kDefaultHostDirs;
+  /// Override the writer's host name (simulated ranks use "rankN" so each
+  /// gets its own dropping even though everything runs on one machine).
+  std::string host_override;
+};
+
+/// Attributes of a logical PLFS file.
+struct FileAttr {
+  std::uint64_t size = 0;
+  mode_t mode = 0644;
+  /// Modification time: the newest activity visible on the container
+  /// (metadata directory or container root).
+  time_t mtime = 0;
+  /// True when the size came from metadata hints alone (no index merge).
+  bool from_hints = false;
+};
+
+/// One logical-file open. Analogue of Plfs_fd.
+class FileHandle {
+ public:
+  FileHandle(std::string path, int flags, OpenOptions opts);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int flags() const { return flags_; }
+
+  /// Positional write on behalf of `pid` (paper: plfs_write).
+  Result<std::size_t> write(std::span<const std::byte> data,
+                            std::uint64_t offset, pid_t pid);
+
+  /// Positional read (paper: plfs_read). Sees this handle's own writes:
+  /// writers are flushed and the index snapshot refreshed when stale.
+  Result<std::size_t> read(std::span<std::byte> out, std::uint64_t offset);
+
+  /// Flush `pid`'s writer stream (plfs_sync).
+  Status sync(pid_t pid);
+
+  /// Close `pid`'s writer stream; final close releases everything.
+  Status close(pid_t pid);
+
+  /// Current logical size as seen through this handle (flushes writers).
+  Result<std::uint64_t> size();
+
+  /// Record a truncation through this handle.
+  Status truncate(std::uint64_t size, pid_t pid);
+
+ private:
+  Result<WriteFile*> writer_for(pid_t pid);
+  Status flush_writers_locked();
+  Result<ReadFile*> reader_locked();
+
+  std::mutex mu_;
+  std::string path_;
+  int flags_;
+  OpenOptions opts_;
+  std::map<pid_t, std::unique_ptr<WriteFile>> writers_;
+  std::unique_ptr<ReadFile> reader_;
+  std::uint64_t writes_since_snapshot_ = 0;
+};
+
+/// plfs_open. Honours O_CREAT / O_EXCL / O_TRUNC / O_RDONLY / O_WRONLY /
+/// O_RDWR. Returns ENOENT when the path is not a container and O_CREAT is
+/// absent; EEXIST for O_CREAT|O_EXCL on an existing container; EISDIR when
+/// the path is a plain directory.
+Result<std::shared_ptr<FileHandle>> plfs_open(const std::string& path,
+                                              int flags, pid_t pid,
+                                              mode_t mode = 0644,
+                                              OpenOptions opts = {});
+
+Result<std::size_t> plfs_write(FileHandle& fd, std::span<const std::byte> data,
+                               std::uint64_t offset, pid_t pid);
+Result<std::size_t> plfs_read(FileHandle& fd, std::span<std::byte> out,
+                              std::uint64_t offset);
+Status plfs_sync(FileHandle& fd, pid_t pid);
+Status plfs_close(const std::shared_ptr<FileHandle>& fd, pid_t pid);
+
+/// plfs_getattr: cheap when closed (metadata hints), index merge otherwise.
+Result<FileAttr> plfs_getattr(const std::string& path);
+
+Status plfs_unlink(const std::string& path);
+Status plfs_trunc(const std::string& path, std::uint64_t size);
+Status plfs_access(const std::string& path, int amode);
+Status plfs_rename(const std::string& from, const std::string& to);
+
+/// plfs_readdir over a backend directory: container directories appear as
+/// logical files, plain entries pass through.
+struct DirEntry {
+  std::string name;
+  bool is_plfs_file = false;
+  bool is_directory = false;
+};
+Result<std::vector<DirEntry>> plfs_readdir(const std::string& path);
+
+/// Merge all index droppings into one flattened dropping (speeds up later
+/// opens; paper §II mentions index cost on read).
+Status plfs_flatten(const std::string& path);
+
+/// Expose container-ness at the API level for the interposition layer.
+bool plfs_is_container(const std::string& path);
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,73 @@
+#include "plfs/read_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/paths.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+ReadFile::ReadFile(std::string root, GlobalIndex index)
+    : root_(std::move(root)), index_(std::move(index)) {
+  fds_.assign(index_.data_paths().size(), -1);
+}
+
+ReadFile::~ReadFile() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Result<std::unique_ptr<ReadFile>> ReadFile::open(const std::string& root) {
+  auto index = GlobalIndex::build(root);
+  if (!index) return index.error();
+  return std::unique_ptr<ReadFile>(
+      new ReadFile(root, std::move(index).value()));
+}
+
+std::unique_ptr<ReadFile> ReadFile::with_index(std::string root,
+                                               GlobalIndex index) {
+  return std::unique_ptr<ReadFile>(
+      new ReadFile(std::move(root), std::move(index)));
+}
+
+Result<int> ReadFile::dropping_fd(std::uint32_t id) {
+  if (id >= fds_.size()) return Errno{EIO};
+  if (fds_[id] >= 0) return fds_[id];
+  const std::string path = path_join(root_, index_.data_paths()[id]);
+  auto fd = posix::open_fd(path, O_RDONLY);
+  if (!fd) return fd.error();
+  fds_[id] = fd.value().release();
+  return fds_[id];
+}
+
+Result<std::size_t> ReadFile::read(std::span<std::byte> out,
+                                   std::uint64_t offset) {
+  const std::uint64_t file_size = index_.size();
+  if (offset >= file_size || out.empty()) return std::size_t{0};
+  const std::uint64_t want =
+      std::min<std::uint64_t>(out.size(), file_size - offset);
+
+  std::size_t produced = 0;
+  for (const auto& piece : index_.lookup(offset, want)) {
+    std::byte* dst = out.data() + (piece.logical - offset);
+    if (piece.hole) {
+      std::memset(dst, 0, piece.length);
+    } else {
+      auto fd = dropping_fd(piece.dropping);
+      if (!fd) return fd.error();
+      auto s = posix::pread_all(
+          fd.value(), std::span<std::byte>(dst, piece.length),
+          static_cast<off_t>(piece.physical));
+      if (!s) return s.error();
+    }
+    produced += piece.length;
+  }
+  return produced;
+}
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,53 @@
+// Reader over a container: global index + lazily-opened data droppings.
+//
+// Reads walk the extent map, pread the mapped pieces from their droppings,
+// and zero-fill holes. Dropping fds are opened on first touch and cached —
+// a container written by N ranks has N data droppings and a reader usually
+// touches only the ones covering its range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "plfs/index.hpp"
+
+namespace ldplfs::plfs {
+
+class ReadFile {
+ public:
+  /// Build the global index for the container at `root` and prepare for
+  /// reads. The index is a point-in-time snapshot; concurrent writers'
+  /// later records are not visible (same semantics as PLFS).
+  static Result<std::unique_ptr<ReadFile>> open(const std::string& root);
+
+  /// Open with an externally supplied index (used after plfs_flatten and
+  /// by tests).
+  static std::unique_ptr<ReadFile> with_index(std::string root,
+                                              GlobalIndex index);
+
+  ~ReadFile();
+  ReadFile(const ReadFile&) = delete;
+  ReadFile& operator=(const ReadFile&) = delete;
+
+  /// Read up to out.size() bytes at `offset`. Returns bytes read; short
+  /// reads happen only at EOF.
+  Result<std::size_t> read(std::span<std::byte> out, std::uint64_t offset);
+
+  [[nodiscard]] std::uint64_t size() const { return index_.size(); }
+  [[nodiscard]] const GlobalIndex& index() const { return index_; }
+
+ private:
+  ReadFile(std::string root, GlobalIndex index);
+
+  Result<int> dropping_fd(std::uint32_t id);
+
+  std::string root_;
+  GlobalIndex index_;
+  std::vector<int> fds_;  // parallel to index_.data_paths(); -1 = not open
+};
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,60 @@
+#include "plfs/recovery.hpp"
+
+#include <unistd.h>
+
+#include "common/paths.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index.hpp"
+#include "plfs/plfs.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+Result<RecoveryStats> plfs_recover(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+  RecoveryStats stats;
+  ContainerLayout layout(path);
+
+  // 1. Clear openhosts registrations — crashed writers never removed
+  //    theirs, and a live writer has no business racing recovery.
+  auto open_hosts = posix::list_dir(layout.openhosts_path());
+  if (!open_hosts) return open_hosts.error();
+  for (const auto& name : open_hosts.value()) {
+    if (auto s = posix::remove_file(path_join(layout.openhosts_path(), name));
+        s) {
+      ++stats.stale_openhosts_removed;
+    }
+  }
+
+  // 2. Rebuild the truth from the index droppings (torn tails are skipped
+  //    by the decoder; unindexed data-dropping bytes are simply invisible),
+  //    and consolidate it: recovery flattens to a single index dropping,
+  //    which both speeds later opens and re-arms the getattr fast path
+  //    (one authoritative hint covering one index dropping).
+  auto index = GlobalIndex::build(path);
+  if (!index) return index.error();
+  stats.index_readable = true;
+  stats.logical_size = index.value().size();
+  if (auto s = plfs_flatten(path); !s) return s.error();
+
+  // 3. Replace all size hints with one accurate hint so the getattr fast
+  //    path works again.
+  auto hints = posix::list_dir(layout.metadata_path());
+  if (hints) {
+    for (const auto& name : hints.value()) {
+      (void)posix::remove_file(path_join(layout.metadata_path(), name));
+    }
+  }
+  MetaHint hint{stats.logical_size, stats.logical_size, local_hostname(),
+                ::getpid()};
+  if (auto s = posix::write_file(
+          path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)),
+          "");
+      !s) {
+    return s.error();
+  }
+  stats.hints_rewritten = 1;
+  return stats;
+}
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,33 @@
+// Container recovery after writer crashes.
+//
+// A writer killed mid-stream leaves three kinds of debris (exercised in
+// tests/preload/test_multiprocess.cpp): a stale openhosts/ registration
+// (which blocks compaction and disables the getattr fast path forever), a
+// possibly-torn index dropping tail (ignored by the decoder, but the
+// unindexed data-dropping bytes are dead weight), and missing/stale
+// metadata size hints. plfs_recover reconciles all of it from the one
+// source of truth that survives any crash: the index droppings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ldplfs::plfs {
+
+struct RecoveryStats {
+  std::uint64_t stale_openhosts_removed = 0;
+  std::uint64_t hints_rewritten = 0;     // hints after recovery (0 or 1)
+  std::uint64_t logical_size = 0;        // size recovered from the index
+  bool index_readable = false;           // all droppings parsed
+};
+
+/// Recover the container at `path`: clear openhosts/ registrations, rebuild
+/// the metadata size hint from a full index merge, and report what was
+/// cleaned. Safe to run on a healthy container (idempotent). The caller
+/// asserts no writer is *actually* live (this is the post-crash, post-job
+/// repair step — same contract as PLFS's own recovery tooling).
+Result<RecoveryStats> plfs_recover(const std::string& path);
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,104 @@
+#include "plfs/write_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/paths.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+WriteFile::WriteFile(std::string root, WriterId writer)
+    : root_(std::move(root)), writer_(std::move(writer)) {}
+
+Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
+                                                   const WriterId& writer) {
+  ContainerLayout layout(root);
+  const std::string hostdir = layout.hostdir_for(writer.host);
+  if (auto s = posix::make_dirs(hostdir); !s) return s.error();
+
+  auto wf = std::unique_ptr<WriteFile>(new WriteFile(root, writer));
+
+  const std::string data_path = layout.data_dropping_path(writer);
+  auto data_fd = posix::open_fd(data_path, O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (!data_fd) return data_fd.error();
+  wf->data_fd_ = data_fd.value().release();
+
+  // The path table stores the dropping path relative to the container root
+  // so containers stay relocatable (cp -r of a container keeps working).
+  const std::string data_rel =
+      path_join(path_basename(hostdir),
+                ContainerLayout::data_dropping_name(writer));
+  auto index = IndexWriter::create(layout.index_dropping_path(writer), data_rel);
+  if (!index) return index.error();
+  wf->index_ = std::make_unique<IndexWriter>(std::move(index).value());
+
+  if (auto s = posix::write_file(layout.openhost_path(writer), ""); !s) {
+    LDPLFS_LOG_WARN("could not register openhost for %s: %s",
+                    root.c_str(), s.error().message().c_str());
+  }
+  return wf;
+}
+
+Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
+                                     std::uint64_t offset) {
+  if (closed_) return Errno{EBADF};
+  if (data.empty()) return std::size_t{0};
+  const std::uint64_t physical = physical_end_;
+  if (auto s = posix::pwrite_all(data_fd_, data,
+                                 static_cast<off_t>(physical));
+      !s) {
+    return s.error();
+  }
+  index_->add_write(offset, data.size(), physical, next_timestamp());
+  physical_end_ += data.size();
+  max_eof_ = std::max(max_eof_, offset + data.size());
+  return data.size();
+}
+
+Status WriteFile::truncate(std::uint64_t size) {
+  if (closed_) return Errno{EBADF};
+  index_->add_truncate(size, next_timestamp());
+  max_eof_ = size;
+  // Existing metadata hints describe pre-truncate EOFs; drop them so the
+  // plfs_getattr fast path cannot resurrect a stale size. (Writers still
+  // open will re-drop a fresh hint when they close.)
+  ContainerLayout layout(root_);
+  if (auto names = posix::list_dir(layout.metadata_path())) {
+    for (const auto& name : names.value()) {
+      (void)posix::remove_file(path_join(layout.metadata_path(), name));
+    }
+  }
+  return index_->flush();
+}
+
+Status WriteFile::sync() {
+  if (closed_) return Errno{EBADF};
+  if (auto s = index_->flush(); !s) return s;
+  if (::fsync(data_fd_) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status WriteFile::close() {
+  if (closed_) return Status::success();
+  closed_ = true;
+  Status result = index_->close();
+  if (::close(data_fd_) != 0 && result.ok()) result = Errno{errno};
+  data_fd_ = -1;
+
+  ContainerLayout layout(root_);
+  // Drop the open registration and leave a size hint (name-encoded so that
+  // future getattr calls can avoid a full index merge).
+  (void)posix::remove_file(layout.openhost_path(writer_));
+  MetaHint hint{max_eof_, physical_end_, writer_.host, writer_.pid};
+  (void)posix::write_file(
+      path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)), "");
+  return result;
+}
+
+WriteFile::~WriteFile() { (void)close(); }
+
+}  // namespace ldplfs::plfs

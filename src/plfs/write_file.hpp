@@ -1,0 +1,66 @@
+// One writer stream into a container: a data dropping (append-only log) plus
+// its paired index dropping. This is the log-structured half of PLFS — every
+// write lands at the tail of the data dropping regardless of its logical
+// offset, and the index records where it belongs.
+#pragma once
+
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index.hpp"
+
+namespace ldplfs::plfs {
+
+class WriteFile {
+ public:
+  /// Open a new writer stream for `writer` in the container at `root`.
+  /// Creates the hostdir bucket on demand and registers in openhosts/.
+  static Result<std::unique_ptr<WriteFile>> open(const std::string& root,
+                                                 const WriterId& writer);
+
+  ~WriteFile();
+  WriteFile(const WriteFile&) = delete;
+  WriteFile& operator=(const WriteFile&) = delete;
+
+  /// Append `data` to the log and index it at logical `offset`.
+  Result<std::size_t> write(std::span<const std::byte> data,
+                            std::uint64_t offset);
+
+  /// Record a truncation. (Data already in the log is masked by the index;
+  /// log-structured stores never rewrite history.)
+  Status truncate(std::uint64_t size);
+
+  /// Flush index records and fsync both droppings.
+  Status sync();
+
+  /// Flush, drop the openhosts registration, leave a metadata size hint.
+  /// Idempotent; called by the destructor as a last resort.
+  Status close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return physical_end_; }
+  [[nodiscard]] std::uint64_t eof_seen() const { return max_eof_; }
+  /// Clamp the EOF this writer will report in its close-time metadata hint
+  /// (used when a *different* writer on the same handle truncates).
+  void clamp_eof(std::uint64_t size) { max_eof_ = std::min(max_eof_, size); }
+  [[nodiscard]] const WriterId& writer() const { return writer_; }
+
+ private:
+  WriteFile(std::string root, WriterId writer);
+
+  std::string root_;
+  WriterId writer_;
+  int data_fd_ = -1;
+  std::unique_ptr<IndexWriter> index_;
+  std::uint64_t physical_end_ = 0;  // tail of the data dropping
+  std::uint64_t max_eof_ = 0;       // highest logical offset+len written
+  bool closed_ = false;
+};
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,190 @@
+#include "posix/fd.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/paths.hpp"
+
+namespace ldplfs::posix {
+
+Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno{errno};
+  return UniqueFd(fd);
+}
+
+Status write_all(int fd, std::span<const std::byte> data) {
+  const auto* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno{errno};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset) {
+  const auto* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd, p, left, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno{errno};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += n;
+  }
+  return Status::success();
+}
+
+Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset) {
+  auto* p = out.data();
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::pread(fd, p + got, out.size() - got,
+                              offset + static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno{errno};
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+Status pread_all(int fd, std::span<std::byte> out, off_t offset) {
+  auto got = pread_some(fd, out, offset);
+  if (!got) return got.error();
+  if (got.value() != out.size()) return Errno{EIO};
+  return Status::success();
+}
+
+Result<struct ::stat> stat_path(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return Errno{errno};
+  return st;
+}
+
+Result<struct ::stat> fstat_fd(int fd) {
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) return Errno{errno};
+  return st;
+}
+
+bool exists(const std::string& path) {
+  struct ::stat st{};
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+bool is_directory(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status make_dir(const std::string& path, mode_t mode) {
+  if (::mkdir(path.c_str(), mode) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status make_dirs(const std::string& path, mode_t mode) {
+  if (path.empty()) return Errno{EINVAL};
+  if (is_directory(path)) return Status::success();
+  const std::string parent = path_dirname(path);
+  if (parent != path && parent != "/" && parent != ".") {
+    if (auto st = make_dirs(parent, mode); !st) return st;
+  }
+  if (::mkdir(path.c_str(), mode) != 0 && errno != EEXIST) {
+    return Errno{errno};
+  }
+  return Status::success();
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status remove_dir(const std::string& path) {
+  if (::rmdir(path.c_str()) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status remove_tree(const std::string& path) {
+  struct ::stat st{};
+  if (::lstat(path.c_str(), &st) != 0) {
+    return errno == ENOENT ? Status::success() : Status(Errno{errno});
+  }
+  if (!S_ISDIR(st.st_mode)) return remove_file(path);
+  auto entries = list_dir(path);
+  if (!entries) return entries.error();
+  for (const auto& name : entries.value()) {
+    if (auto s = remove_tree(path_join(path, name)); !s) return s;
+  }
+  return remove_dir(path);
+}
+
+Status rename_path(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno{errno};
+  return Status::success();
+}
+
+Result<std::vector<std::string>> list_dir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno{errno};
+  std::vector<std::string> names;
+  while (true) {
+    errno = 0;
+    const dirent* ent = ::readdir(dir);
+    if (ent == nullptr) {
+      const int saved = errno;
+      ::closedir(dir);
+      if (saved != 0) return Errno{saved};
+      break;
+    }
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  auto fd = open_fd(path, O_RDONLY);
+  if (!fd) return fd.error();
+  auto st = fstat_fd(fd.value().get());
+  if (!st) return st.error();
+  std::string content(static_cast<std::size_t>(st.value().st_size), '\0');
+  auto got = pread_some(
+      fd.value().get(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(content.data()),
+                           content.size()),
+      0);
+  if (!got) return got.error();
+  content.resize(got.value());
+  return content;
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  auto fd = open_fd(path, O_WRONLY | O_CREAT | O_TRUNC);
+  if (!fd) return fd.error();
+  return write_all(fd.value().get(),
+                   std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(content.data()),
+                       content.size()));
+}
+
+}  // namespace ldplfs::posix

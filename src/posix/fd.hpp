@@ -1,0 +1,94 @@
+// RAII wrapper over a POSIX file descriptor plus thin, errno-preserving
+// wrappers for the syscalls the PLFS library needs. This is the only module
+// in the real stratum that issues raw syscalls; everything above it works in
+// terms of UniqueFd / Result.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ldplfs::posix {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Release ownership without closing.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// open(2) returning a UniqueFd.
+Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode = 0644);
+
+/// Full-buffer write at the current offset; loops on short writes / EINTR.
+Status write_all(int fd, std::span<const std::byte> data);
+
+/// Positional full-buffer write.
+Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset);
+
+/// Positional read; loops on EINTR; returns bytes read (short at EOF).
+Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset);
+
+/// Positional read that fails with EIO unless the whole span is filled.
+Status pread_all(int fd, std::span<std::byte> out, off_t offset);
+
+Result<struct ::stat> stat_path(const std::string& path);
+Result<struct ::stat> fstat_fd(int fd);
+bool exists(const std::string& path);
+bool is_directory(const std::string& path);
+
+Status make_dir(const std::string& path, mode_t mode = 0755);
+/// mkdir -p semantics.
+Status make_dirs(const std::string& path, mode_t mode = 0755);
+Status remove_file(const std::string& path);
+Status remove_dir(const std::string& path);
+/// rm -r semantics (files + directories, depth-first).
+Status remove_tree(const std::string& path);
+Status rename_path(const std::string& from, const std::string& to);
+
+/// Names of entries in a directory, excluding "." / "..", sorted.
+Result<std::vector<std::string>> list_dir(const std::string& path);
+
+/// Read a whole (small) file into a string.
+Result<std::string> read_file(const std::string& path);
+/// Create/replace a whole file from a string.
+Status write_file(const std::string& path, std::string_view content);
+
+}  // namespace ldplfs::posix

@@ -1,0 +1,673 @@
+// libldplfs.so — the LD_PRELOAD entry point (the paper's deliverable).
+//
+//   $ export LDPLFS_MOUNTS=/path/to/plfs/backend
+//   $ LD_PRELOAD=/path/to/libldplfs.so ./unmodified_application
+//
+// Every exported symbol below shadows its libc namesake. Calls are routed
+// through core::Router; paths outside the configured PLFS mount points pass
+// straight through to the real libc entry points resolved with
+// dlsym(RTLD_NEXT, ...).
+//
+// Reentrancy: the PLFS library underneath the router performs its own POSIX
+// I/O on droppings. Inside libldplfs.so those calls bind to *our* exported
+// symbols, so a thread-local guard marks "already inside LDPLFS" frames and
+// forwards them to the real functions untouched. (The same technique is
+// used by Darshan and other LD_PRELOAD I/O tools.)
+//
+// Variadic open(2): the mode argument is fetched iff O_CREAT or O_TMPFILE
+// is present, as the libc contract requires.
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <stdarg.h>
+#include <stdio.h>
+#include <sys/mman.h>
+#include <sys/sendfile.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "core/mounts.hpp"
+#include "core/real_calls.hpp"
+#include "core/router.hpp"
+
+namespace {
+
+using ldplfs::core::MountTable;
+using ldplfs::core::RealCalls;
+using ldplfs::core::Router;
+
+// ---------------------------------------------------------------------------
+// Real-call resolution.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+Fn next_symbol(const char* name) {
+  // dlsym may legitimately return nullptr only if the symbol is absent;
+  // for core libc I/O symbols that would be fatal anyway.
+  void* sym = ::dlsym(RTLD_NEXT, name);
+  return reinterpret_cast<Fn>(sym);
+}
+
+RealCalls resolve_real_calls() {
+  RealCalls c;
+  c.open = next_symbol<int (*)(const char*, int, mode_t)>("open");
+  c.close = next_symbol<int (*)(int)>("close");
+  c.read = next_symbol<ssize_t (*)(int, void*, size_t)>("read");
+  c.write = next_symbol<ssize_t (*)(int, const void*, size_t)>("write");
+  c.pread = next_symbol<ssize_t (*)(int, void*, size_t, off_t)>("pread");
+  c.pwrite =
+      next_symbol<ssize_t (*)(int, const void*, size_t, off_t)>("pwrite");
+  c.lseek = next_symbol<off_t (*)(int, off_t, int)>("lseek");
+  c.dup = next_symbol<int (*)(int)>("dup");
+  c.dup2 = next_symbol<int (*)(int, int)>("dup2");
+  c.fsync = next_symbol<int (*)(int)>("fsync");
+  c.fdatasync = next_symbol<int (*)(int)>("fdatasync");
+  c.ftruncate = next_symbol<int (*)(int, off_t)>("ftruncate");
+  c.truncate = next_symbol<int (*)(const char*, off_t)>("truncate");
+  c.unlink = next_symbol<int (*)(const char*)>("unlink");
+  c.access = next_symbol<int (*)(const char*, int)>("access");
+  c.stat = next_symbol<int (*)(const char*, struct ::stat*)>("stat");
+  c.lstat = next_symbol<int (*)(const char*, struct ::stat*)>("lstat");
+  c.fstat = next_symbol<int (*)(int, struct ::stat*)>("fstat");
+  c.rename = next_symbol<int (*)(const char*, const char*)>("rename");
+  c.mkdir = next_symbol<int (*)(const char*, mode_t)>("mkdir");
+  c.rmdir = next_symbol<int (*)(const char*)>("rmdir");
+  return c;
+}
+
+const RealCalls& real() {
+  static const RealCalls calls = resolve_real_calls();
+  return calls;
+}
+
+// ---------------------------------------------------------------------------
+// Router bootstrap + reentrancy guard.
+// ---------------------------------------------------------------------------
+
+Router& router() {
+  static Router instance = [] {
+    MountTable::instance().load_from_env();
+    LDPLFS_LOG_INFO("libldplfs loaded; %zu mount point(s)",
+                    MountTable::instance().mounts().size());
+    return Router(real(), MountTable::instance());
+  }();
+  return instance;
+}
+
+thread_local int g_in_ldplfs = 0;
+
+class ReentryGuard {
+ public:
+  ReentryGuard() { ++g_in_ldplfs; }
+  ~ReentryGuard() { --g_in_ldplfs; }
+  /// True when this is the outermost (application) frame.
+  [[nodiscard]] bool outermost() const { return g_in_ldplfs == 1; }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Interposed symbols. Each forwards to the real call when (a) the frame is
+// reentrant, or (b) the router declines ownership — the router itself does
+// the passthrough in case (b).
+// ---------------------------------------------------------------------------
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().open(path, flags, mode);
+  return router().open(path, flags, mode);
+}
+
+int open64(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().open(path, flags | O_LARGEFILE, mode);
+  return router().open(path, flags | O_LARGEFILE, mode);
+}
+
+int creat(const char* path, mode_t mode) {
+  ReentryGuard guard;
+  if (!guard.outermost()) {
+    return real().open(path, O_WRONLY | O_CREAT | O_TRUNC, mode);
+  }
+  return router().creat(path, mode);
+}
+
+int close(int fd) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().close(fd);
+  return router().close(fd);
+}
+
+ssize_t read(int fd, void* buf, size_t count) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().read(fd, buf, count);
+  return router().read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, size_t count) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().write(fd, buf, count);
+  return router().write(fd, buf, count);
+}
+
+ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().pread(fd, buf, count, offset);
+  return router().pread(fd, buf, count, offset);
+}
+
+ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().pwrite(fd, buf, count, offset);
+  return router().pwrite(fd, buf, count, offset);
+}
+
+ssize_t readv(int fd, const struct ::iovec* iov, int iovcnt) {
+  using ReadvFn = ssize_t (*)(int, const struct ::iovec*, int);
+  static ReadvFn real_readv = next_symbol<ReadvFn>("readv");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_readv(fd, iov, iovcnt);
+  }
+  return router().readv(fd, iov, iovcnt);
+}
+
+ssize_t writev(int fd, const struct ::iovec* iov, int iovcnt) {
+  using WritevFn = ssize_t (*)(int, const struct ::iovec*, int);
+  static WritevFn real_writev = next_symbol<WritevFn>("writev");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_writev(fd, iov, iovcnt);
+  }
+  return router().writev(fd, iov, iovcnt);
+}
+
+ssize_t pread64(int fd, void* buf, size_t count, off_t offset) {
+  return pread(fd, buf, count, offset);
+}
+
+ssize_t pwrite64(int fd, const void* buf, size_t count, off_t offset) {
+  return pwrite(fd, buf, count, offset);
+}
+
+off_t lseek(int fd, off_t offset, int whence) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().lseek(fd, offset, whence);
+  return router().lseek(fd, offset, whence);
+}
+
+off_t lseek64(int fd, off_t offset, int whence) {
+  return lseek(fd, offset, whence);
+}
+
+int dup(int fd) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().dup(fd);
+  return router().dup(fd);
+}
+
+int dup2(int oldfd, int newfd) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().dup2(oldfd, newfd);
+  return router().dup2(oldfd, newfd);
+}
+
+int fsync(int fd) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().fsync(fd);
+  return router().fsync(fd);
+}
+
+int fdatasync(int fd) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().fdatasync(fd);
+  return router().fdatasync(fd);
+}
+
+int ftruncate(int fd, off_t length) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().ftruncate(fd, length);
+  return router().ftruncate(fd, length);
+}
+
+int truncate(const char* path, off_t length) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().truncate(path, length);
+  return router().truncate(path, length);
+}
+
+int unlink(const char* path) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().unlink(path);
+  return router().unlink(path);
+}
+
+int access(const char* path, int amode) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().access(path, amode);
+  return router().access(path, amode);
+}
+
+int stat(const char* path, struct ::stat* st) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().stat(path, st);
+  return router().stat(path, st);
+}
+
+int lstat(const char* path, struct ::stat* st) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().lstat(path, st);
+  return router().lstat(path, st);
+}
+
+int fstat(int fd, struct ::stat* st) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().fstat(fd, st);
+  return router().fstat(fd, st);
+}
+
+int stat64(const char* path, struct ::stat64* st) {
+  // On LP64 Linux struct stat64 == struct stat; route through stat.
+  return stat(path, reinterpret_cast<struct ::stat*>(st));
+}
+
+int lstat64(const char* path, struct ::stat64* st) {
+  return lstat(path, reinterpret_cast<struct ::stat*>(st));
+}
+
+int fstat64(int fd, struct ::stat64* st) {
+  return fstat(fd, reinterpret_cast<struct ::stat*>(st));
+}
+
+int __xstat(int ver, const char* path, struct ::stat* st) {
+  (void)ver;
+  return stat(path, st);
+}
+
+int __lxstat(int ver, const char* path, struct ::stat* st) {
+  (void)ver;
+  return lstat(path, st);
+}
+
+int __fxstat(int ver, int fd, struct ::stat* st) {
+  (void)ver;
+  return fstat(fd, st);
+}
+
+int rename(const char* from, const char* to) {
+  ReentryGuard guard;
+  if (!guard.outermost()) return real().rename(from, to);
+  return router().rename(from, to);
+}
+
+// ---------------------------------------------------------------------------
+// *at() variants and statx. Modern coreutils (cp, mv, rm) reach files via
+// dirfd-relative calls, so interposing only the classic entry points is not
+// enough. Calls relative to AT_FDCWD (or with absolute paths) are routed
+// through the path-based router; calls relative to a real directory fd pass
+// through, since PLFS containers are only addressed by path here.
+// ---------------------------------------------------------------------------
+
+static bool routable_at(int dirfd, const char* path) {
+  return path != nullptr && (dirfd == AT_FDCWD || path[0] == '/');
+}
+
+int openat(int dirfd, const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  using OpenatFn = int (*)(int, const char*, int, ...);
+  static OpenatFn real_openat = next_symbol<OpenatFn>("openat");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(dirfd, path)) {
+    return router().open(path, flags, mode);
+  }
+  return real_openat(dirfd, path, flags, mode);
+}
+
+int openat64(int dirfd, const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  return openat(dirfd, path, flags | O_LARGEFILE, mode);
+}
+
+int fstatat(int dirfd, const char* path, struct ::stat* st, int at_flags) {
+  using FstatatFn = int (*)(int, const char*, struct ::stat*, int);
+  static FstatatFn real_fstatat = next_symbol<FstatatFn>("fstatat");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(dirfd, path) &&
+      router().path_is_container(path)) {
+    // Containers are never symlinks, so AT_SYMLINK_NOFOLLOW is moot.
+    return router().stat(path, st);
+  }
+  return real_fstatat(dirfd, path, st, at_flags);
+}
+
+int fstatat64(int dirfd, const char* path, struct ::stat64* st, int at_flags) {
+  return fstatat(dirfd, path, reinterpret_cast<struct ::stat*>(st), at_flags);
+}
+
+int newfstatat(int dirfd, const char* path, struct ::stat* st, int at_flags) {
+  return fstatat(dirfd, path, st, at_flags);
+}
+
+int __fxstatat(int ver, int dirfd, const char* path, struct ::stat* st,
+               int at_flags) {
+  (void)ver;
+  return fstatat(dirfd, path, st, at_flags);
+}
+
+int statx(int dirfd, const char* path, int at_flags, unsigned int mask,
+          struct ::statx* stx) {
+  using StatxFn = int (*)(int, const char*, int, unsigned int,
+                          struct ::statx*);
+  static StatxFn real_statx = next_symbol<StatxFn>("statx");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(dirfd, path) &&
+      router().path_is_container(path)) {
+    struct ::stat st{};
+    if (router().stat(path, &st) != 0) return -1;
+    *stx = {};
+    stx->stx_mask = STATX_BASIC_STATS & mask;
+    stx->stx_blksize = static_cast<std::uint32_t>(st.st_blksize);
+    stx->stx_nlink = static_cast<std::uint32_t>(st.st_nlink);
+    stx->stx_uid = st.st_uid;
+    stx->stx_gid = st.st_gid;
+    stx->stx_mode = static_cast<std::uint16_t>(st.st_mode);
+    stx->stx_size = static_cast<std::uint64_t>(st.st_size);
+    stx->stx_blocks = static_cast<std::uint64_t>(st.st_blocks);
+    stx->stx_mtime.tv_sec = st.st_mtime;
+    stx->stx_atime.tv_sec = st.st_atime;
+    stx->stx_ctime.tv_sec = st.st_ctime;
+    return 0;
+  }
+  return real_statx(dirfd, path, at_flags, mask, stx);
+}
+
+int unlinkat(int dirfd, const char* path, int at_flags) {
+  using UnlinkatFn = int (*)(int, const char*, int);
+  static UnlinkatFn real_unlinkat = next_symbol<UnlinkatFn>("unlinkat");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(dirfd, path) &&
+      (at_flags & AT_REMOVEDIR) == 0 && router().path_is_container(path)) {
+    return router().unlink(path);
+  }
+  return real_unlinkat(dirfd, path, at_flags);
+}
+
+int renameat(int olddirfd, const char* oldpath, int newdirfd,
+             const char* newpath) {
+  using RenameatFn = int (*)(int, const char*, int, const char*);
+  static RenameatFn real_renameat = next_symbol<RenameatFn>("renameat");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(olddirfd, oldpath) &&
+      routable_at(newdirfd, newpath) && router().path_is_container(oldpath)) {
+    return router().rename(oldpath, newpath);
+  }
+  return real_renameat(olddirfd, oldpath, newdirfd, newpath);
+}
+
+int faccessat(int dirfd, const char* path, int amode, int at_flags) {
+  using FaccessatFn = int (*)(int, const char*, int, int);
+  static FaccessatFn real_faccessat = next_symbol<FaccessatFn>("faccessat");
+  ReentryGuard guard;
+  if (guard.outermost() && routable_at(dirfd, path) &&
+      router().path_is_container(path)) {
+    return router().access(path, amode);
+  }
+  return real_faccessat(dirfd, path, amode, at_flags);
+}
+
+// ---------------------------------------------------------------------------
+// fd-to-fd fast paths. copy_file_range/sendfile move bytes entirely inside
+// the kernel, which would bypass PLFS and land data in the shadow tmpfile.
+// When either side is a PLFS fd the copy is emulated with a user-space
+// read/write loop through the router; otherwise the real call runs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ssize_t emulated_copy(int fd_in, off64_t* off_in, int fd_out,
+                      off64_t* off_out, size_t len) {
+  // Reads and writes below go through the interposed symbols on purpose:
+  // each side independently routes to PLFS or the real fd.
+  static thread_local char buf[1 << 20];
+  size_t total = 0;
+  while (total < len) {
+    const size_t chunk = std::min(len - total, sizeof buf);
+    ssize_t n;
+    if (off_in != nullptr) {
+      n = pread(fd_in, buf, chunk, static_cast<off_t>(*off_in));
+      if (n > 0) *off_in += n;
+    } else {
+      n = read(fd_in, buf, chunk);
+    }
+    if (n < 0) return total > 0 ? static_cast<ssize_t>(total) : -1;
+    if (n == 0) break;
+    ssize_t w;
+    if (off_out != nullptr) {
+      w = pwrite(fd_out, buf, static_cast<size_t>(n),
+                 static_cast<off_t>(*off_out));
+      if (w > 0) *off_out += w;
+    } else {
+      w = write(fd_out, buf, static_cast<size_t>(n));
+    }
+    if (w < 0) return total > 0 ? static_cast<ssize_t>(total) : -1;
+    total += static_cast<size_t>(w);
+    if (w < n) break;
+  }
+  return static_cast<ssize_t>(total);
+}
+
+}  // namespace
+
+ssize_t copy_file_range(int fd_in, off64_t* off_in, int fd_out,
+                        off64_t* off_out, size_t len, unsigned int cfr_flags) {
+  using CfrFn =
+      ssize_t (*)(int, off64_t*, int, off64_t*, size_t, unsigned int);
+  static CfrFn real_cfr = next_symbol<CfrFn>("copy_file_range");
+  {
+    ReentryGuard guard;
+    if (!guard.outermost() ||
+        (!router().is_plfs_fd(fd_in) && !router().is_plfs_fd(fd_out))) {
+      return real_cfr(fd_in, off_in, fd_out, off_out, len, cfr_flags);
+    }
+  }
+  // Emulate outside the guard so the per-chunk read/write route normally.
+  return emulated_copy(fd_in, off_in, fd_out, off_out, len);
+}
+
+ssize_t sendfile(int out_fd, int in_fd, off_t* offset, size_t count) {
+  using SendfileFn = ssize_t (*)(int, int, off_t*, size_t);
+  static SendfileFn real_sendfile = next_symbol<SendfileFn>("sendfile");
+  {
+    ReentryGuard guard;
+    if (!guard.outermost() ||
+        (!router().is_plfs_fd(in_fd) && !router().is_plfs_fd(out_fd))) {
+      return real_sendfile(out_fd, in_fd, offset, count);
+    }
+  }
+  off64_t off64_local = offset != nullptr ? *offset : 0;
+  off64_t* off_in = offset != nullptr ? &off64_local : nullptr;
+  const ssize_t n = emulated_copy(in_fd, off_in, out_fd, nullptr, count);
+  if (offset != nullptr && n >= 0) *offset = static_cast<off_t>(off64_local);
+  return n;
+}
+
+ssize_t sendfile64(int out_fd, int in_fd, off64_t* offset, size_t count) {
+  using Sendfile64Fn = ssize_t (*)(int, int, off64_t*, size_t);
+  static Sendfile64Fn real_sendfile64 = next_symbol<Sendfile64Fn>("sendfile64");
+  {
+    ReentryGuard guard;
+    if (!guard.outermost() ||
+        (!router().is_plfs_fd(in_fd) && !router().is_plfs_fd(out_fd))) {
+      return real_sendfile64(out_fd, in_fd, offset, count);
+    }
+  }
+  const ssize_t n = emulated_copy(in_fd, offset, out_fd, nullptr, count);
+  return n;
+}
+
+int fallocate(int fd, int mode, off_t offset, off_t len) {
+  using FallocateFn = int (*)(int, int, off_t, off_t);
+  static FallocateFn real_fallocate = next_symbol<FallocateFn>("fallocate");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_fallocate(fd, mode, offset, len);
+  }
+  // Preallocation is meaningless for a log-structured container; report
+  // success so cp/tar-style preallocation does not abort the copy.
+  (void)mode;
+  (void)offset;
+  (void)len;
+  return 0;
+}
+
+int posix_fallocate(int fd, off_t offset, off_t len) {
+  using PfFn = int (*)(int, off_t, off_t);
+  static PfFn real_pf = next_symbol<PfFn>("posix_fallocate");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_pf(fd, offset, len);
+  }
+  return 0;
+}
+
+void* mmap(void* addr, size_t length, int prot, int mmap_flags, int fd,
+           off_t offset) {
+  using MmapFn = void* (*)(void*, size_t, int, int, int, off_t);
+  static MmapFn real_mmap = next_symbol<MmapFn>("mmap");
+  ReentryGuard guard;
+  if (!guard.outermost() || fd < 0 || !router().is_plfs_fd(fd)) {
+    return real_mmap(addr, length, prot, mmap_flags, fd, offset);
+  }
+  // Mapping the shadow tmpfile would show garbage; refuse so callers
+  // (e.g. GNU grep) fall back to read(2).
+  errno = ENODEV;
+  return reinterpret_cast<void*>(-1);  // MAP_FAILED
+}
+
+void* mmap64(void* addr, size_t length, int prot, int mmap_flags, int fd,
+             off64_t offset) {
+  return mmap(addr, length, prot, mmap_flags, fd, static_cast<off_t>(offset));
+}
+
+// ---------------------------------------------------------------------------
+// stdio interposition: fopen on a PLFS path returns a fopencookie-backed
+// FILE* whose cookie I/O functions drive the router. fread/fwrite/fseek/
+// fclose then work unmodified — this is what lets cat/grep/md5sum (stdio
+// users) operate on containers (paper §III-D).
+// ---------------------------------------------------------------------------
+
+static ssize_t cookie_read(void* cookie, char* buf, size_t size) {
+  const int fd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ReentryGuard guard;
+  return router().read(fd, buf, size);
+}
+
+static ssize_t cookie_write(void* cookie, const char* buf, size_t size) {
+  const int fd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ReentryGuard guard;
+  const ssize_t n = router().write(fd, buf, size);
+  // stdio treats short writes as errors; our writes are all-or-nothing.
+  return n;
+}
+
+static int cookie_seek(void* cookie, off64_t* offset, int whence) {
+  const int fd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ReentryGuard guard;
+  const off_t result =
+      router().lseek(fd, static_cast<off_t>(*offset), whence);
+  if (result < 0) return -1;
+  *offset = result;
+  return 0;
+}
+
+static int cookie_close(void* cookie) {
+  const int fd = static_cast<int>(reinterpret_cast<intptr_t>(cookie));
+  ReentryGuard guard;
+  return router().close(fd);
+}
+
+FILE* fopen(const char* path, const char* mode) {
+  using FopenFn = FILE* (*)(const char*, const char*);
+  static FopenFn real_fopen = next_symbol<FopenFn>("fopen");
+
+  ReentryGuard guard;
+  if (!guard.outermost() || path == nullptr || mode == nullptr) {
+    return real_fopen(path, mode);
+  }
+  if (!router().path_in_mount(path)) return real_fopen(path, mode);
+
+  // Translate the stdio mode string to open(2) flags.
+  int flags;
+  const bool plus = std::strchr(mode, '+') != nullptr;
+  switch (mode[0]) {
+    case 'r': flags = plus ? O_RDWR : O_RDONLY; break;
+    case 'w': flags = (plus ? O_RDWR : O_WRONLY) | O_CREAT | O_TRUNC; break;
+    case 'a': flags = (plus ? O_RDWR : O_WRONLY) | O_CREAT | O_APPEND; break;
+    default: errno = EINVAL; return nullptr;
+  }
+  const int fd = router().open(path, flags, 0644);
+  if (fd < 0) return nullptr;
+  if (!router().is_plfs_fd(fd)) {
+    // Plain file inside the backend: hand it to stdio the normal way.
+    FILE* stream = ::fdopen(fd, mode);
+    if (stream == nullptr) router().close(fd);
+    return stream;
+  }
+
+  cookie_io_functions_t io{};
+  io.read = cookie_read;
+  io.write = cookie_write;
+  io.seek = cookie_seek;
+  io.close = cookie_close;
+  FILE* stream =
+      ::fopencookie(reinterpret_cast<void*>(static_cast<intptr_t>(fd)),
+                    mode, io);
+  if (stream == nullptr) router().close(fd);
+  return stream;
+}
+
+FILE* fopen64(const char* path, const char* mode) { return fopen(path, mode); }
+
+}  // extern "C"

@@ -1,0 +1,265 @@
+// Static interposition via the linker's --wrap mechanism (paper §III-A:
+// "For systems where dynamic linking is either not available or is only
+// available in a limited capacity (such as on an IBM BlueGene system), a
+// static LDPLFS library can be compiled and, through the use of the -wrap
+// functionality found in some compilers, can be linked at compile time").
+//
+// Link an application with
+//
+//   -lldplfs_wrap -Wl,--wrap=open,--wrap=open64,--wrap=creat,--wrap=close,
+//       --wrap=read,--wrap=write,--wrap=pread,--wrap=pwrite,--wrap=lseek,
+//       --wrap=dup,--wrap=dup2,--wrap=fsync,--wrap=fdatasync,
+//       --wrap=ftruncate,--wrap=truncate,--wrap=unlink,--wrap=access,
+//       --wrap=stat,--wrap=lstat,--wrap=fstat,--wrap=rename
+//
+// and every wrapped call routes through the LDPLFS core; `__real_*` symbols
+// (provided by the linker) serve as the passthrough targets, so no dlsym
+// and no dynamic loader are involved.
+#include <fcntl.h>
+#include <stdarg.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "core/mounts.hpp"
+#include "core/real_calls.hpp"
+#include "core/router.hpp"
+
+extern "C" {
+
+// Linker-provided real entry points.
+int __real_open(const char* path, int flags, ...);
+int __real_close(int fd);
+ssize_t __real_read(int fd, void* buf, size_t count);
+ssize_t __real_write(int fd, const void* buf, size_t count);
+ssize_t __real_pread(int fd, void* buf, size_t count, off_t offset);
+ssize_t __real_pwrite(int fd, const void* buf, size_t count, off_t offset);
+off_t __real_lseek(int fd, off_t offset, int whence);
+int __real_dup(int fd);
+int __real_dup2(int oldfd, int newfd);
+int __real_fsync(int fd);
+int __real_fdatasync(int fd);
+int __real_ftruncate(int fd, off_t length);
+int __real_truncate(const char* path, off_t length);
+int __real_unlink(const char* path);
+int __real_access(const char* path, int amode);
+int __real_stat(const char* path, struct ::stat* st);
+int __real_lstat(const char* path, struct ::stat* st);
+int __real_fstat(int fd, struct ::stat* st);
+int __real_rename(const char* from, const char* to);
+
+}  // extern "C"
+
+namespace {
+
+using ldplfs::core::MountTable;
+using ldplfs::core::RealCalls;
+using ldplfs::core::Router;
+
+int real_open3(const char* path, int flags, mode_t mode) {
+  return __real_open(path, flags, mode);
+}
+
+const RealCalls& wrap_real_calls() {
+  static const RealCalls calls = [] {
+    RealCalls c;
+    c.open = real_open3;
+    c.close = __real_close;
+    c.read = __real_read;
+    c.write = __real_write;
+    c.pread = __real_pread;
+    c.pwrite = __real_pwrite;
+    c.lseek = __real_lseek;
+    c.dup = __real_dup;
+    c.dup2 = __real_dup2;
+    c.fsync = __real_fsync;
+    c.fdatasync = __real_fdatasync;
+    c.ftruncate = __real_ftruncate;
+    c.truncate = __real_truncate;
+    c.unlink = __real_unlink;
+    c.access = __real_access;
+    c.stat = __real_stat;
+    c.lstat = __real_lstat;
+    c.fstat = __real_fstat;
+    c.rename = __real_rename;
+    // mkdir/rmdir are not interposed in wrap mode; plain libc is the
+    // passthrough target.
+    c.mkdir = ::mkdir;
+    c.rmdir = ::rmdir;
+    return c;
+  }();
+  return calls;
+}
+
+Router& wrap_router() {
+  static Router instance = [] {
+    MountTable::instance().load_from_env();
+    LDPLFS_LOG_INFO("ldplfs --wrap mode active; %zu mount point(s)",
+                    MountTable::instance().mounts().size());
+    return Router(wrap_real_calls(), MountTable::instance());
+  }();
+  return instance;
+}
+
+// The PLFS library underneath calls the unwrapped libc symbols directly
+// (they are only wrapped in the *application's* link), so no reentrancy
+// guard is needed in this mode when ldplfs_wrap is linked as a separate
+// library. A guard is kept anyway for the fully-static case where the
+// whole program, PLFS included, is wrapped.
+thread_local int g_in_wrap = 0;
+
+class WrapGuard {
+ public:
+  WrapGuard() { ++g_in_wrap; }
+  ~WrapGuard() { --g_in_wrap; }
+  [[nodiscard]] bool outermost() const { return g_in_wrap == 1; }
+};
+
+}  // namespace
+
+extern "C" {
+
+int __wrap_open(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_open(path, flags, mode);
+  return wrap_router().open(path, flags, mode);
+}
+
+int __wrap_open64(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list args;
+    va_start(args, flags);
+    mode = static_cast<mode_t>(va_arg(args, int));
+    va_end(args);
+  }
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_open(path, flags | O_LARGEFILE, mode);
+  return wrap_router().open(path, flags | O_LARGEFILE, mode);
+}
+
+int __wrap_creat(const char* path, mode_t mode) {
+  WrapGuard guard;
+  if (!guard.outermost()) {
+    return __real_open(path, O_WRONLY | O_CREAT | O_TRUNC, mode);
+  }
+  return wrap_router().creat(path, mode);
+}
+
+int __wrap_close(int fd) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_close(fd);
+  return wrap_router().close(fd);
+}
+
+ssize_t __wrap_read(int fd, void* buf, size_t count) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_read(fd, buf, count);
+  return wrap_router().read(fd, buf, count);
+}
+
+ssize_t __wrap_write(int fd, const void* buf, size_t count) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_write(fd, buf, count);
+  return wrap_router().write(fd, buf, count);
+}
+
+ssize_t __wrap_pread(int fd, void* buf, size_t count, off_t offset) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_pread(fd, buf, count, offset);
+  return wrap_router().pread(fd, buf, count, offset);
+}
+
+ssize_t __wrap_pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_pwrite(fd, buf, count, offset);
+  return wrap_router().pwrite(fd, buf, count, offset);
+}
+
+off_t __wrap_lseek(int fd, off_t offset, int whence) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_lseek(fd, offset, whence);
+  return wrap_router().lseek(fd, offset, whence);
+}
+
+int __wrap_dup(int fd) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_dup(fd);
+  return wrap_router().dup(fd);
+}
+
+int __wrap_dup2(int oldfd, int newfd) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_dup2(oldfd, newfd);
+  return wrap_router().dup2(oldfd, newfd);
+}
+
+int __wrap_fsync(int fd) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_fsync(fd);
+  return wrap_router().fsync(fd);
+}
+
+int __wrap_fdatasync(int fd) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_fdatasync(fd);
+  return wrap_router().fdatasync(fd);
+}
+
+int __wrap_ftruncate(int fd, off_t length) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_ftruncate(fd, length);
+  return wrap_router().ftruncate(fd, length);
+}
+
+int __wrap_truncate(const char* path, off_t length) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_truncate(path, length);
+  return wrap_router().truncate(path, length);
+}
+
+int __wrap_unlink(const char* path) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_unlink(path);
+  return wrap_router().unlink(path);
+}
+
+int __wrap_access(const char* path, int amode) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_access(path, amode);
+  return wrap_router().access(path, amode);
+}
+
+int __wrap_stat(const char* path, struct ::stat* st) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_stat(path, st);
+  return wrap_router().stat(path, st);
+}
+
+int __wrap_lstat(const char* path, struct ::stat* st) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_lstat(path, st);
+  return wrap_router().lstat(path, st);
+}
+
+int __wrap_fstat(int fd, struct ::stat* st) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_fstat(fd, st);
+  return wrap_router().fstat(fd, st);
+}
+
+int __wrap_rename(const char* from, const char* to) {
+  WrapGuard guard;
+  if (!guard.outermost()) return __real_rename(from, to);
+  return wrap_router().rename(from, to);
+}
+
+}  // extern "C"

@@ -1,0 +1,149 @@
+// Client-side write-back cache, fluid approximation.
+//
+// The effect the paper leans on for Fig. 4: a write small enough to fit in
+// the cache "completes" at ingest speed and drains to the backend in the
+// background; once the relevant dirty limit is hit the writer blocks at
+// drain speed. Two limits apply, mirroring Lustre semantics:
+//
+//   * a per-node capacity (RAM available for dirty pages), and
+//   * an optional per-stream grant (max_dirty_mb per OSC): each file
+//     stream may only keep so much dirty data regardless of node headroom.
+//
+// Occupancy is tracked lazily — between events, dirty data decreases at
+// drain_bps. Admissions are FIFO per node: (dirty_, last_update_) describe
+// the state at the horizon last_update_, and an admit that arrives before
+// the horizon is processed at the horizon, keeping drain accounting
+// monotonic and serialising same-node ingests (they share the memory bus).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace ldplfs::sim {
+
+class WriteCache {
+ public:
+  WriteCache(std::uint64_t capacity_bytes, double absorb_bps)
+      : capacity_(capacity_bytes), absorb_bps_(absorb_bps) {}
+
+  /// Set the rate at which dirty data drains to the backend. May change
+  /// between phases (it depends on how many nodes share the backend).
+  void set_drain_bps(double bps) { drain_bps_ = bps; }
+
+  /// Node-level dirty capacity.
+  void set_capacity(std::uint64_t bytes) { capacity_ = bytes; }
+
+  /// Per-stream dirty grant; 0 disables per-stream limiting.
+  void set_per_stream_cap(std::uint64_t bytes) { per_stream_cap_ = bytes; }
+
+  [[nodiscard]] double drain_bps() const { return drain_bps_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t per_stream_cap() const { return per_stream_cap_; }
+
+  /// Admit `bytes` for `stream` at time `now`. Returns when the writer
+  /// unblocks: ingest time if the write fits both limits, otherwise ingest
+  /// plus the (queued) wait for enough drain.
+  SimTime admit(SimTime now, std::uint64_t bytes, std::uint64_t stream = 0);
+
+  /// Dirty bytes at `now` (after lazy drain).
+  [[nodiscard]] std::uint64_t occupancy(SimTime now) const;
+
+  /// Time at which the cache becomes empty if nothing else arrives.
+  [[nodiscard]] SimTime drained_at(SimTime now) const;
+
+  void reset() {
+    dirty_ = 0.0;
+    last_update_ = 0.0;
+    drain_busy_until_ = 0.0;
+    stream_dirty_.clear();
+  }
+
+ private:
+  void lazy_drain(SimTime now) const;
+
+  std::uint64_t capacity_;
+  double absorb_bps_;
+  std::uint64_t per_stream_cap_ = 0;
+  double drain_bps_ = 100e6;
+  mutable double dirty_ = 0.0;
+  mutable SimTime last_update_ = 0.0;
+  SimTime drain_busy_until_ = 0.0;
+  // Per-stream dirty shares; drained proportionally with the total.
+  mutable std::unordered_map<std::uint64_t, double> stream_dirty_;
+};
+
+inline void WriteCache::lazy_drain(SimTime now) const {
+  if (now <= last_update_) return;
+  const double before = dirty_;
+  dirty_ = std::max(0.0, dirty_ - drain_bps_ * (now - last_update_));
+  last_update_ = now;
+  if (before > 0.0 && dirty_ < before) {
+    if (dirty_ <= 0.0) {
+      stream_dirty_.clear();
+    } else {
+      const double scale = dirty_ / before;
+      for (auto& [stream, amount] : stream_dirty_) amount *= scale;
+    }
+  }
+}
+
+inline SimTime WriteCache::admit(SimTime now, std::uint64_t bytes,
+                                 std::uint64_t stream) {
+  const SimTime eff = std::max(now, last_update_);
+  lazy_drain(eff);
+  const double ingest_s = static_cast<double>(bytes) / absorb_bps_;
+  const double want = static_cast<double>(bytes);
+  const double node_cap = static_cast<double>(capacity_);
+
+  // The binding constraint is whichever limit this write violates harder.
+  double& sd = stream_dirty_[stream];
+  double overflow = std::max(0.0, dirty_ + want - node_cap);
+  if (per_stream_cap_ > 0) {
+    overflow = std::max(
+        overflow, sd + want - static_cast<double>(per_stream_cap_));
+  }
+
+  double block_s = 0.0;
+  if (overflow > 0.0) {
+    // Drain capacity is one shared resource per node: concurrent stalls
+    // queue on it rather than each assuming the full drain bandwidth.
+    const double drain_s = drain_bps_ > 0 ? overflow / drain_bps_ : 1e9;
+    const SimTime start = std::max(eff, drain_busy_until_);
+    drain_busy_until_ = start + drain_s;
+    block_s = (start - eff) + drain_s;
+  }
+  sd = std::min(std::max(0.0, sd + want - overflow),
+                per_stream_cap_ > 0 ? static_cast<double>(per_stream_cap_)
+                                    : node_cap);
+  dirty_ = std::min(node_cap, std::max(0.0, dirty_ + want - overflow));
+
+  last_update_ = eff + block_s + ingest_s;
+  // Drain continues during the ingest itself.
+  const double before = dirty_;
+  dirty_ = std::max(0.0, dirty_ - drain_bps_ * ingest_s);
+  if (before > 0.0 && dirty_ < before) {
+    const double scale = dirty_ > 0.0 ? dirty_ / before : 0.0;
+    if (scale == 0.0) {
+      stream_dirty_.clear();
+    } else {
+      for (auto& [key, amount] : stream_dirty_) amount *= scale;
+    }
+  }
+  return last_update_;
+}
+
+inline std::uint64_t WriteCache::occupancy(SimTime now) const {
+  lazy_drain(now);
+  return static_cast<std::uint64_t>(dirty_);
+}
+
+inline SimTime WriteCache::drained_at(SimTime now) const {
+  lazy_drain(now);
+  if (drain_bps_ <= 0) return dirty_ > 0 ? 1e30 : now;
+  return now + dirty_ / drain_bps_;
+}
+
+}  // namespace ldplfs::sim

@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ldplfs::sim {
+
+void Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn)});
+}
+
+SimTime Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the closure must be moved out via a
+    // const_cast-free copy of the struct. Events are small; copy the
+    // function once per dispatch.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+void Engine::reset() {
+  queue_ = {};
+  now_ = 0.0;
+  next_seq_ = 0;
+  processed_ = 0;
+}
+
+}  // namespace ldplfs::sim

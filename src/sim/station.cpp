@@ -1,0 +1,35 @@
+#include "sim/station.hpp"
+
+namespace ldplfs::sim {
+
+SimTime Station::submit(double service, std::function<void()> done) {
+  const SimTime now = engine_.now();
+
+  ++in_system_;
+  stats_.max_in_system = std::max(stats_.max_in_system, in_system_);
+
+  if (congestion_.alpha > 0.0 && in_system_ > congestion_.knee) {
+    const double excess =
+        static_cast<double>(in_system_ - congestion_.knee) /
+        static_cast<double>(congestion_.knee);
+    service *= 1.0 + congestion_.alpha * excess;
+  }
+
+  // Earliest-free server (FIFO across the pool).
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const SimTime start = std::max(now, *it);
+  const SimTime finish = start + service;
+  *it = finish;
+
+  stats_.ops += 1;
+  stats_.busy_time += service;
+  stats_.total_wait += start - now;
+
+  engine_.schedule_at(finish, [this, done = std::move(done)] {
+    --in_system_;
+    if (done) done();
+  });
+  return finish;
+}
+
+}  // namespace ldplfs::sim

@@ -1,0 +1,144 @@
+#include "simfs/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldplfs::simfs {
+
+namespace {
+
+/// Metadata time for `ops` requests against the metadata service, with the
+/// congestion inflation the Station applies (approximated at the mean
+/// queue depth, which for a synchronised storm is ~half the burst size).
+double meta_storm_s(const ClusterConfig& config, double ops,
+                    double burst_size) {
+  double service = config.meta_op_s;
+  if (config.dedicated_mds) {
+    const auto& congestion = config.mds_congestion;
+    if (congestion.alpha > 0.0 && burst_size > congestion.knee) {
+      const double mean_excess =
+          (burst_size / 2.0 - congestion.knee) / congestion.knee;
+      if (mean_excess > 0) service *= 1.0 + congestion.alpha * mean_excess;
+    }
+    return ops * service;  // single server: fully serialised
+  }
+  return ops * service / std::max(1u, config.io_servers);
+}
+
+}  // namespace
+
+const char* regime_name(Regime regime) {
+  switch (regime) {
+    case Regime::kAbsorb: return "absorb";
+    case Regime::kDrain: return "drain";
+    case Regime::kSync: return "sync";
+  }
+  return "?";
+}
+
+Prediction predict_plfs(const ClusterConfig& config,
+                        const WorkloadShape& shape) {
+  Prediction p;
+  const std::uint64_t writers =
+      shape.independent_writers ? shape.nranks() : shape.nodes;
+  const std::uint64_t writers_per_node =
+      shape.independent_writers ? shape.ppn : 1;
+
+  // --- metadata: open storm (1 open/rank + 3 creates/writer) + close ------
+  const double open_ops =
+      static_cast<double>(shape.nranks()) + 3.0 * writers + 4.0;
+  const double close_ops = 2.0 * writers;
+  p.meta_time_s =
+      meta_storm_s(config, open_ops, static_cast<double>(shape.nranks())) +
+      meta_storm_s(config, close_ops, static_cast<double>(writers));
+
+  // --- data path -----------------------------------------------------------
+  // Streams: data + index dropping per writer.
+  const double thrash = config.thrash_factor(2 * writers);
+  const double backend = config.backend_streaming_bps() / thrash;
+  const double per_node_drain =
+      std::min(backend / shape.nodes, config.client_nic.bandwidth_bps);
+
+  // Grant headroom per writer and RAM headroom per node (one-time credits).
+  const std::uint64_t grant =
+      config.per_stream_cache_bytes > 0
+          ? std::min<std::uint64_t>(config.per_stream_cache_bytes,
+                                    config.client_cache_bytes)
+          : config.client_cache_bytes;
+  const std::uint64_t node_credit = std::min<std::uint64_t>(
+      config.client_cache_bytes, grant * writers_per_node);
+  const std::uint64_t per_node_total = shape.bytes_per_rank_per_phase *
+                                       shape.ppn * shape.phases;
+
+  // Gap drain credit: between phases the cache drains for the compute time.
+  const double gap_credit =
+      per_node_drain * shape.compute_between_phases_s *
+      std::max<std::uint32_t>(shape.phases - 1, 0);
+
+  const double absorb_time =
+      static_cast<double>(shape.total_bytes()) /
+      (config.cache_absorb_bps * static_cast<double>(shape.nodes));
+
+  const double credited = static_cast<double>(node_credit) + gap_credit;
+  if (static_cast<double>(per_node_total) <= credited) {
+    // Everything is absorbed; the writers never block.
+    p.regime = Regime::kAbsorb;
+    p.io_time_s = absorb_time + p.meta_time_s;
+  } else {
+    p.regime = Regime::kDrain;
+    const double blocked_bytes_per_node =
+        static_cast<double>(per_node_total) - credited;
+    const double drain_time = blocked_bytes_per_node / per_node_drain;
+    p.io_time_s = std::max(absorb_time, drain_time) + p.meta_time_s;
+  }
+  p.bandwidth_mbps =
+      static_cast<double>(shape.total_bytes()) / p.io_time_s / 1e6;
+  return p;
+}
+
+Prediction predict_mpiio(const ClusterConfig& config,
+                         const WorkloadShape& shape) {
+  Prediction p;
+  p.regime = Regime::kSync;
+
+  // Metadata: one create + nranks opens on one file; no storms of note.
+  p.meta_time_s = meta_storm_s(config, shape.nranks() + 2.0,
+                               static_cast<double>(shape.nranks()));
+
+  // Each stripe-sized chunk is a synchronous RMW write (non-sequential at
+  // the array) plus an amortised lock handoff (fresh stripes every phase).
+  const std::uint64_t chunk = config.stripe_bytes;
+  const double chunk_service =
+      config.server_op_cpu_s +
+      config.server_array.service_s(chunk, /*sequential=*/false,
+                                    /*is_write=*/true);
+  const double per_server_bps = static_cast<double>(chunk) / chunk_service;
+  const double backend_bps =
+      per_server_bps * static_cast<double>(config.io_servers);
+
+  // Writers can also be client-limited at small node counts: each writer
+  // chains chunk requests with a lock handoff and its own software cost.
+  const std::uint64_t writers =
+      shape.independent_writers ? shape.nranks() : shape.nodes;
+  const double per_writer_chain_s =
+      config.lock_handoff_s + config.mpiio_op_s + chunk_service;
+  const double per_writer_bps = static_cast<double>(chunk) /
+                                per_writer_chain_s;
+  const double client_side_bps =
+      per_writer_bps * static_cast<double>(writers);
+
+  const double effective = std::min(backend_bps, client_side_bps);
+  p.io_time_s =
+      static_cast<double>(shape.total_bytes()) / effective + p.meta_time_s;
+  p.bandwidth_mbps =
+      static_cast<double>(shape.total_bytes()) / p.io_time_s / 1e6;
+  return p;
+}
+
+double plfs_speedup(const ClusterConfig& config, const WorkloadShape& shape) {
+  const double plfs = predict_plfs(config, shape).bandwidth_mbps;
+  const double ufs = predict_mpiio(config, shape).bandwidth_mbps;
+  return ufs > 0 ? plfs / ufs : 0.0;
+}
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,77 @@
+// Closed-form performance model (the paper's §V-A future work: "we also
+// intend to model the performance of our implementation in order to aid
+// auto-optimisation of parameters, as well as assess the benefits of PLFS
+// on future I/O backplanes without requiring extensive benchmarking. We
+// hope to use our performance model to highlight systems where PLFS may
+// have a negative effect on performance").
+//
+// The model predicts write bandwidth for the PLFS and shared-file MPI-IO
+// routes directly from a ClusterConfig and a workload shape — no simulation.
+// It identifies which regime binds:
+//
+//   kAbsorb — everything fits the write-back grants: bandwidth is set by
+//             cache ingest (and metadata storms at very high rank counts)
+//   kDrain  — caches saturate: bandwidth is the thrash-degraded backend
+//             drain rate (plus the one-time cache credit)
+//   kSync   — shared-file path: synchronous stripe-sized RMW writes under
+//             extent locks
+//
+// Accuracy target (validated in tests/simfs/test_analytic.cpp): within
+// ~40% of the discrete-event simulation across the paper's operating
+// points, with the win/lose classification always agreeing. That is enough
+// to answer "should this machine deploy PLFS for this workload?" without
+// running anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simfs/config.hpp"
+
+namespace ldplfs::simfs {
+
+/// Workload shape: an SPMD job writing in synchronised phases.
+struct WorkloadShape {
+  std::uint32_t nodes = 1;
+  std::uint32_t ppn = 1;
+  std::uint64_t bytes_per_rank_per_phase = 0;
+  std::uint32_t phases = 1;
+  /// Wall-clock compute between consecutive phases (caches drain).
+  double compute_between_phases_s = 0.0;
+  /// Writers: all ranks (independent / per-process droppings) when true,
+  /// one aggregator per node when false.
+  bool independent_writers = true;
+
+  [[nodiscard]] std::uint64_t nranks() const {
+    return static_cast<std::uint64_t>(nodes) * ppn;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_per_rank_per_phase * nranks() * phases;
+  }
+};
+
+enum class Regime { kAbsorb, kDrain, kSync };
+
+const char* regime_name(Regime regime);
+
+struct Prediction {
+  double bandwidth_mbps = 0.0;  // decimal MB/s, paper convention
+  double io_time_s = 0.0;       // open + writes + close
+  double meta_time_s = 0.0;     // metadata share of io_time_s
+  Regime regime = Regime::kSync;
+};
+
+/// PLFS route (ROMIO-PLFS / LDPLFS — the model does not resolve their
+/// µs-level difference).
+Prediction predict_plfs(const ClusterConfig& config,
+                        const WorkloadShape& shape);
+
+/// Plain MPI-IO shared-file route.
+Prediction predict_mpiio(const ClusterConfig& config,
+                         const WorkloadShape& shape);
+
+/// The paper's deployment question, answered analytically: does PLFS help
+/// here? Returns the predicted speedup factor (>1 = PLFS wins).
+double plfs_speedup(const ClusterConfig& config, const WorkloadShape& shape);
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,225 @@
+#include "simfs/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ldplfs::simfs {
+
+ClusterModel::ClusterModel(ClusterConfig config) : config_(std::move(config)) {
+  servers_.reserve(config_.io_servers);
+  for (std::uint32_t s = 0; s < config_.io_servers; ++s) {
+    servers_.push_back(std::make_unique<sim::Station>(
+        engine_, config_.name + ".oss" + std::to_string(s), 1));
+  }
+  if (config_.dedicated_mds) {
+    mds_ = std::make_unique<sim::Station>(engine_, config_.name + ".mds", 1,
+                                          config_.mds_congestion);
+  } else {
+    // GPFS-style: metadata handled by the data servers collectively; no
+    // single choke point, no congestion collapse.
+    mds_ = std::make_unique<sim::Station>(
+        engine_, config_.name + ".meta",
+        std::max<std::uint32_t>(config_.io_servers, 1));
+  }
+  server_last_file_.assign(config_.io_servers, UINT64_MAX);
+  caches_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    caches_.emplace_back(config_.client_cache_bytes, config_.cache_absorb_bps);
+  }
+}
+
+std::uint32_t ClusterModel::server_for(std::uint64_t file,
+                                       std::uint64_t offset) const {
+  // Lustre-style allocation: each file's first object goes to the next
+  // server in round-robin order (first-touch), and its stripes continue
+  // from there. Round-robin (rather than hashing the file id) keeps
+  // placement fair regardless of how callers number their files.
+  auto [it, inserted] = file_base_.try_emplace(
+      file, static_cast<std::uint32_t>(next_base_));
+  if (inserted) next_base_ = (next_base_ + 1) % config_.io_servers;
+  const std::uint64_t stripe = offset / config_.stripe_bytes;
+  return static_cast<std::uint32_t>((it->second + stripe) %
+                                    config_.io_servers);
+}
+
+ClusterModel::LockDomain& ClusterModel::lock_domain(std::uint64_t file,
+                                                    std::uint64_t stripe) {
+  auto key = std::make_pair(file, stripe);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) {
+    LockDomain domain;
+    domain.station = std::make_unique<sim::Station>(
+        engine_, config_.name + ".lock", 1);
+    it = locks_.emplace(key, std::move(domain)).first;
+  }
+  return it->second;
+}
+
+void ClusterModel::reset_locks() { locks_.clear(); }
+
+double ClusterModel::data_service_s(const RankOp& op, std::uint32_t server) {
+  const bool is_write = op.kind == OpKind::kWrite;
+  double array_s = config_.server_array.service_s(
+      op.bytes, op.sequential, is_write);
+  if (is_write) array_s *= phase_thrash_;
+  const double nic_s = config_.server_nic.transfer_s(op.bytes);
+  // Consecutive requests from different streams cost a head/buffer switch.
+  double switch_s = 0.0;
+  if (server_last_file_[server] != op.file) {
+    if (server_last_file_[server] != UINT64_MAX) {
+      switch_s = config_.stream_switch_s;
+    }
+    server_last_file_[server] = op.file;
+  }
+  // Transfer and disk access overlap imperfectly; the slower leg dominates.
+  return config_.server_op_cpu_s + switch_s + std::max(array_s, nic_s);
+}
+
+void ClusterModel::advance_time(double seconds) {
+  engine_.run_until(engine_.now() + seconds);
+}
+
+PhaseResult ClusterModel::run_phase(const std::vector<RankProgram>& programs) {
+  PhaseResult result;
+  result.start_s = engine_.now();
+  if (programs.empty()) return result;
+
+  // --- per-phase drain-rate computation ------------------------------------
+  // Concurrent write streams = distinct (rank, file) pairs doing unlocked
+  // writes; they share the backend for background drain.
+  std::set<std::pair<std::uint32_t, std::uint64_t>> streams;
+  std::set<std::uint32_t> active_nodes;
+  bool random_drain = false;
+  for (const auto& program : programs) {
+    active_nodes.insert(program.node);
+    for (const auto& op : program.ops) {
+      if (op.kind == OpKind::kWrite && !op.locked && !op.synchronous) {
+        streams.insert({program.rank, op.file});
+        random_drain |= op.random_drain;
+      }
+      if (op.kind == OpKind::kWrite && !op.internal) {
+        result.bytes_written += op.bytes;
+      }
+      if (op.kind == OpKind::kRead && !op.internal) {
+        result.bytes_read += op.bytes;
+      }
+      if (op.kind == OpKind::kMetaCreate || op.kind == OpKind::kMetaOpen ||
+          op.kind == OpKind::kMetaStat || op.kind == OpKind::kMetaRemove) {
+        ++result.meta_ops;
+      }
+    }
+  }
+  // The thrash multiplier applies to the whole backend for this phase —
+  // background drain AND synchronous writes share the same spindles.
+  phase_thrash_ = config_.thrash_factor(streams.size());
+  double backend_bps = config_.backend_streaming_bps() / phase_thrash_;
+  if (random_drain) backend_bps /= config_.random_drain_penalty;
+  const double per_node_drain =
+      active_nodes.empty()
+          ? backend_bps
+          : std::min(backend_bps / static_cast<double>(active_nodes.size()),
+                     config_.client_nic.bandwidth_bps);
+  for (std::uint32_t node : active_nodes) {
+    caches_.at(node).set_drain_bps(per_node_drain);
+    caches_.at(node).set_capacity(config_.client_cache_bytes);
+    caches_.at(node).set_per_stream_cap(config_.per_stream_cache_bytes);
+  }
+
+  // --- launch all rank programs --------------------------------------------
+  auto remaining = std::make_shared<std::uint32_t>(
+      static_cast<std::uint32_t>(programs.size()));
+  for (const auto& program : programs) {
+    issue(program, 0, remaining, per_node_drain);
+  }
+  engine_.run();
+  result.duration_s = engine_.now() - result.start_s;
+  return result;
+}
+
+void ClusterModel::issue(const RankProgram& program, std::size_t index,
+                         const std::shared_ptr<std::uint32_t>& remaining,
+                         double drain_share_bps) {
+  if (index >= program.ops.size()) {
+    --*remaining;
+    return;
+  }
+  const RankOp& op = program.ops[index];
+  auto next = [this, &program, index, remaining, drain_share_bps] {
+    issue(program, index + 1, remaining, drain_share_bps);
+  };
+
+  switch (op.kind) {
+    case OpKind::kCompute: {
+      engine_.schedule_after(op.cpu_s, std::move(next));
+      return;
+    }
+    case OpKind::kMetaCreate:
+    case OpKind::kMetaOpen:
+    case OpKind::kMetaStat:
+    case OpKind::kMetaRemove: {
+      // Client-side software cost, then the metadata service.
+      const double service = config_.meta_op_s;
+      engine_.schedule_after(op.cpu_s, [this, service, next = std::move(next)] {
+        mds_->submit(service, std::move(next));
+      });
+      return;
+    }
+    case OpKind::kRead: {
+      const std::uint32_t server = server_for(op.file, op.offset);
+      const double service = data_service_s(op, server);
+      const double client_s =
+          op.cpu_s + config_.client_nic.transfer_s(op.bytes);
+      engine_.schedule_after(
+          client_s, [this, server, service, next = std::move(next)] {
+            servers_[server]->submit(service, std::move(next));
+          });
+      return;
+    }
+    case OpKind::kWrite: {
+      if (op.synchronous && !op.locked) {
+        // Write-through (FUSE-style): client NIC + server round trip, no
+        // cache absorption, no lock.
+        const std::uint32_t server = server_for(op.file, op.offset);
+        const double service = data_service_s(op, server);
+        const double client_s =
+            op.cpu_s + config_.client_nic.transfer_s(op.bytes);
+        engine_.schedule_after(
+            client_s, [this, server, service, next = std::move(next)] {
+              servers_[server]->submit(service, std::move(next));
+            });
+        return;
+      }
+      if (op.locked) {
+        // Shared-file write: extent lock first (handoff if the owner
+        // changed), then a synchronous server write under the lock.
+        const std::uint64_t stripe = op.offset / config_.stripe_bytes;
+        LockDomain& lock = lock_domain(op.file, stripe);
+        const bool handoff = lock.owner != program.rank;
+        lock.owner = program.rank;
+        const double lock_s = handoff ? config_.lock_handoff_s : 1e-7;
+        const std::uint32_t server = server_for(op.file, op.offset);
+        const double service = data_service_s(op, server);
+        const double client_s = op.cpu_s;
+        engine_.schedule_after(client_s, [this, &lock, lock_s, server, service,
+                                          next = std::move(next)]() mutable {
+          lock.station->submit(lock_s, [this, server, service,
+                                        next = std::move(next)] {
+            servers_[server]->submit(service, std::move(next));
+          });
+        });
+        return;
+      }
+      // Unshared write: absorbed by the node's write-back cache; the rank
+      // unblocks at memcpy speed unless the cache is full (then it stalls
+      // at drain speed). Fluid model — no server events.
+      sim::WriteCache& cache = caches_.at(program.node);
+      cached_bytes_total_ += op.bytes;
+      const sim::SimTime unblock =
+          cache.admit(engine_.now() + op.cpu_s, op.bytes, op.file);
+      engine_.schedule_at(unblock, std::move(next));
+      return;
+    }
+  }
+}
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,96 @@
+// Cluster configuration: everything the paper's Table I specifies, plus the
+// behavioural constants (lock handoff, cache sizes, congestion knees) that
+// parameterise the queueing model. Presets for Minerva and Sierra live in
+// presets.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/devices.hpp"
+#include "sim/station.hpp"
+
+namespace ldplfs::simfs {
+
+struct ClusterConfig {
+  std::string name = "cluster";
+
+  // --- compute side ---
+  std::uint32_t nodes = 64;
+  std::uint32_t cores_per_node = 12;
+  sim::LinkModel client_nic{2e-6, 3.2e9};  // QDR IB payload rate
+  double memcpy_bps = 6e9;                 // in-node copy rate
+  /// RAM available for dirty write-back data per node (upper bound).
+  std::uint64_t client_cache_bytes = 512ull << 20;
+  /// Per-write-stream dirty limit (Lustre max_dirty_mb per OSC). 0 = no
+  /// per-stream limit (GPFS pagepool): the node bound applies directly.
+  /// When set, a node's usable cache is min(client_cache_bytes,
+  /// streams_on_node * per_stream_cache_bytes).
+  std::uint64_t per_stream_cache_bytes = 0;
+  /// Rate at which a client can push bytes INTO the write-back cache
+  /// (kernel copy + grant accounting) — well below raw memcpy speed.
+  double cache_absorb_bps = 500e6;
+
+  // --- data path ---
+  std::uint32_t io_servers = 2;
+  sim::RaidArray server_array{};
+  sim::LinkModel server_nic{2e-6, 3.2e9};
+  double server_op_cpu_s = 50e-6;   // per-request server-side CPU
+  /// Cost a server pays when consecutive requests belong to different
+  /// files/streams (head movement + buffer switch). Amortised away by
+  /// large requests, ruinous for many interleaved small ones — this is
+  /// what makes FUSE's 128 KiB round trips slow at scale.
+  double stream_switch_s = 0.0;
+  std::uint64_t stripe_bytes = 1ull << 20;  // shared-file striping unit
+
+  // --- metadata path ---
+  /// Lustre: one dedicated MDS. GPFS: metadata distributed over the I/O
+  /// servers (dedicated_mds = false → the metadata station gets io_servers
+  /// parallel servers and no congestion collapse).
+  bool dedicated_mds = false;
+  double meta_op_s = 300e-6;            // create/open/stat service time
+  sim::CongestionModel mds_congestion{};  // only meaningful for Lustre
+
+  // --- locking (shared-file writes) ---
+  double lock_handoff_s = 1.5e-3;  // extent-lock ping between clients
+
+  /// Drain-rate divisor when a phase's cached writes are in-place rather
+  /// than log-structured (RAID-6 read-modify-write + positioning on the
+  /// flush path). Exercised by the log-structure ablation.
+  double random_drain_penalty = 3.0;
+
+  // --- many-stream thrash (backend efficiency loss with file-per-process
+  //     at scale; the paper's "overhead of managing hundreds or thousands
+  //     of files in parallel") ---
+  double stream_thrash_alpha = 0.0;
+  std::uint32_t streams_knee_per_server = 32;
+
+  // --- software per-op overheads by access route ---
+  double posix_op_s = 2e-6;        // raw syscall path
+  double mpiio_op_s = 8e-6;        // MPI-IO software stack
+  double plfs_api_op_s = 4e-6;     // PLFS container bookkeeping
+  double ldplfs_op_extra_s = 1.5e-6;  // fd-table + cursor lseek dance
+  // FUSE: every byte crosses the kernel twice and a user-space daemon
+  // copies it; ops pay context switches.
+  double fuse_op_extra_s = 12e-6;
+  double fuse_copy_bps = 1.2e9;
+
+  /// Aggregate streaming capability of the data backend, before thrash.
+  [[nodiscard]] double backend_streaming_bps() const {
+    const double per_server = std::min(server_array.streaming_bps(),
+                                       server_nic.bandwidth_bps);
+    return per_server * static_cast<double>(io_servers);
+  }
+
+  /// Thrash multiplier (>= 1) for `streams` concurrent write streams.
+  [[nodiscard]] double thrash_factor(std::uint64_t streams) const {
+    if (stream_thrash_alpha <= 0.0 || io_servers == 0) return 1.0;
+    const double per_server =
+        static_cast<double>(streams) / static_cast<double>(io_servers);
+    const double knee = static_cast<double>(streams_knee_per_server);
+    if (per_server <= knee) return 1.0;
+    return 1.0 + stream_thrash_alpha * (per_server - knee) / knee;
+  }
+};
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,139 @@
+#include "simfs/presets.hpp"
+
+#include "common/units.hpp"
+
+namespace ldplfs::simfs {
+
+using namespace ldplfs::literals;
+
+ClusterConfig minerva() {
+  ClusterConfig c;
+  c.name = "minerva";
+  c.nodes = 258;
+  c.cores_per_node = 12;
+
+  // Client side: effective per-node GPFS client throughput, not the raw IB
+  // rate — single-client NSD traffic on this class of machine peaks well
+  // below link speed.
+  c.client_nic = {5e-6, 120e6};
+  c.memcpy_bps = 6e9;
+  // GPFS pagepool share available for dirty data per node (node-level;
+  // GPFS has no per-stream grant limit).
+  c.client_cache_bytes = 128_MiB;
+  c.per_stream_cache_bytes = 0;
+  c.cache_absorb_bps = 300e6;
+
+  // Two NSD servers. 48 data disks each (96 total, 8+2 RAID-6), 2 TB
+  // 7.2k nearline SAS. Effective sustained rate per server calibrated to
+  // the ~250 MB/s aggregate the machine actually delivers (paper Fig. 3).
+  c.io_servers = 2;
+  c.server_array.disk = {0.004, 7200.0, 60e6};
+  c.server_array.disks = 48;
+  c.server_array.level = sim::RaidLevel::kRaid6;
+  c.server_array.effective_streaming_bps = 128e6;
+  c.server_nic = {5e-6, 3.2e9};
+  c.server_op_cpu_s = 60e-6;
+  // Switching between write streams costs the NSD a partial reposition.
+  c.stream_switch_s = 1.5e-3;
+  c.stripe_bytes = 4_MiB;  // GPFS block size
+
+  // GPFS: metadata distributed across the servers; no MDS choke point.
+  c.dedicated_mds = false;
+  c.meta_op_s = 350e-6;
+
+  // GPFS byte-range token handoff between clients.
+  c.lock_handoff_s = 1.2e-3;
+
+  // Small machine: thrash regime never reached, keep it off.
+  c.stream_thrash_alpha = 0.0;
+
+  c.posix_op_s = 2e-6;
+  c.mpiio_op_s = 8e-6;
+  c.plfs_api_op_s = 4e-6;
+  c.ldplfs_op_extra_s = 1.5e-6;
+  c.fuse_op_extra_s = 60e-6;   // two kernel crossings + daemon wakeup
+  c.fuse_copy_bps = 1.0e9;
+  return c;
+}
+
+ClusterConfig sierra() {
+  ClusterConfig c;
+  c.name = "sierra";
+  c.nodes = 1849;
+  c.cores_per_node = 12;
+
+  // Effective single-client Lustre write throughput on lscratchc (shared
+  // production system) — this is what makes the weak-scaled FLASH-IO curve
+  // rise node-by-node until the backend saturates near 16 nodes.
+  c.client_nic = {3e-6, 350e6};
+  c.memcpy_bps = 6e9;
+  // Lustre grants dirty-page headroom per stream (max_dirty_mb per OSC,
+  // 32 MiB), bounded by node RAM. This is what makes BT class D writes
+  // "marginally too large for cache" at 1,024 cores while class C's 6 MB
+  // per process is fully absorbed (paper §IV).
+  c.client_cache_bytes = 512_MiB;
+  c.per_stream_cache_bytes = 32_MiB;
+  // Client-side ingest rate into the cache (kernel copy + grant RPCs).
+  c.cache_absorb_bps = 500e6;
+
+  // 24 OSS over lscratchc, 3,600 disks, 450 GB 10k SAS, 8+2 RAID-6.
+  // Theoretical 30 GB/s; effective per-OSS rate calibrated to the ~1.7 GB/s
+  // PLFS peak of Fig. 5 (shared production file system).
+  c.io_servers = 24;
+  c.server_array.disk = {0.008, 10000.0, 100e6};
+  c.server_array.disks = 150;
+  c.server_array.level = sim::RaidLevel::kRaid6;
+  c.server_array.effective_streaming_bps = 80e6;
+  c.server_nic = {3e-6, 1.25e9};
+  c.server_op_cpu_s = 40e-6;
+  c.stream_switch_s = 1.0e-3;
+  c.stripe_bytes = 1_MiB;  // Lustre default stripe
+
+  // Dedicated MDS (RAID-10, 15k disks) — the Fig. 5 bottleneck. Congestion
+  // inflates service when thousands of creates pile up.
+  c.dedicated_mds = true;
+  c.meta_op_s = 400e-6;
+  // Mild queue-dependent inflation: thousands of concurrent creates slow
+  // the MDS but do not by themselves collapse it (BT at 1,024 cores ran
+  // fine); the Fig. 5 collapse is the joint effect of this and the
+  // stream-thrashed data path.
+  c.mds_congestion = {0.08, 512};
+
+  c.lock_handoff_s = 1.8e-3;
+
+  // File-per-process at scale: backend efficiency decays once each OSS
+  // juggles more than ~32 concurrent write streams (seek thrash across
+  // thousands of droppings — the paper's §V explanation).
+  c.stream_thrash_alpha = 1.1;
+  c.streams_knee_per_server = 32;
+
+  c.posix_op_s = 2e-6;
+  c.mpiio_op_s = 8e-6;
+  c.plfs_api_op_s = 4e-6;
+  c.ldplfs_op_extra_s = 1.5e-6;
+  c.fuse_op_extra_s = 60e-6;
+  c.fuse_copy_bps = 1.0e9;
+  return c;
+}
+
+PlatformSpec minerva_spec() {
+  return PlatformSpec{
+      "Minerva", "Intel Xeon 5650", "2.66 GHz", 12, 258,
+      "QLogic TrueScale 4X QDR InfiniBand", "GPFS", 2, "~4 GB/s",
+      96, "2 TB Nearline SAS", "7,200 RPM", "6 (8 + 2)",
+      24, "300 GB SAS", "15,000 RPM", "10"};
+}
+
+PlatformSpec sierra_spec() {
+  return PlatformSpec{
+      "Sierra", "Intel Xeon 5660", "2.8 GHz", 12, 1849,
+      "QDR InfiniBand", "Lustre", 24, "~30 GB/s",
+      3600, "450 GB SAS", "10,000 RPM", "6 (8 + 2)",
+      30, "147 GB SAS", "15,000 RPM", "10"};
+}
+
+std::vector<PlatformSpec> all_platform_specs() {
+  return {minerva_spec(), sierra_spec()};
+}
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,84 @@
+#include "simfs/report.hpp"
+
+#include <algorithm>
+
+namespace ldplfs::simfs {
+
+namespace {
+
+ResourceReport::StationLine line_from(const sim::Station& station,
+                                      double horizon) {
+  ResourceReport::StationLine line;
+  line.name = station.name();
+  line.ops = station.stats().ops;
+  line.busy_s = station.stats().busy_time;
+  line.utilisation = station.utilisation(horizon);
+  line.mean_wait_s = station.stats().mean_wait();
+  line.max_queue = station.stats().max_in_system;
+  return line;
+}
+
+}  // namespace
+
+ResourceReport collect_report(const ClusterModel& cluster) {
+  ResourceReport report;
+  report.horizon_s = cluster.now();
+  for (std::uint32_t s = 0; s < cluster.config().io_servers; ++s) {
+    report.data_servers.push_back(
+        line_from(cluster.data_station(s), report.horizon_s));
+  }
+  report.metadata = line_from(cluster.metadata_station(), report.horizon_s);
+  report.cached_bytes = cluster.cached_bytes_total();
+  return report;
+}
+
+void ResourceReport::print(std::FILE* out) const {
+  std::fprintf(out, "resource report (horizon %.2fs)\n", horizon_s);
+  std::fprintf(out, "  %-14s%10s%12s%8s%12s%10s\n", "station", "ops",
+               "busy(s)", "util", "wait(ms)", "maxq");
+  auto print_line = [out](const StationLine& line) {
+    std::fprintf(out, "  %-14s%10llu%12.2f%7.1f%%%12.3f%10u\n",
+                 line.name.c_str(),
+                 static_cast<unsigned long long>(line.ops), line.busy_s,
+                 100.0 * line.utilisation, 1e3 * line.mean_wait_s,
+                 line.max_queue);
+  };
+  // Data servers are symmetric under balanced load; print first, median
+  // and last to keep 24-server reports readable.
+  if (data_servers.size() <= 4) {
+    for (const auto& line : data_servers) print_line(line);
+  } else {
+    print_line(data_servers.front());
+    print_line(data_servers[data_servers.size() / 2]);
+    print_line(data_servers.back());
+    std::fprintf(out, "  (... %zu data servers total)\n",
+                 data_servers.size());
+  }
+  print_line(metadata);
+  if (cached_bytes > 0) {
+    std::fprintf(out,
+                 "  cached-write path: %.2f GB drained in background "
+                 "(%.0f MB/s average; not in station counters)\n",
+                 static_cast<double>(cached_bytes) / 1e9,
+                 horizon_s > 0
+                     ? static_cast<double>(cached_bytes) / horizon_s / 1e6
+                     : 0.0);
+  }
+  if (const auto* hot = bottleneck()) {
+    std::fprintf(out, "  bottleneck: %s (%.1f%% utilised)\n",
+                 hot->name.c_str(), 100.0 * hot->utilisation);
+  }
+}
+
+const ResourceReport::StationLine* ResourceReport::bottleneck() const {
+  const StationLine* hot = nullptr;
+  for (const auto& line : data_servers) {
+    if (hot == nullptr || line.utilisation > hot->utilisation) hot = &line;
+  }
+  if (hot == nullptr || metadata.utilisation > hot->utilisation) {
+    hot = &metadata;
+  }
+  return hot;
+}
+
+}  // namespace ldplfs::simfs

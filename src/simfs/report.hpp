@@ -1,0 +1,46 @@
+// Post-run resource report for the simulator: where did the time go?
+//
+// The paper reasons about its results in terms of which resource saturated
+// (MDS, file servers, client caches); this report makes the model's answer
+// to that question inspectable after any run — the simulator equivalent of
+// the server-side monitoring the authors had on Minerva and Sierra.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simfs/cluster.hpp"
+
+namespace ldplfs::simfs {
+
+struct ResourceReport {
+  struct StationLine {
+    std::string name;
+    std::uint64_t ops = 0;
+    double busy_s = 0.0;
+    double utilisation = 0.0;   // over the run horizon
+    double mean_wait_s = 0.0;
+    std::uint32_t max_queue = 0;
+  };
+
+  double horizon_s = 0.0;
+  std::vector<StationLine> data_servers;
+  StationLine metadata;
+  /// Bytes moved through the fluid cached-write path (never hits the data
+  /// stations; the backend drained it in the background).
+  std::uint64_t cached_bytes = 0;
+
+  /// Render as an aligned table to `out` (stdout by default).
+  void print(std::FILE* out = stdout) const;
+
+  /// The busiest station (metadata included) by utilisation — "what was
+  /// the bottleneck?".
+  [[nodiscard]] const StationLine* bottleneck() const;
+};
+
+/// Snapshot the cluster's resource statistics at its current sim time.
+ResourceReport collect_report(const ClusterModel& cluster);
+
+}  // namespace ldplfs::simfs

@@ -1,0 +1,50 @@
+// ldp-cat — cat(1) over PLFS containers and plain files (paper Table II).
+//
+//   ldp-cat [--mount DIR]... FILE...
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "tools/tool_common.hpp"
+
+namespace {
+int cat_one(const std::string& path) {
+  auto& r = ldplfs::tools::router();
+  const int fd = r.open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    std::perror(("ldp-cat: " + path).c_str());
+    return 1;
+  }
+  std::vector<char> buf(1u << 20);
+  int result = 0;
+  while (true) {
+    const ssize_t n = r.read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      std::perror(("ldp-cat: " + path).c_str());
+      result = 1;
+      break;
+    }
+    if (n == 0) break;
+    if (::write(STDOUT_FILENO, buf.data(), static_cast<size_t>(n)) != n) {
+      std::perror("ldp-cat: stdout");
+      result = 1;
+      break;
+    }
+  }
+  r.close(fd);
+  return result;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  if (parsed.help || parsed.args.empty()) {
+    std::fprintf(stderr, "usage: ldp-cat [--mount DIR]... FILE...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& path : parsed.args) rc |= cat_one(path);
+  return rc;
+}

@@ -1,0 +1,30 @@
+// ldp-cp — cp(1) over PLFS containers and plain files (paper Table II).
+//
+//   ldp-cp [--mount DIR]... SRC DST
+//
+// Either side may be a PLFS container: copying *from* a container extracts
+// the logical file; copying *to* a path under a mount creates a container.
+#include <cstdio>
+
+#include "tools/tool_common.hpp"
+
+namespace {
+void usage() {
+  std::fprintf(stderr, "usage: ldp-cp [--mount DIR]... SRC DST\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  if (parsed.help || parsed.args.size() != 2) {
+    usage();
+    return parsed.help ? 0 : 2;
+  }
+  const long long copied =
+      ldplfs::tools::copy_path(parsed.args[0], parsed.args[1]);
+  if (copied < 0) {
+    std::perror("ldp-cp");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// ldp-flatten — merge all index droppings of a container into one flattened
+// index, cutting the per-open index-merge cost for subsequent readers.
+//
+//   ldp-flatten [--mount DIR]... CONTAINER...
+#include <cstdio>
+
+#include "plfs/plfs.hpp"
+#include "tools/tool_common.hpp"
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  if (parsed.help || parsed.args.empty()) {
+    std::fprintf(stderr, "usage: ldp-flatten [--mount DIR]... CONTAINER...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& path : parsed.args) {
+    auto s = ldplfs::plfs::plfs_flatten(path);
+    if (!s) {
+      std::fprintf(stderr, "ldp-flatten: %s: %s\n", path.c_str(),
+                   s.error().message().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}

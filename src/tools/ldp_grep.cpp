@@ -1,0 +1,96 @@
+// ldp-grep — fixed-string / basic-regex grep over PLFS containers and plain
+// files (paper Table II).
+//
+//   ldp-grep [--mount DIR]... [-c] [-F] PATTERN FILE...
+//
+// -c  print only a count of matching lines
+// -F  treat PATTERN as a fixed string (default: ECMAScript regex)
+#include <fcntl.h>
+
+#include <cstdio>
+#include <regex>
+#include <string>
+
+#include "tools/tool_common.hpp"
+
+namespace {
+
+struct GrepOptions {
+  bool count_only = false;
+  bool fixed = false;
+};
+
+int grep_one(const std::string& path, const std::string& pattern,
+             const std::regex* re, const GrepOptions& opt, bool show_name) {
+  auto& r = ldplfs::tools::router();
+  const int fd = r.open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    std::perror(("ldp-grep: " + path).c_str());
+    return 2;
+  }
+  ldplfs::tools::LineReader reader(fd);
+  std::string line;
+  long long matches = 0;
+  while (reader.next(line)) {
+    const bool hit = opt.fixed ? line.find(pattern) != std::string::npos
+                               : std::regex_search(line, *re);
+    if (!hit) continue;
+    ++matches;
+    if (!opt.count_only) {
+      if (show_name) {
+        std::printf("%s:%s\n", path.c_str(), line.c_str());
+      } else {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+  }
+  r.close(fd);
+  if (opt.count_only) {
+    if (show_name) {
+      std::printf("%s:%lld\n", path.c_str(), matches);
+    } else {
+      std::printf("%lld\n", matches);
+    }
+  }
+  return matches > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  GrepOptions opt;
+  std::vector<std::string> rest;
+  for (const auto& arg : parsed.args) {
+    if (arg == "-c") {
+      opt.count_only = true;
+    } else if (arg == "-F") {
+      opt.fixed = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (parsed.help || rest.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: ldp-grep [--mount DIR]... [-c] [-F] PATTERN FILE...\n");
+    return parsed.help ? 0 : 2;
+  }
+  const std::string& pattern = rest.front();
+  std::regex re;
+  if (!opt.fixed) {
+    try {
+      re = std::regex(pattern);
+    } catch (const std::regex_error&) {
+      std::fprintf(stderr, "ldp-grep: bad pattern '%s'\n", pattern.c_str());
+      return 2;
+    }
+  }
+  const bool show_name = rest.size() > 2;
+  int rc = 1;
+  for (std::size_t i = 1; i < rest.size(); ++i) {
+    const int one = grep_one(rest[i], pattern, &re, opt, show_name);
+    if (one == 0 && rc == 1) rc = 0;
+    if (one == 2) rc = 2;
+  }
+  return rc;
+}

@@ -1,0 +1,97 @@
+// ldp-inspect — dump the internal structure of a PLFS container: droppings,
+// merged index extents, metadata hints, logical size. The debugging window
+// into the layout the paper's Fig. 1 draws.
+//
+//   ldp-inspect [--mount DIR]... [-v] CONTAINER...
+//
+// -v  also print every merged extent (logical → dropping@physical)
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index.hpp"
+#include "plfs/plfs.hpp"
+#include "tools/tool_common.hpp"
+
+namespace {
+
+int inspect_one(const std::string& path, bool verbose) {
+  namespace plfs = ldplfs::plfs;
+  if (!plfs::plfs_is_container(path)) {
+    std::fprintf(stderr, "ldp-inspect: %s: not a PLFS container\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("container: %s\n", path.c_str());
+
+  auto data = plfs::find_data_droppings(path);
+  auto idx = plfs::find_index_droppings(path);
+  if (!data || !idx) {
+    std::fprintf(stderr, "ldp-inspect: %s: cannot list droppings\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("  data droppings:  %zu\n", data.value().size());
+  std::printf("  index droppings: %zu\n", idx.value().size());
+
+  auto hints = plfs::read_meta_hints(path);
+  if (hints) {
+    for (const auto& hint : hints.value()) {
+      std::printf("  meta hint: host=%s pid=%ld eof=%llu bytes=%llu\n",
+                  hint.host.c_str(), static_cast<long>(hint.pid),
+                  static_cast<unsigned long long>(hint.eof),
+                  static_cast<unsigned long long>(hint.bytes));
+    }
+  }
+
+  auto index = plfs::GlobalIndex::build(path);
+  if (!index) {
+    std::fprintf(stderr, "ldp-inspect: %s: index merge failed: %s\n",
+                 path.c_str(), index.error().message().c_str());
+    return 1;
+  }
+  const auto& gi = index.value();
+  std::printf("  logical size: %llu (%s)\n",
+              static_cast<unsigned long long>(gi.size()),
+              ldplfs::format_bytes(gi.size()).c_str());
+  std::printf("  merged extents: %zu\n", gi.extent_map().extent_count());
+
+  std::uint64_t physical = 0;
+  for (const auto& extent : gi.extent_map().extents()) physical += extent.length;
+  std::printf("  live bytes: %llu (%s)\n",
+              static_cast<unsigned long long>(physical),
+              ldplfs::format_bytes(physical).c_str());
+
+  if (verbose) {
+    for (const auto& extent : gi.extent_map().extents()) {
+      std::printf("    [%12llu, %12llu) -> %s @ %llu\n",
+                  static_cast<unsigned long long>(extent.logical),
+                  static_cast<unsigned long long>(extent.logical + extent.length),
+                  gi.data_paths()[extent.dropping].c_str(),
+                  static_cast<unsigned long long>(extent.physical));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (const auto& arg : parsed.args) {
+    if (arg == "-v") {
+      verbose = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (parsed.help || paths.empty()) {
+    std::fprintf(stderr, "usage: ldp-inspect [--mount DIR]... [-v] CONTAINER...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& path : paths) rc |= inspect_one(path, verbose);
+  return rc;
+}

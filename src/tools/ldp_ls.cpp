@@ -1,0 +1,66 @@
+// ldp-ls — list a PLFS backend directory the way applications see it:
+// containers appear as regular files with their logical sizes.
+//
+//   ldp-ls [--mount DIR]... [-l] DIR...
+//
+// -l  long format: type, logical size, dropping count
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "plfs/container.hpp"
+#include "plfs/plfs.hpp"
+#include "tools/tool_common.hpp"
+
+namespace {
+
+int ls_one(const std::string& dir, bool long_format) {
+  auto entries = ldplfs::plfs::plfs_readdir(dir);
+  if (!entries) {
+    std::fprintf(stderr, "ldp-ls: %s: %s\n", dir.c_str(),
+                 entries.error().message().c_str());
+    return 1;
+  }
+  for (const auto& entry : entries.value()) {
+    if (!long_format) {
+      std::printf("%s%s\n", entry.name.c_str(),
+                  entry.is_directory ? "/" : "");
+      continue;
+    }
+    if (entry.is_plfs_file) {
+      const std::string full = dir + "/" + entry.name;
+      auto attr = ldplfs::plfs::plfs_getattr(full);
+      auto droppings = ldplfs::plfs::find_data_droppings(full);
+      std::printf("-plfs  %12llu  %3zu droppings  %s\n",
+                  attr ? static_cast<unsigned long long>(attr.value().size)
+                       : 0ULL,
+                  droppings ? droppings.value().size() : 0, entry.name.c_str());
+    } else if (entry.is_directory) {
+      std::printf("d      %12s  %14s %s/\n", "-", "", entry.name.c_str());
+    } else {
+      std::printf("-      %12s  %14s %s\n", "-", "", entry.name.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  bool long_format = false;
+  std::vector<std::string> dirs;
+  for (const auto& arg : parsed.args) {
+    if (arg == "-l") {
+      long_format = true;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (parsed.help || dirs.empty()) {
+    std::fprintf(stderr, "usage: ldp-ls [--mount DIR]... [-l] DIR...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& dir : dirs) rc |= ls_one(dir, long_format);
+  return rc;
+}

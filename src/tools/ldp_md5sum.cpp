@@ -1,0 +1,50 @@
+// ldp-md5sum — md5sum(1) over PLFS containers and plain files
+// (paper Table II). Prints the same "digest  path" format as coreutils,
+// so outputs are directly diffable against the system tool.
+//
+//   ldp-md5sum [--mount DIR]... FILE...
+#include <fcntl.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/md5.hpp"
+#include "tools/tool_common.hpp"
+
+namespace {
+int sum_one(const std::string& path) {
+  auto& r = ldplfs::tools::router();
+  const int fd = r.open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    std::perror(("ldp-md5sum: " + path).c_str());
+    return 1;
+  }
+  ldplfs::Md5 hasher;
+  std::vector<char> buf(1u << 20);
+  while (true) {
+    const ssize_t n = r.read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      std::perror(("ldp-md5sum: " + path).c_str());
+      r.close(fd);
+      return 1;
+    }
+    if (n == 0) break;
+    hasher.update(buf.data(), static_cast<std::size_t>(n));
+  }
+  r.close(fd);
+  std::printf("%s  %s\n", ldplfs::Md5::to_hex(hasher.finish()).c_str(),
+              path.c_str());
+  return 0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  if (parsed.help || parsed.args.empty()) {
+    std::fprintf(stderr, "usage: ldp-md5sum [--mount DIR]... FILE...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& path : parsed.args) rc |= sum_one(path);
+  return rc;
+}

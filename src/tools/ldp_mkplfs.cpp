@@ -1,0 +1,30 @@
+// ldp-mkplfs — prepare a directory as a PLFS backend/mount point and print
+// the environment needed to use it with the preload shim.
+//
+//   ldp-mkplfs DIR...
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "posix/fd.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ldp-mkplfs DIR...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto s = ldplfs::posix::make_dirs(argv[i]);
+    if (!s) {
+      std::fprintf(stderr, "ldp-mkplfs: %s: %s\n", argv[i],
+                   s.error().message().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("PLFS backend ready: %s\n", argv[i]);
+    std::printf("  export LDPLFS_MOUNTS=%s\n", argv[i]);
+    std::printf("  LD_PRELOAD=<build>/src/preload/libldplfs.so <app>\n");
+  }
+  return rc;
+}

@@ -1,0 +1,35 @@
+// ldp-recover — repair containers after writer crashes: clears stale
+// openhosts registrations and rebuilds the metadata size hint from the
+// index droppings (the crash-proof source of truth).
+//
+//   ldp-recover [--mount DIR]... CONTAINER...
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "plfs/recovery.hpp"
+#include "tools/tool_common.hpp"
+
+int main(int argc, char** argv) {
+  auto parsed = ldplfs::tools::parse_common(argc, argv);
+  if (parsed.help || parsed.args.empty()) {
+    std::fprintf(stderr, "usage: ldp-recover [--mount DIR]... CONTAINER...\n");
+    return parsed.help ? 0 : 2;
+  }
+  int rc = 0;
+  for (const auto& path : parsed.args) {
+    auto stats = ldplfs::plfs::plfs_recover(path);
+    if (!stats) {
+      std::fprintf(stderr, "ldp-recover: %s: %s\n", path.c_str(),
+                   stats.error().message().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%s: %llu stale registration(s) cleared, size %s%s\n",
+                path.c_str(),
+                static_cast<unsigned long long>(
+                    stats.value().stale_openhosts_removed),
+                ldplfs::format_bytes(stats.value().logical_size).c_str(),
+                stats.value().index_readable ? "" : " (index UNREADABLE)");
+  }
+  return rc;
+}

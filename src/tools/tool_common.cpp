@@ -1,0 +1,109 @@
+#include "tools/tool_common.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace ldplfs::tools {
+
+core::Router& router() {
+  static core::Router& instance = []() -> core::Router& {
+    core::MountTable::instance().load_from_env();
+    return core::Router::instance();
+  }();
+  return instance;
+}
+
+ToolArgs parse_common(int argc, char** argv) {
+  ToolArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--mount" || arg == "-m") && i + 1 < argc) {
+      core::MountTable::instance().add(argv[++i]);
+    } else if (arg.rfind("--mount=", 0) == 0) {
+      core::MountTable::instance().add(arg.substr(8));
+    } else if (arg == "--help" || arg == "-h") {
+      out.help = true;
+    } else {
+      out.args.push_back(arg);
+    }
+  }
+  router();  // force env mounts to load too
+  return out;
+}
+
+long long copy_path(const std::string& src, const std::string& dst,
+                    std::size_t block_size) {
+  auto& r = router();
+  const int in = r.open(src.c_str(), O_RDONLY, 0);
+  if (in < 0) return -1;
+  const int out = r.open(dst.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out < 0) {
+    const int saved = errno;
+    r.close(in);
+    errno = saved;
+    return -1;
+  }
+
+  std::vector<char> buf(block_size);
+  long long total = 0;
+  long long result = 0;
+  while (true) {
+    const ssize_t n = r.read(in, buf.data(), buf.size());
+    if (n < 0) {
+      result = -1;
+      break;
+    }
+    if (n == 0) {
+      result = total;
+      break;
+    }
+    ssize_t written = 0;
+    while (written < n) {
+      const ssize_t w = r.write(out, buf.data() + written,
+                                static_cast<std::size_t>(n - written));
+      if (w < 0) {
+        result = -1;
+        break;
+      }
+      written += w;
+    }
+    if (result < 0) break;
+    total += n;
+  }
+  const int saved = errno;
+  r.close(in);
+  if (r.close(out) != 0 && result >= 0) result = -1;
+  if (result < 0) errno = saved;
+  return result;
+}
+
+bool LineReader::next(std::string& line) {
+  while (true) {
+    const std::size_t pos = pending_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(pending_, 0, pos);
+      pending_.erase(0, pos + 1);
+      return true;
+    }
+    if (eof_) {
+      if (pending_.empty()) return false;
+      line = std::move(pending_);
+      pending_.clear();
+      return true;
+    }
+    char buf[1 << 16];
+    const ssize_t n = router().read(fd_, buf, sizeof buf);
+    if (n <= 0) {
+      eof_ = true;
+      continue;
+    }
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace ldplfs::tools

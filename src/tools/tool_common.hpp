@@ -1,0 +1,52 @@
+// Shared scaffolding for the ldp-* command-line tools.
+//
+// Every tool routes its I/O through core::Router, so each works on PLFS
+// containers and plain files alike — the LDPLFS answer (paper §III-D) to
+// "how do I cat/grep/md5sum a container without a FUSE mount?".
+//
+// Mount points come from LDPLFS_MOUNTS / PLFS_MOUNTS / LDPLFS_RC plus any
+// number of leading "--mount <dir>" flags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/router.hpp"
+
+namespace ldplfs::tools {
+
+/// Parsed common command line: mount flags consumed, rest in `args`.
+struct ToolArgs {
+  std::vector<std::string> args;
+  bool help = false;
+};
+
+/// Consume --mount/-m flags (registering them), --help/-h, and collect the
+/// remaining positional arguments.
+ToolArgs parse_common(int argc, char** argv);
+
+/// The router every tool uses (libc + global mount table).
+core::Router& router();
+
+/// Copy the whole of `src` to `dst` through the router (either side may be
+/// a container). Returns bytes copied or -1 with errno set; prints nothing.
+long long copy_path(const std::string& src, const std::string& dst,
+                    std::size_t block_size = 4u << 20);
+
+/// Line-oriented reader over a router fd for grep-style tools; refills an
+/// internal buffer with read(2) and hands out one line at a time.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False at EOF. The returned line excludes the trailing newline.
+  bool next(std::string& line);
+
+ private:
+  int fd_;
+  std::string pending_;
+  bool eof_ = false;
+};
+
+}  // namespace ldplfs::tools

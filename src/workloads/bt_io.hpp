@@ -1,0 +1,44 @@
+// NAS BT I/O pattern (paper §IV, Fig. 4): strong-scaled solution dumps.
+//
+// Class C writes 6.4 GB and class D 136 GB over 20 collective write calls
+// (every other timestep of 40), so the per-rank write shrinks as cores
+// grow — 300 KB/proc/call for C at 1024 cores, ~7 MB for D at 1024 and
+// <2 MB at 4096, the numbers the paper uses to explain the write-caching
+// behaviour. Between dumps the solver computes, which is when client
+// caches drain.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/topology.hpp"
+#include "mpiio/driver.hpp"
+#include "simfs/config.hpp"
+
+namespace ldplfs::workloads {
+
+struct BtClass {
+  const char* name;
+  std::uint64_t total_bytes;       // whole-run output volume
+  std::uint64_t write_calls;       // collective writes per run
+  double compute_core_seconds;     // solver work between consecutive dumps,
+                                   // summed over the run, in core-seconds
+};
+
+/// Problem class C: 162³ grid → 6.4 GB output.
+BtClass bt_class_c();
+/// Problem class D: 408³ grid → 136 GB output.
+BtClass bt_class_d();
+
+struct BtResult {
+  double write_mbps = 0.0;
+  mpiio::IoStats stats;
+};
+
+/// Run one BT job (write side; BT-IO benchmarks report write bandwidth).
+BtResult run_bt(const simfs::ClusterConfig& config, const mpi::Topology& topo,
+                mpiio::Route route, const BtClass& problem);
+
+/// Map a paper-style core count onto nodes × ppn for a 12-core machine.
+mpi::Topology bt_topology(std::uint32_t cores, std::uint32_t cores_per_node);
+
+}  // namespace ldplfs::workloads

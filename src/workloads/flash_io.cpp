@@ -1,0 +1,32 @@
+#include "workloads/flash_io.hpp"
+
+namespace ldplfs::workloads {
+
+FlashIoResult run_flash_io(const simfs::ClusterConfig& config,
+                           const mpi::Topology& topo, mpiio::Route route,
+                           const FlashIoParams& params) {
+  simfs::ClusterModel cluster(config);
+  mpiio::DriverOptions options;
+  options.route = route;
+  // FLASH-IO's HDF5 path issues independent writes (one contiguous slab
+  // per rank per variable); collective buffering does not kick in.
+  options.collective_buffering = false;
+  mpiio::IoDriver driver(cluster, topo, options);
+
+  const std::uint64_t per_var =
+      params.per_rank_bytes / params.num_variables;
+
+  driver.open(/*create=*/true);
+  for (std::uint32_t var = 0; var < params.num_variables; ++var) {
+    if (var != 0) driver.compute(params.compute_between_vars_s);
+    driver.write_independent(per_var, var);
+  }
+  driver.close();
+
+  FlashIoResult result;
+  result.stats = driver.stats();
+  result.write_mbps = driver.stats().write_bandwidth_mbps();
+  return result;
+}
+
+}  // namespace ldplfs::workloads

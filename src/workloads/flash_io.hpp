@@ -1,0 +1,36 @@
+// FLASH-IO checkpoint pattern (paper §IV, Fig. 5): weak-scaled HDF5-style
+// checkpoint. Each process owns 80 blocks of 24³ cells; the checkpoint
+// writes 24 unknowns dataset-by-dataset, ~205 MB per process total,
+// through independent (per-rank) HDF5 writes plus header/attribute
+// metadata traffic. Output grows linearly with process count — this is the
+// workload whose PLFS run collapses at scale on Lustre.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/topology.hpp"
+#include "mpiio/driver.hpp"
+#include "simfs/config.hpp"
+
+namespace ldplfs::workloads {
+
+struct FlashIoParams {
+  std::uint64_t per_rank_bytes = 205ull << 20;  // ~205 MB checkpoint share
+  std::uint32_t num_variables = 24;             // unknowns written in turn
+  double header_metadata_ops = 10;              // HDF5 header/attr writes
+  /// Buffer-packing time between dataset writes (FLASH-IO stages each
+  /// unknown into a contiguous buffer before H5Dwrite — small, so caches
+  /// get almost no drain window inside a checkpoint).
+  double compute_between_vars_s = 0.02;
+};
+
+struct FlashIoResult {
+  double write_mbps = 0.0;
+  mpiio::IoStats stats;
+};
+
+FlashIoResult run_flash_io(const simfs::ClusterConfig& config,
+                           const mpi::Topology& topo, mpiio::Route route,
+                           const FlashIoParams& params = {});
+
+}  // namespace ldplfs::workloads

@@ -1,0 +1,49 @@
+#include "workloads/mpiio_test.hpp"
+
+namespace ldplfs::workloads {
+
+MpiioTestResult run_mpiio_test(const simfs::ClusterConfig& config,
+                               const mpi::Topology& topo, mpiio::Route route,
+                               const MpiioTestParams& params) {
+  MpiioTestResult result;
+  const std::uint64_t phases =
+      (params.per_rank_bytes + params.block_bytes - 1) / params.block_bytes;
+
+  simfs::ClusterModel cluster(config);
+  mpiio::DriverOptions options;
+  options.route = route;
+
+  // --- write job ---
+  std::uint64_t writers;
+  {
+    mpiio::IoDriver driver(cluster, topo, options);
+    driver.open(/*create=*/true);
+    for (std::uint64_t phase = 0; phase < phases; ++phase) {
+      driver.write_collective(params.block_bytes, phase);
+    }
+    driver.close();
+    result.write_stats = driver.stats();
+    result.write_mbps = driver.stats().write_bandwidth_mbps();
+    writers = options.collective_buffering ? topo.nodes : topo.nranks();
+  }
+
+  // Let the machine settle between the write and read runs (cache drain),
+  // as consecutive benchmark jobs do in reality.
+  cluster.advance_time(120.0);
+
+  // --- read job ---
+  {
+    mpiio::IoDriver driver(cluster, topo, options);
+    driver.set_prior_writers(writers);
+    driver.open(/*create=*/false);
+    for (std::uint64_t phase = 0; phase < phases; ++phase) {
+      driver.read_collective(params.block_bytes, phase);
+    }
+    driver.close();
+    result.read_stats = driver.stats();
+    result.read_mbps = driver.stats().read_bandwidth_mbps();
+  }
+  return result;
+}
+
+}  // namespace ldplfs::workloads

@@ -1,0 +1,34 @@
+// LANL MPI-IO Test, as configured in the paper's §III-C: every process
+// writes `per_rank_bytes` (1 GiB) in `block_bytes` (8 MiB) blocks using
+// blocking collective MPI-IO with collective buffering on, then a separate
+// run reads the data back on the same layout. Produces Fig. 3's six panels
+// when swept over {1,2,4} ppn × {1..64} nodes × four routes.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/topology.hpp"
+#include "mpiio/driver.hpp"
+#include "simfs/config.hpp"
+
+namespace ldplfs::workloads {
+
+struct MpiioTestParams {
+  std::uint64_t per_rank_bytes = 1ull << 30;  // 1 GiB
+  std::uint64_t block_bytes = 8ull << 20;     // 8 MiB
+};
+
+struct MpiioTestResult {
+  double write_mbps = 0.0;
+  double read_mbps = 0.0;
+  mpiio::IoStats write_stats;
+  mpiio::IoStats read_stats;
+};
+
+/// Run a full write job then a full read job on a fresh cluster instance.
+MpiioTestResult run_mpiio_test(const simfs::ClusterConfig& config,
+                               const mpi::Topology& topo,
+                               mpiio::Route route,
+                               const MpiioTestParams& params = {});
+
+}  // namespace ldplfs::workloads

@@ -1,0 +1,73 @@
+#include "common/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ldplfs {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+struct Rfc1321Case {
+  const char* input;
+  const char* digest;
+};
+
+class Md5Rfc1321Test : public ::testing::TestWithParam<Rfc1321Case> {};
+
+TEST_P(Md5Rfc1321Test, MatchesReferenceVectors) {
+  const auto& c = GetParam();
+  EXPECT_EQ(Md5::hex_digest(std::string(c.input)), c.digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, Md5Rfc1321Test,
+    ::testing::Values(
+        Rfc1321Case{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        Rfc1321Case{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        Rfc1321Case{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        Rfc1321Case{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        Rfc1321Case{"abcdefghijklmnopqrstuvwxyz",
+                    "c3fcd3d76192e4007dfb496cca67e13b"},
+        Rfc1321Case{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123"
+                    "456789",
+                    "d174ab98d277d9f5a5611c2c9f419d9f"},
+        Rfc1321Case{"1234567890123456789012345678901234567890123456789012345"
+                    "6789012345678901234567890",
+                    "57edf4a22be3c955ac49da2e2107b67a"}));
+
+TEST(Md5StreamingTest, ChunkedUpdatesMatchOneShot) {
+  // Hash the same data in different chunkings; digests must agree.
+  Rng rng(7);
+  std::string data(100000, '\0');
+  for (auto& c : data) c = static_cast<char>('A' + rng.below(26));
+  const std::string oneshot = Md5::hex_digest(data);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{63},
+                            std::size_t{64}, std::size_t{65},
+                            std::size_t{4096}, std::size_t{99999}}) {
+    Md5 hasher;
+    for (std::size_t i = 0; i < data.size(); i += chunk) {
+      hasher.update(data.data() + i, std::min(chunk, data.size() - i));
+    }
+    EXPECT_EQ(Md5::to_hex(hasher.finish()), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Md5StreamingTest, PaddingBoundaries) {
+  // Lengths around the 56/64-byte padding edge are the classic bug nest.
+  for (std::size_t len : {std::size_t{55}, std::size_t{56}, std::size_t{57},
+                          std::size_t{63}, std::size_t{64}, std::size_t{65},
+                          std::size_t{119}, std::size_t{120}}) {
+    const std::string data(len, 'x');
+    Md5 a;
+    a.update(data.data(), data.size());
+    Md5 b;
+    for (char c : data) b.update(&c, 1);
+    EXPECT_EQ(Md5::to_hex(a.finish()), Md5::to_hex(b.finish()))
+        << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace ldplfs

@@ -1,0 +1,100 @@
+#include "common/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldplfs {
+namespace {
+
+struct NormCase {
+  const char* input;
+  const char* cwd;
+  const char* expected;
+};
+
+class NormalizePathTest : public ::testing::TestWithParam<NormCase> {};
+
+TEST_P(NormalizePathTest, Normalizes) {
+  const auto& c = GetParam();
+  EXPECT_EQ(normalize_path(c.input, c.cwd), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NormalizePathTest,
+    ::testing::Values(
+        NormCase{"/a/b/c", "", "/a/b/c"},
+        NormCase{"/a//b///c", "", "/a/b/c"},
+        NormCase{"/a/./b/.", "", "/a/b"},
+        NormCase{"/a/b/../c", "", "/a/c"},
+        NormCase{"/a/b/c/../../d", "", "/a/d"},
+        NormCase{"/../x", "", "/x"},
+        NormCase{"/..", "", "/"},
+        NormCase{"/", "", "/"},
+        NormCase{"rel/path", "/cwd", "/cwd/rel/path"},
+        NormCase{"./rel", "/cwd", "/cwd/rel"},
+        NormCase{"../up", "/cwd/sub", "/cwd/up"},
+        NormCase{".", "/cwd", "/cwd"},
+        NormCase{"a/../..", "/x/y", "/x"},
+        NormCase{"trailing/", "/c", "/c/trailing"},
+        NormCase{"rel", "", "rel"},
+        NormCase{"a/./b/../c", "", "a/c"},
+        NormCase{"../../z", "", "../../z"}));
+
+TEST(PathUnderTest, ExactMatch) {
+  EXPECT_TRUE(path_under("/mnt/plfs", "/mnt/plfs"));
+}
+
+TEST(PathUnderTest, Child) {
+  EXPECT_TRUE(path_under("/mnt/plfs/a", "/mnt/plfs"));
+  EXPECT_TRUE(path_under("/mnt/plfs/a/b/c", "/mnt/plfs"));
+}
+
+TEST(PathUnderTest, SiblingPrefixIsNotUnder) {
+  EXPECT_FALSE(path_under("/mnt/plfsx", "/mnt/plfs"));
+  EXPECT_FALSE(path_under("/mnt/plfs2/a", "/mnt/plfs"));
+}
+
+TEST(PathUnderTest, ParentIsNotUnder) {
+  EXPECT_FALSE(path_under("/mnt", "/mnt/plfs"));
+  EXPECT_FALSE(path_under("/", "/mnt/plfs"));
+}
+
+TEST(PathUnderTest, TrailingSlashOnRoot) {
+  EXPECT_TRUE(path_under("/mnt/plfs/a", "/mnt/plfs/"));
+  EXPECT_TRUE(path_under("/mnt/plfs", "/mnt/plfs/"));
+}
+
+TEST(PathUnderTest, EmptyRootNeverMatches) {
+  EXPECT_FALSE(path_under("/a", ""));
+}
+
+TEST(PathSuffixTest, Basic) {
+  EXPECT_EQ(path_suffix("/mnt/plfs/a/b", "/mnt/plfs"), "a/b");
+  EXPECT_EQ(path_suffix("/mnt/plfs", "/mnt/plfs"), "");
+  EXPECT_EQ(path_suffix("/mnt/plfs/x", "/mnt/plfs/"), "x");
+}
+
+TEST(PathJoinTest, Cases) {
+  EXPECT_EQ(path_join("/a", "b"), "/a/b");
+  EXPECT_EQ(path_join("/a/", "b"), "/a/b");
+  EXPECT_EQ(path_join("/a", "/b"), "/a/b");
+  EXPECT_EQ(path_join("/", "b"), "/b");
+  EXPECT_EQ(path_join("", "b"), "b");
+  EXPECT_EQ(path_join("/a", ""), "/a");
+}
+
+TEST(PathBasenameTest, Cases) {
+  EXPECT_EQ(path_basename("/a/b/c"), "c");
+  EXPECT_EQ(path_basename("/a/b/"), "b");
+  EXPECT_EQ(path_basename("c"), "c");
+  EXPECT_EQ(path_basename("/"), "/");
+}
+
+TEST(PathDirnameTest, Cases) {
+  EXPECT_EQ(path_dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(path_dirname("/a"), "/");
+  EXPECT_EQ(path_dirname("c"), ".");
+  EXPECT_EQ(path_dirname("/a/b/"), "/a");
+}
+
+}  // namespace
+}  // namespace ldplfs

@@ -1,0 +1,55 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldplfs {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(split("a:b:c", ':'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a::c", ':'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(":", ':'), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+}
+
+TEST(SplitNonemptyTest, DropsEmptyFields) {
+  EXPECT_EQ(split_nonempty("a::c:", ':'),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(split_nonempty("::::", ':').empty());
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ":"), "x:y:z");
+  EXPECT_EQ(split(join(parts, ":"), ':'), parts);
+  EXPECT_EQ(join({}, ":"), "");
+  EXPECT_EQ(join({"solo"}, ":"), "solo");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("dropping.data.x", "dropping.data."));
+  EXPECT_FALSE(starts_with("drop", "dropping"));
+  EXPECT_TRUE(ends_with("file.idx", ".idx"));
+  EXPECT_FALSE(ends_with("idx", "file.idx"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ParseLlTest, ValidAndInvalid) {
+  EXPECT_EQ(parse_ll("0"), 0);
+  EXPECT_EQ(parse_ll("12345"), 12345);
+  EXPECT_EQ(parse_ll(" 42 "), 42);
+  EXPECT_EQ(parse_ll(""), -1);
+  EXPECT_EQ(parse_ll("-5"), -1);
+  EXPECT_EQ(parse_ll("12a"), -1);
+}
+
+}  // namespace
+}  // namespace ldplfs

@@ -1,0 +1,50 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldplfs {
+namespace {
+
+using namespace ldplfs::literals;
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(8_KiB, 8192u);
+  EXPECT_EQ(8_MiB, 8u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+TEST(FormatBytesTest, Rendering) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(format_bytes(8_MiB), "8.0 MiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3_GiB + 512_MiB), "3.5 GiB");
+}
+
+TEST(ParseBytesTest, SuffixesAndPlainNumbers) {
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_bytes("8M"), 8_MiB);
+  EXPECT_EQ(parse_bytes("8MiB"), 8_MiB);
+  EXPECT_EQ(parse_bytes("1G"), 1_GiB);
+  EXPECT_EQ(parse_bytes("512K"), 512_KiB);
+  EXPECT_EQ(parse_bytes("1.5M"), 1_MiB + 512_KiB);
+  EXPECT_EQ(parse_bytes("2T"), 2 * TiB);
+  EXPECT_EQ(parse_bytes("100B"), 100u);
+}
+
+TEST(ParseBytesTest, Malformed) {
+  EXPECT_EQ(parse_bytes(""), 0u);
+  EXPECT_EQ(parse_bytes("abc"), 0u);
+  EXPECT_EQ(parse_bytes("-5M"), 0u);
+  EXPECT_EQ(parse_bytes("5X"), 0u);
+}
+
+TEST(ParseFormatRoundTrip, PowerOfTwoSizes) {
+  for (std::uint64_t v : {1_KiB, 8_MiB, 1_GiB, 64_GiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace ldplfs

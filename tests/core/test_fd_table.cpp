@@ -1,0 +1,96 @@
+#include "core/fd_table.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "plfs/plfs.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::core {
+namespace {
+
+std::shared_ptr<OpenFile> make_open_file(const std::string& path) {
+  auto handle = plfs::plfs_open(path, O_CREAT | O_RDWR, 42);
+  EXPECT_TRUE(handle.ok());
+  return std::make_shared<OpenFile>(std::move(handle).value(),
+                                    O_CREAT | O_RDWR, 42);
+}
+
+TEST(FdTableTest, InsertLookupErase) {
+  ldplfs::testing::TempDir tmp;
+  FdTable table;
+  auto of = make_open_file(tmp.sub("f"));
+  table.insert(10, of);
+  EXPECT_TRUE(table.contains(10));
+  EXPECT_EQ(table.lookup(10), of);
+  EXPECT_EQ(table.size(), 1u);
+  auto removed = table.erase(10);
+  EXPECT_EQ(removed, of);
+  EXPECT_FALSE(table.contains(10));
+  EXPECT_EQ(table.lookup(10), nullptr);
+}
+
+TEST(FdTableTest, EraseMissingReturnsNull) {
+  FdTable table;
+  EXPECT_EQ(table.erase(99), nullptr);
+}
+
+TEST(FdTableTest, AliasSharesEntry) {
+  ldplfs::testing::TempDir tmp;
+  FdTable table;
+  auto of = make_open_file(tmp.sub("f"));
+  table.insert(10, of);
+  table.alias(20, of);
+  EXPECT_EQ(table.lookup(10), table.lookup(20));
+  EXPECT_EQ(table.size(), 2u);
+  table.erase(10);
+  EXPECT_TRUE(table.contains(20));  // alias survives
+}
+
+TEST(FdTableTest, InsertOverwritesExisting) {
+  ldplfs::testing::TempDir tmp;
+  FdTable table;
+  auto a = make_open_file(tmp.sub("a"));
+  auto b = make_open_file(tmp.sub("b"));
+  table.insert(5, a);
+  table.insert(5, b);
+  EXPECT_EQ(table.lookup(5), b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FdTableTest, ClearEmptiesTable) {
+  ldplfs::testing::TempDir tmp;
+  FdTable table;
+  table.insert(1, make_open_file(tmp.sub("a")));
+  table.insert(2, make_open_file(tmp.sub("b")));
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(OpenFileTest, CloseStreamIsIdempotent) {
+  ldplfs::testing::TempDir tmp;
+  auto of = make_open_file(tmp.sub("f"));
+  EXPECT_TRUE(of->close_stream().ok());
+  EXPECT_TRUE(of->close_stream().ok());
+}
+
+TEST(OpenFileTest, DestructorDropsOpenhostRegistration) {
+  ldplfs::testing::TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto of = make_open_file(path);
+    const std::string data = "x";
+    ASSERT_TRUE(of->handle()
+                    .write(ldplfs::testing::as_bytes(data), 0, of->pid())
+                    .ok());
+    auto open_hosts = plfs::read_open_hosts(path);
+    ASSERT_TRUE(open_hosts.ok());
+    EXPECT_EQ(open_hosts.value().size(), 1u);
+  }
+  auto open_hosts = plfs::read_open_hosts(path);
+  ASSERT_TRUE(open_hosts.ok());
+  EXPECT_TRUE(open_hosts.value().empty());
+}
+
+}  // namespace
+}  // namespace ldplfs::core

@@ -1,0 +1,90 @@
+#include "core/mounts.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::core {
+namespace {
+
+TEST(MountTableTest, AddMatchRemove) {
+  MountTable table;
+  EXPECT_TRUE(table.empty());
+  table.add("/mnt/plfs");
+  EXPECT_FALSE(table.empty());
+  EXPECT_EQ(table.match("/mnt/plfs/file"), "/mnt/plfs");
+  EXPECT_EQ(table.match("/mnt/plfs"), "/mnt/plfs");
+  EXPECT_FALSE(table.match("/mnt/plfsx").has_value());
+  EXPECT_FALSE(table.match("/other").has_value());
+  EXPECT_TRUE(table.remove("/mnt/plfs"));
+  EXPECT_FALSE(table.remove("/mnt/plfs"));
+  EXPECT_FALSE(table.match("/mnt/plfs/file").has_value());
+}
+
+TEST(MountTableTest, DuplicateAddIgnored) {
+  MountTable table;
+  table.add("/a");
+  table.add("/a");
+  table.add("/a/");
+  EXPECT_EQ(table.mounts().size(), 1u);
+}
+
+TEST(MountTableTest, NestedMountsInnermostWins) {
+  MountTable table;
+  table.add("/outer");
+  table.add("/outer/inner");
+  EXPECT_EQ(table.match("/outer/inner/f"), "/outer/inner");
+  EXPECT_EQ(table.match("/outer/f"), "/outer");
+}
+
+TEST(MountTableTest, NormalisesOnAdd) {
+  MountTable table;
+  table.add("/mnt//plfs/./x/..");
+  EXPECT_EQ(table.match("/mnt/plfs/f"), "/mnt/plfs");
+}
+
+TEST(MountTableTest, LoadFromEnvColonList) {
+  ::setenv("LDPLFS_MOUNTS", "/env/a:/env/b", 1);
+  ::unsetenv("PLFS_MOUNTS");
+  ::unsetenv("LDPLFS_RC");
+  MountTable table;
+  EXPECT_EQ(table.load_from_env(), 2);
+  EXPECT_TRUE(table.match("/env/a/x").has_value());
+  EXPECT_TRUE(table.match("/env/b/x").has_value());
+  ::unsetenv("LDPLFS_MOUNTS");
+}
+
+TEST(MountTableTest, LoadFromPlfsMountsAlias) {
+  ::unsetenv("LDPLFS_MOUNTS");
+  ::setenv("PLFS_MOUNTS", "/alias/mount", 1);
+  MountTable table;
+  EXPECT_EQ(table.load_from_env(), 1);
+  EXPECT_TRUE(table.match("/alias/mount/f").has_value());
+  ::unsetenv("PLFS_MOUNTS");
+}
+
+TEST(MountTableTest, RcFileParsing) {
+  ldplfs::testing::TempDir tmp;
+  const std::string rc = tmp.sub("plfsrc");
+  ASSERT_TRUE(posix::write_file(rc,
+                                "# comment\n"
+                                "mount /rc/one\n"
+                                "\n"
+                                "garbage line here\n"
+                                "mount /rc/two\n")
+                  .ok());
+  MountTable table;
+  EXPECT_EQ(table.load_rc_file(rc), 2);
+  EXPECT_TRUE(table.match("/rc/one/f").has_value());
+  EXPECT_TRUE(table.match("/rc/two/f").has_value());
+}
+
+TEST(MountTableTest, RcFileMissingIsZero) {
+  MountTable table;
+  EXPECT_EQ(table.load_rc_file("/definitely/not/here"), 0);
+}
+
+}  // namespace
+}  // namespace ldplfs::core

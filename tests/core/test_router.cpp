@@ -1,0 +1,293 @@
+// In-process tests of the LDPLFS router: POSIX calls against a temp mount,
+// verifying both the PLFS path and the passthrough path, plus the cursor
+// bookkeeping the paper describes (lseek on the shadow fd).
+#include "core/router.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "plfs/container.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::core {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest() : router_(libc_calls(), mounts_) {
+    mounts_.add(mount_.path());
+  }
+
+  std::string mpath(const std::string& name) { return mount_.sub(name); }
+
+  ssize_t write_str(int fd, const std::string& s) {
+    return router_.write(fd, s.data(), s.size());
+  }
+
+  std::string read_str(int fd, std::size_t n) {
+    std::string out(n, '\0');
+    const ssize_t got = router_.read(fd, out.data(), n);
+    EXPECT_GE(got, 0);
+    out.resize(got > 0 ? static_cast<std::size_t>(got) : 0);
+    return out;
+  }
+
+  ldplfs::testing::TempDir mount_;
+  ldplfs::testing::TempDir outside_;
+  MountTable mounts_;
+  Router router_;
+};
+
+TEST_F(RouterTest, CreateInsideMountMakesContainer) {
+  const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(router_.is_plfs_fd(fd));
+  EXPECT_EQ(write_str(fd, "hello"), 5);
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_TRUE(plfs::is_container(mpath("f")));
+}
+
+TEST_F(RouterTest, CreateOutsideMountIsPlainFile) {
+  const std::string path = outside_.sub("f");
+  const int fd = router_.open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_FALSE(router_.is_plfs_fd(fd));
+  EXPECT_EQ(write_str(fd, "hello"), 5);
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_FALSE(plfs::is_container(path));
+  auto content = posix::read_file(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello");
+}
+
+TEST_F(RouterTest, SequentialWritesAdvanceCursor) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(write_str(fd, "abc"), 3);
+  EXPECT_EQ(write_str(fd, "def"), 3);
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
+  EXPECT_EQ(read_str(fd, 6), "abcdef");
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, LseekSetCurEnd) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  write_str(fd, "0123456789");
+  EXPECT_EQ(router_.lseek(fd, 2, SEEK_SET), 2);
+  EXPECT_EQ(read_str(fd, 3), "234");
+  EXPECT_EQ(router_.lseek(fd, 1, SEEK_CUR), 6);
+  EXPECT_EQ(read_str(fd, 2), "67");
+  EXPECT_EQ(router_.lseek(fd, -4, SEEK_END), 6);
+  EXPECT_EQ(read_str(fd, 4), "6789");
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_END), 10);
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, SeekBeyondEofThenWriteCreatesHole) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  write_str(fd, "X");
+  EXPECT_EQ(router_.lseek(fd, 10, SEEK_SET), 10);
+  write_str(fd, "Y");
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
+  const std::string content = read_str(fd, 16);
+  ASSERT_EQ(content.size(), 11u);
+  EXPECT_EQ(content[0], 'X');
+  EXPECT_EQ(content[10], 'Y');
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(content[i], '\0') << i;
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, PreadPwriteDoNotMoveCursor) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  write_str(fd, "base");
+  EXPECT_EQ(router_.pwrite(fd, "ZZ", 2, 1), 2);
+  char buf[4] = {0};
+  EXPECT_EQ(router_.pread(fd, buf, 3, 0), 3);
+  EXPECT_EQ(std::string(buf, 3), "bZZ");
+  // Cursor still at 4 from the initial write.
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_CUR), 4);
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, AppendModeWritesAtEof) {
+  {
+    const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+    write_str(fd, "12345");
+    router_.close(fd);
+  }
+  const int fd =
+      router_.open(mpath("f").c_str(), O_WRONLY | O_APPEND, 0644);
+  ASSERT_GE(fd, 0);
+  write_str(fd, "678");
+  // Cursor after append = new EOF.
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_CUR), 8);
+  router_.close(fd);
+
+  const int rd = router_.open(mpath("f").c_str(), O_RDONLY, 0);
+  EXPECT_EQ(read_str(rd, 16), "12345678");
+  router_.close(rd);
+}
+
+TEST_F(RouterTest, StatSynthesizesRegularFile) {
+  const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0640);
+  write_str(fd, "0123456789");
+  router_.close(fd);
+
+  struct ::stat st{};
+  ASSERT_EQ(router_.stat(mpath("f").c_str(), &st), 0);
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  EXPECT_EQ(st.st_size, 10);
+  EXPECT_EQ(st.st_mode & 07777, 0640u);
+}
+
+TEST_F(RouterTest, FstatOnPlfsFd) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "0123456789");
+  struct ::stat st{};
+  ASSERT_EQ(router_.fstat(fd, &st), 0);
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  EXPECT_EQ(st.st_size, 10);
+  router_.close(fd);
+}
+
+TEST_F(RouterTest, StatPassthroughOutsideMount) {
+  const std::string path = outside_.sub("plain");
+  ASSERT_TRUE(posix::write_file(path, "xy").ok());
+  struct ::stat st{};
+  ASSERT_EQ(router_.stat(path.c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 2);
+}
+
+TEST_F(RouterTest, UnlinkContainer) {
+  const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+  router_.close(fd);
+  ASSERT_TRUE(plfs::is_container(mpath("f")));
+  EXPECT_EQ(router_.unlink(mpath("f").c_str()), 0);
+  EXPECT_FALSE(posix::exists(mpath("f")));
+}
+
+TEST_F(RouterTest, UnlinkMissingSetsEnoent) {
+  errno = 0;
+  EXPECT_EQ(router_.unlink(mpath("absent").c_str()), -1);
+  EXPECT_EQ(errno, ENOENT);
+}
+
+TEST_F(RouterTest, TruncatePathAndFtruncate) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "0123456789");
+  EXPECT_EQ(router_.ftruncate(fd, 4), 0);
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
+  EXPECT_EQ(read_str(fd, 16), "0123");
+  router_.close(fd);
+
+  EXPECT_EQ(router_.truncate(mpath("f").c_str(), 2), 0);
+  struct ::stat st{};
+  ASSERT_EQ(router_.stat(mpath("f").c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 2);
+}
+
+TEST_F(RouterTest, DupSharesCursor) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "abcdef");
+  router_.lseek(fd, 0, SEEK_SET);
+  const int fd2 = router_.dup(fd);
+  ASSERT_GE(fd2, 0);
+  EXPECT_TRUE(router_.is_plfs_fd(fd2));
+  EXPECT_EQ(read_str(fd, 2), "ab");
+  EXPECT_EQ(read_str(fd2, 2), "cd");  // shared kernel offset on the shadow
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_EQ(read_str(fd2, 2), "ef");  // still usable after first close
+  EXPECT_EQ(router_.close(fd2), 0);
+}
+
+TEST_F(RouterTest, RenameWithinMount) {
+  const int fd = router_.open(mpath("a").c_str(), O_WRONLY | O_CREAT, 0644);
+  write_str(fd, "data");
+  router_.close(fd);
+  EXPECT_EQ(router_.rename(mpath("a").c_str(), mpath("b").c_str()), 0);
+  const int rd = router_.open(mpath("b").c_str(), O_RDONLY, 0);
+  EXPECT_EQ(read_str(rd, 4), "data");
+  router_.close(rd);
+}
+
+TEST_F(RouterTest, RenameOutOfMountIsExdev) {
+  const int fd = router_.open(mpath("a").c_str(), O_WRONLY | O_CREAT, 0644);
+  router_.close(fd);
+  errno = 0;
+  EXPECT_EQ(router_.rename(mpath("a").c_str(), outside_.sub("b").c_str()), -1);
+  EXPECT_EQ(errno, EXDEV);
+}
+
+TEST_F(RouterTest, AccessOnContainer) {
+  const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+  router_.close(fd);
+  EXPECT_EQ(router_.access(mpath("f").c_str(), F_OK), 0);
+  EXPECT_EQ(router_.access(mpath("f").c_str(), R_OK | W_OK), 0);
+  EXPECT_EQ(router_.access(mpath("ghost").c_str(), F_OK), -1);
+}
+
+TEST_F(RouterTest, ForeignFileInsideMountPassesThrough) {
+  // Files created behind LDPLFS's back stay plain files.
+  ASSERT_TRUE(posix::write_file(mpath("foreign"), "plain bytes").ok());
+  const int fd = router_.open(mpath("foreign").c_str(), O_RDONLY, 0);
+  ASSERT_GE(fd, 0);
+  EXPECT_FALSE(router_.is_plfs_fd(fd));
+  EXPECT_EQ(read_str(fd, 64), "plain bytes");
+  router_.close(fd);
+}
+
+TEST_F(RouterTest, RelativePathResolvesAgainstCwd) {
+  char oldcwd[4096];
+  ASSERT_NE(::getcwd(oldcwd, sizeof oldcwd), nullptr);
+  ASSERT_EQ(::chdir(mount_.path().c_str()), 0);
+  const int fd = router_.open("relfile", O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(router_.is_plfs_fd(fd));
+  write_str(fd, "rel");
+  router_.close(fd);
+  ASSERT_EQ(::chdir(oldcwd), 0);
+  EXPECT_TRUE(plfs::is_container(mpath("relfile")));
+}
+
+TEST_F(RouterTest, FsyncOnPlfsFdSucceeds) {
+  const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+  write_str(fd, "x");
+  EXPECT_EQ(router_.fsync(fd), 0);
+  EXPECT_EQ(router_.fdatasync(fd), 0);
+  router_.close(fd);
+}
+
+TEST_F(RouterTest, OTruncDropsOldContent) {
+  {
+    const int fd = router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT, 0644);
+    write_str(fd, "long old content");
+    router_.close(fd);
+  }
+  const int fd =
+      router_.open(mpath("f").c_str(), O_WRONLY | O_TRUNC, 0644);
+  write_str(fd, "new");
+  router_.close(fd);
+  struct ::stat st{};
+  ASSERT_EQ(router_.stat(mpath("f").c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 3);
+}
+
+TEST_F(RouterTest, ReadWriteOnNonPlfsFdPassesThrough) {
+  const std::string path = outside_.sub("p");
+  const int fd = router_.open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(write_str(fd, "pass"), 4);
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
+  EXPECT_EQ(read_str(fd, 4), "pass");
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+}  // namespace
+}  // namespace ldplfs::core

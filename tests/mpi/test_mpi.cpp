@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "mpi/collectives.hpp"
+#include "mpi/topology.hpp"
+
+namespace ldplfs::mpi {
+namespace {
+
+TEST(TopologyTest, RankNodeMapping) {
+  Topology topo{4, 3};
+  EXPECT_EQ(topo.nranks(), 12u);
+  EXPECT_EQ(topo.node_of(0), 0u);
+  EXPECT_EQ(topo.node_of(2), 0u);
+  EXPECT_EQ(topo.node_of(3), 1u);
+  EXPECT_EQ(topo.node_of(11), 3u);
+}
+
+TEST(TopologyTest, AggregatorsOnePerNode) {
+  Topology topo{4, 3};
+  const auto aggs = topo.aggregators();
+  ASSERT_EQ(aggs.size(), 4u);
+  EXPECT_EQ(aggs[0], 0u);
+  EXPECT_EQ(aggs[1], 3u);
+  EXPECT_EQ(aggs[3], 9u);
+  for (auto a : aggs) EXPECT_TRUE(topo.is_aggregator(a));
+  EXPECT_FALSE(topo.is_aggregator(1));
+}
+
+TEST(TopologyTest, SingleProcessPerNode) {
+  Topology topo{8, 1};
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_TRUE(topo.is_aggregator(r));
+    EXPECT_EQ(topo.node_of(r), r);
+  }
+}
+
+TEST(CollectiveModelTest, Log2Ceil) {
+  EXPECT_EQ(CollectiveModel::log2_ceil(1), 0u);
+  EXPECT_EQ(CollectiveModel::log2_ceil(2), 1u);
+  EXPECT_EQ(CollectiveModel::log2_ceil(3), 2u);
+  EXPECT_EQ(CollectiveModel::log2_ceil(1024), 10u);
+  EXPECT_EQ(CollectiveModel::log2_ceil(1025), 11u);
+}
+
+TEST(CollectiveModelTest, BarrierGrowsLogarithmically) {
+  CollectiveModel model;
+  EXPECT_EQ(model.barrier_s(1), 0.0);
+  EXPECT_LT(model.barrier_s(16), model.barrier_s(1024));
+  EXPECT_NEAR(model.barrier_s(1024) / model.barrier_s(32), 2.0, 1e-9);
+}
+
+TEST(CollectiveModelTest, ExchangeScalesWithPpnAndBytes) {
+  CollectiveModel model;
+  Topology one{16, 1};
+  Topology four{16, 4};
+  const std::uint64_t bytes = 8 << 20;
+  // More ppn -> more data staged through the aggregator.
+  EXPECT_GT(model.cb_exchange_s(four, bytes), model.cb_exchange_s(one, bytes));
+  // More bytes -> longer exchange.
+  EXPECT_GT(model.cb_exchange_s(four, 2 * bytes),
+            model.cb_exchange_s(four, bytes));
+}
+
+TEST(CollectiveModelTest, ScatterMirrorsExchange) {
+  CollectiveModel model;
+  Topology topo{8, 4};
+  EXPECT_DOUBLE_EQ(model.cb_scatter_s(topo, 1 << 20),
+                   model.cb_exchange_s(topo, 1 << 20));
+}
+
+}  // namespace
+}  // namespace ldplfs::mpi

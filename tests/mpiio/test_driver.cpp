@@ -1,0 +1,189 @@
+// Semantics of the MPI-IO driver layer: routing, bookkeeping, and the
+// relative-cost invariants that the figure benches rely on.
+#include "mpiio/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simfs/presets.hpp"
+
+namespace ldplfs::mpiio {
+namespace {
+
+mpi::Topology small_topo() { return {4, 2}; }
+
+double write_job(simfs::ClusterModel& cluster, DriverOptions options,
+                 std::uint64_t per_rank, int phases, IoStats* stats = nullptr,
+                 mpi::Topology topo = small_topo()) {
+  IoDriver driver(cluster, topo, options);
+  driver.open(true);
+  for (int p = 0; p < phases; ++p) {
+    driver.write_collective(per_rank, static_cast<std::uint64_t>(p));
+  }
+  driver.close();
+  if (stats != nullptr) *stats = driver.stats();
+  return driver.stats().write_bandwidth_mbps();
+}
+
+TEST(DriverTest, RouteNames) {
+  EXPECT_STREQ(route_name(Route::kMpiio), "MPI-IO");
+  EXPECT_STREQ(route_name(Route::kRomioPlfs), "ROMIO");
+  EXPECT_STREQ(route_name(Route::kLdplfs), "LDPLFS");
+  EXPECT_STREQ(route_name(Route::kFuse), "FUSE");
+}
+
+TEST(DriverTest, StatsAccumulateBytes) {
+  simfs::ClusterModel cluster(simfs::minerva());
+  IoStats stats;
+  write_job(cluster, {Route::kMpiio}, 1 << 20, 3, &stats);
+  EXPECT_EQ(stats.bytes_written, 3ull * (1 << 20) * small_topo().nranks());
+  EXPECT_GT(stats.open_s, 0.0);
+  EXPECT_GT(stats.write_s, 0.0);
+  EXPECT_GT(stats.close_s, 0.0);
+  EXPECT_GT(stats.meta_ops, 0u);
+}
+
+TEST(DriverTest, PlfsRoutesCreateMoreMetadata) {
+  simfs::ClusterModel cluster(simfs::sierra());
+  IoStats ufs, plfs;
+  write_job(cluster, {Route::kMpiio}, 1 << 20, 1, &ufs);
+  write_job(cluster, {Route::kRomioPlfs}, 1 << 20, 1, &plfs);
+  // Container skeleton + per-writer droppings + close hints.
+  EXPECT_GT(plfs.meta_ops, ufs.meta_ops);
+}
+
+// Comparative tests run each job on a fresh cluster: consecutive jobs on
+// one instance would inherit each other's dirty caches.
+double fresh_write_job(DriverOptions options, std::uint64_t per_rank,
+                       int phases) {
+  simfs::ClusterModel cluster(simfs::minerva());
+  return write_job(cluster, options, per_rank, phases);
+}
+
+TEST(DriverTest, LdplfsCostCloseToRomio) {
+  // The paper's central result: LDPLFS ≈ PLFS-through-ROMIO.
+  const double romio = fresh_write_job({Route::kRomioPlfs}, 32 << 20, 4);
+  const double ldplfs = fresh_write_job({Route::kLdplfs}, 32 << 20, 4);
+  EXPECT_NEAR(ldplfs / romio, 1.0, 0.05);
+}
+
+TEST(DriverTest, FuseSlowerThanRomio) {
+  const double romio = fresh_write_job({Route::kRomioPlfs}, 32 << 20, 4);
+  const double fuse = fresh_write_job({Route::kFuse}, 32 << 20, 4);
+  EXPECT_LT(fuse, romio);
+}
+
+TEST(DriverTest, PlfsBeatsSharedFileForManyRankWrites) {
+  const double ufs = fresh_write_job({Route::kMpiio}, 64 << 20, 4);
+  const double plfs = fresh_write_job({Route::kRomioPlfs}, 64 << 20, 4);
+  EXPECT_GT(plfs, ufs);
+}
+
+TEST(DriverTest, IndependentWritesUseAllRanks) {
+  simfs::ClusterModel cluster(simfs::sierra());
+  DriverOptions options{Route::kRomioPlfs};
+  options.collective_buffering = false;
+  IoDriver driver(cluster, small_topo(), options);
+  driver.open(true);
+  driver.write_independent(1 << 20, 0);
+  driver.close();
+  // All 8 ranks write => 8 writers x (3 creates) at first write + skeleton.
+  EXPECT_GE(driver.stats().meta_ops, 8u * 3u);
+}
+
+TEST(DriverTest, ReadBandwidthPositive) {
+  simfs::ClusterModel cluster(simfs::minerva());
+  DriverOptions options{Route::kLdplfs};
+  IoDriver writer(cluster, small_topo(), options);
+  writer.open(true);
+  writer.write_collective(8 << 20, 0);
+  writer.close();
+
+  IoDriver reader(cluster, small_topo(), options);
+  reader.set_prior_writers(4);
+  reader.open(false);
+  reader.read_collective(8 << 20, 0);
+  reader.close();
+  EXPECT_GT(reader.stats().read_bandwidth_mbps(), 0.0);
+  // Index-dropping loads are internal and excluded from the byte count.
+  EXPECT_EQ(reader.stats().bytes_read,
+            8ull * (1 << 20) * small_topo().nranks());
+}
+
+TEST(DriverTest, AblationLogOnlySlowerThanBoth) {
+  DriverOptions both{Route::kRomioPlfs};
+  both.collective_buffering = false;
+  DriverOptions log_only = both;
+  log_only.plfs_partitioning = false;
+  simfs::ClusterModel c1(simfs::sierra());
+  simfs::ClusterModel c2(simfs::sierra());
+  const double bw_both = write_job(c1, both, 16 << 20, 2);
+  const double bw_log = write_job(c2, log_only, 16 << 20, 2);
+  EXPECT_LT(bw_log, bw_both);
+}
+
+TEST(DriverTest, AblationInPlaceSlowerThanLog) {
+  DriverOptions both{Route::kRomioPlfs};
+  both.collective_buffering = false;
+  DriverOptions inplace = both;
+  inplace.plfs_log_structure = false;
+  // Make drain the binding constraint.
+  simfs::ClusterModel c1(simfs::sierra());
+  simfs::ClusterModel c2(simfs::sierra());
+  const double bw_both = write_job(c1, both, 256 << 20, 2);
+  const double bw_inplace = write_job(c2, inplace, 256 << 20, 2);
+  EXPECT_LT(bw_inplace, bw_both);
+}
+
+TEST(DriverTest, SievingWinsForTinyStridedPieces) {
+  auto run = [](bool sieving) {
+    simfs::ClusterModel cluster(simfs::minerva());
+    DriverOptions options{Route::kMpiio};
+    options.data_sieving = sieving;
+    IoDriver driver(cluster, {4, 2}, options);
+    driver.open(true);
+    driver.read_strided(4 << 10, 64, 0);   // 4 KiB pieces
+    driver.close();
+    return driver.stats().read_bandwidth_mbps();
+  };
+  EXPECT_GT(run(true), 3.0 * run(false));
+}
+
+TEST(DriverTest, SievingLosesForLargeStridedPieces) {
+  auto run = [](bool sieving) {
+    simfs::ClusterModel cluster(simfs::minerva());
+    DriverOptions options{Route::kMpiio};
+    options.data_sieving = sieving;
+    IoDriver driver(cluster, {4, 2}, options);
+    driver.open(true);
+    driver.read_strided(1 << 20, 4, 0);   // 1 MiB pieces
+    driver.close();
+    return driver.stats().read_bandwidth_mbps();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(DriverTest, StridedWriteSievingUsesLockedRmw) {
+  simfs::ClusterModel cluster(simfs::minerva());
+  DriverOptions options{Route::kMpiio};
+  options.data_sieving = true;
+  IoDriver driver(cluster, {2, 1}, options);
+  driver.open(true);
+  const double t = driver.write_strided(8 << 10, 16, 0);
+  EXPECT_GT(t, 0.0);
+  // Application-visible bytes only, despite window amplification.
+  EXPECT_EQ(driver.stats().bytes_written, 8ull * 1024 * 16 * 2);
+}
+
+TEST(DriverTest, BandwidthDefinitionsConsistent) {
+  IoStats stats;
+  stats.open_s = 1.0;
+  stats.write_s = 3.0;
+  stats.close_s = 1.0;
+  stats.bytes_written = 500 * 1000 * 1000;
+  EXPECT_NEAR(stats.write_bandwidth_mbps(), 100.0, 1e-9);
+  EXPECT_EQ(stats.read_bandwidth_mbps(), 0.0);
+  EXPECT_NEAR(stats.total_s(), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ldplfs::mpiio

@@ -1,0 +1,210 @@
+#include "plfs/compaction.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "plfs/container.hpp"
+#include "plfs/plfs.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+using ldplfs::testing::random_bytes;
+
+std::string read_whole(const std::string& path, std::size_t limit = 1 << 20) {
+  auto fd = plfs_open(path, O_RDONLY, 999);
+  EXPECT_TRUE(fd.ok());
+  std::string out(limit, '\0');
+  auto n = fd.value()->read(
+      {reinterpret_cast<std::byte*>(out.data()), out.size()}, 0);
+  EXPECT_TRUE(n.ok());
+  out.resize(n.ok() ? n.value() : 0);
+  return out;
+}
+
+TEST(CompactionTest, MissingContainerFails) {
+  TempDir tmp;
+  auto result = plfs_compact(tmp.sub("none"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_code(), ENOENT);
+}
+
+TEST(CompactionTest, OpenWriterBlocksCompaction) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("x"), 0, 5).ok());
+  auto result = plfs_compact(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_code(), EBUSY);
+  ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  EXPECT_TRUE(plfs_compact(path).ok());
+}
+
+TEST(CompactionTest, OverwriteHeavyLogShrinks) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    // Write the same 1 KiB region 50 times: 50 KiB of log, 1 KiB live.
+    for (int i = 0; i < 50; ++i) {
+      std::string block(1024, static_cast<char>('A' + (i % 26)));
+      ASSERT_TRUE(fd.value()->write(as_bytes(block), 0, 5).ok());
+    }
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  const std::string before = read_whole(path);
+
+  auto stats = plfs_compact(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().live_bytes, 1024u);
+  EXPECT_GE(stats.value().reclaimed_bytes, 49u * 1024u);
+  EXPECT_EQ(stats.value().droppings_after, 1u);
+
+  EXPECT_EQ(read_whole(path), before);
+  auto droppings = find_data_droppings(path);
+  ASSERT_TRUE(droppings.ok());
+  EXPECT_EQ(droppings.value().size(), 1u);
+}
+
+TEST(CompactionTest, MultiWriterContainerCollapsesToOneDropping) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 1);
+    ASSERT_TRUE(fd.ok());
+    for (int w = 0; w < 6; ++w) {
+      std::string block(500, static_cast<char>('a' + w));
+      ASSERT_TRUE(fd.value()->write(as_bytes(block), w * 500, 100 + w).ok());
+    }
+    for (int w = 0; w < 6; ++w) {
+      ASSERT_TRUE(fd.value()->close(100 + w).ok());
+    }
+  }
+  const std::string before = read_whole(path);
+  ASSERT_EQ(before.size(), 3000u);
+
+  auto stats = plfs_compact(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().droppings_before, 6u);
+  EXPECT_EQ(stats.value().droppings_after, 1u);
+  EXPECT_EQ(stats.value().live_bytes, 3000u);
+  EXPECT_EQ(read_whole(path), before);
+}
+
+TEST(CompactionTest, SparseFileKeepsHoles) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("head"), 0, 5).ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("tail"), 1000, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  const std::string before = read_whole(path);
+  auto stats = plfs_compact(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().live_bytes, 8u);  // only mapped bytes copied
+  const std::string after = read_whole(path);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after.size(), 1004u);
+}
+
+TEST(CompactionTest, TruncateUpTailSurvives) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_RDWR, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("ab"), 0, 5).ok());
+    ASSERT_TRUE(fd.value()->truncate(100, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  ASSERT_TRUE(plfs_compact(path).ok());
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 100u);
+  const std::string content = read_whole(path);
+  ASSERT_EQ(content.size(), 100u);
+  EXPECT_EQ(content.substr(0, 2), "ab");
+  EXPECT_EQ(content[99], '\0');
+}
+
+TEST(CompactionTest, EmptyContainerCompacts) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  { auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5); ASSERT_TRUE(fd.ok()); }
+  auto stats = plfs_compact(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().live_bytes, 0u);
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 0u);
+}
+
+TEST(CompactionTest, GetattrFastPathAfterCompaction) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  ASSERT_TRUE(plfs_compact(path).ok());
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 10u);
+  EXPECT_TRUE(attr.value().from_hints);  // compaction refreshed the hint
+}
+
+class CompactionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CompactionPropertyTest, ContentIdenticalAfterCompaction) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  Rng rng(GetParam() * 31 + 5);
+  {
+    auto fd = plfs_open(path, O_CREAT | O_RDWR, 1);
+    ASSERT_TRUE(fd.ok());
+    const int writers = 1 + static_cast<int>(rng.below(3));
+    for (int op = 0; op < 60; ++op) {
+      const auto data = random_bytes(1 + rng.below(2000), rng.next());
+      ASSERT_TRUE(fd.value()
+                      ->write(data, rng.below(32 * 1024),
+                              static_cast<pid_t>(1 + rng.below(writers)))
+                      .ok());
+      if (rng.below(10) == 0) {
+        ASSERT_TRUE(fd.value()->truncate(rng.below(32 * 1024), 1).ok());
+      }
+    }
+    for (int w = 1; w <= writers; ++w) {
+      ASSERT_TRUE(fd.value()->close(static_cast<pid_t>(w)).ok());
+    }
+  }
+  const std::string before = read_whole(path);
+  auto stats = plfs_compact(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(read_whole(path), before);
+  // Compaction is idempotent.
+  auto again = plfs_compact(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().reclaimed_bytes, 0u);
+  EXPECT_EQ(read_whole(path), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ldplfs::plfs

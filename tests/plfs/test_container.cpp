@@ -1,0 +1,145 @@
+#include "plfs/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/paths.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+TEST(ContainerLayoutTest, PathsAreUnderRoot) {
+  ContainerLayout layout("/backend/file");
+  EXPECT_EQ(layout.access_path(), "/backend/file/access");
+  EXPECT_EQ(layout.creator_path(), "/backend/file/creator");
+  EXPECT_EQ(layout.openhosts_path(), "/backend/file/openhosts");
+  EXPECT_EQ(layout.metadata_path(), "/backend/file/metadata");
+}
+
+TEST(ContainerLayoutTest, HostdirBucketStable) {
+  ContainerLayout layout("/b/f", 32);
+  const unsigned bucket = layout.hostdir_bucket("node01");
+  EXPECT_LT(bucket, 32u);
+  EXPECT_EQ(bucket, layout.hostdir_bucket("node01"));
+  EXPECT_EQ(layout.hostdir_for("node01"),
+            layout.hostdir_path(bucket));
+}
+
+TEST(ContainerLayoutTest, ZeroHostdirsClampedToOne) {
+  ContainerLayout layout("/b/f", 0);
+  EXPECT_EQ(layout.hostdir_count(), 1u);
+  EXPECT_EQ(layout.hostdir_bucket("anything"), 0u);
+}
+
+TEST(ContainerLayoutTest, DroppingNamesEncodeWriter) {
+  WriterId writer{"node01", 4242, 987654321};
+  const auto data = ContainerLayout::data_dropping_name(writer);
+  const auto index = ContainerLayout::index_dropping_name(writer);
+  EXPECT_EQ(data, "dropping.data.987654321.node01.4242");
+  EXPECT_EQ(index, "dropping.index.987654321.node01.4242");
+}
+
+TEST(MetaHintTest, NameRoundTrip) {
+  MetaHint hint{1234567, 89, "node.with.dots", 55};
+  const std::string name = ContainerLayout::meta_name(hint);
+  MetaHint parsed;
+  ASSERT_TRUE(ContainerLayout::parse_meta_name(name, parsed));
+  EXPECT_EQ(parsed.eof, hint.eof);
+  EXPECT_EQ(parsed.bytes, hint.bytes);
+  EXPECT_EQ(parsed.host, hint.host);
+  EXPECT_EQ(parsed.pid, hint.pid);
+}
+
+TEST(MetaHintTest, RejectsForeignNames) {
+  MetaHint out;
+  EXPECT_FALSE(ContainerLayout::parse_meta_name("random.file", out));
+  EXPECT_FALSE(ContainerLayout::parse_meta_name("meta.x.y.host.1", out));
+  EXPECT_FALSE(ContainerLayout::parse_meta_name("", out));
+  EXPECT_FALSE(ContainerLayout::parse_meta_name("meta.1.2", out));
+}
+
+TEST(ContainerLifecycleTest, CreateDetectRemove) {
+  testing::TempDir tmp;
+  const std::string path = tmp.sub("file1");
+  EXPECT_FALSE(is_container(path));
+  ASSERT_TRUE(create_container(path, 0640, "host", 1).ok());
+  EXPECT_TRUE(is_container(path));
+  EXPECT_TRUE(posix::is_directory(path));
+  EXPECT_TRUE(posix::exists(path_join(path, kAccessFile)));
+  EXPECT_TRUE(posix::is_directory(path_join(path, kOpenHostsDir)));
+  EXPECT_TRUE(posix::is_directory(path_join(path, kMetadataDir)));
+
+  ASSERT_TRUE(remove_container(path).ok());
+  EXPECT_FALSE(posix::exists(path));
+}
+
+TEST(ContainerLifecycleTest, CreateOnExistingFails) {
+  testing::TempDir tmp;
+  const std::string path = tmp.sub("file1");
+  ASSERT_TRUE(create_container(path, 0644, "host", 1).ok());
+  auto again = create_container(path, 0644, "host", 1);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.error_code(), EEXIST);
+}
+
+TEST(ContainerLifecycleTest, PlainDirIsNotContainer) {
+  testing::TempDir tmp;
+  ASSERT_TRUE(posix::make_dir(tmp.sub("plain")).ok());
+  EXPECT_FALSE(is_container(tmp.sub("plain")));
+  auto rm = remove_container(tmp.sub("plain"));
+  EXPECT_FALSE(rm.ok());
+  EXPECT_EQ(rm.error_code(), ENOENT);
+}
+
+TEST(ContainerDroppingScanTest, FindsAcrossHostdirs) {
+  testing::TempDir tmp;
+  const std::string path = tmp.sub("file1");
+  ASSERT_TRUE(create_container(path, 0644, "host", 1).ok());
+  ContainerLayout layout(path);
+  // Two writers hashing to (possibly) different hostdirs.
+  for (const char* host : {"alpha", "beta"}) {
+    WriterId writer{host, 1, 100};
+    ASSERT_TRUE(posix::make_dirs(layout.hostdir_for(host)).ok());
+    ASSERT_TRUE(
+        posix::write_file(layout.data_dropping_path(writer), "x").ok());
+    ASSERT_TRUE(
+        posix::write_file(layout.index_dropping_path(writer), "y").ok());
+  }
+  auto data = find_data_droppings(path);
+  auto index = find_index_droppings(path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(data.value().size(), 2u);
+  EXPECT_EQ(index.value().size(), 2u);
+}
+
+TEST(MetaHintScanTest, ReadsHintsSkipsForeign) {
+  testing::TempDir tmp;
+  const std::string path = tmp.sub("file1");
+  ASSERT_TRUE(create_container(path, 0644, "host", 1).ok());
+  ContainerLayout layout(path);
+  MetaHint hint{500, 600, "h", 2};
+  ASSERT_TRUE(posix::write_file(
+                  path_join(layout.metadata_path(),
+                            ContainerLayout::meta_name(hint)), "")
+                  .ok());
+  ASSERT_TRUE(posix::write_file(path_join(layout.metadata_path(), "junk"), "")
+                  .ok());
+  auto hints = read_meta_hints(path);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints.value().size(), 1u);
+  EXPECT_EQ(hints.value()[0].eof, 500u);
+}
+
+TEST(TimestampTest, StrictlyIncreasing) {
+  std::uint64_t prev = next_timestamp();
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t now = next_timestamp();
+    ASSERT_GT(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -1,0 +1,217 @@
+#include "plfs/extent_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+Extent mk(std::uint64_t logical, std::uint64_t len, std::uint32_t drop,
+          std::uint64_t phys) {
+  return Extent{logical, len, drop, phys, 0};
+}
+
+TEST(ExtentMapTest, EmptyLookupIsAllHole) {
+  ExtentMap map;
+  const auto pieces = map.lookup(0, 100);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_TRUE(pieces[0].hole);
+  EXPECT_EQ(pieces[0].logical, 0u);
+  EXPECT_EQ(pieces[0].length, 100u);
+  EXPECT_EQ(map.mapped_end(), 0u);
+}
+
+TEST(ExtentMapTest, ZeroLengthLookup) {
+  ExtentMap map;
+  map.insert(mk(0, 10, 0, 0));
+  EXPECT_TRUE(map.lookup(5, 0).empty());
+}
+
+TEST(ExtentMapTest, ZeroLengthInsertIgnored) {
+  ExtentMap map;
+  map.insert(mk(5, 0, 0, 0));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(ExtentMapTest, SingleExtentExactLookup) {
+  ExtentMap map;
+  map.insert(mk(100, 50, 3, 7));
+  const auto pieces = map.lookup(100, 50);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_FALSE(pieces[0].hole);
+  EXPECT_EQ(pieces[0].dropping, 3u);
+  EXPECT_EQ(pieces[0].physical, 7u);
+}
+
+TEST(ExtentMapTest, LookupIntoMiddleShiftsPhysical) {
+  ExtentMap map;
+  map.insert(mk(100, 50, 0, 1000));
+  const auto pieces = map.lookup(120, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].physical, 1020u);
+  EXPECT_EQ(pieces[0].length, 10u);
+}
+
+TEST(ExtentMapTest, HoleBetweenExtents) {
+  ExtentMap map;
+  map.insert(mk(0, 10, 0, 0));
+  map.insert(mk(20, 10, 0, 10));
+  const auto pieces = map.lookup(0, 30);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_FALSE(pieces[0].hole);
+  EXPECT_TRUE(pieces[1].hole);
+  EXPECT_EQ(pieces[1].logical, 10u);
+  EXPECT_EQ(pieces[1].length, 10u);
+  EXPECT_FALSE(pieces[2].hole);
+}
+
+TEST(ExtentMapTest, OverwriteSplitsOldExtent) {
+  ExtentMap map;
+  map.insert(mk(0, 100, 0, 0));     // old
+  map.insert(mk(40, 20, 1, 500));   // new, middle overwrite
+  EXPECT_TRUE(map.check_invariants());
+  const auto pieces = map.lookup(0, 100);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].dropping, 0u);
+  EXPECT_EQ(pieces[0].length, 40u);
+  EXPECT_EQ(pieces[1].dropping, 1u);
+  EXPECT_EQ(pieces[1].length, 20u);
+  EXPECT_EQ(pieces[2].dropping, 0u);
+  EXPECT_EQ(pieces[2].length, 40u);
+  EXPECT_EQ(pieces[2].physical, 60u);  // shifted into the old dropping
+}
+
+TEST(ExtentMapTest, OverwriteCoversMultipleOldExtents) {
+  ExtentMap map;
+  map.insert(mk(0, 10, 0, 0));
+  map.insert(mk(10, 10, 1, 0));
+  map.insert(mk(20, 10, 2, 0));
+  map.insert(mk(5, 20, 3, 100));  // spans parts of all three
+  EXPECT_TRUE(map.check_invariants());
+  const auto pieces = map.lookup(0, 30);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].dropping, 0u);
+  EXPECT_EQ(pieces[0].length, 5u);
+  EXPECT_EQ(pieces[1].dropping, 3u);
+  EXPECT_EQ(pieces[1].length, 20u);
+  EXPECT_EQ(pieces[2].dropping, 2u);
+  EXPECT_EQ(pieces[2].length, 5u);
+  EXPECT_EQ(pieces[2].physical, 5u);
+}
+
+TEST(ExtentMapTest, ExactReplacement) {
+  ExtentMap map;
+  map.insert(mk(10, 10, 0, 0));
+  map.insert(mk(10, 10, 1, 99));
+  const auto pieces = map.lookup(10, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].dropping, 1u);
+  EXPECT_EQ(map.extent_count(), 1u);
+}
+
+TEST(ExtentMapTest, TruncateCutsStraddlingExtent) {
+  ExtentMap map;
+  map.insert(mk(0, 100, 0, 0));
+  map.truncate(60);
+  EXPECT_EQ(map.mapped_end(), 60u);
+  EXPECT_TRUE(map.check_invariants());
+  map.truncate(0);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(ExtentMapTest, TruncateDropsWholeExtentsBeyond) {
+  ExtentMap map;
+  map.insert(mk(0, 10, 0, 0));
+  map.insert(mk(50, 10, 1, 0));
+  map.truncate(30);
+  EXPECT_EQ(map.extent_count(), 1u);
+  EXPECT_EQ(map.mapped_end(), 10u);
+}
+
+TEST(ExtentMapTest, TruncateAtExactBoundaryKeepsExtent) {
+  ExtentMap map;
+  map.insert(mk(0, 10, 0, 0));
+  map.truncate(10);
+  EXPECT_EQ(map.extent_count(), 1u);
+  EXPECT_EQ(map.mapped_end(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: a random sequence of overwrites and truncates must behave
+// exactly like writes into a flat byte array. The reference tags each byte
+// with the id of the write that produced it.
+// ---------------------------------------------------------------------------
+
+class ExtentMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentMapPropertyTest, MatchesFlatArrayReference) {
+  constexpr std::uint64_t kFileSize = 4096;
+  Rng rng(GetParam());
+  ExtentMap map;
+  // reference[i] = id of the write owning byte i, or -1 for hole.
+  std::vector<long> reference(kFileSize, -1);
+  std::uint64_t ref_size = 0;
+
+  // Track, per write id, logical start + physical start so we can verify
+  // physical offsets in lookups too.
+  struct WriteInfo {
+    std::uint64_t logical, physical;
+  };
+  std::vector<WriteInfo> writes;
+  std::uint64_t physical_cursor = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    if (rng.below(10) == 0) {
+      const std::uint64_t size = rng.below(kFileSize);
+      map.truncate(size);
+      for (std::uint64_t i = size; i < kFileSize; ++i) reference[i] = -1;
+      ref_size = std::min(ref_size, size);
+      continue;
+    }
+    const std::uint64_t off = rng.below(kFileSize - 1);
+    const std::uint64_t len = 1 + rng.below(std::min<std::uint64_t>(
+                                      kFileSize - off, 256));
+    const long id = static_cast<long>(writes.size());
+    writes.push_back({off, physical_cursor});
+    map.insert(Extent{off, len, 0, physical_cursor,
+                      static_cast<std::uint64_t>(id)});
+    physical_cursor += len;
+    for (std::uint64_t i = off; i < off + len; ++i) reference[i] = id;
+    ref_size = std::max(ref_size, off + len);
+
+    ASSERT_TRUE(map.check_invariants()) << "op " << op;
+  }
+
+  // Whole-file lookup must reproduce the reference byte-for-byte.
+  const auto pieces = map.lookup(0, kFileSize);
+  std::uint64_t cursor = 0;
+  for (const auto& piece : pieces) {
+    ASSERT_EQ(piece.logical, cursor);
+    for (std::uint64_t i = piece.logical; i < piece.logical + piece.length;
+         ++i) {
+      if (piece.hole) {
+        ASSERT_EQ(reference[i], -1) << "byte " << i;
+      } else {
+        ASSERT_GE(reference[i], 0) << "byte " << i;
+        const auto& info = writes[static_cast<std::size_t>(reference[i])];
+        // physical of byte i = write's physical + (i - piece start within
+        // that write). piece.physical corresponds to piece.logical.
+        ASSERT_EQ(piece.physical + (i - piece.logical),
+                  info.physical + (i - info.logical))
+            << "byte " << i;
+      }
+    }
+    cursor += piece.length;
+  }
+  ASSERT_EQ(cursor, kFileSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentMapPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -1,0 +1,110 @@
+#include "plfs/index_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+IndexRecord data_rec(std::uint64_t log, std::uint64_t len, std::uint64_t phys,
+                     std::uint64_t ts, std::uint32_t ref) {
+  return IndexRecord{log, len, phys, ts, ref,
+                     static_cast<std::uint32_t>(RecordKind::kData)};
+}
+
+std::string encode(const std::vector<std::string>& paths,
+                   const std::vector<IndexRecord>& records) {
+  std::string bytes = encode_index_header(paths);
+  bytes.append(reinterpret_cast<const char*>(records.data()),
+               records.size() * sizeof(IndexRecord));
+  return bytes;
+}
+
+TEST(IndexFormatTest, HeaderOnlyRoundTrip) {
+  const auto bytes = encode({"hostdir.0/dropping.data.1.h.1"}, {});
+  auto parsed = decode_index_dropping(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().data_paths.size(), 1u);
+  EXPECT_EQ(parsed.value().data_paths[0], "hostdir.0/dropping.data.1.h.1");
+  EXPECT_TRUE(parsed.value().records.empty());
+}
+
+TEST(IndexFormatTest, RecordsRoundTrip) {
+  const std::vector<IndexRecord> records = {
+      data_rec(0, 100, 0, 1, 0), data_rec(100, 50, 100, 2, 1),
+      IndexRecord{0, 77, 0, 3, 0,
+                  static_cast<std::uint32_t>(RecordKind::kTruncate)}};
+  const auto bytes = encode({"a", "b"}, records);
+  auto parsed = decode_index_dropping(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().records.size(), 3u);
+  EXPECT_EQ(parsed.value().records[1].logical_offset, 100u);
+  EXPECT_EQ(parsed.value().records[1].dropping_ref, 1u);
+  EXPECT_EQ(parsed.value().records[2].kind,
+            static_cast<std::uint32_t>(RecordKind::kTruncate));
+  EXPECT_EQ(parsed.value().records[2].length, 77u);
+}
+
+TEST(IndexFormatTest, MultiplePathsRoundTrip) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < 100; ++i) {
+    paths.push_back("hostdir." + std::to_string(i % 32) + "/dropping.data." +
+                    std::to_string(i));
+  }
+  auto parsed = decode_index_dropping(encode(paths, {}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().data_paths, paths);
+}
+
+TEST(IndexFormatTest, TornTrailingRecordIsIgnored) {
+  auto bytes = encode({"a"}, {data_rec(0, 10, 0, 1, 0)});
+  // Simulate a crash mid-append: half a record at the tail.
+  bytes.append(sizeof(IndexRecord) / 2, '\x5a');
+  auto parsed = decode_index_dropping(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().records.size(), 1u);
+}
+
+TEST(IndexFormatTest, BadMagicRejected) {
+  auto bytes = encode({"a"}, {});
+  bytes[0] = 'X';
+  EXPECT_FALSE(decode_index_dropping(bytes).ok());
+}
+
+TEST(IndexFormatTest, TruncatedHeaderRejected) {
+  EXPECT_FALSE(decode_index_dropping("PLFS").ok());
+  EXPECT_FALSE(decode_index_dropping("").ok());
+}
+
+TEST(IndexFormatTest, OutOfRangeDroppingRefRejected) {
+  const auto bytes = encode({"only"}, {data_rec(0, 1, 0, 1, 5)});
+  EXPECT_FALSE(decode_index_dropping(bytes).ok());
+}
+
+TEST(IndexFormatTest, PathTableLengthOverrunRejected) {
+  // Header claims 2 paths but bytes end after the first.
+  std::string bytes = encode_index_header({"abc"});
+  // Patch the count to 2 (offset: 8 magic + 4 version).
+  std::uint32_t two = 2;
+  std::memcpy(bytes.data() + 12, &two, 4);
+  EXPECT_FALSE(decode_index_dropping(bytes).ok());
+}
+
+TEST(IndexFormatTest, LoadFromDisk) {
+  testing::TempDir tmp;
+  const auto bytes = encode({"p"}, {data_rec(5, 6, 7, 8, 0)});
+  ASSERT_TRUE(posix::write_file(tmp.sub("idx"), bytes).ok());
+  auto parsed = load_index_dropping(tmp.sub("idx"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().records[0].physical_offset, 7u);
+}
+
+TEST(IndexFormatTest, LoadMissingFileFails) {
+  testing::TempDir tmp;
+  EXPECT_FALSE(load_index_dropping(tmp.sub("nope")).ok());
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -1,0 +1,479 @@
+// Integration tests of the public PLFS API: write/read round trips,
+// multi-writer merges, truncation, getattr fast path, flatten, rename —
+// plus the central property test: any sequence of positional writes through
+// PLFS must read back identical to the same writes applied to a flat file.
+#include "plfs/plfs.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "plfs/container.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+using ldplfs::testing::random_bytes;
+
+std::string read_all(FileHandle& fd, std::size_t size,
+                     std::uint64_t offset = 0) {
+  std::string out(size, '\0');
+  auto n = fd.read(
+      std::span<std::byte>(reinterpret_cast<std::byte*>(out.data()), size),
+      offset);
+  EXPECT_TRUE(n.ok());
+  out.resize(n.ok() ? n.value() : 0);
+  return out;
+}
+
+TEST(PlfsApiTest, CreateWriteReadRoundTrip) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, 100);
+  ASSERT_TRUE(fd.ok());
+
+  const std::string data = "the quick brown fox";
+  auto n = fd.value()->write(as_bytes(data), 0, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), data.size());
+
+  EXPECT_EQ(read_all(*fd.value(), data.size()), data);
+  ASSERT_TRUE(plfs_close(fd.value(), 100).ok());
+}
+
+TEST(PlfsApiTest, OpenMissingWithoutCreatFails) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("absent"), O_RDONLY, 1);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error_code(), ENOENT);
+}
+
+TEST(PlfsApiTest, ExclusiveCreateTwiceFails) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  ASSERT_TRUE(plfs_open(path, O_CREAT | O_EXCL | O_WRONLY, 1).ok());
+  auto second = plfs_open(path, O_CREAT | O_EXCL | O_WRONLY, 1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error_code(), EEXIST);
+}
+
+TEST(PlfsApiTest, OpenPlainDirectoryFails) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.path(), O_RDONLY, 1);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error_code(), EISDIR);
+}
+
+TEST(PlfsApiTest, WriteOnReadOnlyHandleFails) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  { auto w = plfs_open(path, O_CREAT | O_WRONLY, 1); ASSERT_TRUE(w.ok()); }
+  auto fd = plfs_open(path, O_RDONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  auto n = fd.value()->write(as_bytes("x"), 0, 1);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.error_code(), EBADF);
+}
+
+TEST(PlfsApiTest, ReadOnWriteOnlyHandleFails) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  std::byte buf[4];
+  auto n = fd.value()->read(std::span<std::byte>(buf, 4), 0);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.error_code(), EBADF);
+}
+
+TEST(PlfsApiTest, OverwriteLastWriterWins) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 7);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("aaaaaaaaaa"), 0, 7).ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("BBB"), 3, 7).ok());
+  EXPECT_EQ(read_all(*fd.value(), 10), "aaaBBBaaaa");
+}
+
+TEST(PlfsApiTest, SparseWriteReadsZerosInHole) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 7);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("end"), 100, 7).ok());
+  const std::string content = read_all(*fd.value(), 103);
+  ASSERT_EQ(content.size(), 103u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(content[i], '\0') << i;
+  EXPECT_EQ(content.substr(100), "end");
+  auto size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 103u);
+}
+
+TEST(PlfsApiTest, ReadPastEofIsShort) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 7);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("12345"), 0, 7).ok());
+  EXPECT_EQ(read_all(*fd.value(), 100, 0), "12345");
+  EXPECT_EQ(read_all(*fd.value(), 100, 5), "");
+  EXPECT_EQ(read_all(*fd.value(), 100, 1000), "");
+}
+
+TEST(PlfsApiTest, MultiWriterPartitioning) {
+  // The paper's core mechanism: n writers → n data droppings, one stream
+  // each, merged into one logical file on read.
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, 1);
+  ASSERT_TRUE(fd.ok());
+
+  constexpr int kWriters = 8;
+  constexpr std::size_t kBlock = 1000;
+  for (int w = 0; w < kWriters; ++w) {
+    const std::string block(kBlock, static_cast<char>('A' + w));
+    ASSERT_TRUE(fd.value()
+                    ->write(as_bytes(block), w * kBlock,
+                            static_cast<pid_t>(100 + w))
+                    .ok());
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(fd.value()->close(static_cast<pid_t>(100 + w)).ok());
+  }
+
+  auto droppings = find_data_droppings(path);
+  ASSERT_TRUE(droppings.ok());
+  EXPECT_EQ(droppings.value().size(), kWriters);
+
+  auto rd = plfs_open(path, O_RDONLY, 999);
+  ASSERT_TRUE(rd.ok());
+  const std::string content = read_all(*rd.value(), kWriters * kBlock);
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      ASSERT_EQ(content[w * kBlock + i], 'A' + w) << "writer " << w;
+    }
+  }
+}
+
+TEST(PlfsApiTest, InterleavedStridedWriters) {
+  // N-to-1 strided pattern (like collective MPI-IO): rank w writes every
+  // Nth block.
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 1);
+  ASSERT_TRUE(fd.ok());
+  constexpr int kRanks = 4;
+  constexpr int kSteps = 10;
+  constexpr std::size_t kBlock = 128;
+  for (int step = 0; step < kSteps; ++step) {
+    for (int rank = 0; rank < kRanks; ++rank) {
+      std::string block(kBlock, static_cast<char>('a' + rank));
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(step) * kRanks + rank) * kBlock;
+      ASSERT_TRUE(
+          fd.value()->write(as_bytes(block), offset, 200 + rank).ok());
+    }
+  }
+  const std::string content = read_all(*fd.value(), kRanks * kSteps * kBlock);
+  for (int step = 0; step < kSteps; ++step) {
+    for (int rank = 0; rank < kRanks; ++rank) {
+      const std::size_t base = (step * kRanks + rank) * kBlock;
+      ASSERT_EQ(content[base], 'a' + rank);
+      ASSERT_EQ(content[base + kBlock - 1], 'a' + rank);
+    }
+  }
+}
+
+TEST(PlfsApiTest, TruncateToZeroViaOTrunc) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("old content"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  auto fd = plfs_open(path, O_WRONLY | O_TRUNC, 6);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("new"), 0, 6).ok());
+  ASSERT_TRUE(plfs_close(fd.value(), 6).ok());
+
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 3u);
+}
+
+TEST(PlfsApiTest, TruncateDownThenReadAndSize) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 5);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+  ASSERT_TRUE(fd.value()->truncate(4, 5).ok());
+  auto size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 4u);
+  EXPECT_EQ(read_all(*fd.value(), 100), "0123");
+}
+
+TEST(PlfsApiTest, TruncateUpZeroFills) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 5);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("ab"), 0, 5).ok());
+  ASSERT_TRUE(fd.value()->truncate(6, 5).ok());
+  auto size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 6u);
+  const std::string content = read_all(*fd.value(), 100);
+  EXPECT_EQ(content, std::string("ab\0\0\0\0", 6));
+}
+
+TEST(PlfsApiTest, WriteAfterTruncateWins) {
+  TempDir tmp;
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 5);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+  ASSERT_TRUE(fd.value()->truncate(0, 5).ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("XY"), 4, 5).ok());
+  const std::string content = read_all(*fd.value(), 100);
+  EXPECT_EQ(content, std::string("\0\0\0\0XY", 6));
+}
+
+TEST(PlfsApiTest, GetattrUsesHintsWhenClosed) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 10, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 20u);
+  EXPECT_TRUE(attr.value().from_hints);
+}
+
+TEST(PlfsApiTest, GetattrFallsBackToIndexWhileOpen) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("abc"), 0, 5).ok());
+  ASSERT_TRUE(fd.value()->sync(5).ok());
+  auto attr = plfs_getattr(path);  // writer still open
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 3u);
+  EXPECT_FALSE(attr.value().from_hints);
+  ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+}
+
+TEST(PlfsApiTest, GetattrReportsMode) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  { auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5, 0620); ASSERT_TRUE(fd.ok()); }
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().mode & 07777, 0620u);
+}
+
+TEST(PlfsApiTest, UnlinkRemovesContainer) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  { auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5); ASSERT_TRUE(fd.ok()); }
+  ASSERT_TRUE(plfs_unlink(path).ok());
+  EXPECT_FALSE(plfs_is_container(path));
+  EXPECT_EQ(plfs_unlink(path).error_code(), ENOENT);
+}
+
+TEST(PlfsApiTest, RenameMovesContainer) {
+  TempDir tmp;
+  const std::string from = tmp.sub("a");
+  const std::string to = tmp.sub("b");
+  {
+    auto fd = plfs_open(from, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("payload"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  ASSERT_TRUE(plfs_rename(from, to).ok());
+  EXPECT_FALSE(plfs_is_container(from));
+  ASSERT_TRUE(plfs_is_container(to));
+  auto rd = plfs_open(to, O_RDONLY, 6);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(read_all(*rd.value(), 7), "payload");
+}
+
+TEST(PlfsApiTest, RenameOntoExistingReplaces) {
+  TempDir tmp;
+  const std::string from = tmp.sub("a");
+  const std::string to = tmp.sub("b");
+  {
+    auto f1 = plfs_open(from, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f1.value()->write(as_bytes("new"), 0, 5).ok());
+    auto f2 = plfs_open(to, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(f2.ok());
+    ASSERT_TRUE(f2.value()->write(as_bytes("old"), 0, 5).ok());
+  }
+  ASSERT_TRUE(plfs_rename(from, to).ok());
+  auto rd = plfs_open(to, O_RDONLY, 6);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(read_all(*rd.value(), 3), "new");
+}
+
+TEST(PlfsApiTest, ReaddirClassifiesEntries) {
+  TempDir tmp;
+  { auto fd = plfs_open(tmp.sub("file1"), O_CREAT | O_WRONLY, 5); ASSERT_TRUE(fd.ok()); }
+  ASSERT_TRUE(posix::make_dir(tmp.sub("realdir")).ok());
+  ASSERT_TRUE(posix::write_file(tmp.sub("plain"), "x").ok());
+
+  auto entries = plfs_readdir(tmp.path());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 3u);
+  // list_dir sorts: file1, plain, realdir
+  EXPECT_EQ(entries.value()[0].name, "file1");
+  EXPECT_TRUE(entries.value()[0].is_plfs_file);
+  EXPECT_EQ(entries.value()[1].name, "plain");
+  EXPECT_FALSE(entries.value()[1].is_plfs_file);
+  EXPECT_FALSE(entries.value()[1].is_directory);
+  EXPECT_EQ(entries.value()[2].name, "realdir");
+  EXPECT_TRUE(entries.value()[2].is_directory);
+}
+
+TEST(PlfsApiTest, FlattenPreservesContentAndShrinksIndexCount) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, 1);
+  ASSERT_TRUE(fd.ok());
+  for (int w = 0; w < 6; ++w) {
+    std::string block(100, static_cast<char>('0' + w));
+    ASSERT_TRUE(fd.value()->write(as_bytes(block), w * 100, 300 + w).ok());
+  }
+  for (int w = 0; w < 6; ++w) ASSERT_TRUE(fd.value()->close(300 + w).ok());
+
+  auto before = find_index_droppings(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().size(), 6u);
+
+  ASSERT_TRUE(plfs_flatten(path).ok());
+
+  auto after = find_index_droppings(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), 1u);
+
+  auto rd = plfs_open(path, O_RDONLY, 99);
+  ASSERT_TRUE(rd.ok());
+  const std::string content = read_all(*rd.value(), 600);
+  for (int w = 0; w < 6; ++w) ASSERT_EQ(content[w * 100], '0' + w);
+}
+
+TEST(PlfsApiTest, AccessOnContainerAndMissing) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  { auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5); ASSERT_TRUE(fd.ok()); }
+  EXPECT_TRUE(plfs_access(path, F_OK).ok());
+  EXPECT_TRUE(plfs_access(path, R_OK | W_OK).ok());
+  EXPECT_EQ(plfs_access(tmp.sub("none"), F_OK).error_code(), ENOENT);
+}
+
+TEST(PlfsApiTest, HugeSparseOffsetsCostNothingPhysical) {
+  // Log-structured indexing makes a 5 GiB-sparse file practically free:
+  // the container stores only the written bytes plus fixed-size records.
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  const std::uint64_t far_offset = 5ull << 30;  // 5 GiB
+  {
+    auto fd = plfs_open(path, O_CREAT | O_RDWR, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("near"), 0, 5).ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("far!"), far_offset, 5).ok());
+    auto size = fd.value()->size();
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), far_offset + 4);
+
+    std::string out(4, '\0');
+    auto n = fd.value()->read(
+        {reinterpret_cast<std::byte*>(out.data()), out.size()}, far_offset);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, "far!");
+    // A read spanning the hole boundary sees zeros then data.
+    std::string edge(8, 'X');
+    n = fd.value()->read(
+        {reinterpret_cast<std::byte*>(edge.data()), edge.size()},
+        far_offset - 4);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(edge, std::string("\0\0\0\0far!", 8));
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  // Physical footprint: 8 data bytes total across droppings.
+  auto droppings = find_data_droppings(path);
+  ASSERT_TRUE(droppings.ok());
+  std::uint64_t physical = 0;
+  for (const auto& d : droppings.value()) {
+    auto st = posix::stat_path(d);
+    ASSERT_TRUE(st.ok());
+    physical += static_cast<std::uint64_t>(st.value().st_size);
+  }
+  EXPECT_EQ(physical, 8u);
+
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, far_offset + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random positional writes through PLFS == flat byte array.
+// ---------------------------------------------------------------------------
+
+class PlfsWritePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlfsWritePropertyTest, MatchesFlatFileReference) {
+  constexpr std::size_t kMaxFile = 64 * 1024;
+  TempDir tmp;
+  Rng rng(GetParam() * 7919 + 13);
+
+  auto fd = plfs_open(tmp.sub("f"), O_CREAT | O_RDWR, 1);
+  ASSERT_TRUE(fd.ok());
+
+  std::string reference;
+  const int writers = 1 + static_cast<int>(rng.below(4));
+  for (int op = 0; op < 120; ++op) {
+    const std::uint64_t off = rng.below(kMaxFile / 2);
+    const std::size_t len = 1 + rng.below(2048);
+    const auto data = random_bytes(len, rng.next());
+    const pid_t pid = static_cast<pid_t>(1 + rng.below(writers));
+
+    ASSERT_TRUE(fd.value()->write(data, off, pid).ok());
+    if (reference.size() < off + len) reference.resize(off + len, '\0');
+    std::memcpy(reference.data() + off, data.data(), len);
+
+    if (rng.below(8) == 0) {
+      const std::uint64_t cut = rng.below(kMaxFile);
+      ASSERT_TRUE(fd.value()->truncate(cut, pid).ok());
+      reference.resize(std::min<std::size_t>(reference.size(), cut), '\0');
+      if (cut > reference.size()) reference.resize(cut, '\0');
+    }
+  }
+
+  auto size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  ASSERT_EQ(size.value(), reference.size());
+  EXPECT_EQ(read_all(*fd.value(), reference.size() + 64), reference);
+
+  // And again through a fresh read-only open (forces full index merge).
+  for (int w = 1; w <= writers; ++w) {
+    ASSERT_TRUE(fd.value()->close(static_cast<pid_t>(w)).ok());
+  }
+  auto rd = plfs_open(tmp.sub("f"), O_RDONLY, 999);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(read_all(*rd.value(), reference.size() + 64), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlfsWritePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ldplfs::plfs

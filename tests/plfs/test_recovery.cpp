@@ -1,0 +1,123 @@
+#include "plfs/recovery.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include "common/paths.hpp"
+#include "plfs/compaction.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index_format.hpp"
+#include "plfs/plfs.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+
+/// Plant the on-disk debris of a writer killed mid-stream.
+void plant_crash_debris(const std::string& path) {
+  ContainerLayout layout(path);
+  WriterId ghost{"deadhost", 999, next_timestamp()};
+  ASSERT_TRUE(posix::make_dirs(layout.hostdir_for(ghost.host)).ok());
+  ASSERT_TRUE(posix::write_file(layout.data_dropping_path(ghost),
+                                "never-indexed")
+                  .ok());
+  std::string idx = encode_index_header({"hostdir.0/dropping.data.ghost"});
+  idx.append(17, '\x5a');  // torn record tail
+  ASSERT_TRUE(
+      posix::write_file(layout.index_dropping_path(ghost), idx).ok());
+  ASSERT_TRUE(posix::write_file(layout.openhost_path(ghost), "").ok());
+}
+
+TEST(RecoveryTest, MissingContainerFails) {
+  TempDir tmp;
+  auto result = plfs_recover(tmp.sub("none"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_code(), ENOENT);
+}
+
+TEST(RecoveryTest, HealthyContainerIsIdempotent) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().stale_openhosts_removed, 0u);
+  EXPECT_EQ(stats.value().logical_size, 10u);
+  EXPECT_TRUE(stats.value().index_readable);
+
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 10u);
+  EXPECT_TRUE(attr.value().from_hints);
+}
+
+TEST(RecoveryTest, ClearsCrashDebrisAndRestoresFastPath) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("survivor"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  plant_crash_debris(path);
+
+  // Before recovery: stale openhost disables the fast path...
+  auto before = plfs_getattr(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().from_hints);
+  // ...and blocks compaction.
+  EXPECT_EQ(plfs_compact(path).error_code(), EBUSY);
+
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().stale_openhosts_removed, 1u);
+  EXPECT_EQ(stats.value().logical_size, 8u);
+
+  auto after = plfs_getattr(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size, 8u);
+  EXPECT_TRUE(after.value().from_hints);
+  // Compaction works again and prunes the ghost's droppings.
+  auto compacted = plfs_compact(path);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted.value().droppings_after, 1u);
+}
+
+TEST(RecoveryTest, StaleHintCorrectedAfterGhostTruncate) {
+  // A crashed writer can leave hints that disagree with the index (e.g. it
+  // truncated, invalidating others' hints, then died before re-dropping).
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_RDWR, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+    ASSERT_TRUE(fd.value()->truncate(4, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  ContainerLayout layout(path);
+  // Plant a bogus over-reporting hint.
+  MetaHint bogus{9999, 9999, "liar", 1};
+  ASSERT_TRUE(posix::write_file(ldplfs::path_join(layout.metadata_path(),
+                                          ContainerLayout::meta_name(bogus)),
+                                "")
+                  .ok());
+
+  ASSERT_TRUE(plfs_recover(path).ok());
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 4u);
+  EXPECT_TRUE(attr.value().from_hints);
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

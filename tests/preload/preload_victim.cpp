@@ -1,0 +1,214 @@
+// Victim program for LD_PRELOAD end-to-end tests. Deliberately built as a
+// plain POSIX/stdio binary with no LDPLFS linkage — the whole point is that
+// interposition must work on unmodified executables. Scenarios are selected
+// by argv[1]; nonzero exit = scenario assertion failed.
+#include <fcntl.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace {
+
+int fail(const char* what) {
+  perror(what);
+  return 1;
+}
+
+int scenario_write(const char* path) {
+  const int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  if (write(fd, "hello ", 6) != 6) return fail("write1");
+  if (write(fd, "world!", 6) != 6) return fail("write2");
+  if (lseek(fd, 0, SEEK_SET) != 0) return fail("lseek");
+  if (write(fd, "HELLO", 5) != 5) return fail("write3");
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
+int scenario_read(const char* path) {
+  const int fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open");
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof buf)) > 0) {
+    if (write(STDOUT_FILENO, buf, static_cast<size_t>(n)) != n) {
+      return fail("stdout");
+    }
+  }
+  if (n < 0) return fail("read");
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
+int scenario_stdio(const char* path) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) return fail("fopen w");
+  if (fputs("stdio line one\n", f) == EOF) return fail("fputs");
+  if (fprintf(f, "value=%d\n", 42) < 0) return fail("fprintf");
+  if (fclose(f) != 0) return fail("fclose");
+
+  f = fopen(path, "r");
+  if (f == nullptr) return fail("fopen r");
+  char line[128];
+  if (fgets(line, sizeof line, f) == nullptr) return fail("fgets1");
+  if (strcmp(line, "stdio line one\n") != 0) {
+    fprintf(stderr, "bad line1: %s", line);
+    return 1;
+  }
+  if (fseek(f, 0, SEEK_SET) != 0) return fail("fseek");
+  if (fgets(line, sizeof line, f) == nullptr) return fail("fgets2");
+  if (strcmp(line, "stdio line one\n") != 0) {
+    fprintf(stderr, "bad reread: %s", line);
+    return 1;
+  }
+  if (fgets(line, sizeof line, f) == nullptr) return fail("fgets3");
+  if (strcmp(line, "value=42\n") != 0) {
+    fprintf(stderr, "bad line2: %s", line);
+    return 1;
+  }
+  if (fclose(f) != 0) return fail("fclose r");
+  return 0;
+}
+
+int scenario_stat(const char* path) {
+  struct stat st;
+  if (stat(path, &st) != 0) return fail("stat");
+  if (!S_ISREG(st.st_mode)) {
+    fprintf(stderr, "not a regular file (mode %o)\n", st.st_mode);
+    return 1;
+  }
+  printf("%lld\n", static_cast<long long>(st.st_size));
+  return 0;
+}
+
+int scenario_unlink(const char* path) {
+  if (unlink(path) != 0) return fail("unlink");
+  struct stat st;
+  if (stat(path, &st) == 0) {
+    fprintf(stderr, "still exists after unlink\n");
+    return 1;
+  }
+  return 0;
+}
+
+int scenario_pread(const char* path) {
+  // Positional I/O + dup + O_APPEND combined.
+  int fd = open(path, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  if (pwrite(fd, "0123456789", 10, 0) != 10) return fail("pwrite");
+  char buf[4] = {0};
+  if (pread(fd, buf, 3, 4) != 3) return fail("pread");
+  if (memcmp(buf, "456", 3) != 0) {
+    fprintf(stderr, "pread mismatch: %s\n", buf);
+    return 1;
+  }
+  const int fd2 = dup(fd);
+  if (fd2 < 0) return fail("dup");
+  if (close(fd) != 0) return fail("close fd");
+  if (pwrite(fd2, "XX", 2, 10) != 2) return fail("pwrite dup");
+  if (close(fd2) != 0) return fail("close fd2");
+
+  fd = open(path, O_WRONLY | O_APPEND);
+  if (fd < 0) return fail("open append");
+  if (write(fd, "END", 3) != 3) return fail("append write");
+  if (close(fd) != 0) return fail("close append");
+
+  fd = open(path, O_RDONLY);
+  char all[32] = {0};
+  const ssize_t n = read(fd, all, sizeof all);
+  if (n != 15) {
+    fprintf(stderr, "expected 15 bytes, got %zd (%s)\n", n, all);
+    return 1;
+  }
+  if (memcmp(all, "0123456789XXEND", 15) != 0) {
+    fprintf(stderr, "content mismatch: %s\n", all);
+    return 1;
+  }
+  close(fd);
+  return 0;
+}
+
+int scenario_bigblocks(const char* path) {
+  // 8 MiB-block streaming write + verify, the MPI-IO Test access shape.
+  const size_t block = 8u << 20;
+  const int blocks = 4;
+  char* buf = static_cast<char*>(malloc(block));
+  if (buf == nullptr) return fail("malloc");
+  int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  for (int b = 0; b < blocks; ++b) {
+    memset(buf, 'A' + b, block);
+    if (write(fd, buf, block) != static_cast<ssize_t>(block)) {
+      return fail("write");
+    }
+  }
+  if (close(fd) != 0) return fail("close");
+
+  fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open r");
+  for (int b = 0; b < blocks; ++b) {
+    size_t got = 0;
+    while (got < block) {
+      const ssize_t n = read(fd, buf + got, block - got);
+      if (n <= 0) return fail("read");
+      got += static_cast<size_t>(n);
+    }
+    for (size_t i = 0; i < block; i += 4099) {
+      if (buf[i] != 'A' + b) {
+        fprintf(stderr, "mismatch at block %d offset %zu\n", b, i);
+        free(buf);
+        return 1;
+      }
+    }
+  }
+  free(buf);
+  close(fd);
+  return 0;
+}
+
+int scenario_vectored(const char* path) {
+  // writev/readv through the shim.
+  int fd = open(path, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  char a[] = "alpha-";
+  char b[] = "bravo-";
+  char c[] = "charlie";
+  struct iovec out[3] = {{a, 6}, {b, 6}, {c, 7}};
+  if (writev(fd, out, 3) != 19) return fail("writev");
+  if (lseek(fd, 0, SEEK_SET) != 0) return fail("lseek");
+  char r1[6], r2[13];
+  struct iovec in[2] = {{r1, 6}, {r2, 13}};
+  if (readv(fd, in, 2) != 19) return fail("readv");
+  if (memcmp(r1, "alpha-", 6) != 0 || memcmp(r2, "bravo-charlie", 13) != 0) {
+    fprintf(stderr, "vectored content mismatch\n");
+    return 1;
+  }
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    fprintf(stderr, "usage: preload_victim SCENARIO PATH\n");
+    return 2;
+  }
+  const std::string scenario = argv[1];
+  const char* path = argv[2];
+  if (scenario == "write") return scenario_write(path);
+  if (scenario == "read") return scenario_read(path);
+  if (scenario == "stdio") return scenario_stdio(path);
+  if (scenario == "stat") return scenario_stat(path);
+  if (scenario == "unlink") return scenario_unlink(path);
+  if (scenario == "pread") return scenario_pread(path);
+  if (scenario == "bigblocks") return scenario_bigblocks(path);
+  if (scenario == "vectored") return scenario_vectored(path);
+  fprintf(stderr, "unknown scenario %s\n", scenario.c_str());
+  return 2;
+}

@@ -1,0 +1,65 @@
+#include "sim/devices.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldplfs::sim {
+namespace {
+
+TEST(DiskModelTest, SequentialSkipsPositioning) {
+  DiskModel disk{0.008, 7200.0, 100e6};
+  const double seq = disk.service_s(1 << 20, true);
+  const double rnd = disk.service_s(1 << 20, false);
+  EXPECT_NEAR(seq, (1 << 20) / 100e6, 1e-9);
+  EXPECT_NEAR(rnd - seq, 0.008 + 30.0 / 7200.0, 1e-9);
+}
+
+TEST(DiskModelTest, HalfRotationFromRpm) {
+  DiskModel disk{0.0, 15000.0, 1};
+  EXPECT_NEAR(disk.half_rotation_s(), 0.002, 1e-9);
+}
+
+TEST(RaidArrayTest, Raid6DataDisks) {
+  RaidArray array{{}, 10, RaidLevel::kRaid6};
+  EXPECT_EQ(array.data_disks(), 8u);  // 8+2
+  RaidArray big{{}, 50, RaidLevel::kRaid6};
+  EXPECT_EQ(big.data_disks(), 40u);  // five 8+2 groups
+}
+
+TEST(RaidArrayTest, Raid10HalvesDisks) {
+  RaidArray array{{}, 24, RaidLevel::kRaid10};
+  EXPECT_EQ(array.data_disks(), 12u);
+}
+
+TEST(RaidArrayTest, StreamingSumsDataDisks) {
+  RaidArray array{{0.008, 7200.0, 50e6}, 10, RaidLevel::kRaid6};
+  EXPECT_NEAR(array.streaming_bps(), 8 * 50e6, 1);
+}
+
+TEST(RaidArrayTest, EffectiveOverrideWins) {
+  RaidArray array{{0.008, 7200.0, 50e6}, 10, RaidLevel::kRaid6, 123e6};
+  EXPECT_NEAR(array.streaming_bps(), 123e6, 1);
+}
+
+TEST(RaidArrayTest, Raid6RandomWritePaysRmw) {
+  RaidArray array{{0.010, 7200.0, 100e6}, 10, RaidLevel::kRaid6};
+  const double read_rnd = array.service_s(4096, false, false);
+  const double write_rnd = array.service_s(4096, false, true);
+  // Write positioning is 3x read positioning (read-old/read-parity/write).
+  const double pos = 0.010 + 30.0 / 7200.0;
+  EXPECT_NEAR(write_rnd - read_rnd, 2 * pos, 1e-9);
+}
+
+TEST(RaidArrayTest, SequentialWriteNoRmwPenalty) {
+  RaidArray array{{0.010, 7200.0, 100e6}, 10, RaidLevel::kRaid6};
+  EXPECT_NEAR(array.service_s(1 << 20, true, true),
+              array.service_s(1 << 20, true, false), 1e-12);
+}
+
+TEST(LinkModelTest, TransferIsLatencyPlusBandwidth) {
+  LinkModel link{10e-6, 1e9};
+  EXPECT_NEAR(link.transfer_s(1e9), 1.0 + 10e-6, 1e-9);
+  EXPECT_NEAR(link.transfer_s(0), 10e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace ldplfs::sim

@@ -1,0 +1,108 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ldplfs::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZeroAndEmpty) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.run(), 0.0);
+}
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+}
+
+TEST(EngineTest, TiesBreakByScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, EventsMayScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 4.0);
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  double seen = -1;
+  engine.schedule_at(2.0, [&] {
+    engine.schedule_after(0.5, [&] { seen = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EngineTest, RunUntilLeavesLaterEventsQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), 2.0);  // clock advanced to the horizon
+  EXPECT_FALSE(engine.empty());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWithNoEvents) {
+  Engine engine;
+  engine.run_until(7.5);
+  EXPECT_EQ(engine.now(), 7.5);
+}
+
+TEST(EngineTest, ResetClearsEverything) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run();
+  engine.schedule_at(10.0, [] {});
+  engine.reset();
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(EngineTest, ManyEventsDeterministic) {
+  auto run_once = [] {
+    Engine engine;
+    std::uint64_t hash = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at((i * 37) % 1000 * 1e-3, [&hash, i] {
+        hash = hash * 31 + static_cast<std::uint64_t>(i);
+      });
+    }
+    engine.run();
+    return hash;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ldplfs::sim

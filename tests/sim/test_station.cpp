@@ -1,0 +1,116 @@
+#include "sim/station.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldplfs::sim {
+namespace {
+
+TEST(StationTest, SingleServerSerialises) {
+  Engine engine;
+  Station station(engine, "s", 1);
+  double done1 = -1, done2 = -1;
+  station.submit(2.0, [&] { done1 = engine.now(); });
+  station.submit(3.0, [&] { done2 = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done1, 2.0);
+  EXPECT_DOUBLE_EQ(done2, 5.0);  // queued behind the first
+  EXPECT_EQ(station.stats().ops, 2u);
+  EXPECT_DOUBLE_EQ(station.stats().busy_time, 5.0);
+  EXPECT_DOUBLE_EQ(station.stats().total_wait, 2.0);
+}
+
+TEST(StationTest, MultipleServersRunConcurrently) {
+  Engine engine;
+  Station station(engine, "s", 2);
+  double done1 = -1, done2 = -1, done3 = -1;
+  station.submit(2.0, [&] { done1 = engine.now(); });
+  station.submit(2.0, [&] { done2 = engine.now(); });
+  station.submit(2.0, [&] { done3 = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done1, 2.0);
+  EXPECT_DOUBLE_EQ(done2, 2.0);
+  EXPECT_DOUBLE_EQ(done3, 4.0);  // third waits for a free server
+}
+
+TEST(StationTest, LaterArrivalsStartAtArrival) {
+  Engine engine;
+  Station station(engine, "s", 1);
+  double done = -1;
+  engine.schedule_at(10.0, [&] {
+    station.submit(1.0, [&] { done = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 11.0);
+  EXPECT_DOUBLE_EQ(station.stats().total_wait, 0.0);
+}
+
+TEST(StationTest, UtilisationMath) {
+  Engine engine;
+  Station station(engine, "s", 2);
+  station.submit(4.0);
+  station.submit(2.0);
+  engine.run();
+  // busy 6s across 2 servers over a 10s horizon -> 0.3
+  EXPECT_NEAR(station.utilisation(10.0), 0.3, 1e-12);
+  EXPECT_EQ(station.utilisation(0.0), 0.0);
+}
+
+TEST(StationTest, InSystemTracksPopulation) {
+  Engine engine;
+  Station station(engine, "s", 1);
+  station.submit(1.0);
+  station.submit(1.0);
+  station.submit(1.0);
+  EXPECT_EQ(station.in_system(), 3u);
+  engine.run();
+  EXPECT_EQ(station.in_system(), 0u);
+  EXPECT_EQ(station.stats().max_in_system, 3u);
+}
+
+TEST(StationTest, CongestionInflatesServiceAboveKnee) {
+  Engine engine;
+  // alpha=1, knee=2: third simultaneous request is served 1.5x slower.
+  Station station(engine, "s", 1, CongestionModel{1.0, 2});
+  station.submit(1.0);
+  station.submit(1.0);
+  double done3 = -1;
+  station.submit(1.0, [&] { done3 = engine.now(); });
+  engine.run();
+  // Services: 1.0 (in=1), 1.0 (in=2), 1.0*(1+ (3-2)/2 )=1.5 (in=3).
+  EXPECT_DOUBLE_EQ(done3, 3.5);
+}
+
+TEST(StationTest, NoCongestionBelowKnee) {
+  Engine engine;
+  Station station(engine, "s", 4, CongestionModel{5.0, 8});
+  double done = -1;
+  station.submit(1.0, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 1.0);
+}
+
+TEST(StationTest, ZeroServersClampedToOne) {
+  Engine engine;
+  Station station(engine, "s", 0);
+  EXPECT_EQ(station.servers(), 1u);
+  station.submit(1.0);
+  engine.run();
+  EXPECT_EQ(station.stats().ops, 1u);
+}
+
+TEST(StationTest, ResetStatsKeepsServerState) {
+  Engine engine;
+  Station station(engine, "s", 1);
+  station.submit(5.0);
+  engine.run();
+  station.reset_stats();
+  EXPECT_EQ(station.stats().ops, 0u);
+  // Server busy-until state persists: a new request at t=5 starts there.
+  double done = -1;
+  station.submit(1.0, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 6.0);
+}
+
+}  // namespace
+}  // namespace ldplfs::sim

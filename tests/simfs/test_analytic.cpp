@@ -1,0 +1,173 @@
+// Validation of the closed-form model against the discrete-event simulator:
+// regimes must classify correctly, the win/lose answer must agree, and
+// predicted bandwidths must land within a factor band of the simulated
+// ones across the paper's operating points.
+#include "simfs/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simfs/presets.hpp"
+#include "workloads/bt_io.hpp"
+#include "workloads/flash_io.hpp"
+
+namespace ldplfs::simfs {
+namespace {
+
+/// Simulate FLASH-IO-shaped work with the DES for comparison.
+double simulate_plfs(const ClusterConfig& config, const WorkloadShape& shape) {
+  ClusterModel cluster(config);
+  mpiio::DriverOptions options;
+  options.route = mpiio::Route::kRomioPlfs;
+  options.collective_buffering = !shape.independent_writers;
+  mpiio::IoDriver driver(cluster, {shape.nodes, shape.ppn}, options);
+  driver.open(true);
+  for (std::uint32_t phase = 0; phase < shape.phases; ++phase) {
+    if (phase != 0) driver.compute(shape.compute_between_phases_s);
+    if (shape.independent_writers) {
+      driver.write_independent(shape.bytes_per_rank_per_phase, phase);
+    } else {
+      driver.write_collective(shape.bytes_per_rank_per_phase, phase);
+    }
+  }
+  driver.close();
+  return driver.stats().write_bandwidth_mbps();
+}
+
+double simulate_mpiio(const ClusterConfig& config,
+                      const WorkloadShape& shape) {
+  ClusterModel cluster(config);
+  mpiio::DriverOptions options;
+  options.route = mpiio::Route::kMpiio;
+  options.collective_buffering = !shape.independent_writers;
+  mpiio::IoDriver driver(cluster, {shape.nodes, shape.ppn}, options);
+  driver.open(true);
+  for (std::uint32_t phase = 0; phase < shape.phases; ++phase) {
+    if (phase != 0) driver.compute(shape.compute_between_phases_s);
+    if (shape.independent_writers) {
+      driver.write_independent(shape.bytes_per_rank_per_phase, phase);
+    } else {
+      driver.write_collective(shape.bytes_per_rank_per_phase, phase);
+    }
+  }
+  driver.close();
+  return driver.stats().write_bandwidth_mbps();
+}
+
+WorkloadShape flash_shape(std::uint32_t nodes) {
+  WorkloadShape shape;
+  shape.nodes = nodes;
+  shape.ppn = 12;
+  shape.bytes_per_rank_per_phase = (205ull << 20) / 24;
+  shape.phases = 24;
+  shape.compute_between_phases_s = 0.02;
+  shape.independent_writers = true;
+  return shape;
+}
+
+TEST(AnalyticModelTest, RegimeNames) {
+  EXPECT_STREQ(regime_name(Regime::kAbsorb), "absorb");
+  EXPECT_STREQ(regime_name(Regime::kDrain), "drain");
+  EXPECT_STREQ(regime_name(Regime::kSync), "sync");
+}
+
+TEST(AnalyticModelTest, FlashIoIsDrainBound) {
+  // 205 MB per rank dwarfs any grant: drain regime everywhere.
+  for (std::uint32_t nodes : {1u, 16u, 256u}) {
+    const auto p = predict_plfs(sierra(), flash_shape(nodes));
+    EXPECT_EQ(p.regime, Regime::kDrain) << nodes << " nodes";
+  }
+}
+
+TEST(AnalyticModelTest, BtClassCAt1024IsAbsorbBound) {
+  // ~300 KB per rank per call, 6 MB per rank total: fits the 32 MiB grant.
+  WorkloadShape shape;
+  shape.nodes = 86;
+  shape.ppn = 12;
+  shape.bytes_per_rank_per_phase = 300 << 10;
+  shape.phases = 20;
+  shape.compute_between_phases_s = 0.12;
+  const auto p = predict_plfs(sierra(), shape);
+  EXPECT_EQ(p.regime, Regime::kAbsorb);
+}
+
+TEST(AnalyticModelTest, PredictionWithinBandOfSimulation) {
+  // The model must land within 2.5x of the DES across scales — loose, but
+  // tight enough for deployment decisions; the classification tests below
+  // are the strict ones.
+  for (std::uint32_t nodes : {4u, 16u, 64u, 256u}) {
+    const auto shape = flash_shape(nodes);
+    const double predicted = predict_plfs(sierra(), shape).bandwidth_mbps;
+    const double simulated = simulate_plfs(sierra(), shape);
+    EXPECT_LT(predicted, simulated * 2.5) << nodes << " nodes";
+    EXPECT_GT(predicted, simulated / 2.5) << nodes << " nodes";
+  }
+}
+
+TEST(AnalyticModelTest, MpiioPredictionWithinBand) {
+  for (std::uint32_t nodes : {4u, 64u, 256u}) {
+    const auto shape = flash_shape(nodes);
+    const double predicted = predict_mpiio(sierra(), shape).bandwidth_mbps;
+    const double simulated = simulate_mpiio(sierra(), shape);
+    EXPECT_LT(predicted, simulated * 2.5) << nodes << " nodes";
+    EXPECT_GT(predicted, simulated / 2.5) << nodes << " nodes";
+  }
+}
+
+TEST(AnalyticModelTest, WinLoseClassificationMatchesSimulation) {
+  // The paper's deployment question: the model and the DES must agree on
+  // whether PLFS helps, at every FLASH-IO scale including the collapse.
+  // Points where the two routes are within 15% of each other are ties
+  // (the Fig. 5 crossover itself sits on one) and either answer is right.
+  for (std::uint32_t nodes : {1u, 4u, 16u, 64u, 128u, 256u}) {
+    const auto shape = flash_shape(nodes);
+    const double sim_plfs = simulate_plfs(sierra(), shape);
+    const double sim_ufs = simulate_mpiio(sierra(), shape);
+    if (sim_plfs > 0.85 * sim_ufs && sim_plfs < 1.15 * sim_ufs) continue;
+    const bool model_says_win = plfs_speedup(sierra(), shape) > 1.0;
+    const bool sim_says_win = sim_plfs > sim_ufs;
+    EXPECT_EQ(model_says_win, sim_says_win) << nodes << " nodes";
+  }
+}
+
+TEST(AnalyticModelTest, PredictsTheFig5Collapse) {
+  // Rise then collapse, straight from algebra.
+  const double at16 = predict_plfs(sierra(), flash_shape(16)).bandwidth_mbps;
+  const double at256 =
+      predict_plfs(sierra(), flash_shape(256)).bandwidth_mbps;
+  const double mpiio_at256 =
+      predict_mpiio(sierra(), flash_shape(256)).bandwidth_mbps;
+  EXPECT_GT(at16, 3.0 * at256);       // collapse
+  EXPECT_LT(at256, mpiio_at256);      // below MPI-IO at scale
+  EXPECT_GT(plfs_speedup(sierra(), flash_shape(8)), 1.5);  // wins mid-scale
+}
+
+TEST(AnalyticModelTest, MinervaPlfsWinIsModerate) {
+  // Fig. 3's regime: ~2x on the GPFS machine.
+  WorkloadShape shape;
+  shape.nodes = 16;
+  shape.ppn = 1;
+  shape.bytes_per_rank_per_phase = 8 << 20;
+  shape.phases = 128;
+  shape.independent_writers = false;  // collective buffering
+  const double speedup = plfs_speedup(minerva(), shape);
+  EXPECT_GT(speedup, 1.3);
+  EXPECT_LT(speedup, 5.0);
+}
+
+TEST(AnalyticModelTest, MetaTimeGrowsWithRanks) {
+  const auto small = predict_plfs(sierra(), flash_shape(4));
+  const auto large = predict_plfs(sierra(), flash_shape(256));
+  EXPECT_GT(large.meta_time_s, small.meta_time_s);
+}
+
+TEST(AnalyticModelTest, BurstBufferWhatIf) {
+  // Remove thrash (the cluster_whatif scenario): the model should flip the
+  // 3,072-core answer from lose to win, matching the simulator's answer.
+  auto fixed = sierra();
+  fixed.stream_thrash_alpha = 0.0;
+  EXPECT_LT(plfs_speedup(sierra(), flash_shape(256)), 1.0);
+  EXPECT_GT(plfs_speedup(fixed, flash_shape(256)), 1.0);
+}
+
+}  // namespace
+}  // namespace ldplfs::simfs

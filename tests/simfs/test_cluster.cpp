@@ -1,0 +1,237 @@
+#include "simfs/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simfs/presets.hpp"
+
+namespace ldplfs::simfs {
+namespace {
+
+ClusterConfig tiny_config() {
+  ClusterConfig c;
+  c.name = "tiny";
+  c.nodes = 4;
+  c.io_servers = 2;
+  c.server_array.effective_streaming_bps = 100e6;
+  c.server_nic = {1e-6, 1e9};
+  c.client_nic = {1e-6, 1e9};
+  c.cache_absorb_bps = 1e9;
+  c.client_cache_bytes = 100 << 20;
+  c.meta_op_s = 1e-3;
+  c.lock_handoff_s = 10e-3;
+  c.stripe_bytes = 1 << 20;
+  return c;
+}
+
+RankOp write_op(std::uint64_t bytes, std::uint64_t file, bool locked = false) {
+  RankOp op;
+  op.kind = OpKind::kWrite;
+  op.bytes = bytes;
+  op.file = file;
+  op.locked = locked;
+  return op;
+}
+
+TEST(ClusterModelTest, EmptyPhaseIsZeroDuration) {
+  ClusterModel cluster(tiny_config());
+  const auto result = cluster.run_phase({});
+  EXPECT_EQ(result.duration_s, 0.0);
+  EXPECT_EQ(result.bytes_written, 0u);
+}
+
+TEST(ClusterModelTest, PhaseAccountsBytesAndMetaOps) {
+  ClusterModel cluster(tiny_config());
+  RankProgram program;
+  program.rank = 0;
+  program.node = 0;
+  program.ops.push_back({OpKind::kMetaCreate, 0, 1, 0, true, false, false,
+                         false, 0.0});
+  program.ops.push_back(write_op(1000, 1));
+  RankOp read;
+  read.kind = OpKind::kRead;
+  read.bytes = 500;
+  read.file = 1;
+  program.ops.push_back(read);
+  const auto result = cluster.run_phase({program});
+  EXPECT_EQ(result.bytes_written, 1000u);
+  EXPECT_EQ(result.bytes_read, 500u);
+  EXPECT_EQ(result.meta_ops, 1u);
+  EXPECT_GT(result.duration_s, 0.0);
+}
+
+TEST(ClusterModelTest, CachedWriteFasterThanSynchronous) {
+  auto cfg = tiny_config();
+  ClusterModel cluster(cfg);
+  RankProgram cached;
+  cached.rank = 0;
+  cached.node = 0;
+  cached.ops.push_back(write_op(8 << 20, 1));
+
+  RankProgram sync = cached;
+  sync.ops[0].synchronous = true;
+  sync.ops[0].file = 2;
+
+  const double cached_s = cluster.run_phase({cached}).duration_s;
+  const double sync_s = cluster.run_phase({sync}).duration_s;
+  EXPECT_LT(cached_s, sync_s);
+}
+
+TEST(ClusterModelTest, LockHandoffChargedOnOwnerChange) {
+  auto cfg = tiny_config();
+  ClusterModel cluster(cfg);
+
+  // Same rank writing the same stripe twice: one handoff (first touch).
+  RankProgram same;
+  same.rank = 1;
+  same.node = 0;
+  same.ops.push_back(write_op(4096, 7, true));
+  same.ops.push_back(write_op(4096, 7, true));
+  const double same_owner_s = cluster.run_phase({same}).duration_s;
+
+  // Two ranks alternating on one stripe: handoff each time.
+  cluster.reset_locks();
+  RankProgram a;
+  a.rank = 1;
+  a.node = 0;
+  a.ops.push_back(write_op(4096, 8, true));
+  RankProgram b;
+  b.rank = 2;
+  b.node = 1;
+  b.ops.push_back(write_op(4096, 8, true));
+  const double contended_s = cluster.run_phase({a, b}).duration_s;
+
+  // Contended case pays two handoffs serialised on the lock domain.
+  EXPECT_GT(contended_s, same_owner_s);
+}
+
+TEST(ClusterModelTest, MetadataSerialisesOnDedicatedMds) {
+  auto cfg = tiny_config();
+  cfg.dedicated_mds = true;
+  ClusterModel dedicated(cfg);
+  cfg.dedicated_mds = false;
+  ClusterModel distributed(cfg);
+
+  std::vector<RankProgram> programs;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    RankProgram p;
+    p.rank = r;
+    p.node = r % 4;
+    p.ops.push_back({OpKind::kMetaCreate, 0, r, 0, true, false, false, false,
+                     0.0});
+    programs.push_back(p);
+  }
+  const double mds_s = dedicated.run_phase(programs).duration_s;
+  const double dist_s = distributed.run_phase(programs).duration_s;
+  // 8 creates: serialised on 1 MDS vs spread over 2 servers.
+  EXPECT_NEAR(mds_s, 8e-3, 1e-6);
+  EXPECT_NEAR(dist_s, 4e-3, 1e-6);
+}
+
+TEST(ClusterModelTest, ThrashSlowsManyStreamPhases) {
+  auto cfg = tiny_config();
+  cfg.stream_thrash_alpha = 1.0;
+  cfg.streams_knee_per_server = 2;
+  cfg.client_cache_bytes = 1 << 20;  // force drain-bound behaviour
+  ClusterModel cluster(cfg);
+
+  auto make_programs = [&](std::uint32_t nstreams) {
+    std::vector<RankProgram> programs;
+    for (std::uint32_t r = 0; r < nstreams; ++r) {
+      RankProgram p;
+      p.rank = r;
+      p.node = r % 4;
+      p.ops.push_back(write_op(16 << 20, 100 + r));
+      programs.push_back(p);
+    }
+    return programs;
+  };
+  // 2 streams: below knee. 32 streams: 16/server, far above knee of 2.
+  const double few_s = cluster.run_phase(make_programs(2)).duration_s /
+                       2.0;  // per-stream time
+  ClusterModel cluster2(cfg);
+  const double many_s = cluster2.run_phase(make_programs(32)).duration_s /
+                        32.0;
+  EXPECT_GT(many_s, few_s);
+}
+
+TEST(ClusterModelTest, ServerPlacementIsDeterministicAndInRange) {
+  ClusterModel cluster(tiny_config());
+  for (std::uint64_t f = 0; f < 50; ++f) {
+    for (std::uint64_t off = 0; off < 4; ++off) {
+      const auto s = cluster.server_for(f, off << 20);
+      EXPECT_LT(s, 2u);
+      EXPECT_EQ(s, cluster.server_for(f, off << 20));
+    }
+  }
+}
+
+TEST(ClusterModelTest, StripesSpreadAcrossServers) {
+  ClusterModel cluster(tiny_config());
+  // Consecutive stripes of one file alternate servers (round robin).
+  const auto s0 = cluster.server_for(5, 0);
+  const auto s1 = cluster.server_for(5, 1 << 20);
+  EXPECT_NE(s0, s1);
+}
+
+TEST(ClusterModelTest, AdvanceTimeDrainsCaches) {
+  auto cfg = tiny_config();
+  ClusterModel cluster(cfg);
+  RankProgram p;
+  p.rank = 0;
+  p.node = 0;
+  p.ops.push_back(write_op(50 << 20, 1));
+  cluster.run_phase({p});
+  const auto before = cluster.node_cache(0).occupancy(cluster.now());
+  cluster.advance_time(10.0);
+  const auto after = cluster.node_cache(0).occupancy(cluster.now());
+  EXPECT_LT(after, before);
+}
+
+TEST(ClusterModelTest, ComputeOpTakesItsTime) {
+  ClusterModel cluster(tiny_config());
+  RankProgram p;
+  p.rank = 0;
+  p.node = 0;
+  RankOp op;
+  op.kind = OpKind::kCompute;
+  op.cpu_s = 1.25;
+  p.ops.push_back(op);
+  EXPECT_DOUBLE_EQ(cluster.run_phase({p}).duration_s, 1.25);
+}
+
+TEST(PresetTest, MinervaMatchesTableOne) {
+  const auto cfg = minerva();
+  EXPECT_EQ(cfg.nodes, 258u);
+  EXPECT_EQ(cfg.cores_per_node, 12u);
+  EXPECT_EQ(cfg.io_servers, 2u);
+  EXPECT_FALSE(cfg.dedicated_mds);
+  EXPECT_EQ(cfg.server_array.level, sim::RaidLevel::kRaid6);
+}
+
+TEST(PresetTest, SierraMatchesTableOne) {
+  const auto cfg = sierra();
+  EXPECT_EQ(cfg.nodes, 1849u);
+  EXPECT_EQ(cfg.io_servers, 24u);
+  EXPECT_TRUE(cfg.dedicated_mds);
+  EXPECT_GT(cfg.stream_thrash_alpha, 0.0);
+  EXPECT_GT(cfg.per_stream_cache_bytes, 0u);
+}
+
+TEST(PresetTest, ThrashFactorShape) {
+  const auto cfg = sierra();
+  EXPECT_DOUBLE_EQ(cfg.thrash_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.thrash_factor(24 * 32), 1.0);  // exactly at knee
+  EXPECT_GT(cfg.thrash_factor(24 * 64), 1.0);
+  EXPECT_GT(cfg.thrash_factor(24 * 256), cfg.thrash_factor(24 * 64));
+}
+
+TEST(PresetTest, SpecsPrintable) {
+  const auto specs = all_platform_specs();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "Minerva");
+  EXPECT_EQ(specs[1].name, "Sierra");
+  EXPECT_EQ(specs[1].data_disks, 3600);
+}
+
+}  // namespace
+}  // namespace ldplfs::simfs

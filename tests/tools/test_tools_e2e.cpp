@@ -1,0 +1,276 @@
+// End-to-end tests of the ldp-* command-line tools: spawn the real
+// binaries against scratch containers and check exit codes and output —
+// the executable form of the paper's §III-D claim that PLFS containers can
+// be handled with ordinary tool workflows, no FUSE needed.
+//
+// Binary locations come in via -DLDPLFS_TOOLS_DIR.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/md5.hpp"
+#include "plfs/container.hpp"
+#include "plfs/plfs.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace {
+
+using ldplfs::testing::TempDir;
+
+struct ToolResult {
+  int exit_code = -1;
+  std::string output;  // stdout
+};
+
+ToolResult run_tool(const std::string& tool,
+                    const std::vector<std::string>& args) {
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    const std::string bin = std::string(LDPLFS_TOOLS_DIR) + "/" + tool;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    for (const auto& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  ToolResult result;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(out_pipe[0], buf, sizeof buf)) > 0) {
+    result.output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Create a container holding `content` at mount/name.
+void make_container(const std::string& path, const std::string& content) {
+  auto fd = ldplfs::plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(
+      fd.value()
+          ->write({reinterpret_cast<const std::byte*>(content.data()),
+                   content.size()},
+                  0, 1)
+          .ok());
+  ASSERT_TRUE(ldplfs::plfs::plfs_close(fd.value(), 1).ok());
+}
+
+class ToolsE2eTest : public ::testing::Test {
+ protected:
+  ToolsE2eTest() : mount_flag_("--mount=" + mount_.path()) {}
+  TempDir mount_;
+  TempDir scratch_;
+  std::string mount_flag_;
+};
+
+TEST_F(ToolsE2eTest, CatPrintsLogicalContent) {
+  make_container(mount_.sub("f.dat"), "hello tools\n");
+  const auto result = run_tool("ldp-cat", {mount_flag_, mount_.sub("f.dat")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "hello tools\n");
+}
+
+TEST_F(ToolsE2eTest, Md5sumMatchesLibraryDigest) {
+  const std::string content = "digest me please";
+  make_container(mount_.sub("f.dat"), content);
+  const auto result =
+      run_tool("ldp-md5sum", {mount_flag_, mount_.sub("f.dat")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find(ldplfs::Md5::hex_digest(content)),
+            std::string::npos);
+}
+
+TEST_F(ToolsE2eTest, CpExtractsAndInjects) {
+  const std::string content(10000, 'Q');
+  make_container(mount_.sub("src.dat"), content);
+
+  // Container -> flat.
+  auto result = run_tool(
+      "ldp-cp", {mount_flag_, mount_.sub("src.dat"), scratch_.sub("flat")});
+  EXPECT_EQ(result.exit_code, 0);
+  auto flat = ldplfs::posix::read_file(scratch_.sub("flat"));
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value(), content);
+
+  // Flat -> container.
+  result = run_tool(
+      "ldp-cp", {mount_flag_, scratch_.sub("flat"), mount_.sub("back.dat")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(ldplfs::plfs::is_container(mount_.sub("back.dat")));
+  const auto sum =
+      run_tool("ldp-md5sum", {mount_flag_, mount_.sub("back.dat")});
+  EXPECT_NE(sum.output.find(ldplfs::Md5::hex_digest(content)),
+            std::string::npos);
+}
+
+TEST_F(ToolsE2eTest, GrepCountsMatches) {
+  make_container(mount_.sub("log.dat"),
+                 "one NEEDLE\ntwo hay\nthree NEEDLE again\n");
+  const auto result = run_tool(
+      "ldp-grep", {mount_flag_, "-c", "NEEDLE", mount_.sub("log.dat")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "2\n");
+}
+
+TEST_F(ToolsE2eTest, GrepNoMatchExitsOne) {
+  make_container(mount_.sub("log.dat"), "nothing here\n");
+  const auto result = run_tool(
+      "ldp-grep", {mount_flag_, "absent", mount_.sub("log.dat")});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST_F(ToolsE2eTest, GrepFixedStringMode) {
+  make_container(mount_.sub("log.dat"), "a.b\naxb\n");
+  const auto fixed = run_tool(
+      "ldp-grep", {mount_flag_, "-c", "-F", "a.b", mount_.sub("log.dat")});
+  EXPECT_EQ(fixed.output, "1\n");
+  const auto regex = run_tool(
+      "ldp-grep", {mount_flag_, "-c", "a.b", mount_.sub("log.dat")});
+  EXPECT_EQ(regex.output, "2\n");
+}
+
+TEST_F(ToolsE2eTest, InspectReportsStructure) {
+  make_container(mount_.sub("f.dat"), "0123456789");
+  const auto result =
+      run_tool("ldp-inspect", {mount_flag_, mount_.sub("f.dat")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("data droppings:  1"), std::string::npos);
+  EXPECT_NE(result.output.find("logical size: 10"), std::string::npos);
+}
+
+TEST_F(ToolsE2eTest, InspectRejectsNonContainer) {
+  ASSERT_TRUE(ldplfs::posix::write_file(mount_.sub("plain"), "x").ok());
+  const auto result =
+      run_tool("ldp-inspect", {mount_flag_, mount_.sub("plain")});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST_F(ToolsE2eTest, FlattenReducesIndexDroppings) {
+  const std::string path = mount_.sub("multi.dat");
+  auto fd = ldplfs::plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  for (int w = 0; w < 4; ++w) {
+    std::string block(100, static_cast<char>('0' + w));
+    ASSERT_TRUE(
+        fd.value()
+            ->write({reinterpret_cast<const std::byte*>(block.data()),
+                     block.size()},
+                    w * 100, 50 + w)
+            .ok());
+  }
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_TRUE(fd.value()->close(50 + w).ok());
+  }
+  EXPECT_EQ(run_tool("ldp-flatten", {mount_flag_, path}).exit_code, 0);
+  auto droppings = ldplfs::plfs::find_index_droppings(path);
+  ASSERT_TRUE(droppings.ok());
+  EXPECT_EQ(droppings.value().size(), 1u);
+}
+
+TEST_F(ToolsE2eTest, CompactReclaimsOverwrites) {
+  const std::string path = mount_.sub("ow.dat");
+  auto fd = ldplfs::plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  for (int i = 0; i < 10; ++i) {
+    std::string block(512, static_cast<char>('a' + i));
+    ASSERT_TRUE(
+        fd.value()
+            ->write({reinterpret_cast<const std::byte*>(block.data()),
+                     block.size()},
+                    0, 1)
+            .ok());
+  }
+  ASSERT_TRUE(ldplfs::plfs::plfs_close(fd.value(), 1).ok());
+  const auto result = run_tool("ldp-compact", {mount_flag_, path});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("reclaimed"), std::string::npos);
+  auto attr = ldplfs::plfs::plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 512u);
+}
+
+TEST_F(ToolsE2eTest, LsShowsContainersAsFiles) {
+  make_container(mount_.sub("a.dat"), "0123");
+  ASSERT_TRUE(ldplfs::posix::make_dir(mount_.sub("realdir")).ok());
+  const auto result = run_tool("ldp-ls", {mount_flag_, "-l", mount_.path()});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("-plfs"), std::string::npos);
+  EXPECT_NE(result.output.find("a.dat"), std::string::npos);
+  EXPECT_NE(result.output.find("realdir/"), std::string::npos);
+}
+
+TEST_F(ToolsE2eTest, RecoverClearsStaleRegistrations) {
+  const std::string path = mount_.sub("crashed.dat");
+  make_container(path, "content");
+  // Stale openhost left by a crashed writer.
+  ldplfs::plfs::ContainerLayout layout(path);
+  ldplfs::plfs::WriterId ghost{"deadhost", 77,
+                               ldplfs::plfs::next_timestamp()};
+  ASSERT_TRUE(
+      ldplfs::posix::write_file(layout.openhost_path(ghost), "").ok());
+
+  const auto result = run_tool("ldp-recover", {mount_flag_, path});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("1 stale registration"), std::string::npos);
+  auto hosts = ldplfs::plfs::read_open_hosts(path);
+  ASSERT_TRUE(hosts.ok());
+  EXPECT_TRUE(hosts.value().empty());
+}
+
+TEST_F(ToolsE2eTest, MkplfsCreatesBackend) {
+  const std::string dir = scratch_.sub("newbackend");
+  const auto result = run_tool("ldp-mkplfs", {dir});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(ldplfs::posix::is_directory(dir));
+  EXPECT_NE(result.output.find("LDPLFS_MOUNTS"), std::string::npos);
+}
+
+TEST_F(ToolsE2eTest, ToolsWorkOnPlainFilesToo) {
+  ASSERT_TRUE(
+      ldplfs::posix::write_file(scratch_.sub("plain.txt"), "plain\n").ok());
+  const auto result =
+      run_tool("ldp-cat", {mount_flag_, scratch_.sub("plain.txt")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "plain\n");
+}
+
+TEST_F(ToolsE2eTest, HelpFlagExitsZeroEverywhere) {
+  for (const char* tool :
+       {"ldp-cp", "ldp-cat", "ldp-grep", "ldp-md5sum", "ldp-inspect",
+        "ldp-flatten", "ldp-compact", "ldp-ls", "ldp-recover"}) {
+    EXPECT_EQ(run_tool(tool, {"--help"}).exit_code, 0) << tool;
+  }
+}
+
+TEST_F(ToolsE2eTest, NoArgsIsUsageError) {
+  for (const char* tool :
+       {"ldp-cp", "ldp-cat", "ldp-grep", "ldp-md5sum", "ldp-inspect",
+        "ldp-flatten", "ldp-compact", "ldp-ls", "ldp-recover"}) {
+    EXPECT_EQ(run_tool(tool, {}).exit_code, 2) << tool;
+  }
+}
+
+TEST_F(ToolsE2eTest, MissingFileFailsCleanly) {
+  const auto result =
+      run_tool("ldp-cat", {mount_flag_, mount_.sub("ghost.dat")});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Workload-generator invariants: volumes, phase counts, topology mapping —
+// the bookkeeping the figure benches depend on.
+#include <gtest/gtest.h>
+
+#include "simfs/presets.hpp"
+#include "workloads/bt_io.hpp"
+#include "workloads/flash_io.hpp"
+#include "workloads/mpiio_test.hpp"
+
+namespace ldplfs::workloads {
+namespace {
+
+TEST(BtTopologyTest, SmallCountsFitOneNode) {
+  const auto t4 = bt_topology(4, 12);
+  EXPECT_EQ(t4.nodes, 1u);
+  EXPECT_EQ(t4.ppn, 4u);
+  EXPECT_EQ(t4.nranks(), 4u);
+}
+
+TEST(BtTopologyTest, LargeCountsFillNodes) {
+  const auto t1024 = bt_topology(1024, 12);
+  EXPECT_EQ(t1024.ppn, 12u);
+  EXPECT_EQ(t1024.nodes, 86u);  // ceil(1024/12)
+  const auto t4096 = bt_topology(4096, 12);
+  EXPECT_EQ(t4096.nodes, 342u);
+}
+
+TEST(BtClassTest, PaperVolumes) {
+  // 6.4 GB and 136 GB over 20 writes (paper §IV).
+  EXPECT_NEAR(static_cast<double>(bt_class_c().total_bytes), 6.4e9, 5e8);
+  // Paper says "136 GB"; the generator uses 136 GiB (the NAS class D
+  // output is quoted loosely in the paper) — accept either convention.
+  EXPECT_NEAR(static_cast<double>(bt_class_d().total_bytes), 141e9, 6e9);
+  EXPECT_EQ(bt_class_c().write_calls, 20u);
+  EXPECT_EQ(bt_class_d().write_calls, 20u);
+}
+
+TEST(BtClassTest, PerProcessWriteSizesMatchPaperQuotes) {
+  // "approximately 300 KB of data written by each process at each step"
+  // (class C at 1024) and ~7 MB (class D at 1024), <2 MB at 4096.
+  const auto c = bt_class_c();
+  const double c_at_1024 = static_cast<double>(c.total_bytes) /
+                           c.write_calls / 1024.0;
+  EXPECT_NEAR(c_at_1024, 300e3, 60e3);
+  const auto d = bt_class_d();
+  const double d_at_1024 = static_cast<double>(d.total_bytes) /
+                           d.write_calls / 1024.0;
+  EXPECT_NEAR(d_at_1024, 7e6, 1e6);
+  const double d_at_4096 = static_cast<double>(d.total_bytes) /
+                           d.write_calls / 4096.0;
+  EXPECT_LT(d_at_4096, 2e6);
+}
+
+TEST(BtRunTest, AccountsFullVolume) {
+  const auto topo = bt_topology(64, 12);
+  const auto result =
+      run_bt(simfs::sierra(), topo, mpiio::Route::kLdplfs, bt_class_c());
+  // Volume is divided evenly across ranks; integer division may shave a
+  // sub-rank remainder.
+  const std::uint64_t expected =
+      bt_class_c().total_bytes / 20 / topo.nranks() * 20 * topo.nranks();
+  EXPECT_EQ(result.stats.bytes_written, expected);
+  EXPECT_GT(result.write_mbps, 0.0);
+}
+
+TEST(FlashIoTest, WeakScalingVolume) {
+  // ~205 MB per process, regardless of scale.
+  for (std::uint32_t nodes : {1u, 4u}) {
+    const mpi::Topology topo{nodes, 12};
+    const auto result = run_flash_io(simfs::sierra(), topo,
+                                     mpiio::Route::kLdplfs, {});
+    const double per_rank = static_cast<double>(result.stats.bytes_written) /
+                            topo.nranks();
+    EXPECT_NEAR(per_rank, 205.0 * 1048576, 5e6) << nodes;
+  }
+}
+
+TEST(FlashIoTest, VariableCountDrivesPhases) {
+  FlashIoParams params;
+  params.num_variables = 6;
+  const auto result =
+      run_flash_io(simfs::sierra(), {2, 12}, mpiio::Route::kMpiio, params);
+  EXPECT_EQ(result.stats.bytes_written,
+            params.per_rank_bytes / 6 * 6 * 24ull);
+}
+
+TEST(MpiioTestTest, WritesAndReadsSameVolume) {
+  MpiioTestParams params;
+  params.per_rank_bytes = 64ull << 20;
+  params.block_bytes = 8ull << 20;
+  const mpi::Topology topo{4, 2};
+  const auto result =
+      run_mpiio_test(simfs::minerva(), topo, mpiio::Route::kLdplfs, params);
+  EXPECT_EQ(result.write_stats.bytes_written,
+            params.per_rank_bytes * topo.nranks());
+  // Index-dropping loads are internal and excluded from the count.
+  EXPECT_EQ(result.read_stats.bytes_read,
+            params.per_rank_bytes * topo.nranks());
+  EXPECT_GT(result.write_mbps, 0.0);
+  EXPECT_GT(result.read_mbps, 0.0);
+}
+
+TEST(MpiioTestTest, PartialTrailingBlockRoundsUp) {
+  MpiioTestParams params;
+  params.per_rank_bytes = 20ull << 20;
+  params.block_bytes = 8ull << 20;  // 3 phases: 8+8+8 scheduled
+  const auto result = run_mpiio_test(simfs::minerva(), {2, 1},
+                                     mpiio::Route::kMpiio, params);
+  EXPECT_EQ(result.write_stats.bytes_written, (24ull << 20) * 2);
+}
+
+}  // namespace
+}  // namespace ldplfs::workloads

@@ -1,0 +1,193 @@
+// Shape-regression tests: the paper's qualitative results, pinned as
+// assertions. If a model change breaks who-wins or where the crossovers
+// fall, these fail — the executable form of EXPERIMENTS.md.
+//
+// Volumes are scaled down where the shape survives it, to keep the suite
+// fast; the full-volume numbers live in the bench binaries.
+#include <gtest/gtest.h>
+
+#include "simfs/presets.hpp"
+#include "workloads/bt_io.hpp"
+#include "workloads/flash_io.hpp"
+#include "workloads/mpiio_test.hpp"
+
+namespace ldplfs::workloads {
+namespace {
+
+using mpiio::Route;
+
+MpiioTestParams fig3_params() {
+  MpiioTestParams params;
+  params.per_rank_bytes = 512ull << 20;
+  params.block_bytes = 8ull << 20;
+  return params;
+}
+
+// --- Fig. 3 shapes (Minerva/GPFS) ----------------------------------------
+
+TEST(Fig3Shape, PlfsDoublesMpiioWritesAtScale) {
+  const mpi::Topology topo{16, 2};
+  const auto plfs =
+      run_mpiio_test(simfs::minerva(), topo, Route::kRomioPlfs, fig3_params());
+  const auto ufs =
+      run_mpiio_test(simfs::minerva(), topo, Route::kMpiio, fig3_params());
+  EXPECT_GT(plfs.write_mbps, 1.5 * ufs.write_mbps);
+  EXPECT_LT(plfs.write_mbps, 4.0 * ufs.write_mbps);
+}
+
+TEST(Fig3Shape, LdplfsTracksRomio) {
+  const mpi::Topology topo{8, 2};
+  const auto romio =
+      run_mpiio_test(simfs::minerva(), topo, Route::kRomioPlfs, fig3_params());
+  const auto ldplfs =
+      run_mpiio_test(simfs::minerva(), topo, Route::kLdplfs, fig3_params());
+  EXPECT_NEAR(ldplfs.write_mbps / romio.write_mbps, 1.0, 0.05);
+  EXPECT_NEAR(ldplfs.read_mbps / romio.read_mbps, 1.0, 0.05);
+}
+
+TEST(Fig3Shape, FuseBelowMpiioForParallelWrites) {
+  // "FUSE performs worse than standard MPI-IO by 20% on average" (§III-C).
+  const mpi::Topology topo{16, 2};
+  const auto fuse =
+      run_mpiio_test(simfs::minerva(), topo, Route::kFuse, fig3_params());
+  const auto ufs =
+      run_mpiio_test(simfs::minerva(), topo, Route::kMpiio, fig3_params());
+  EXPECT_LT(fuse.write_mbps, ufs.write_mbps);
+  EXPECT_GT(fuse.write_mbps, 0.3 * ufs.write_mbps);
+}
+
+TEST(Fig3Shape, FuseBelowRomioEverywhere) {
+  for (std::uint32_t nodes : {2u, 8u, 32u}) {
+    const mpi::Topology topo{nodes, 1};
+    const auto fuse =
+        run_mpiio_test(simfs::minerva(), topo, Route::kFuse, fig3_params());
+    const auto romio = run_mpiio_test(simfs::minerva(), topo,
+                                      Route::kRomioPlfs, fig3_params());
+    EXPECT_LT(fuse.write_mbps, romio.write_mbps) << nodes << " nodes";
+  }
+}
+
+TEST(Fig3Shape, WriteBandwidthScalesThenPlateaus) {
+  MpiioTestParams params = fig3_params();
+  params.per_rank_bytes = 256ull << 20;
+  const auto one = run_mpiio_test(simfs::minerva(), {1, 1},
+                                  Route::kLdplfs, params);
+  const auto four = run_mpiio_test(simfs::minerva(), {4, 1},
+                                   Route::kLdplfs, params);
+  const auto sixty_four = run_mpiio_test(simfs::minerva(), {64, 1},
+                                         Route::kLdplfs, params);
+  EXPECT_GT(four.write_mbps, 1.5 * one.write_mbps);     // scales up...
+  EXPECT_LT(sixty_four.write_mbps, 1.3 * four.write_mbps);  // ...then flat
+}
+
+TEST(Fig3Shape, NodeWiseWriteConsistentAcrossPpn) {
+  // Paper: with one aggregator per node, node-wise performance is roughly
+  // constant as ppn varies.
+  MpiioTestParams params = fig3_params();
+  params.per_rank_bytes = 128ull << 20;
+  const auto ppn1 = run_mpiio_test(simfs::minerva(), {8, 1},
+                                   Route::kLdplfs, params);
+  params.per_rank_bytes = 64ull << 20;  // same bytes per NODE
+  const auto ppn2 = run_mpiio_test(simfs::minerva(), {8, 2},
+                                   Route::kLdplfs, params);
+  EXPECT_NEAR(ppn2.write_mbps / ppn1.write_mbps, 1.0, 0.25);
+}
+
+TEST(Fig3Shape, ReadsRiseWithNodeCount) {
+  const auto small = run_mpiio_test(simfs::minerva(), {2, 1},
+                                    Route::kLdplfs, fig3_params());
+  const auto large = run_mpiio_test(simfs::minerva(), {32, 1},
+                                    Route::kLdplfs, fig3_params());
+  EXPECT_GT(large.read_mbps, small.read_mbps);
+}
+
+// --- Fig. 4 shapes (BT on Sierra/Lustre) ----------------------------------
+
+TEST(Fig4Shape, PlfsFarAheadOfMpiioForSmallCachedWrites) {
+  // Class C at 1,024 cores: ~300 KB per process per call — the write-cache
+  // regime where the paper reports 10-20x.
+  const auto topo = bt_topology(1024, 12);
+  const auto plfs =
+      run_bt(simfs::sierra(), topo, Route::kLdplfs, bt_class_c());
+  const auto ufs = run_bt(simfs::sierra(), topo, Route::kMpiio, bt_class_c());
+  EXPECT_GT(plfs.write_mbps, 8.0 * ufs.write_mbps);
+}
+
+TEST(Fig4Shape, ClassDDipsAt1024AndRecoversAt4096) {
+  const auto d = bt_class_d();
+  const auto at256 =
+      run_bt(simfs::sierra(), bt_topology(256, 12), Route::kLdplfs, d);
+  const auto at1024 =
+      run_bt(simfs::sierra(), bt_topology(1024, 12), Route::kLdplfs, d);
+  const auto at4096 =
+      run_bt(simfs::sierra(), bt_topology(4096, 12), Route::kLdplfs, d);
+  EXPECT_LT(at1024.write_mbps, 0.5 * at256.write_mbps);   // the dip
+  EXPECT_GT(at4096.write_mbps, 2.0 * at1024.write_mbps);  // the recovery
+}
+
+TEST(Fig4Shape, DipStaysAboveOrNearMpiio) {
+  const auto topo = bt_topology(1024, 12);
+  const auto plfs =
+      run_bt(simfs::sierra(), topo, Route::kLdplfs, bt_class_d());
+  const auto ufs = run_bt(simfs::sierra(), topo, Route::kMpiio, bt_class_d());
+  // "performance that is equivalent to vanilla MPI-IO" — same ballpark.
+  EXPECT_GT(plfs.write_mbps, 0.5 * ufs.write_mbps);
+  EXPECT_LT(plfs.write_mbps, 4.0 * ufs.write_mbps);
+}
+
+// --- Fig. 5 shapes (FLASH-IO on Sierra/Lustre) ----------------------------
+
+TEST(Fig5Shape, MpiioRisesToPlateau) {
+  const auto at12 = run_flash_io(simfs::sierra(), {1, 12}, Route::kMpiio, {});
+  const auto at192 =
+      run_flash_io(simfs::sierra(), {16, 12}, Route::kMpiio, {});
+  const auto at3072 =
+      run_flash_io(simfs::sierra(), {256, 12}, Route::kMpiio, {});
+  EXPECT_GT(at192.write_mbps, 1.5 * at12.write_mbps);
+  EXPECT_NEAR(at3072.write_mbps / at192.write_mbps, 1.0, 0.15);
+}
+
+TEST(Fig5Shape, PlfsPeaksMidScaleThenCollapsesBelowMpiio) {
+  const auto at12 =
+      run_flash_io(simfs::sierra(), {1, 12}, Route::kRomioPlfs, {});
+  const auto at192 =
+      run_flash_io(simfs::sierra(), {16, 12}, Route::kRomioPlfs, {});
+  const auto at3072 =
+      run_flash_io(simfs::sierra(), {256, 12}, Route::kRomioPlfs, {});
+  const auto mpiio_at3072 =
+      run_flash_io(simfs::sierra(), {256, 12}, Route::kMpiio, {});
+
+  EXPECT_GT(at192.write_mbps, 3.0 * at12.write_mbps);  // sharp rise
+  EXPECT_LT(at3072.write_mbps, 0.25 * at192.write_mbps);  // collapse
+  EXPECT_LT(at3072.write_mbps, mpiio_at3072.write_mbps);  // below MPI-IO
+}
+
+TEST(Fig5Shape, PlfsWinsAtModerateScale) {
+  // Up to ~16 nodes PLFS is the clear winner (the paper's pitch).
+  const auto plfs =
+      run_flash_io(simfs::sierra(), {8, 12}, Route::kRomioPlfs, {});
+  const auto ufs = run_flash_io(simfs::sierra(), {8, 12}, Route::kMpiio, {});
+  EXPECT_GT(plfs.write_mbps, 2.0 * ufs.write_mbps);
+}
+
+TEST(Fig5Shape, CollapseNeedsTheDedicatedMds) {
+  // Counterfactual: the same workload on a GPFS-like metadata layout (and
+  // thrash-free backend) does not collapse below MPI-IO.
+  auto cfg = simfs::sierra();
+  cfg.dedicated_mds = false;
+  cfg.stream_thrash_alpha = 0.0;
+  const auto plfs = run_flash_io(cfg, {256, 12}, Route::kRomioPlfs, {});
+  const auto ufs = run_flash_io(cfg, {256, 12}, Route::kMpiio, {});
+  EXPECT_GT(plfs.write_mbps, ufs.write_mbps);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(SimulationDeterminism, IdenticalRunsIdenticalNumbers) {
+  const auto a = run_flash_io(simfs::sierra(), {16, 12}, Route::kLdplfs, {});
+  const auto b = run_flash_io(simfs::sierra(), {16, 12}, Route::kLdplfs, {});
+  EXPECT_DOUBLE_EQ(a.write_mbps, b.write_mbps);
+}
+
+}  // namespace
+}  // namespace ldplfs::workloads
