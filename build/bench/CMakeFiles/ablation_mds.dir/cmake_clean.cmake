@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mds.dir/ablation_mds.cpp.o"
+  "CMakeFiles/ablation_mds.dir/ablation_mds.cpp.o.d"
+  "ablation_mds"
+  "ablation_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plfs_modes.dir/ablation_plfs_modes.cpp.o"
+  "CMakeFiles/ablation_plfs_modes.dir/ablation_plfs_modes.cpp.o.d"
+  "ablation_plfs_modes"
+  "ablation_plfs_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plfs_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sieving.dir/ablation_sieving.cpp.o"
+  "CMakeFiles/ablation_sieving.dir/ablation_sieving.cpp.o.d"
+  "ablation_sieving"
+  "ablation_sieving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sieving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

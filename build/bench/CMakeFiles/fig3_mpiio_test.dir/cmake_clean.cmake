@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mpiio_test.dir/fig3_mpiio_test.cpp.o"
+  "CMakeFiles/fig3_mpiio_test.dir/fig3_mpiio_test.cpp.o.d"
+  "fig3_mpiio_test"
+  "fig3_mpiio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mpiio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bt.dir/fig4_bt.cpp.o"
+  "CMakeFiles/fig4_bt.dir/fig4_bt.cpp.o.d"
+  "fig4_bt"
+  "fig4_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

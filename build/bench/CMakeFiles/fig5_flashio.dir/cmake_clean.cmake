@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flashio.dir/fig5_flashio.cpp.o"
+  "CMakeFiles/fig5_flashio.dir/fig5_flashio.cpp.o.d"
+  "fig5_flashio"
+  "fig5_flashio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

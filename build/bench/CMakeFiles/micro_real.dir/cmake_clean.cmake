@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_real.dir/micro_real.cpp.o"
+  "CMakeFiles/micro_real.dir/micro_real.cpp.o.d"
+  "micro_real"
+  "micro_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

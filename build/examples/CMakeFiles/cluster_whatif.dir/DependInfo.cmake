@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_whatif.cpp" "examples/CMakeFiles/cluster_whatif.dir/cluster_whatif.cpp.o" "gcc" "examples/CMakeFiles/cluster_whatif.dir/cluster_whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ldplfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/ldplfs_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/ldplfs_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ldplfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

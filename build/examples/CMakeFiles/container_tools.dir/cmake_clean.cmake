@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_tools.dir/container_tools.cpp.o"
+  "CMakeFiles/container_tools.dir/container_tools.cpp.o.d"
+  "container_tools"
+  "container_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_advisor.dir/deploy_advisor.cpp.o"
+  "CMakeFiles/deploy_advisor.dir/deploy_advisor.cpp.o.d"
+  "deploy_advisor"
+  "deploy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

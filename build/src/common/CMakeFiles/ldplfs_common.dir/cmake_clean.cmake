@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_common.dir/logging.cpp.o"
+  "CMakeFiles/ldplfs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ldplfs_common.dir/md5.cpp.o"
+  "CMakeFiles/ldplfs_common.dir/md5.cpp.o.d"
+  "CMakeFiles/ldplfs_common.dir/paths.cpp.o"
+  "CMakeFiles/ldplfs_common.dir/paths.cpp.o.d"
+  "CMakeFiles/ldplfs_common.dir/strings.cpp.o"
+  "CMakeFiles/ldplfs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ldplfs_common.dir/units.cpp.o"
+  "CMakeFiles/ldplfs_common.dir/units.cpp.o.d"
+  "libldplfs_common.a"
+  "libldplfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

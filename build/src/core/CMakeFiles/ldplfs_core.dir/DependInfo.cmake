@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fd_table.cpp" "src/core/CMakeFiles/ldplfs_core.dir/fd_table.cpp.o" "gcc" "src/core/CMakeFiles/ldplfs_core.dir/fd_table.cpp.o.d"
+  "/root/repo/src/core/mounts.cpp" "src/core/CMakeFiles/ldplfs_core.dir/mounts.cpp.o" "gcc" "src/core/CMakeFiles/ldplfs_core.dir/mounts.cpp.o.d"
+  "/root/repo/src/core/real_calls.cpp" "src/core/CMakeFiles/ldplfs_core.dir/real_calls.cpp.o" "gcc" "src/core/CMakeFiles/ldplfs_core.dir/real_calls.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/ldplfs_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/ldplfs_core.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plfs/CMakeFiles/ldplfs_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_core.dir/fd_table.cpp.o"
+  "CMakeFiles/ldplfs_core.dir/fd_table.cpp.o.d"
+  "CMakeFiles/ldplfs_core.dir/mounts.cpp.o"
+  "CMakeFiles/ldplfs_core.dir/mounts.cpp.o.d"
+  "CMakeFiles/ldplfs_core.dir/real_calls.cpp.o"
+  "CMakeFiles/ldplfs_core.dir/real_calls.cpp.o.d"
+  "CMakeFiles/ldplfs_core.dir/router.cpp.o"
+  "CMakeFiles/ldplfs_core.dir/router.cpp.o.d"
+  "libldplfs_core.a"
+  "libldplfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_mpiio.dir/driver.cpp.o"
+  "CMakeFiles/ldplfs_mpiio.dir/driver.cpp.o.d"
+  "libldplfs_mpiio.a"
+  "libldplfs_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

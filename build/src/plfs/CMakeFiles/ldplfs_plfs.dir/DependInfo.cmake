@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plfs/compaction.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/compaction.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/compaction.cpp.o.d"
+  "/root/repo/src/plfs/container.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/container.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/container.cpp.o.d"
+  "/root/repo/src/plfs/extent_map.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/extent_map.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/extent_map.cpp.o.d"
+  "/root/repo/src/plfs/index.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/index.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/index.cpp.o.d"
+  "/root/repo/src/plfs/index_format.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/index_format.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/index_format.cpp.o.d"
+  "/root/repo/src/plfs/plfs.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/plfs.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/plfs.cpp.o.d"
+  "/root/repo/src/plfs/read_file.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/read_file.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/read_file.cpp.o.d"
+  "/root/repo/src/plfs/recovery.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/recovery.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/recovery.cpp.o.d"
+  "/root/repo/src/plfs/write_file.cpp" "src/plfs/CMakeFiles/ldplfs_plfs.dir/write_file.cpp.o" "gcc" "src/plfs/CMakeFiles/ldplfs_plfs.dir/write_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_plfs.dir/compaction.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/compaction.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/container.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/container.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/extent_map.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/extent_map.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/index.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/index.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/index_format.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/index_format.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/plfs.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/plfs.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/read_file.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/read_file.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/recovery.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/recovery.cpp.o.d"
+  "CMakeFiles/ldplfs_plfs.dir/write_file.cpp.o"
+  "CMakeFiles/ldplfs_plfs.dir/write_file.cpp.o.d"
+  "libldplfs_plfs.a"
+  "libldplfs_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

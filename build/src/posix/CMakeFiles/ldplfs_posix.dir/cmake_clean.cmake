@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_posix.dir/fd.cpp.o"
+  "CMakeFiles/ldplfs_posix.dir/fd.cpp.o.d"
+  "libldplfs_posix.a"
+  "libldplfs_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs.dir/preload.cpp.o"
+  "CMakeFiles/ldplfs.dir/preload.cpp.o.d"
+  "libldplfs.pdb"
+  "libldplfs.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_wrap.dir/wrap.cpp.o"
+  "CMakeFiles/ldplfs_wrap.dir/wrap.cpp.o.d"
+  "libldplfs_wrap.a"
+  "libldplfs_wrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_wrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ldplfs_wrap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_sim.dir/engine.cpp.o"
+  "CMakeFiles/ldplfs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ldplfs_sim.dir/station.cpp.o"
+  "CMakeFiles/ldplfs_sim.dir/station.cpp.o.d"
+  "libldplfs_sim.a"
+  "libldplfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

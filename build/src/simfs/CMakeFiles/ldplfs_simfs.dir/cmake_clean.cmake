@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_simfs.dir/analytic.cpp.o"
+  "CMakeFiles/ldplfs_simfs.dir/analytic.cpp.o.d"
+  "CMakeFiles/ldplfs_simfs.dir/cluster.cpp.o"
+  "CMakeFiles/ldplfs_simfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/ldplfs_simfs.dir/presets.cpp.o"
+  "CMakeFiles/ldplfs_simfs.dir/presets.cpp.o.d"
+  "CMakeFiles/ldplfs_simfs.dir/report.cpp.o"
+  "CMakeFiles/ldplfs_simfs.dir/report.cpp.o.d"
+  "libldplfs_simfs.a"
+  "libldplfs_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

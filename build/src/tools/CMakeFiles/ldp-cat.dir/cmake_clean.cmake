@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-cat.dir/ldp_cat.cpp.o"
+  "CMakeFiles/ldp-cat.dir/ldp_cat.cpp.o.d"
+  "ldp-cat"
+  "ldp-cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-compact.dir/ldp_compact.cpp.o"
+  "CMakeFiles/ldp-compact.dir/ldp_compact.cpp.o.d"
+  "ldp-compact"
+  "ldp-compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

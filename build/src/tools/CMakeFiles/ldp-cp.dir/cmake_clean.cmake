@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-cp.dir/ldp_cp.cpp.o"
+  "CMakeFiles/ldp-cp.dir/ldp_cp.cpp.o.d"
+  "ldp-cp"
+  "ldp-cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

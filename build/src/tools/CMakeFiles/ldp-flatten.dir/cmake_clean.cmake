@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-flatten.dir/ldp_flatten.cpp.o"
+  "CMakeFiles/ldp-flatten.dir/ldp_flatten.cpp.o.d"
+  "ldp-flatten"
+  "ldp-flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-grep.dir/ldp_grep.cpp.o"
+  "CMakeFiles/ldp-grep.dir/ldp_grep.cpp.o.d"
+  "ldp-grep"
+  "ldp-grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/ldp_inspect.cpp" "src/tools/CMakeFiles/ldp-inspect.dir/ldp_inspect.cpp.o" "gcc" "src/tools/CMakeFiles/ldp-inspect.dir/ldp_inspect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/ldplfs_tool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldplfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ldplfs_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-inspect.dir/ldp_inspect.cpp.o"
+  "CMakeFiles/ldp-inspect.dir/ldp_inspect.cpp.o.d"
+  "ldp-inspect"
+  "ldp-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

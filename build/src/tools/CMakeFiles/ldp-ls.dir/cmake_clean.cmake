@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-ls.dir/ldp_ls.cpp.o"
+  "CMakeFiles/ldp-ls.dir/ldp_ls.cpp.o.d"
+  "ldp-ls"
+  "ldp-ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

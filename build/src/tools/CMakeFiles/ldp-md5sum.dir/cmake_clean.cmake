@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-md5sum.dir/ldp_md5sum.cpp.o"
+  "CMakeFiles/ldp-md5sum.dir/ldp_md5sum.cpp.o.d"
+  "ldp-md5sum"
+  "ldp-md5sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-md5sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

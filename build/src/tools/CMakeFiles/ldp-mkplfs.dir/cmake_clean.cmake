@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-mkplfs.dir/ldp_mkplfs.cpp.o"
+  "CMakeFiles/ldp-mkplfs.dir/ldp_mkplfs.cpp.o.d"
+  "ldp-mkplfs"
+  "ldp-mkplfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-mkplfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp-recover.dir/ldp_recover.cpp.o"
+  "CMakeFiles/ldp-recover.dir/ldp_recover.cpp.o.d"
+  "ldp-recover"
+  "ldp-recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp-recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

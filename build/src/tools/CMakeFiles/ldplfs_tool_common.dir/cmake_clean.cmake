@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_tool_common.dir/tool_common.cpp.o"
+  "CMakeFiles/ldplfs_tool_common.dir/tool_common.cpp.o.d"
+  "libldplfs_tool_common.a"
+  "libldplfs_tool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_tool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldplfs_workloads.dir/bt_io.cpp.o"
+  "CMakeFiles/ldplfs_workloads.dir/bt_io.cpp.o.d"
+  "CMakeFiles/ldplfs_workloads.dir/flash_io.cpp.o"
+  "CMakeFiles/ldplfs_workloads.dir/flash_io.cpp.o.d"
+  "CMakeFiles/ldplfs_workloads.dir/mpiio_test.cpp.o"
+  "CMakeFiles/ldplfs_workloads.dir/mpiio_test.cpp.o.d"
+  "libldplfs_workloads.a"
+  "libldplfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldplfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

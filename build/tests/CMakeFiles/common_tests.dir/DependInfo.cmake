@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_md5.cpp" "tests/CMakeFiles/common_tests.dir/common/test_md5.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_md5.cpp.o.d"
+  "/root/repo/tests/common/test_paths.cpp" "tests/CMakeFiles/common_tests.dir/common/test_paths.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_paths.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/common_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/CMakeFiles/common_tests.dir/common/test_strings.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/common_tests.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

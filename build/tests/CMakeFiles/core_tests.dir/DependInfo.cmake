@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_fd_table.cpp" "tests/CMakeFiles/core_tests.dir/core/test_fd_table.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_fd_table.cpp.o.d"
+  "/root/repo/tests/core/test_mounts.cpp" "tests/CMakeFiles/core_tests.dir/core/test_mounts.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_mounts.cpp.o.d"
+  "/root/repo/tests/core/test_router.cpp" "tests/CMakeFiles/core_tests.dir/core/test_router.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_router.cpp.o.d"
+  "/root/repo/tests/core/test_router_differential.cpp" "tests/CMakeFiles/core_tests.dir/core/test_router_differential.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_router_differential.cpp.o.d"
+  "/root/repo/tests/core/test_router_threads.cpp" "tests/CMakeFiles/core_tests.dir/core/test_router_threads.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_router_threads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ldplfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ldplfs_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_fd_table.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_fd_table.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_mounts.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_mounts.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_router.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_router.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_router_differential.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_router_differential.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_router_threads.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_router_threads.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_tests.dir/mpi/test_mpi.cpp.o"
+  "CMakeFiles/mpi_tests.dir/mpi/test_mpi.cpp.o.d"
+  "mpi_tests"
+  "mpi_tests.pdb"
+  "mpi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_tests.dir/mpiio/test_driver.cpp.o"
+  "CMakeFiles/mpiio_tests.dir/mpiio/test_driver.cpp.o.d"
+  "mpiio_tests"
+  "mpiio_tests.pdb"
+  "mpiio_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

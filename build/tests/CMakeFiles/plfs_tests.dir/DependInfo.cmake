@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plfs/test_compaction.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_compaction.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_compaction.cpp.o.d"
+  "/root/repo/tests/plfs/test_container.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_container.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_container.cpp.o.d"
+  "/root/repo/tests/plfs/test_extent_map.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_extent_map.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_extent_map.cpp.o.d"
+  "/root/repo/tests/plfs/test_index_format.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_index_format.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_index_format.cpp.o.d"
+  "/root/repo/tests/plfs/test_plfs_api.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_plfs_api.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_plfs_api.cpp.o.d"
+  "/root/repo/tests/plfs/test_recovery.cpp" "tests/CMakeFiles/plfs_tests.dir/plfs/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/plfs_tests.dir/plfs/test_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plfs/CMakeFiles/ldplfs_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/ldplfs_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfs_tests.dir/plfs/test_compaction.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_compaction.cpp.o.d"
+  "CMakeFiles/plfs_tests.dir/plfs/test_container.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_container.cpp.o.d"
+  "CMakeFiles/plfs_tests.dir/plfs/test_extent_map.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_extent_map.cpp.o.d"
+  "CMakeFiles/plfs_tests.dir/plfs/test_index_format.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_index_format.cpp.o.d"
+  "CMakeFiles/plfs_tests.dir/plfs/test_plfs_api.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_plfs_api.cpp.o.d"
+  "CMakeFiles/plfs_tests.dir/plfs/test_recovery.cpp.o"
+  "CMakeFiles/plfs_tests.dir/plfs/test_recovery.cpp.o.d"
+  "plfs_tests"
+  "plfs_tests.pdb"
+  "plfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

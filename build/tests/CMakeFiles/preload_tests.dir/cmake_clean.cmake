@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_tests.dir/preload/test_multiprocess.cpp.o"
+  "CMakeFiles/preload_tests.dir/preload/test_multiprocess.cpp.o.d"
+  "CMakeFiles/preload_tests.dir/preload/test_preload_e2e.cpp.o"
+  "CMakeFiles/preload_tests.dir/preload/test_preload_e2e.cpp.o.d"
+  "preload_tests"
+  "preload_tests.pdb"
+  "preload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_devices.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_devices.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_devices.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_station.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_station.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ldplfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldplfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfs_tests.dir/simfs/test_analytic.cpp.o"
+  "CMakeFiles/simfs_tests.dir/simfs/test_analytic.cpp.o.d"
+  "CMakeFiles/simfs_tests.dir/simfs/test_cluster.cpp.o"
+  "CMakeFiles/simfs_tests.dir/simfs/test_cluster.cpp.o.d"
+  "CMakeFiles/simfs_tests.dir/simfs/test_report.cpp.o"
+  "CMakeFiles/simfs_tests.dir/simfs/test_report.cpp.o.d"
+  "simfs_tests"
+  "simfs_tests.pdb"
+  "simfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrap_tests.dir/preload/test_wrap_e2e.cpp.o"
+  "CMakeFiles/wrap_tests.dir/preload/test_wrap_e2e.cpp.o.d"
+  "wrap_tests"
+  "wrap_tests.pdb"
+  "wrap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrap_victim.dir/preload/preload_victim.cpp.o"
+  "CMakeFiles/wrap_victim.dir/preload/preload_victim.cpp.o.d"
+  "wrap_victim"
+  "wrap_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrap_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
