@@ -1,13 +1,72 @@
 #include "core/real_calls.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+
+#include "posix/faults.hpp"
 
 namespace ldplfs::core {
 
 namespace {
 
+// The default table consults the fault plan before touching libc, so tools
+// and in-process users can have their passthrough I/O failed or shortened
+// with LDPLFS_FAULTS exactly like the PLFS-internal posix:: helpers. Each
+// wrapper costs one relaxed atomic load when no plan is installed.
+namespace faults = ldplfs::posix::faults;
+
+bool fault_fail(faults::Op op, std::size_t requested, std::size_t* cap) {
+  const auto fault = faults::next(op, requested);
+  if (fault.kind == faults::Outcome::Kind::kFail) {
+    errno = fault.err;
+    return true;
+  }
+  if (fault.kind == faults::Outcome::Kind::kShort && cap != nullptr) {
+    *cap = std::min(*cap, fault.max_bytes);
+  }
+  return false;
+}
+
 int libc_open(const char* path, int flags, mode_t mode) {
+  if (fault_fail(faults::Op::kOpen, 0, nullptr)) return -1;
   return ::open(path, flags, mode);
+}
+int libc_close(int fd) {
+  if (fault_fail(faults::Op::kClose, 0, nullptr)) return -1;
+  return ::close(fd);
+}
+ssize_t libc_read(int fd, void* buf, size_t count) {
+  if (fault_fail(faults::Op::kRead, count, &count)) return -1;
+  return ::read(fd, buf, count);
+}
+ssize_t libc_write(int fd, const void* buf, size_t count) {
+  if (fault_fail(faults::Op::kWrite, count, &count)) return -1;
+  return ::write(fd, buf, count);
+}
+ssize_t libc_pread(int fd, void* buf, size_t count, off_t offset) {
+  if (fault_fail(faults::Op::kPread, count, &count)) return -1;
+  return ::pread(fd, buf, count, offset);
+}
+ssize_t libc_pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  if (fault_fail(faults::Op::kPwrite, count, &count)) return -1;
+  return ::pwrite(fd, buf, count, offset);
+}
+int libc_fsync(int fd) {
+  if (fault_fail(faults::Op::kFsync, 0, nullptr)) return -1;
+  return ::fsync(fd);
+}
+int libc_unlink(const char* path) {
+  if (fault_fail(faults::Op::kUnlink, 0, nullptr)) return -1;
+  return ::unlink(path);
+}
+int libc_rename(const char* from, const char* to) {
+  if (fault_fail(faults::Op::kRename, 0, nullptr)) return -1;
+  return ::rename(from, to);
+}
+int libc_mkdir(const char* path, mode_t mode) {
+  if (fault_fail(faults::Op::kMkdir, 0, nullptr)) return -1;
+  return ::mkdir(path, mode);
 }
 int libc_stat(const char* path, struct ::stat* st) { return ::stat(path, st); }
 int libc_lstat(const char* path, struct ::stat* st) {
@@ -21,25 +80,25 @@ const RealCalls& libc_calls() {
   static const RealCalls calls = [] {
     RealCalls c;
     c.open = libc_open;
-    c.close = ::close;
-    c.read = ::read;
-    c.write = ::write;
-    c.pread = ::pread;
-    c.pwrite = ::pwrite;
+    c.close = libc_close;
+    c.read = libc_read;
+    c.write = libc_write;
+    c.pread = libc_pread;
+    c.pwrite = libc_pwrite;
     c.lseek = ::lseek;
     c.dup = ::dup;
     c.dup2 = ::dup2;
-    c.fsync = ::fsync;
+    c.fsync = libc_fsync;
     c.fdatasync = ::fdatasync;
     c.ftruncate = ::ftruncate;
     c.truncate = ::truncate;
-    c.unlink = ::unlink;
+    c.unlink = libc_unlink;
     c.access = ::access;
     c.stat = libc_stat;
     c.lstat = libc_lstat;
     c.fstat = libc_fstat;
-    c.rename = ::rename;
-    c.mkdir = ::mkdir;
+    c.rename = libc_rename;
+    c.mkdir = libc_mkdir;
     c.rmdir = ::rmdir;
     return c;
   }();

@@ -113,7 +113,8 @@ IndexWriter::IndexWriter(IndexWriter&& other) noexcept
     : index_path_(std::move(other.index_path_)),
       fd_(std::exchange(other.fd_, -1)),
       pending_(std::move(other.pending_)),
-      records_written_(other.records_written_) {}
+      records_written_(other.records_written_),
+      deferred_errno_(other.deferred_errno_) {}
 
 IndexWriter& IndexWriter::operator=(IndexWriter&& other) noexcept {
   if (this != &other) {
@@ -122,6 +123,7 @@ IndexWriter& IndexWriter::operator=(IndexWriter&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     pending_ = std::move(other.pending_);
     records_written_ = other.records_written_;
+    deferred_errno_ = other.deferred_errno_;
   }
   return *this;
 }
@@ -176,13 +178,20 @@ void IndexWriter::add_truncate(std::uint64_t size, std::uint64_t timestamp) {
 }
 
 Status IndexWriter::flush() {
+  if (deferred_errno_ != 0) return Errno{deferred_errno_};
   if (fd_ < 0) return Errno{EBADF};
   if (pending_.empty()) return Status::success();
   auto s = posix::write_all(
       fd_, std::span<const std::byte>(
                reinterpret_cast<const std::byte*>(pending_.data()),
                pending_.size() * sizeof(IndexRecord)));
-  if (!s) return s;
+  if (!s) {
+    // The append may have torn a record at the tail; writing more would
+    // misalign everything after it. Poison the writer instead (see header).
+    deferred_errno_ = s.error_code();
+    pending_.clear();
+    return s;
+  }
   records_written_ += pending_.size();
   pending_.clear();
   return Status::success();
@@ -190,8 +199,8 @@ Status IndexWriter::flush() {
 
 Status IndexWriter::close() {
   if (fd_ < 0) return Status::success();
-  auto s = flush();
-  ::close(fd_);
+  Status s = flush();
+  if (auto c = posix::close_fd(fd_); !c && s.ok()) s = c;
   fd_ = -1;
   return s;
 }

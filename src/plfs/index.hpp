@@ -77,6 +77,13 @@ class IndexWriter {
   void add_truncate(std::uint64_t size, std::uint64_t timestamp);
 
   /// Append buffered records to the file.
+  ///
+  /// A failed append may have left a torn record at the dropping's tail;
+  /// appending anything after that tear would shear every later record out
+  /// of 40-byte alignment. So a flush failure is *sticky*: buffered records
+  /// are dropped and every subsequent flush()/close() reports the original
+  /// errno (POSIX deferred-error semantics, as fsync does for write-back
+  /// failures).
   Status flush();
 
   /// Flush and close. Idempotent.
@@ -86,6 +93,9 @@ class IndexWriter {
     return records_written_;
   }
 
+  /// Errno of the first failed append, or 0. See flush().
+  [[nodiscard]] int deferred_errno() const { return deferred_errno_; }
+
  private:
   IndexWriter() = default;
 
@@ -93,6 +103,7 @@ class IndexWriter {
   int fd_ = -1;
   std::vector<IndexRecord> pending_;
   std::uint64_t records_written_ = 0;
+  int deferred_errno_ = 0;
 };
 
 }  // namespace ldplfs::plfs

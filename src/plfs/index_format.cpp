@@ -53,6 +53,7 @@ Result<IndexDropping> decode_index_dropping(const std::string& bytes) {
 
   const std::size_t record_bytes = bytes.size() - pos;
   const std::size_t whole = record_bytes / sizeof(IndexRecord);
+  out.torn_tail_bytes = record_bytes - whole * sizeof(IndexRecord);
   out.records.resize(whole);
   std::memcpy(out.records.data(), bytes.data() + pos,
               whole * sizeof(IndexRecord));

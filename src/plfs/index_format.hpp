@@ -42,6 +42,9 @@ static_assert(sizeof(IndexRecord) == 40, "on-disk record must stay 40 bytes");
 struct IndexDropping {
   std::vector<std::string> data_paths;  // relative to container root
   std::vector<IndexRecord> records;
+  /// Bytes of a trailing partial record (a torn crash-time append). The
+  /// decoder ignores them; recovery trims them off and reports the count.
+  std::uint64_t torn_tail_bytes = 0;
 };
 
 /// Serialise header + path table (records are appended afterwards).

@@ -2,13 +2,55 @@
 
 #include <unistd.h>
 
+#include <unordered_set>
+
 #include "common/paths.hpp"
+#include "common/strings.hpp"
 #include "plfs/container.hpp"
 #include "plfs/index.hpp"
+#include "plfs/index_format.hpp"
 #include "plfs/plfs.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
+
+Result<DamageReport> plfs_scan(const std::string& path) {
+  if (!is_container(path)) return Errno{ENOENT};
+  DamageReport report;
+
+  auto index_paths = find_index_droppings(path);
+  if (!index_paths) return index_paths.error();
+  // Every data-dropping path any index's path table mentions — including
+  // paths of extents that are fully overwritten, so a dropping is only an
+  // orphan when *no* index knows it at all.
+  std::unordered_set<std::string> referenced;
+  for (const auto& index_path : index_paths.value()) {
+    auto dropping = load_index_dropping(index_path);
+    if (!dropping) {
+      report.unreadable_droppings.push_back(index_path);
+      continue;
+    }
+    if (dropping.value().torn_tail_bytes > 0) {
+      report.torn_tails.emplace_back(index_path,
+                                     dropping.value().torn_tail_bytes);
+    }
+    for (const auto& rel : dropping.value().data_paths) referenced.insert(rel);
+  }
+
+  auto data_paths = find_data_droppings(path);
+  if (!data_paths) return data_paths.error();
+  std::string prefix = path;
+  while (prefix.size() > 1 && prefix.back() == '/') prefix.pop_back();
+  prefix += '/';
+  for (const auto& full : data_paths.value()) {
+    std::string rel = full;
+    if (starts_with(full, prefix)) rel = full.substr(prefix.size());
+    if (referenced.find(rel) == referenced.end()) {
+      report.orphaned_droppings.push_back(rel);
+    }
+  }
+  return report;
+}
 
 Result<RecoveryStats> plfs_recover(const std::string& path) {
   if (!is_container(path)) return Errno{ENOENT};
@@ -26,18 +68,52 @@ Result<RecoveryStats> plfs_recover(const std::string& path) {
     }
   }
 
-  // 2. Rebuild the truth from the index droppings (torn tails are skipped
-  //    by the decoder; unindexed data-dropping bytes are simply invisible),
-  //    and consolidate it: recovery flattens to a single index dropping,
-  //    which both speeds later opens and re-arms the getattr fast path
-  //    (one authoritative hint covering one index dropping).
+  // 2. Damage survey: torn index tails, undecodable index droppings, data
+  //    droppings no index references.
+  auto scan = plfs_scan(path);
+  if (!scan) return scan.error();
+  stats.orphaned_droppings = scan.value().orphaned_droppings.size();
+  stats.torn_tail_bytes = scan.value().torn_tail_bytes();
+
+  // 3. Trim torn tails back to the last whole record. The decoder already
+  //    ignores the fragment, but a later writer appending to the same file
+  //    (or a naive external parser) must never see records shifted out of
+  //    40-byte alignment by it.
+  for (const auto& [index_path, torn] : scan.value().torn_tails) {
+    auto st = posix::stat_path(index_path);
+    if (!st) return st.error();
+    const off_t clean =
+        st.value().st_size - static_cast<off_t>(torn);
+    if (auto s = posix::truncate_path(index_path, clean); !s) return s.error();
+  }
+
+  // 4. Quarantine undecodable index droppings instead of failing the whole
+  //    recovery: renamed with a "quarantined." prefix they stop matching the
+  //    dropping globs (so merges and opens work again) but stay on disk for
+  //    forensics. Their data droppings are counted with the orphans above.
+  for (const auto& index_path : scan.value().unreadable_droppings) {
+    const std::string quarantined =
+        path_join(path_dirname(index_path),
+                  "quarantined." + path_basename(index_path));
+    if (auto s = posix::rename_path(index_path, quarantined); !s) {
+      return s.error();
+    }
+    ++stats.quarantined_droppings;
+  }
+  stats.index_readable = stats.quarantined_droppings == 0;
+
+  // 5. Rebuild the truth from the surviving index droppings and consolidate
+  //    it: recovery flattens to a single index dropping, which both speeds
+  //    later opens and re-arms the getattr fast path (one authoritative
+  //    hint covering one index dropping). Orphaned data droppings are left
+  //    in place — recovery never deletes data; compaction prunes them once
+  //    the container is healthy again.
   auto index = GlobalIndex::build(path);
   if (!index) return index.error();
-  stats.index_readable = true;
   stats.logical_size = index.value().size();
   if (auto s = plfs_flatten(path); !s) return s.error();
 
-  // 3. Replace all size hints with one accurate hint so the getattr fast
+  // 6. Replace all size hints with one accurate hint so the getattr fast
   //    path works again.
   auto hints = posix::list_dir(layout.metadata_path());
   if (hints) {

@@ -1,33 +1,69 @@
 // Container recovery after writer crashes.
 //
-// A writer killed mid-stream leaves three kinds of debris (exercised in
-// tests/preload/test_multiprocess.cpp): a stale openhosts/ registration
-// (which blocks compaction and disables the getattr fast path forever), a
-// possibly-torn index dropping tail (ignored by the decoder, but the
-// unindexed data-dropping bytes are dead weight), and missing/stale
-// metadata size hints. plfs_recover reconciles all of it from the one
-// source of truth that survives any crash: the index droppings.
+// A writer killed mid-stream leaves four kinds of debris (exercised in
+// tests/preload/test_multiprocess.cpp and tests/plfs/test_crash_consistency
+// .cpp): a stale openhosts/ registration (which blocks compaction and
+// disables the getattr fast path forever), a possibly-torn index dropping
+// tail (ignored by the decoder, but dead bytes on disk), a data dropping
+// whose paired index dropping never made it to disk (an *orphan* — its
+// bytes are invisible because the index is the source of truth), and
+// missing/stale metadata size hints. plfs_recover reconciles all of it from
+// the one source that survives any crash: the decodable prefix of the index
+// droppings.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.hpp"
 
 namespace ldplfs::plfs {
 
-struct RecoveryStats {
-  std::uint64_t stale_openhosts_removed = 0;
-  std::uint64_t hints_rewritten = 0;     // hints after recovery (0 or 1)
-  std::uint64_t logical_size = 0;        // size recovered from the index
-  bool index_readable = false;           // all droppings parsed
+/// Read-only damage report for one container (ldp-inspect, and the first
+/// phase of plfs_recover).
+struct DamageReport {
+  /// Data droppings (container-relative paths) referenced by no index
+  /// dropping's path table — a crashed writer's unindexed log, or the data
+  /// half of a quarantined index.
+  std::vector<std::string> orphaned_droppings;
+  /// Index droppings (full path, torn byte count) with a partial record at
+  /// the tail.
+  std::vector<std::pair<std::string, std::uint64_t>> torn_tails;
+  /// Index droppings (full paths) that fail to decode outright — bad magic,
+  /// bad version, truncated path table.
+  std::vector<std::string> unreadable_droppings;
+
+  [[nodiscard]] std::uint64_t torn_tail_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [path, bytes] : torn_tails) total += bytes;
+    return total;
+  }
 };
 
-/// Recover the container at `path`: clear openhosts/ registrations, rebuild
-/// the metadata size hint from a full index merge, and report what was
-/// cleaned. Safe to run on a healthy container (idempotent). The caller
-/// asserts no writer is *actually* live (this is the post-crash, post-job
-/// repair step — same contract as PLFS's own recovery tooling).
+/// Scan the container at `path` without modifying anything.
+Result<DamageReport> plfs_scan(const std::string& path);
+
+struct RecoveryStats {
+  std::uint64_t stale_openhosts_removed = 0;
+  std::uint64_t hints_rewritten = 0;      // hints after recovery (0 or 1)
+  std::uint64_t logical_size = 0;         // size recovered from the index
+  std::uint64_t orphaned_droppings = 0;   // unreferenced data droppings kept
+  std::uint64_t torn_tail_bytes = 0;      // partial-record bytes trimmed
+  std::uint64_t quarantined_droppings = 0; // undecodable indexes set aside
+  bool index_readable = false;            // every index dropping parsed
+};
+
+/// Recover the container at `path`: clear openhosts/ registrations, trim
+/// torn index tails, rename undecodable index droppings out of the way
+/// (quarantined.index.*, preserved for forensics), flatten the surviving
+/// index, rebuild the metadata size hint, and report what was found —
+/// including orphaned data droppings, which are counted but never deleted
+/// (compaction prunes them once the container is healthy). Safe to run on a
+/// healthy container (idempotent). The caller asserts no writer is
+/// *actually* live (this is the post-crash, post-job repair step — same
+/// contract as PLFS's own recovery tooling).
 Result<RecoveryStats> plfs_recover(const std::string& path);
 
 }  // namespace ldplfs::plfs

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/paths.hpp"
@@ -33,7 +34,13 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
       path_join(path_basename(hostdir),
                 ContainerLayout::data_dropping_name(writer));
   auto index = IndexWriter::create(layout.index_dropping_path(writer), data_rel);
-  if (!index) return index.error();
+  if (!index) {
+    // Roll back the data dropping: with no paired index it could only ever
+    // be an orphan for recovery to flag.
+    (void)posix::close_fd(std::exchange(wf->data_fd_, -1));
+    (void)posix::remove_file(data_path);
+    return index.error();
+  }
   wf->index_ = std::make_unique<IndexWriter>(std::move(index).value());
 
   if (auto s = posix::write_file(layout.openhost_path(writer), ""); !s) {
@@ -46,11 +53,16 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
 Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
                                      std::uint64_t offset) {
   if (closed_) return Errno{EBADF};
+  if (deferred_errno_ != 0) return Errno{deferred_errno_};
   if (data.empty()) return std::size_t{0};
   const std::uint64_t physical = physical_end_;
   if (auto s = posix::pwrite_all(data_fd_, data,
                                  static_cast<off_t>(physical));
       !s) {
+    // The log tail may now hold a partial, unindexed append. Never index it,
+    // never write past it: poison the stream so sync()/close() surface the
+    // failure with this errno (POSIX deferred-error semantics).
+    deferred_errno_ = s.error_code();
     return s.error();
   }
   index_->add_write(offset, data.size(), physical, next_timestamp());
@@ -61,6 +73,7 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
 
 Status WriteFile::truncate(std::uint64_t size) {
   if (closed_) return Errno{EBADF};
+  if (deferred_errno_ != 0) return Errno{deferred_errno_};
   index_->add_truncate(size, next_timestamp());
   max_eof_ = size;
   // Existing metadata hints describe pre-truncate EOFs; drop them so the
@@ -72,30 +85,62 @@ Status WriteFile::truncate(std::uint64_t size) {
       (void)posix::remove_file(path_join(layout.metadata_path(), name));
     }
   }
-  return index_->flush();
+  if (auto s = index_->flush(); !s) {
+    deferred_errno_ = s.error_code();
+    return s;
+  }
+  return Status::success();
 }
 
 Status WriteFile::sync() {
   if (closed_) return Errno{EBADF};
-  if (auto s = index_->flush(); !s) return s;
-  if (::fsync(data_fd_) != 0) return Errno{errno};
+  if (deferred_errno_ != 0) return Errno{deferred_errno_};
+  if (auto s = index_->flush(); !s) {
+    deferred_errno_ = s.error_code();
+    return s;
+  }
+  if (auto s = posix::fsync_fd(data_fd_); !s) {
+    deferred_errno_ = s.error_code();
+    return s;
+  }
   return Status::success();
 }
 
 Status WriteFile::close() {
   if (closed_) return Status::success();
   closed_ = true;
+  // index_ is null when WriteFile::open failed part-way and the half-built
+  // object is being destroyed; there is no stream to tear down then.
+  if (!index_) return Status::success();
   Status result = index_->close();
-  if (::close(data_fd_) != 0 && result.ok()) result = Errno{errno};
-  data_fd_ = -1;
+  if (deferred_errno_ != 0) result = Errno{deferred_errno_};  // original wins
+  if (data_fd_ >= 0) {
+    if (auto s = posix::close_fd(data_fd_); !s && result.ok()) result = s;
+    data_fd_ = -1;
+  }
 
   ContainerLayout layout(root_);
   // Drop the open registration and leave a size hint (name-encoded so that
-  // future getattr calls can avoid a full index merge).
-  (void)posix::remove_file(layout.openhost_path(writer_));
+  // future getattr calls can avoid a full index merge). Failures here do not
+  // lose data, but they do leave the container looking writer-occupied,
+  // which disables the getattr fast path and blocks compaction until
+  // ldp-recover — worth a warning so operators can see why.
+  if (auto s = posix::remove_file(layout.openhost_path(writer_)); !s) {
+    LDPLFS_LOG_WARN(
+        "close(%s): openhost registration not removed (errno=%d %s); "
+        "getattr fast path stays disabled until ldp-recover",
+        root_.c_str(), s.error_code(), s.error().message().c_str());
+  }
   MetaHint hint{max_eof_, physical_end_, writer_.host, writer_.pid};
-  (void)posix::write_file(
-      path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)), "");
+  if (auto s = posix::write_file(
+          path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)),
+          "");
+      !s) {
+    LDPLFS_LOG_WARN(
+        "close(%s): metadata size hint not written (errno=%d %s); "
+        "stat of this container will need a full index merge",
+        root_.c_str(), s.error_code(), s.error().message().c_str());
+  }
   return result;
 }
 

@@ -30,6 +30,13 @@ class WriteFile {
   WriteFile& operator=(const WriteFile&) = delete;
 
   /// Append `data` to the log and index it at logical `offset`.
+  ///
+  /// Error semantics are POSIX write-back semantics: the first failed append
+  /// (data pwrite or index flush) poisons the stream, and every subsequent
+  /// write()/truncate()/sync() — and the final close() — reports the
+  /// original errno. Bytes written before the failure stay valid and
+  /// indexed (prefix consistency); bytes of the failed append were never
+  /// indexed and are invisible to readers.
   Result<std::size_t> write(std::span<const std::byte> data,
                             std::uint64_t offset);
 
@@ -45,6 +52,8 @@ class WriteFile {
   Status close();
 
   [[nodiscard]] std::uint64_t bytes_written() const { return physical_end_; }
+  /// Errno of the first failed append on this stream, or 0. See write().
+  [[nodiscard]] int deferred_errno() const { return deferred_errno_; }
   [[nodiscard]] std::uint64_t eof_seen() const { return max_eof_; }
   /// Clamp the EOF this writer will report in its close-time metadata hint
   /// (used when a *different* writer on the same handle truncates).
@@ -60,6 +69,7 @@ class WriteFile {
   std::unique_ptr<IndexWriter> index_;
   std::uint64_t physical_end_ = 0;  // tail of the data dropping
   std::uint64_t max_eof_ = 0;       // highest logical offset+len written
+  int deferred_errno_ = 0;          // first failed append poisons the stream
   bool closed_ = false;
 };
 

@@ -1,0 +1,233 @@
+#include "posix/faults.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace ldplfs::posix::faults {
+
+namespace {
+
+constexpr int kAnyOp = -1;
+constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+
+struct Clause {
+  int op = kAnyOp;                  // Op value, or kAnyOp
+  std::uint64_t after = 0;          // matching ops that succeed first
+  std::uint64_t count = kUnlimited; // max firings
+  int err = EIO;
+  std::size_t short_bytes = 0;      // >0: short transfer instead of failure
+  bool crash = false;
+  // runtime state
+  std::uint64_t seen = 0;
+  std::uint64_t fired = 0;
+};
+
+std::mutex g_mu;
+std::vector<Clause> g_plan;
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_env_checked{false};
+
+struct OpName {
+  const char* name;
+  Op op;
+};
+constexpr OpName kOpNames[] = {
+    {"open", Op::kOpen},     {"close", Op::kClose},  {"read", Op::kRead},
+    {"write", Op::kWrite},   {"pread", Op::kPread},  {"pwrite", Op::kPwrite},
+    {"fsync", Op::kFsync},   {"unlink", Op::kUnlink}, {"rename", Op::kRename},
+    {"mkdir", Op::kMkdir},
+};
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {"EPERM", EPERM},   {"ENOENT", ENOENT}, {"EINTR", EINTR},
+    {"EIO", EIO},       {"EBADF", EBADF},   {"EAGAIN", EAGAIN},
+    {"EWOULDBLOCK", EWOULDBLOCK},           {"ENOMEM", ENOMEM},
+    {"EACCES", EACCES}, {"EBUSY", EBUSY},   {"EEXIST", EEXIST},
+    {"ENOTDIR", ENOTDIR}, {"EISDIR", EISDIR}, {"EINVAL", EINVAL},
+    {"ENFILE", ENFILE}, {"EMFILE", EMFILE}, {"EFBIG", EFBIG},
+    {"ENOSPC", ENOSPC}, {"EROFS", EROFS},   {"ENAMETOOLONG", ENAMETOOLONG},
+    {"EDQUOT", EDQUOT},
+};
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_errno(const std::string& text, int& out) {
+  for (const auto& entry : kErrnoNames) {
+    if (text == entry.name) {
+      out = entry.value;
+      return true;
+    }
+  }
+  std::uint64_t numeric = 0;
+  if (parse_u64(text, numeric) && numeric > 0 && numeric < 4096) {
+    out = static_cast<int>(numeric);
+    return true;
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_clause(const std::string& text, Clause& clause,
+                  std::string* error) {
+  const auto fields = split(text, ':');
+  if (fields.empty() || fields[0].empty()) {
+    return fail(error, "empty fault clause");
+  }
+  const std::string& op = fields[0];
+  if (op == "crash") {
+    clause.op = kAnyOp;
+    clause.crash = true;
+  } else if (op == "any") {
+    clause.op = kAnyOp;
+  } else {
+    bool found = false;
+    for (const auto& entry : kOpNames) {
+      if (op == entry.name) {
+        clause.op = static_cast<int>(entry.op);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return fail(error, "unknown fault op '" + op + "'");
+  }
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const auto eq = field.find('=');
+    const std::string key = field.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : field.substr(eq + 1);
+    std::uint64_t numeric = 0;
+    if (key == "after") {
+      if (!parse_u64(value, numeric)) return fail(error, "bad after= value");
+      clause.after = numeric;
+    } else if (key == "count") {
+      if (!parse_u64(value, numeric)) return fail(error, "bad count= value");
+      clause.count = numeric;
+    } else if (key == "errno") {
+      if (!parse_errno(value, clause.err)) {
+        return fail(error, "unknown errno '" + value + "'");
+      }
+    } else if (key == "short") {
+      if (!parse_u64(value, numeric) || numeric == 0) {
+        return fail(error, "short= needs a positive byte count");
+      }
+      clause.short_bytes = static_cast<std::size_t>(numeric);
+    } else if (key == "crash") {
+      clause.crash = true;
+    } else {
+      return fail(error, "unknown fault field '" + field + "'");
+    }
+  }
+  return true;
+}
+
+void load_env_plan() {
+  bool expected = false;
+  if (!g_env_checked.compare_exchange_strong(expected, true)) return;
+  const char* spec = std::getenv("LDPLFS_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string error;
+  if (!configure(spec, &error)) {
+    LDPLFS_LOG_WARN("LDPLFS_FAULTS ignored: %s", error.c_str());
+  }
+}
+
+}  // namespace
+
+bool configure(const std::string& spec, std::string* error) {
+  // configure() is an explicit install: the environment must not be able to
+  // overwrite it later.
+  g_env_checked.store(true);
+  std::vector<Clause> plan;
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ';' || c == ' ' || c == '\t' || c == '\n') c = ',';
+  }
+  for (const auto& part : split(normalized, ',')) {
+    if (part.empty()) continue;
+    Clause clause;
+    if (!parse_clause(part, clause, error)) return false;
+    plan.push_back(clause);
+  }
+  std::lock_guard lock(g_mu);
+  g_plan = std::move(plan);
+  g_active.store(!g_plan.empty(), std::memory_order_release);
+  return true;
+}
+
+void clear() {
+  g_env_checked.store(true);
+  std::lock_guard lock(g_mu);
+  g_plan.clear();
+  g_active.store(false, std::memory_order_release);
+}
+
+bool active() {
+  if (!g_env_checked.load(std::memory_order_acquire)) load_env_plan();
+  return g_active.load(std::memory_order_acquire);
+}
+
+Outcome next(Op op, std::size_t requested) {
+  if (!active()) return {};
+  std::lock_guard lock(g_mu);
+  for (auto& clause : g_plan) {
+    if (clause.op != kAnyOp && clause.op != static_cast<int>(op)) continue;
+    ++clause.seen;
+    if (clause.seen <= clause.after || clause.fired >= clause.count) continue;
+    ++clause.fired;
+    if (clause.crash) {
+      LDPLFS_LOG_WARN("fault injection: crashing process at %s (op %llu)",
+                      op_name(op),
+                      static_cast<unsigned long long>(clause.seen));
+      ::_exit(137);  // as abrupt as SIGKILL: no atexit, no destructors
+    }
+    if (clause.short_bytes > 0) {
+      Outcome outcome;
+      outcome.kind = Outcome::Kind::kShort;
+      outcome.max_bytes = clause.short_bytes < requested ? clause.short_bytes
+                                                         : requested;
+      if (outcome.max_bytes == 0) outcome.max_bytes = 1;
+      return outcome;
+    }
+    Outcome outcome;
+    outcome.kind = Outcome::Kind::kFail;
+    outcome.err = clause.err;
+    return outcome;
+  }
+  return {};
+}
+
+const char* op_name(Op op) {
+  for (const auto& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "?";
+}
+
+}  // namespace ldplfs::posix::faults

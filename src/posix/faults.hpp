@@ -1,0 +1,84 @@
+// Deterministic syscall fault injection for crash-consistency testing.
+//
+// A *fault plan* describes which of the instrumented operations should
+// misbehave and how. Plans come from the LDPLFS_FAULTS environment variable
+// (picked up automatically by any process using the posix helpers — the
+// preload shim, the ldp-* tools, test binaries) or from configure() in
+// tests. With no plan installed the hot-path cost is one relaxed atomic
+// load per operation.
+//
+// Grammar (clauses separated by ',' or ';'):
+//
+//   clause  := op ':' field (':' field)*
+//   op      := open | close | read | write | pread | pwrite | fsync
+//            | unlink | rename | mkdir | crash | any
+//   field   := "after=" N     let the first N matching ops succeed
+//            | "count=" K     fire at most K times (default: unlimited)
+//            | "errno=" E     fail with errno E (name or number; default EIO)
+//            | "short=" B     transfer at most B bytes instead of failing
+//            | "crash"        _exit(137) instead of failing
+//
+// Examples:
+//   pwrite:after=3:errno=ENOSPC   4th and every later pwrite fails ENOSPC
+//   pwrite:short=1                every pwrite transfers at most 1 byte
+//   pwrite:errno=EAGAIN:count=2   two transient EAGAINs, then normal
+//   crash:after=5                 process dies at the 6th instrumented op
+//   pwrite:after=2:crash          process dies entering the 3rd pwrite
+//
+// Clauses are checked in order; an op counts against every clause up to and
+// including the first one that fires. Counters are process-wide (a forked
+// child starts from a copy of the parent's counters, so a child that wants a
+// fresh plan should call configure() itself).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ldplfs::posix::faults {
+
+/// Instrumented operation classes. kAny (the "crash"/"any" spec op) matches
+/// every instrumented call.
+enum class Op {
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kPread,
+  kPwrite,
+  kFsync,
+  kUnlink,
+  kRename,
+  kMkdir,
+};
+
+/// What the instrumented call site should do for this operation.
+struct Outcome {
+  enum class Kind {
+    kNone,   ///< proceed normally
+    kFail,   ///< return -1 with errno = err (do not issue the syscall)
+    kShort,  ///< issue the syscall but transfer at most max_bytes
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;
+  std::size_t max_bytes = 0;
+};
+
+/// Install a fault plan (replacing any previous one). An empty spec clears.
+/// Returns false and fills *error on a syntax error (plan unchanged).
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// Remove the installed plan and reset all counters.
+void clear();
+
+/// True when a plan is installed. Loads LDPLFS_FAULTS on first call.
+bool active();
+
+/// Consult the plan for the next `op` moving `requested` bytes, advancing
+/// the counters. A firing crash clause terminates the process with
+/// _exit(137) and never returns.
+Outcome next(Op op, std::size_t requested = 0);
+
+/// Spec-grammar name of an op ("pwrite", ...).
+const char* op_name(Op op);
+
+}  // namespace ldplfs::posix::faults

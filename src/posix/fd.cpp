@@ -1,15 +1,55 @@
 #include "posix/fd.hpp"
 
 #include <dirent.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cerrno>
 
 #include "common/paths.hpp"
+#include "posix/faults.hpp"
 
 namespace ldplfs::posix {
 
+namespace {
+
+/// How many transient failures (EAGAIN / EIO) a data-moving helper absorbs
+/// before surfacing the errno. Backoff doubles from 1 ms, so a full retry
+/// budget costs ~15 ms — long enough to ride out a momentary stall, short
+/// enough not to hide a dead disk.
+constexpr int kTransientRetries = 4;
+
+bool transient_errno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EIO;
+}
+
+void backoff_sleep(int attempt) {
+  struct timespec ts{0, (1L << attempt) * 1'000'000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Issue one pwrite/write through the fault plan.
+ssize_t checked_write(int fd, const void* p, std::size_t len, off_t offset,
+                      bool positional) {
+  const auto fault = faults::next(
+      positional ? faults::Op::kPwrite : faults::Op::kWrite, len);
+  if (fault.kind == faults::Outcome::Kind::kFail) {
+    errno = fault.err;
+    return -1;
+  }
+  if (fault.kind == faults::Outcome::Kind::kShort) {
+    len = std::min(len, fault.max_bytes);
+  }
+  return positional ? ::pwrite(fd, p, len, offset) : ::write(fd, p, len);
+}
+
+}  // namespace
+
 Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode) {
+  if (const auto fault = faults::next(faults::Op::kOpen);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    return Errno{fault.err};
+  }
   int fd;
   do {
     fd = ::open(path.c_str(), flags, mode);
@@ -21,12 +61,18 @@ Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode) {
 Status write_all(int fd, std::span<const std::byte> data) {
   const auto* p = data.data();
   std::size_t left = data.size();
+  int retries = 0;
   while (left > 0) {
-    const ssize_t n = ::write(fd, p, left);
+    const ssize_t n = checked_write(fd, p, left, 0, /*positional=*/false);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (transient_errno(errno) && retries < kTransientRetries) {
+        backoff_sleep(retries++);
+        continue;
+      }
       return Errno{errno};
     }
+    retries = 0;
     p += n;
     left -= static_cast<std::size_t>(n);
   }
@@ -36,12 +82,18 @@ Status write_all(int fd, std::span<const std::byte> data) {
 Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset) {
   const auto* p = data.data();
   std::size_t left = data.size();
+  int retries = 0;
   while (left > 0) {
-    const ssize_t n = ::pwrite(fd, p, left, offset);
+    const ssize_t n = checked_write(fd, p, left, offset, /*positional=*/true);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (transient_errno(errno) && retries < kTransientRetries) {
+        backoff_sleep(retries++);
+        continue;
+      }
       return Errno{errno};
     }
+    retries = 0;
     p += n;
     left -= static_cast<std::size_t>(n);
     offset += n;
@@ -52,14 +104,30 @@ Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset) {
 Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset) {
   auto* p = out.data();
   std::size_t got = 0;
+  int retries = 0;
   while (got < out.size()) {
-    const ssize_t n = ::pread(fd, p + got, out.size() - got,
-                              offset + static_cast<off_t>(got));
+    std::size_t want = out.size() - got;
+    const auto fault = faults::next(faults::Op::kPread, want);
+    ssize_t n;
+    if (fault.kind == faults::Outcome::Kind::kFail) {
+      errno = fault.err;
+      n = -1;
+    } else {
+      if (fault.kind == faults::Outcome::Kind::kShort) {
+        want = std::min(want, fault.max_bytes);
+      }
+      n = ::pread(fd, p + got, want, offset + static_cast<off_t>(got));
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (transient_errno(errno) && retries < kTransientRetries) {
+        backoff_sleep(retries++);
+        continue;
+      }
       return Errno{errno};
     }
     if (n == 0) break;  // EOF
+    retries = 0;
     got += static_cast<std::size_t>(n);
   }
   return got;
@@ -69,6 +137,35 @@ Status pread_all(int fd, std::span<std::byte> out, off_t offset) {
   auto got = pread_some(fd, out, offset);
   if (!got) return got.error();
   if (got.value() != out.size()) return Errno{EIO};
+  return Status::success();
+}
+
+Status fsync_fd(int fd) {
+  if (const auto fault = faults::next(faults::Op::kFsync);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    return Errno{fault.err};
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno{errno};
+  return Status::success();
+}
+
+Status close_fd(int fd) {
+  // The real descriptor is always closed, even when a fault is injected:
+  // POSIX leaves the fd state unspecified after a failed close, and leaking
+  // descriptors under injection would make tests flaky in a useless way.
+  const auto fault = faults::next(faults::Op::kClose);
+  const int rc = ::close(fd);
+  if (fault.kind == faults::Outcome::Kind::kFail) return Errno{fault.err};
+  if (rc != 0 && errno != EINTR) return Errno{errno};
+  return Status::success();
+}
+
+Status truncate_path(const std::string& path, off_t length) {
+  if (::truncate(path.c_str(), length) != 0) return Errno{errno};
   return Status::success();
 }
 
@@ -95,6 +192,10 @@ bool is_directory(const std::string& path) {
 }
 
 Status make_dir(const std::string& path, mode_t mode) {
+  if (const auto fault = faults::next(faults::Op::kMkdir);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    return Errno{fault.err};
+  }
   if (::mkdir(path.c_str(), mode) != 0) return Errno{errno};
   return Status::success();
 }
@@ -113,6 +214,10 @@ Status make_dirs(const std::string& path, mode_t mode) {
 }
 
 Status remove_file(const std::string& path) {
+  if (const auto fault = faults::next(faults::Op::kUnlink);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    return Errno{fault.err};
+  }
   if (::unlink(path.c_str()) != 0) return Errno{errno};
   return Status::success();
 }
@@ -137,6 +242,10 @@ Status remove_tree(const std::string& path) {
 }
 
 Status rename_path(const std::string& from, const std::string& to) {
+  if (const auto fault = faults::next(faults::Op::kRename);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    return Errno{fault.err};
+  }
   if (::rename(from.c_str(), to.c_str()) != 0) return Errno{errno};
   return Status::success();
 }

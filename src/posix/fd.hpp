@@ -2,6 +2,12 @@
 // wrappers for the syscalls the PLFS library needs. This is the only module
 // in the real stratum that issues raw syscalls; everything above it works in
 // terms of UniqueFd / Result.
+//
+// Every helper consults the fault-injection plan (posix/faults.hpp) before
+// issuing its syscall, and the data-moving helpers retry transient failures
+// (EAGAIN / EIO) a bounded number of times with exponential backoff before
+// reporting them — real write paths fail partially and transiently, and the
+// callers above expect either full success or a final errno.
 #pragma once
 
 #include <fcntl.h>
@@ -68,6 +74,17 @@ Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset);
 
 /// Positional read that fails with EIO unless the whole span is filled.
 Status pread_all(int fd, std::span<std::byte> out, off_t offset);
+
+/// fsync(2) returning a Status; loops on EINTR.
+Status fsync_fd(int fd);
+
+/// close(2) returning a Status, for write paths where close errors matter
+/// (deferred write-back failures). The descriptor is always released, even
+/// when an error is reported.
+Status close_fd(int fd);
+
+/// truncate(2) on a path.
+Status truncate_path(const std::string& path, off_t length);
 
 Result<struct ::stat> stat_path(const std::string& path);
 Result<struct ::stat> fstat_fd(int fd);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "posix/fd.hpp"
 #include "tools/tool_common.hpp"
 
 namespace {
@@ -27,7 +28,14 @@ int cat_one(const std::string& path) {
       break;
     }
     if (n == 0) break;
-    if (::write(STDOUT_FILENO, buf.data(), static_cast<size_t>(n)) != n) {
+    // A pipe or tty reader may accept fewer bytes than asked (or interrupt
+    // with EINTR); write_all loops until the chunk is fully delivered.
+    if (auto s = ldplfs::posix::write_all(
+            STDOUT_FILENO,
+            {reinterpret_cast<const std::byte*>(buf.data()),
+             static_cast<size_t>(n)});
+        !s) {
+      errno = s.error_code();
       std::perror("ldp-cat: stdout");
       result = 1;
       break;

@@ -11,6 +11,7 @@
 #include "plfs/container.hpp"
 #include "plfs/index.hpp"
 #include "plfs/plfs.hpp"
+#include "plfs/recovery.hpp"
 #include "tools/tool_common.hpp"
 
 namespace {
@@ -41,6 +42,23 @@ int inspect_one(const std::string& path, bool verbose) {
                   hint.host.c_str(), static_cast<long>(hint.pid),
                   static_cast<unsigned long long>(hint.eof),
                   static_cast<unsigned long long>(hint.bytes));
+    }
+  }
+
+  // Crash-debris survey (read-only): what ldp-recover would repair.
+  if (auto scan = plfs::plfs_scan(path)) {
+    const auto& damage = scan.value();
+    if (damage.torn_tail_bytes() > 0) {
+      std::printf("  torn index tail: %llu byte(s) across %zu dropping(s)\n",
+                  static_cast<unsigned long long>(damage.torn_tail_bytes()),
+                  damage.torn_tails.size());
+    }
+    for (const auto& orphan : damage.orphaned_droppings) {
+      std::printf("  ORPHANED data dropping (no index references it): %s\n",
+                  orphan.c_str());
+    }
+    for (const auto& bad : damage.unreadable_droppings) {
+      std::printf("  UNREADABLE index dropping: %s\n", bad.c_str());
     }
   }
 

@@ -1,6 +1,7 @@
 // ldp-recover — repair containers after writer crashes: clears stale
-// openhosts registrations and rebuilds the metadata size hint from the
-// index droppings (the crash-proof source of truth).
+// openhosts registrations, trims torn index tails, quarantines undecodable
+// index droppings, flags orphaned data droppings, and rebuilds the metadata
+// size hint from the index droppings (the crash-proof source of truth).
 //
 //   ldp-recover [--mount DIR]... CONTAINER...
 #include <cstdio>
@@ -24,12 +25,26 @@ int main(int argc, char** argv) {
       rc = 1;
       continue;
     }
+    const auto& s = stats.value();
     std::printf("%s: %llu stale registration(s) cleared, size %s%s\n",
                 path.c_str(),
-                static_cast<unsigned long long>(
-                    stats.value().stale_openhosts_removed),
-                ldplfs::format_bytes(stats.value().logical_size).c_str(),
-                stats.value().index_readable ? "" : " (index UNREADABLE)");
+                static_cast<unsigned long long>(s.stale_openhosts_removed),
+                ldplfs::format_bytes(s.logical_size).c_str(),
+                s.index_readable ? "" : " (index damage quarantined)");
+    if (s.torn_tail_bytes > 0) {
+      std::printf("  trimmed %llu torn index tail byte(s)\n",
+                  static_cast<unsigned long long>(s.torn_tail_bytes));
+    }
+    if (s.quarantined_droppings > 0) {
+      std::printf("  quarantined %llu undecodable index dropping(s)\n",
+                  static_cast<unsigned long long>(s.quarantined_droppings));
+    }
+    if (s.orphaned_droppings > 0) {
+      std::printf(
+          "  %llu orphaned data dropping(s) kept (unreferenced by any "
+          "index; ldp-compact prunes them)\n",
+          static_cast<unsigned long long>(s.orphaned_droppings));
+    }
   }
   return rc;
 }

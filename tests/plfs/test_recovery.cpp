@@ -81,6 +81,12 @@ TEST(RecoveryTest, ClearsCrashDebrisAndRestoresFastPath) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.value().stale_openhosts_removed, 1u);
   EXPECT_EQ(stats.value().logical_size, 8u);
+  // The ghost's index referenced a bogus data path, so its real data
+  // dropping is an orphan; its 17 trailing junk bytes are a torn tail.
+  EXPECT_EQ(stats.value().orphaned_droppings, 1u);
+  EXPECT_EQ(stats.value().torn_tail_bytes, 17u);
+  EXPECT_EQ(stats.value().quarantined_droppings, 0u);
+  EXPECT_TRUE(stats.value().index_readable);
 
   auto after = plfs_getattr(path);
   ASSERT_TRUE(after.ok());
@@ -90,6 +96,133 @@ TEST(RecoveryTest, ClearsCrashDebrisAndRestoresFastPath) {
   auto compacted = plfs_compact(path);
   ASSERT_TRUE(compacted.ok());
   EXPECT_EQ(compacted.value().droppings_after, 1u);
+}
+
+TEST(RecoveryTest, OrphanedDataDroppingIsReportedAndKept) {
+  // Crash shape: a writer's data dropping reached disk but its index
+  // dropping never did. The bytes are invisible (the index is the source of
+  // truth) — recovery must say so loudly and must NOT delete the data.
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("AAAA"), 0, 5).ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("BBBB"), 4, 6).ok());
+    ASSERT_TRUE(fd.value()->close(5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 6).ok());
+  }
+  // Delete writer 6's index dropping, stranding its data dropping.
+  auto indexes = find_index_droppings(path);
+  ASSERT_TRUE(indexes.ok());
+  ASSERT_EQ(indexes.value().size(), 2u);
+  std::string doomed;
+  for (const auto& index_path : indexes.value()) {
+    if (index_path.size() >= 2 &&
+        index_path.compare(index_path.size() - 2, 2, ".6") == 0) {
+      doomed = index_path;
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_TRUE(posix::remove_file(doomed).ok());
+  const std::string orphan_data =
+      doomed.substr(0, doomed.rfind("dropping.index.")) + "dropping.data." +
+      doomed.substr(doomed.rfind("dropping.index.") + 15);
+
+  auto scan = plfs_scan(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().orphaned_droppings.size(), 1u);
+
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().orphaned_droppings, 1u);
+  EXPECT_EQ(stats.value().logical_size, 4u);
+  EXPECT_TRUE(stats.value().index_readable);
+  // The orphan's bytes survive for forensics / later salvage.
+  EXPECT_TRUE(posix::exists(orphan_data));
+
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 4u);
+}
+
+TEST(RecoveryTest, TornIndexTailIsTrimmed) {
+  // Crash shape: the writer died mid-append, leaving a partial record on
+  // the index tail. The decoder ignores it, but recovery must trim it so
+  // later appends cannot shift records out of 40-byte alignment.
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("0123456789"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  auto indexes = find_index_droppings(path);
+  ASSERT_TRUE(indexes.ok());
+  ASSERT_EQ(indexes.value().size(), 1u);
+  auto whole = posix::read_file(indexes.value()[0]);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(posix::write_file(indexes.value()[0],
+                                whole.value() + std::string(13, '\x7f'))
+                  .ok());
+
+  auto scan = plfs_scan(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().torn_tails.size(), 1u);
+  EXPECT_EQ(scan.value().torn_tail_bytes(), 13u);
+
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().torn_tail_bytes, 13u);
+  EXPECT_EQ(stats.value().logical_size, 10u);
+  EXPECT_TRUE(stats.value().index_readable);
+
+  // Post-recovery the container is pristine: no torn tails, full content.
+  auto rescan = plfs_scan(path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan.value().torn_tails.empty());
+  EXPECT_TRUE(rescan.value().orphaned_droppings.empty());
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 10u);
+}
+
+TEST(RecoveryTest, UndecodableIndexDroppingIsQuarantined) {
+  // Crash shape: an index dropping so mangled the decoder rejects it
+  // outright. Recovery renames it aside (forensics) so the survivors merge.
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes("keepme"), 0, 5).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+  }
+  ContainerLayout layout(path);
+  WriterId mangled{"badhost", 42, next_timestamp()};
+  ASSERT_TRUE(posix::make_dirs(layout.hostdir_for(mangled.host)).ok());
+  ASSERT_TRUE(posix::write_file(layout.index_dropping_path(mangled),
+                                "this is not an index dropping")
+                  .ok());
+
+  auto scan = plfs_scan(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().unreadable_droppings.size(), 1u);
+
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().quarantined_droppings, 1u);
+  EXPECT_FALSE(stats.value().index_readable);
+  EXPECT_EQ(stats.value().logical_size, 6u);
+  // Renamed aside, not deleted — and no longer matched by dropping globs.
+  EXPECT_FALSE(posix::exists(layout.index_dropping_path(mangled)));
+  EXPECT_TRUE(posix::exists(ldplfs::path_join(
+      layout.hostdir_for(mangled.host),
+      "quarantined." + ContainerLayout::index_dropping_name(mangled))));
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 6u);
 }
 
 TEST(RecoveryTest, StaleHintCorrectedAfterGhostTruncate) {

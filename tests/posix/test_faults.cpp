@@ -1,0 +1,149 @@
+// Unit tests for the LDPLFS_FAULTS fault-injection layer: plan parsing,
+// deterministic triggering through the posix:: helpers and the core
+// RealCalls table, short transfers, transient-retry absorption, and the
+// crash clause (observed from a forked child).
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "core/real_calls.hpp"
+#include "posix/faults.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::posix {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+
+/// Every test leaves the process with no plan installed.
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { faults::clear(); }
+  void TearDown() override { faults::clear(); }
+  TempDir tmp_;
+};
+
+TEST_F(FaultsTest, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(faults::configure("pwrote:after=1", &error));
+  EXPECT_NE(error.find("unknown fault op"), std::string::npos);
+  EXPECT_FALSE(faults::configure("pwrite:errno=EWHAT", &error));
+  EXPECT_FALSE(faults::configure("pwrite:after=x", &error));
+  EXPECT_FALSE(faults::configure("pwrite:short=0", &error));
+  EXPECT_FALSE(faults::configure("pwrite:bogus=1", &error));
+  EXPECT_FALSE(faults::active());
+}
+
+TEST_F(FaultsTest, EmptySpecClears) {
+  ASSERT_TRUE(faults::configure("pwrite:errno=EIO"));
+  EXPECT_TRUE(faults::active());
+  ASSERT_TRUE(faults::configure(""));
+  EXPECT_FALSE(faults::active());
+}
+
+TEST_F(FaultsTest, NthPwriteFailsSticky) {
+  ASSERT_TRUE(faults::configure("pwrite:after=2:errno=ENOSPC"));
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("aa"), 0).ok());
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("bb"), 2).ok());
+  // Third and every later pwrite fails; ENOSPC is not transient, no retry.
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("cc"), 4).error_code(),
+            ENOSPC);
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("dd"), 4).error_code(),
+            ENOSPC);
+}
+
+TEST_F(FaultsTest, ShortWritesAreLoopedToCompletion) {
+  ASSERT_TRUE(faults::configure("write:short=3"));
+  const std::string path = tmp_.sub("short");
+  ASSERT_TRUE(write_file(path, "0123456789").ok());
+  faults::clear();
+  auto content = read_file(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "0123456789");
+}
+
+TEST_F(FaultsTest, TransientEagainIsRetriedAway) {
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN:count=2"));
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  // Two injected EAGAINs are absorbed by the bounded retry loop.
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("data"), 0).ok());
+}
+
+TEST_F(FaultsTest, PersistentEagainEventuallySurfaces) {
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN"));
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("data"), 0).error_code(),
+            EAGAIN);
+}
+
+TEST_F(FaultsTest, OpenAndFsyncAndUnlinkClauses) {
+  ASSERT_TRUE(faults::configure(
+      "open:after=1:errno=EMFILE:count=1,fsync:errno=EIO:count=1,"
+      "unlink:errno=EACCES:count=1"));
+  auto ok = open_fd(tmp_.sub("a"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(open_fd(tmp_.sub("b"), O_WRONLY | O_CREAT, 0644).error_code(),
+            EMFILE);
+  EXPECT_EQ(fsync_fd(ok.value().get()).error_code(), EIO);
+  EXPECT_TRUE(fsync_fd(ok.value().get()).ok());  // count=1 exhausted
+  EXPECT_EQ(remove_file(tmp_.sub("a")).error_code(), EACCES);
+  EXPECT_TRUE(remove_file(tmp_.sub("a")).ok());
+}
+
+TEST_F(FaultsTest, RealCallsTableHonoursPlan) {
+  ASSERT_TRUE(faults::configure("write:errno=ENOSPC:count=1"));
+  const auto& real = core::libc_calls();
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  errno = 0;
+  EXPECT_EQ(real.write(fd.value().get(), "x", 1), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_EQ(real.write(fd.value().get(), "x", 1), 1);
+}
+
+TEST_F(FaultsTest, CrashClauseKillsTheProcess) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    faults::clear();
+    if (!faults::configure("crash:after=2")) _exit(3);
+    auto fd = open_fd(tmp_.sub("crash"), O_WRONLY | O_CREAT, 0644);  // op 1
+    if (!fd.ok()) _exit(4);
+    (void)pwrite_all(fd.value().get(), as_bytes("a"), 0);  // op 2
+    (void)pwrite_all(fd.value().get(), as_bytes("b"), 1);  // op 3: boom
+    _exit(0);  // unreachable if the crash clause fired
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 137);
+}
+
+TEST_F(FaultsTest, CrashBeyondOpCountNeverFires) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    faults::clear();
+    if (!faults::configure("crash:after=1000")) _exit(3);
+    auto fd = open_fd(tmp_.sub("nocrash"), O_WRONLY | O_CREAT, 0644);
+    if (!fd.ok()) _exit(4);
+    if (!pwrite_all(fd.value().get(), as_bytes("a"), 0).ok()) _exit(5);
+    _exit(0);
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace ldplfs::posix

@@ -234,6 +234,49 @@ TEST_F(ToolsE2eTest, RecoverClearsStaleRegistrations) {
   EXPECT_TRUE(hosts.value().empty());
 }
 
+TEST_F(ToolsE2eTest, RecoverReportsOrphansAndTornTails) {
+  const std::string path = mount_.sub("wounded.dat");
+  make_container(path, "content");
+  // Torn tail: 13 junk bytes appended to the (only) index dropping.
+  auto indexes = ldplfs::plfs::find_index_droppings(path);
+  ASSERT_TRUE(indexes.ok());
+  ASSERT_EQ(indexes.value().size(), 1u);
+  auto whole = ldplfs::posix::read_file(indexes.value()[0]);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(ldplfs::posix::write_file(
+                  indexes.value()[0], whole.value() + std::string(13, '\x7f'))
+                  .ok());
+  // Orphan: a data dropping no index ever described.
+  ldplfs::plfs::ContainerLayout layout(path);
+  ldplfs::plfs::WriterId ghost{"deadhost", 77,
+                               ldplfs::plfs::next_timestamp()};
+  ASSERT_TRUE(
+      ldplfs::posix::make_dirs(layout.hostdir_for(ghost.host)).ok());
+  ASSERT_TRUE(ldplfs::posix::write_file(layout.data_dropping_path(ghost),
+                                        "lost bytes")
+                  .ok());
+
+  // ldp-inspect surveys the damage read-only...
+  const auto inspect = run_tool("ldp-inspect", {mount_flag_, path});
+  EXPECT_EQ(inspect.exit_code, 0);
+  EXPECT_NE(inspect.output.find("torn index tail: 13 byte(s)"),
+            std::string::npos);
+  EXPECT_NE(inspect.output.find("ORPHANED data dropping"), std::string::npos);
+
+  // ...and ldp-recover repairs it, reporting rather than hiding the loss.
+  const auto result = run_tool("ldp-recover", {mount_flag_, path});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("trimmed 13 torn index tail byte(s)"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("1 orphaned data dropping(s) kept"),
+            std::string::npos);
+  // Data survives; logical content is intact.
+  EXPECT_TRUE(ldplfs::posix::exists(layout.data_dropping_path(ghost)));
+  const auto cat = run_tool("ldp-cat", {mount_flag_, path});
+  EXPECT_EQ(cat.exit_code, 0);
+  EXPECT_EQ(cat.output, "content");
+}
+
 TEST_F(ToolsE2eTest, MkplfsCreatesBackend) {
   const std::string dir = scratch_.sub("newbackend");
   const auto result = run_tool("ldp-mkplfs", {dir});
