@@ -5,11 +5,23 @@
 // The headline microbenchmark is BM_RouterOverhead vs BM_RawSyscall: the
 // paper's pitch is that interposition adds only bookkeeping (a table lookup
 // and an lseek) per POSIX call.
+//
+// A second mode, `micro_real --json=BENCH_micro.json [--smoke]`, skips the
+// google-benchmark suite and measures the two numbers the parallel read
+// engine is accountable for across PRs — strided N-1 read bandwidth
+// (serial vs parallel, raw and with modeled per-pread latency) and
+// plfs-open index latency (cold merge vs warm IndexCache hit) — writing
+// them as machine-readable JSON. The `bench_smoke` ctest (label
+// `bench-smoke`) runs a tiny configuration of this mode in tier-1.
 #include <benchmark/benchmark.h>
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,7 +31,9 @@
 #include "core/router.hpp"
 #include "plfs/extent_map.hpp"
 #include "plfs/index.hpp"
+#include "plfs/index_cache.hpp"
 #include "plfs/plfs.hpp"
+#include "posix/faults.hpp"
 #include "posix/fd.hpp"
 #include "sim/engine.hpp"
 
@@ -216,6 +230,164 @@ void BM_SimEngineEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_SimEngineEvents);
 
+// --- JSON mode: the perf-trajectory numbers tracked across PRs ------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Strided N-1 container: block b of the logical file belongs to writer
+/// b % writers, so every writer owns one data dropping and a whole-file
+/// read touches all of them block-interleaved (coalesce-resistant index).
+void build_strided_container(const std::string& path, int writers,
+                             int blocks_per_writer, std::size_t block) {
+  auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  if (!fd) std::abort();
+  std::vector<std::byte> buf(block, std::byte{0x5a});
+  for (int w = 0; w < writers; ++w) {
+    for (int b = 0; b < blocks_per_writer; ++b) {
+      const std::uint64_t index =
+          static_cast<std::uint64_t>(b) * writers + static_cast<std::uint64_t>(w);
+      if (!fd.value()->write(buf, index * block, 1000 + w)) std::abort();
+    }
+  }
+  for (int w = 0; w < writers; ++w) {
+    if (!fd.value()->close(1000 + w).ok()) std::abort();
+  }
+}
+
+/// Best-of-k timed whole-file read; returns seconds. LDPLFS_THREADS is set
+/// by the caller before the ReadFile is opened (the engine latches it then).
+double time_full_read(const std::string& path, std::size_t total, int reps) {
+  double best = 1e30;
+  std::vector<std::byte> out(total);
+  for (int r = 0; r < reps; ++r) {
+    auto rf = plfs::ReadFile::open(path);
+    if (!rf) std::abort();
+    const auto start = Clock::now();
+    auto n = rf.value()->read(out, 0);
+    const double elapsed = seconds_since(start);
+    if (!n || n.value() != total) std::abort();
+    if (elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+int run_json_bench(const std::string& json_path, bool smoke) {
+  const int writers = smoke ? 4 : 16;
+  const int blocks_per_writer = smoke ? 8 : 64;
+  const std::size_t block = 64 * 1024;
+  const std::size_t total =
+      static_cast<std::size_t>(writers) * blocks_per_writer * block;
+  const int parallel_threads = 8;
+  const unsigned delay_usec = smoke ? 100 : 200;
+  const int reps = smoke ? 2 : 3;
+
+  const std::string dir = scratch_dir();
+  const std::string path = dir + "/strided";
+  build_strided_container(path, writers, blocks_per_writer, block);
+
+  // Open latency: cold = stat + full index merge; warm = stat-validated
+  // IndexCache hit. Best of k so page-cache noise doesn't pollute the ratio.
+  double open_cold = 1e30;
+  double open_warm = 1e30;
+  const int open_reps = smoke ? 5 : 10;
+  for (int r = 0; r < open_reps; ++r) {
+    plfs::IndexCache::shared().clear();
+    auto start = Clock::now();
+    if (!plfs::ReadFile::open(path)) std::abort();
+    open_cold = std::min(open_cold, seconds_since(start));
+    start = Clock::now();
+    if (!plfs::ReadFile::open(path)) std::abort();
+    open_warm = std::min(open_warm, seconds_since(start));
+  }
+
+  // Strided read bandwidth, serial engine vs parallel engine. "raw" is
+  // page-cache speed (memcpy-bound — on a single-core host the two paths
+  // tie); "modeled" charges every pread the per-op latency a parallel
+  // file system imposes (via the LDPLFS_FAULTS delay injector), which is
+  // the regime the paper's N-1 read results are about: the parallel
+  // engine overlaps those waits across droppings.
+  ::setenv("LDPLFS_THREADS", "0", 1);
+  const double serial_raw = time_full_read(path, total, reps);
+  ::setenv("LDPLFS_THREADS", std::to_string(parallel_threads).c_str(), 1);
+  const double parallel_raw = time_full_read(path, total, reps);
+
+  const std::string delay_spec = "pread:delay=" + std::to_string(delay_usec);
+  ::setenv("LDPLFS_THREADS", "0", 1);
+  if (!posix::faults::configure(delay_spec)) std::abort();
+  const double serial_modeled = time_full_read(path, total, reps);
+  posix::faults::clear();
+  ::setenv("LDPLFS_THREADS", std::to_string(parallel_threads).c_str(), 1);
+  if (!posix::faults::configure(delay_spec)) std::abort();
+  const double parallel_modeled = time_full_read(path, total, reps);
+  posix::faults::clear();
+
+  (void)posix::remove_tree(dir);
+
+  const double gib = static_cast<double>(total) / (1024.0 * 1024.0 * 1024.0);
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"config\": {\"writers\": %d, \"blocks_per_writer\": %d,\n"
+      "    \"block_bytes\": %zu, \"total_bytes\": %zu,\n"
+      "    \"parallel_threads\": %d, \"modeled_pread_delay_usec\": %u,\n"
+      "    \"smoke\": %s},\n"
+      "  \"strided_read\": {\n"
+      "    \"raw\": {\"serial_gbps\": %.3f, \"parallel_gbps\": %.3f,\n"
+      "      \"speedup\": %.2f},\n"
+      "    \"modeled_latency\": {\"serial_gbps\": %.3f, \"parallel_gbps\": "
+      "%.3f,\n"
+      "      \"speedup\": %.2f},\n"
+      "    \"speedup\": %.2f,\n"
+      "    \"speedup_basis\": \"modeled per-pread latency (%u usec via "
+      "LDPLFS_FAULTS pread:delay)\"\n"
+      "  },\n"
+      "  \"open_latency\": {\"cold_usec\": %.1f, \"warm_usec\": %.1f,\n"
+      "    \"speedup\": %.2f}\n"
+      "}\n",
+      writers, blocks_per_writer, block, total, parallel_threads, delay_usec,
+      smoke ? "true" : "false", gib / serial_raw, gib / parallel_raw,
+      serial_raw / parallel_raw, gib / serial_modeled, gib / parallel_modeled,
+      serial_modeled / parallel_modeled, serial_modeled / parallel_modeled,
+      delay_usec, open_cold * 1e6, open_warm * 1e6, open_cold / open_warm);
+  out << buf;
+  out.close();
+  std::fputs(buf, stdout);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_json_bench(json_path, smoke);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace ldplfs {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+unsigned ThreadPool::env_threads() {
+  const char* env = std::getenv("LDPLFS_THREADS");
+  if (env == nullptr || *env == '\0') {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 1;  // malformed: stay serial-safe
+  return value > 256 ? 256u : static_cast<unsigned>(value);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(env_threads());
+  return pool;
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    task();
+    // Notify while holding the lock: wait()'s caller may destroy this
+    // group the moment it observes pending_ == 0, so the notifier must be
+    // done with cv_ before any waiter can get past the mutex.
+    std::lock_guard lock(mu_);
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace ldplfs

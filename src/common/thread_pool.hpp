@@ -1,0 +1,77 @@
+// Fixed-size thread pool used by the parallel read engine.
+//
+// One process-wide pool (ThreadPool::shared()) is sized by LDPLFS_THREADS at
+// first use: unset or empty means hardware_concurrency, 0 disables the pool
+// entirely (every task runs inline on the submitting thread). There is no
+// work stealing and no task priorities — read batches are coarse (one per
+// data dropping) and complete in one hop, so a plain mutex-protected queue
+// is both sufficient and easy to reason about under TSan.
+//
+// TaskGroup is the fork/join companion: submit a batch of tasks against a
+// pool, then wait() for all of them. Tasks must not submit to the same
+// group they run under (no nesting), which the read path never does.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldplfs {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers. 0 makes submit() run tasks inline.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue `task`; runs it inline when the pool has no workers.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Process-wide pool, created on first use with env_threads() workers.
+  static ThreadPool& shared();
+
+  /// Parse LDPLFS_THREADS: unset/empty → hardware_concurrency (min 1),
+  /// "0" → 0 (serial), otherwise the numeric value (clamped to 256).
+  static unsigned env_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Fork/join helper over a ThreadPool: run() submits, wait() blocks until
+/// every submitted task has finished. Reusable after wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> task);
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace ldplfs

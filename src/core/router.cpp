@@ -202,31 +202,62 @@ ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
 ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
   auto of = table_.lookup(fd);
   if (!of) return ::readv(fd, iov, iovcnt);
-  // Vectored I/O decomposes into sequential reads; POSIX requires the
-  // whole call to be atomic with respect to the offset, which holds here
-  // because the cursor only moves through this thread's own calls.
+  // Vectored I/O decomposes into sequential reads. The fd-table lookup and
+  // the shadow-fd cursor round-trip happen once for the whole vector — the
+  // cursor threads through the loop and lands in the shadow fd with a
+  // single final lseek. POSIX offset-atomicity holds because the cursor
+  // only moves through this thread's own calls.
+  const off_t start = real_.lseek(fd, 0, SEEK_CUR);
+  if (start < 0) return -1;
+  std::uint64_t pos = static_cast<std::uint64_t>(start);
   ssize_t total = 0;
   for (int i = 0; i < iovcnt; ++i) {
     if (iov[i].iov_len == 0) continue;
-    const ssize_t n = read(fd, iov[i].iov_base, iov[i].iov_len);
-    if (n < 0) return total > 0 ? total : -1;
-    total += n;
-    if (static_cast<size_t>(n) < iov[i].iov_len) break;  // EOF
+    auto n = of->handle().read(
+        std::span<std::byte>(static_cast<std::byte*>(iov[i].iov_base),
+                             iov[i].iov_len),
+        pos);
+    if (!n) {
+      if (total > 0) break;  // partial success: report what landed
+      return fail(n.error());
+    }
+    pos += n.value();
+    total += static_cast<ssize_t>(n.value());
+    if (n.value() < iov[i].iov_len) break;  // EOF
   }
+  real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
   return total;
 }
 
 ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
   auto of = table_.lookup(fd);
   if (!of) return ::writev(fd, iov, iovcnt);
+  std::uint64_t pos;
+  if ((of->flags() & O_APPEND) != 0) {
+    auto size = of->handle().size();
+    if (!size) return fail(size.error());
+    pos = size.value();
+  } else {
+    const off_t start = real_.lseek(fd, 0, SEEK_CUR);
+    if (start < 0) return -1;
+    pos = static_cast<std::uint64_t>(start);
+  }
   ssize_t total = 0;
   for (int i = 0; i < iovcnt; ++i) {
     if (iov[i].iov_len == 0) continue;
-    const ssize_t n = write(fd, iov[i].iov_base, iov[i].iov_len);
-    if (n < 0) return total > 0 ? total : -1;
-    total += n;
-    if (static_cast<size_t>(n) < iov[i].iov_len) break;
+    auto n = of->handle().write(
+        std::span<const std::byte>(
+            static_cast<const std::byte*>(iov[i].iov_base), iov[i].iov_len),
+        pos, of->pid());
+    if (!n) {
+      if (total > 0) break;
+      return fail(n.error());
+    }
+    pos += n.value();
+    total += static_cast<ssize_t>(n.value());
+    if (n.value() < iov[i].iov_len) break;
   }
+  real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
   return total;
 }
 
@@ -333,6 +364,11 @@ int Router::fstat(int fd, struct ::stat* st) {
   plfs::FileAttr attr;
   attr.size = size.value();
   attr.mtime = ::time(nullptr);  // file is open and live
+  // The container's creator file records the real mode; don't fabricate a
+  // default for open files when stat() on the same path would not.
+  if (auto disk = plfs::plfs_getattr(of->handle().path())) {
+    attr.mode = disk.value().mode;
+  }
   fill_stat(st, attr);
   return 0;
 }

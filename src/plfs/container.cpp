@@ -131,18 +131,40 @@ Status create_container(const std::string& path, mode_t mode,
                         const std::string& host, pid_t pid,
                         unsigned hostdirs) {
   if (posix::exists(path)) return Errno{EEXIST};
-  ContainerLayout layout(path, hostdirs);
-  if (auto s = posix::make_dirs(path); !s) return s;
-  if (auto s = posix::make_dir(layout.openhosts_path()); !s) return s;
-  if (auto s = posix::make_dir(layout.metadata_path()); !s) return s;
+  // Build the container fully formed in a hidden sibling, then rename it
+  // into place. The rename is the commit point: a concurrent observer
+  // either sees nothing at `path` or a complete container — never a
+  // directory without its access file (which plfs_open would misread as a
+  // foreign directory and fail with EISDIR). Racing creators both build;
+  // the rename loser gets ENOTEMPTY/EEXIST and reports EEXIST, which
+  // plfs_open already treats as a benign lost race.
+  const std::string staged = path_join(
+      path_dirname(path), ".mkplfs." + path_basename(path) + "." + host + "." +
+                              std::to_string(static_cast<long>(pid)));
+  ContainerLayout layout(staged, hostdirs);
+  if (auto s = posix::make_dirs(staged); !s) return s;
+  auto fail = [&staged](Status s) {
+    (void)posix::remove_tree(staged);
+    return s;
+  };
+  if (auto s = posix::make_dir(layout.openhosts_path()); !s) return fail(s);
+  if (auto s = posix::make_dir(layout.metadata_path()); !s) return fail(s);
   char creator[256];
   std::snprintf(creator, sizeof creator, "host=%s pid=%ld mode=%o hostdirs=%u\n",
                 host.c_str(), static_cast<long>(pid),
                 static_cast<unsigned>(mode), hostdirs);
-  if (auto s = posix::write_file(layout.creator_path(), creator); !s) return s;
-  // The access file is written last: its presence is the commit point that
-  // marks the directory as a fully-formed container.
-  return posix::write_file(layout.access_path(), "");
+  if (auto s = posix::write_file(layout.creator_path(), creator); !s) {
+    return fail(s);
+  }
+  if (auto s = posix::write_file(layout.access_path(), ""); !s) return fail(s);
+  if (auto s = posix::rename_path(staged, path); !s) {
+    const int err = s.error_code();
+    (void)posix::remove_tree(staged);
+    // rename(2) onto a non-empty directory: another creator won the race.
+    if (err == ENOTEMPTY || err == EEXIST) return Errno{EEXIST};
+    return s;
+  }
+  return Status::success();
 }
 
 Status remove_container(const std::string& path) {

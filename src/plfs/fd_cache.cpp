@@ -1,0 +1,97 @@
+#include "plfs/fd_cache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+CachedFd::Entry::~Entry() {
+  if (fd >= 0) ::close(fd);
+}
+
+DroppingFdCache::DroppingFdCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<CachedFd> DroppingFdCache::acquire(const std::string& path) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = by_path_.find(path);
+    if (it != by_path_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second = lru_.begin();
+      ++stats_.hits;
+      return CachedFd(*it->second);
+    }
+  }
+  // Open outside the lock so concurrent first-touch opens of different
+  // droppings (the parallel read engine's cold start) do not serialise.
+  auto fd = posix::open_fd(path, O_RDONLY);
+  if (!fd) return fd.error();
+  auto entry = std::make_shared<CachedFd::Entry>();
+  entry->path = path;
+  entry->fd = fd.value().release();
+
+  std::lock_guard lock(mu_);
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) {
+    // Lost a race with another opener; theirs is already tracked, use it
+    // (ours closes when `entry` goes out of scope).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+    ++stats_.hits;
+    return CachedFd(*it->second);
+  }
+  ++stats_.misses;
+  lru_.push_front(entry);
+  by_path_[path] = lru_.begin();
+  evict_excess_locked();
+  return CachedFd(std::move(entry));
+}
+
+void DroppingFdCache::evict_excess_locked() {
+  while (lru_.size() > capacity_) {
+    by_path_.erase(lru_.back()->path);
+    lru_.pop_back();  // fd closes now, or when the last pin drops
+    ++stats_.evictions;
+  }
+}
+
+void DroppingFdCache::invalidate(const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it)->path.compare(0, prefix.size(), prefix) == 0) {
+      by_path_.erase((*it)->path);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t DroppingFdCache::open_count() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+DroppingFdCache::Stats DroppingFdCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+DroppingFdCache& DroppingFdCache::shared() {
+  static DroppingFdCache cache([] {
+    const char* env = std::getenv("LDPLFS_FD_CACHE");
+    if (env == nullptr || *env == '\0') return std::size_t{256};
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') return std::size_t{256};
+    return value < 8 ? std::size_t{8} : static_cast<std::size_t>(value);
+  }());
+  return cache;
+}
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,86 @@
+// Process-wide LRU cache of open data-dropping file descriptors.
+//
+// The seed kept one unbounded fd vector per ReadFile, so a container with a
+// thousand droppings could exhaust the process fd table, and every new
+// ReadFile re-opened droppings another reader already had open. This cache
+// is shared by all readers: entries are keyed by absolute dropping path,
+// capped by LDPLFS_FD_CACHE (default 256), and evicted least-recently-used.
+//
+// Eviction never closes an fd out from under a reader: acquire() returns a
+// CachedFd pin (a shared_ptr under the hood), and an evicted entry's fd
+// closes only when the last pin drops. Dropping paths embed a per-open
+// timestamp, so a path never names two different files across
+// unlink/recreate cycles — a cached fd can go stale only by pointing at a
+// deleted file, which invalidate() flushes eagerly on unlink/rename/
+// truncate-to-zero to return descriptors to the OS promptly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+
+namespace ldplfs::plfs {
+
+/// Pin on one cached descriptor; the fd stays open while any pin exists.
+class CachedFd {
+ public:
+  CachedFd() = default;
+
+  [[nodiscard]] int get() const { return entry_ ? entry_->fd : -1; }
+  [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+
+ private:
+  friend class DroppingFdCache;
+  struct Entry {
+    std::string path;
+    int fd = -1;
+    ~Entry();
+  };
+  explicit CachedFd(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {}
+  std::shared_ptr<Entry> entry_;
+};
+
+class DroppingFdCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit DroppingFdCache(std::size_t capacity);
+
+  /// Borrow an O_RDONLY fd for `path`, opening it on a miss. The pin keeps
+  /// the fd alive past eviction.
+  Result<CachedFd> acquire(const std::string& path);
+
+  /// Drop every entry whose path starts with `prefix` (a container root,
+  /// or "" for everything). Pinned fds close when their pins drop.
+  void invalidate(const std::string& prefix);
+
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide cache; capacity from LDPLFS_FD_CACHE (default 256,
+  /// minimum 8) read once at first use.
+  static DroppingFdCache& shared();
+
+ private:
+  using EntryPtr = std::shared_ptr<CachedFd::Entry>;
+  using LruList = std::list<EntryPtr>;
+
+  void evict_excess_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_path_;
+  Stats stats_;
+};
+
+}  // namespace ldplfs::plfs

@@ -1,0 +1,112 @@
+#include "plfs/index_cache.hpp"
+
+#include <cstdlib>
+
+#include "plfs/container.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+IndexCache::IndexCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool IndexCache::enabled() {
+  const char* env = std::getenv("LDPLFS_INDEX_CACHE");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+Result<IndexCache::Fingerprint> IndexCache::fingerprint(
+    const std::string& root) {
+  auto paths = find_index_droppings(root);
+  if (!paths) return paths.error();
+  Fingerprint fp;
+  fp.paths = std::move(paths).value();
+  fp.stamps.reserve(fp.paths.size() * 2);
+  for (const auto& path : fp.paths) {
+    auto st = posix::stat_path(path);
+    if (!st) return st.error();  // dropping vanished mid-stat: treat as stale
+    const auto& s = st.value();
+    fp.stamps.push_back(static_cast<std::uint64_t>(s.st_mtim.tv_sec) *
+                            1'000'000'000ull +
+                        static_cast<std::uint64_t>(s.st_mtim.tv_nsec));
+    fp.stamps.push_back(static_cast<std::uint64_t>(s.st_size));
+  }
+  return fp;
+}
+
+Result<std::shared_ptr<const GlobalIndex>> IndexCache::get(
+    const std::string& root) {
+  if (!enabled()) {
+    auto index = GlobalIndex::build(root);
+    if (!index) return index.error();
+    return std::make_shared<const GlobalIndex>(std::move(index).value());
+  }
+
+  auto fp = fingerprint(root);
+  if (!fp) return fp.error();
+  {
+    std::lock_guard lock(mu_);
+    auto it = map_.find(root);
+    if (it != map_.end() && it->second.first.fp == fp.value()) {
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      it->second.second = lru_.begin();
+      ++stats_.hits;
+      return it->second.first.index;
+    }
+  }
+
+  // Build outside the lock: merges are the expensive part and distinct
+  // containers must not serialise on each other. A racing build of the
+  // same root does redundant work but both results are correct snapshots.
+  auto index = GlobalIndex::build(root);
+  if (!index) return index.error();
+  auto shared_index =
+      std::make_shared<const GlobalIndex>(std::move(index).value());
+
+  std::lock_guard lock(mu_);
+  ++stats_.misses;
+  auto it = map_.find(root);
+  if (it != map_.end()) {
+    it->second.first = Entry{std::move(fp).value(), shared_index};
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    it->second.second = lru_.begin();
+  } else {
+    lru_.push_front(root);
+    map_.emplace(root,
+                 std::make_pair(Entry{std::move(fp).value(), shared_index},
+                                lru_.begin()));
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return shared_index;
+}
+
+void IndexCache::invalidate(const std::string& root) {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(root);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.second);
+  map_.erase(it);
+  ++stats_.invalidations;
+}
+
+void IndexCache::clear() {
+  std::lock_guard lock(mu_);
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+IndexCache& IndexCache::shared() {
+  static IndexCache cache(64);
+  return cache;
+}
+
+}  // namespace ldplfs::plfs

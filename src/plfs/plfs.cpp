@@ -8,11 +8,21 @@
 #include "common/logging.hpp"
 #include "common/paths.hpp"
 #include "common/strings.hpp"
+#include "plfs/fd_cache.hpp"
+#include "plfs/index_cache.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
 
 namespace {
+
+/// A mutation removed or renamed droppings under `root`: flush both
+/// process-wide caches for it. (Appends don't need this — the IndexCache
+/// fingerprint catches them — but removals must also release cached fds.)
+void drop_container_caches(const std::string& root) {
+  IndexCache::shared().invalidate(root);
+  DroppingFdCache::shared().invalidate(root + "/");
+}
 
 /// How many writes may accumulate before a read re-snapshots the index.
 /// Any write invalidates the snapshot; the counter exists only to avoid
@@ -91,6 +101,9 @@ Status FileHandle::close(pid_t pid) {
   if (it != writers_.end()) {
     Status s = it->second->close();
     writers_.erase(it);
+    // Writer close changed the on-disk index (flush + metadata hint); other
+    // handles must re-merge rather than serve the pre-close snapshot.
+    IndexCache::shared().invalidate(path_);
     return s;
   }
   return Status::success();
@@ -115,6 +128,7 @@ Status FileHandle::truncate(std::uint64_t size, pid_t pid) {
   for (auto& [other_pid, other] : writers_) {
     if (other_pid != pid) other->clamp_eof(size);
   }
+  IndexCache::shared().invalidate(path_);
   return Status::success();
 }
 
@@ -208,16 +222,20 @@ Result<FileAttr> plfs_getattr(const std::string& path) {
     }
   }
 
-  auto index = GlobalIndex::build(path);
+  auto index = IndexCache::shared().get(path);
   if (!index) return index.error();
-  attr.size = index.value().size();
+  attr.size = index.value()->size();
   return attr;
 }
 
-Status plfs_unlink(const std::string& path) { return remove_container(path); }
+Status plfs_unlink(const std::string& path) {
+  drop_container_caches(path);
+  return remove_container(path);
+}
 
 Status plfs_trunc(const std::string& path, std::uint64_t size) {
   if (!is_container(path)) return Errno{ENOENT};
+  drop_container_caches(path);
   if (size == 0) {
     // Truncate-to-zero drops history entirely: remove droppings and hints
     // rather than masking them (this is what keeps repeated O_TRUNC
@@ -258,6 +276,8 @@ Status plfs_access(const std::string& path, int amode) {
 
 Status plfs_rename(const std::string& from, const std::string& to) {
   if (!is_container(from)) return Errno{ENOENT};
+  drop_container_caches(from);
+  drop_container_caches(to);
   if (is_container(to)) {
     if (auto s = remove_container(to); !s) return s;
   }
@@ -282,7 +302,7 @@ Result<std::vector<DirEntry>> plfs_readdir(const std::string& path) {
 
 Status plfs_flatten(const std::string& path) {
   if (!is_container(path)) return Errno{ENOENT};
-  auto index = GlobalIndex::build(path);
+  auto index = IndexCache::shared().get(path);
   if (!index) return index.error();
   auto old_droppings = find_index_droppings(path);
   if (!old_droppings) return old_droppings.error();
@@ -293,13 +313,14 @@ Status plfs_flatten(const std::string& path) {
   if (auto s = posix::make_dirs(hostdir); !s) return s;
   const std::string flat_path =
       path_join(hostdir, ContainerLayout::index_dropping_name(id));
-  if (auto s = posix::write_file(flat_path, index.value().encode_flattened());
+  if (auto s = posix::write_file(flat_path, index.value()->encode_flattened());
       !s) {
     return s;
   }
   for (const auto& old : old_droppings.value()) {
     if (auto s = posix::remove_file(old); !s) return s;
   }
+  IndexCache::shared().invalidate(path);
   return Status::success();
 }
 

@@ -1,29 +1,24 @@
 #include "plfs/read_file.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "common/paths.hpp"
+#include "common/thread_pool.hpp"
+#include "plfs/fd_cache.hpp"
+#include "plfs/index_cache.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
 
-ReadFile::ReadFile(std::string root, GlobalIndex index)
-    : root_(std::move(root)), index_(std::move(index)) {
-  fds_.assign(index_.data_paths().size(), -1);
-}
-
-ReadFile::~ReadFile() {
-  for (int fd : fds_) {
-    if (fd >= 0) ::close(fd);
-  }
-}
+ReadFile::ReadFile(std::string root, std::shared_ptr<const GlobalIndex> index)
+    : root_(std::move(root)),
+      index_(std::move(index)),
+      threads_(ThreadPool::env_threads()) {}
 
 Result<std::unique_ptr<ReadFile>> ReadFile::open(const std::string& root) {
-  auto index = GlobalIndex::build(root);
+  auto index = IndexCache::shared().get(root);
   if (!index) return index.error();
   return std::unique_ptr<ReadFile>(
       new ReadFile(root, std::move(index).value()));
@@ -31,43 +26,99 @@ Result<std::unique_ptr<ReadFile>> ReadFile::open(const std::string& root) {
 
 std::unique_ptr<ReadFile> ReadFile::with_index(std::string root,
                                                GlobalIndex index) {
-  return std::unique_ptr<ReadFile>(
-      new ReadFile(std::move(root), std::move(index)));
+  return std::unique_ptr<ReadFile>(new ReadFile(
+      std::move(root),
+      std::make_shared<const GlobalIndex>(std::move(index))));
 }
 
-Result<int> ReadFile::dropping_fd(std::uint32_t id) {
-  if (id >= fds_.size()) return Errno{EIO};
-  if (fds_[id] >= 0) return fds_[id];
-  const std::string path = path_join(root_, index_.data_paths()[id]);
-  auto fd = posix::open_fd(path, O_RDONLY);
-  if (!fd) return fd.error();
-  fds_[id] = fd.value().release();
-  return fds_[id];
+Result<std::size_t> ReadFile::read_serial(
+    const std::vector<MappedPiece>& pieces, std::span<std::byte> out,
+    std::uint64_t offset, std::size_t want) {
+  for (const auto& piece : pieces) {
+    std::byte* dst = out.data() + (piece.logical - offset);
+    if (piece.hole) continue;  // pre-zeroed by the caller
+    auto fd = DroppingFdCache::shared().acquire(
+        path_join(root_, index_->data_paths()[piece.dropping]));
+    if (!fd) return fd.error();
+    auto s = posix::pread_all(fd.value().get(),
+                              std::span<std::byte>(dst, piece.length),
+                              static_cast<off_t>(piece.physical));
+    if (!s) return s.error();
+  }
+  return want;
 }
 
 Result<std::size_t> ReadFile::read(std::span<std::byte> out,
                                    std::uint64_t offset) {
-  const std::uint64_t file_size = index_.size();
+  const std::uint64_t file_size = index_->size();
   if (offset >= file_size || out.empty()) return std::size_t{0};
-  const std::uint64_t want =
-      std::min<std::uint64_t>(out.size(), file_size - offset);
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(out.size(), file_size - offset));
 
-  std::size_t produced = 0;
-  for (const auto& piece : index_.lookup(offset, want)) {
-    std::byte* dst = out.data() + (piece.logical - offset);
+  const auto pieces = index_->lookup(offset, want);
+
+  // Holes are pure memset; do them inline and batch only data pieces.
+  // Batching by dropping keeps each worker's preads on one descriptor,
+  // which is the unit of parallelism a strided N-1 container exposes.
+  std::map<std::uint32_t, std::vector<std::size_t>> batches;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const auto& piece = pieces[i];
     if (piece.hole) {
-      std::memset(dst, 0, piece.length);
+      std::memset(out.data() + (piece.logical - offset), 0, piece.length);
     } else {
-      auto fd = dropping_fd(piece.dropping);
-      if (!fd) return fd.error();
-      auto s = posix::pread_all(
-          fd.value(), std::span<std::byte>(dst, piece.length),
-          static_cast<off_t>(piece.physical));
-      if (!s) return s.error();
+      batches[piece.dropping].push_back(i);
     }
-    produced += piece.length;
   }
-  return produced;
+
+  if (threads_ < 2 || batches.size() < 2) {
+    return read_serial(pieces, out, offset, want);
+  }
+
+  struct BatchOutcome {
+    int err = 0;
+    std::uint64_t logical = ~std::uint64_t{0};  // of the first failing piece
+  };
+  std::vector<BatchOutcome> outcomes(batches.size());
+
+  TaskGroup group(ThreadPool::shared());
+  std::size_t slot = 0;
+  for (const auto& [dropping, batch] : batches) {
+    group.run([this, &pieces, &out, offset, dropping = dropping,
+               batch = &batch, outcome = &outcomes[slot]] {
+      auto fd = DroppingFdCache::shared().acquire(
+          path_join(root_, index_->data_paths()[dropping]));
+      if (!fd) {
+        outcome->err = fd.error_code();
+        outcome->logical = pieces[batch->front()].logical;
+        return;
+      }
+      for (const std::size_t i : *batch) {
+        const auto& piece = pieces[i];
+        auto s = posix::pread_all(
+            fd.value().get(),
+            std::span<std::byte>(out.data() + (piece.logical - offset),
+                                 piece.length),
+            static_cast<off_t>(piece.physical));
+        if (!s) {
+          outcome->err = s.error_code();
+          outcome->logical = piece.logical;
+          return;
+        }
+      }
+    });
+    ++slot;
+  }
+  group.wait();
+
+  const BatchOutcome* first_error = nullptr;
+  for (const auto& outcome : outcomes) {
+    if (outcome.err != 0 &&
+        (first_error == nullptr || outcome.logical < first_error->logical)) {
+      first_error = &outcome;
+    }
+  }
+  if (first_error != nullptr) return Errno{first_error->err};
+  return want;
 }
 
 }  // namespace ldplfs::plfs

@@ -1,9 +1,21 @@
-// Reader over a container: global index + lazily-opened data droppings.
+// Reader over a container: global index + shared dropping-fd cache +
+// parallel read engine.
 //
 // Reads walk the extent map, pread the mapped pieces from their droppings,
-// and zero-fill holes. Dropping fds are opened on first touch and cached —
-// a container written by N ranks has N data droppings and a reader usually
-// touches only the ones covering its range.
+// and zero-fill holes. The merged index comes from the process-wide
+// IndexCache (stat-validated, so repeated opens of an unchanged container
+// skip the merge), and dropping fds come from the process-wide LRU
+// DroppingFdCache, so a thousand-dropping container cannot exhaust the fd
+// table and concurrent readers share open descriptors.
+//
+// When a read spans pieces in more than one dropping and LDPLFS_THREADS
+// allows it, the pieces are partitioned into per-dropping batches and
+// serviced concurrently on the shared thread pool — the strided N-1 read
+// pattern then drives many droppings at once instead of one pread at a
+// time. Error semantics match the serial path exactly: any piece failure
+// fails the whole read, and when several batches fail the error of the
+// logically-first failing piece is reported (first error wins, no partial
+// credit past an error hole).
 #pragma once
 
 #include <cstdint>
@@ -19,8 +31,8 @@ namespace ldplfs::plfs {
 
 class ReadFile {
  public:
-  /// Build the global index for the container at `root` and prepare for
-  /// reads. The index is a point-in-time snapshot; concurrent writers'
+  /// Prepare to read the container at `root`. The index is a point-in-time
+  /// snapshot (served from the IndexCache when fresh); concurrent writers'
   /// later records are not visible (same semantics as PLFS).
   static Result<std::unique_ptr<ReadFile>> open(const std::string& root);
 
@@ -29,7 +41,6 @@ class ReadFile {
   static std::unique_ptr<ReadFile> with_index(std::string root,
                                               GlobalIndex index);
 
-  ~ReadFile();
   ReadFile(const ReadFile&) = delete;
   ReadFile& operator=(const ReadFile&) = delete;
 
@@ -37,17 +48,19 @@ class ReadFile {
   /// reads happen only at EOF.
   Result<std::size_t> read(std::span<std::byte> out, std::uint64_t offset);
 
-  [[nodiscard]] std::uint64_t size() const { return index_.size(); }
-  [[nodiscard]] const GlobalIndex& index() const { return index_; }
+  [[nodiscard]] std::uint64_t size() const { return index_->size(); }
+  [[nodiscard]] const GlobalIndex& index() const { return *index_; }
 
  private:
-  ReadFile(std::string root, GlobalIndex index);
+  ReadFile(std::string root, std::shared_ptr<const GlobalIndex> index);
 
-  Result<int> dropping_fd(std::uint32_t id);
+  Result<std::size_t> read_serial(const std::vector<MappedPiece>& pieces,
+                                  std::span<std::byte> out,
+                                  std::uint64_t offset, std::size_t want);
 
   std::string root_;
-  GlobalIndex index_;
-  std::vector<int> fds_;  // parallel to index_.data_paths(); -1 = not open
+  std::shared_ptr<const GlobalIndex> index_;
+  unsigned threads_;  // LDPLFS_THREADS at open; <2 forces the serial path
 };
 
 }  // namespace ldplfs::plfs

@@ -25,6 +25,8 @@ struct Clause {
   std::uint64_t count = kUnlimited; // max firings
   int err = EIO;
   std::size_t short_bytes = 0;      // >0: short transfer instead of failure
+  std::uint64_t delay_usec = 0;     // sleep before acting (latency model)
+  bool fails = false;               // errno= given: delay does not absorb it
   bool crash = false;
   // runtime state
   std::uint64_t seen = 0;
@@ -133,6 +135,10 @@ bool parse_clause(const std::string& text, Clause& clause,
       if (!parse_errno(value, clause.err)) {
         return fail(error, "unknown errno '" + value + "'");
       }
+      clause.fails = true;
+    } else if (key == "delay") {
+      if (!parse_u64(value, numeric)) return fail(error, "bad delay= value");
+      clause.delay_usec = numeric;
     } else if (key == "short") {
       if (!parse_u64(value, numeric) || numeric == 0) {
         return fail(error, "short= needs a positive byte count");
@@ -195,32 +201,40 @@ bool active() {
 
 Outcome next(Op op, std::size_t requested) {
   if (!active()) return {};
-  std::lock_guard lock(g_mu);
-  for (auto& clause : g_plan) {
-    if (clause.op != kAnyOp && clause.op != static_cast<int>(op)) continue;
-    ++clause.seen;
-    if (clause.seen <= clause.after || clause.fired >= clause.count) continue;
-    ++clause.fired;
-    if (clause.crash) {
-      LDPLFS_LOG_WARN("fault injection: crashing process at %s (op %llu)",
-                      op_name(op),
-                      static_cast<unsigned long long>(clause.seen));
-      ::_exit(137);  // as abrupt as SIGKILL: no atexit, no destructors
+  Outcome outcome;
+  std::uint64_t delay_usec = 0;
+  {
+    std::lock_guard lock(g_mu);
+    for (auto& clause : g_plan) {
+      if (clause.op != kAnyOp && clause.op != static_cast<int>(op)) continue;
+      ++clause.seen;
+      if (clause.seen <= clause.after || clause.fired >= clause.count) {
+        continue;
+      }
+      ++clause.fired;
+      if (clause.crash) {
+        LDPLFS_LOG_WARN("fault injection: crashing process at %s (op %llu)",
+                        op_name(op),
+                        static_cast<unsigned long long>(clause.seen));
+        ::_exit(137);  // as abrupt as SIGKILL: no atexit, no destructors
+      }
+      delay_usec = clause.delay_usec;
+      if (clause.short_bytes > 0) {
+        outcome.kind = Outcome::Kind::kShort;
+        outcome.max_bytes = clause.short_bytes < requested ? clause.short_bytes
+                                                           : requested;
+        if (outcome.max_bytes == 0) outcome.max_bytes = 1;
+      } else if (clause.fails || delay_usec == 0) {
+        outcome.kind = Outcome::Kind::kFail;
+        outcome.err = clause.err;
+      }
+      break;
     }
-    if (clause.short_bytes > 0) {
-      Outcome outcome;
-      outcome.kind = Outcome::Kind::kShort;
-      outcome.max_bytes = clause.short_bytes < requested ? clause.short_bytes
-                                                         : requested;
-      if (outcome.max_bytes == 0) outcome.max_bytes = 1;
-      return outcome;
-    }
-    Outcome outcome;
-    outcome.kind = Outcome::Kind::kFail;
-    outcome.err = clause.err;
-    return outcome;
   }
-  return {};
+  // Sleep outside the plan lock: modeled latency on concurrent ops must
+  // overlap, not serialise (the parallel read engine depends on this).
+  if (delay_usec > 0) ::usleep(static_cast<useconds_t>(delay_usec));
+  return outcome;
 }
 
 const char* op_name(Op op) {

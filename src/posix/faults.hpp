@@ -16,12 +16,17 @@
 //            | "count=" K     fire at most K times (default: unlimited)
 //            | "errno=" E     fail with errno E (name or number; default EIO)
 //            | "short=" B     transfer at most B bytes instead of failing
+//            | "delay=" U     sleep U microseconds, then proceed normally
+//                             (unless the clause also fails/shorts/crashes);
+//                             models per-op device/network latency
 //            | "crash"        _exit(137) instead of failing
 //
 // Examples:
 //   pwrite:after=3:errno=ENOSPC   4th and every later pwrite fails ENOSPC
 //   pwrite:short=1                every pwrite transfers at most 1 byte
 //   pwrite:errno=EAGAIN:count=2   two transient EAGAINs, then normal
+//   pread:delay=200               every pread costs an extra 200 µs (used by
+//                                 bench/micro_real to model a parallel FS)
 //   crash:after=5                 process dies at the 6th instrumented op
 //   pwrite:after=2:crash          process dies entering the 3rd pwrite
 //

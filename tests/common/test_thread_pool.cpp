@@ -1,0 +1,114 @@
+// ThreadPool / TaskGroup: the fork/join substrate under the parallel read
+// engine. These run under TSan via the `tsan` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ldplfs {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 1000; ++i) {
+    group.run([&counter] { ++counter; });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto main_id = std::this_thread::get_id();
+  std::thread::id ran_on;
+  TaskGroup group(pool);
+  group.run([&ran_on] { ran_on = std::this_thread::get_id(); });
+  group.wait();
+  EXPECT_EQ(ran_on, main_id);
+}
+
+TEST(ThreadPoolTest, TasksRunOffTheSubmittingThread) {
+  ThreadPool pool(2);
+  const auto main_id = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&off_thread, main_id] {
+      if (std::this_thread::get_id() != main_id) ++off_thread;
+    });
+  }
+  group.wait();
+  EXPECT_EQ(off_thread.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilSlowTasksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, TaskGroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) group.run([&counter] { ++counter; });
+    group.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      TaskGroup group(pool);
+      for (int i = 0; i < 200; ++i) group.run([&counter] { ++counter; });
+      group.wait();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(ThreadPoolTest, EnvThreadsParsing) {
+  const char* saved = std::getenv("LDPLFS_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("LDPLFS_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 0u);
+  ::setenv("LDPLFS_THREADS", "7", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 7u);
+  ::setenv("LDPLFS_THREADS", "9999", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 256u);  // clamped
+  ::setenv("LDPLFS_THREADS", "bogus", 1);
+  EXPECT_EQ(ThreadPool::env_threads(), 1u);  // malformed stays serial-safe
+  ::unsetenv("LDPLFS_THREADS");
+  EXPECT_GE(ThreadPool::env_threads(), 1u);  // hardware_concurrency floor
+
+  if (saved != nullptr) {
+    ::setenv("LDPLFS_THREADS", restore.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace ldplfs

@@ -1,0 +1,163 @@
+// Randomized property test: ExtentMap insert/lookup/truncate against a
+// naive per-byte oracle.
+//
+// The oracle stores, for every logical byte, whether it is mapped and by
+// which (dropping, physical) pair — exactly what lookup() promises to
+// reconstruct as piece runs. Thousands of seeded random operations drive
+// both structures; any divergence (coverage gap, overlap, wrong mapping,
+// stale data past a truncate) is a bug in the map's splitting logic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "plfs/extent_map.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+struct OracleCell {
+  bool mapped = false;
+  std::uint32_t dropping = 0;
+  std::uint64_t physical = 0;
+};
+
+class Oracle {
+ public:
+  void insert(const Extent& e) {
+    if (e.length == 0) return;
+    if (bytes_.size() < e.logical + e.length) {
+      bytes_.resize(e.logical + e.length);
+    }
+    for (std::uint64_t i = 0; i < e.length; ++i) {
+      bytes_[e.logical + i] = {true, e.dropping, e.physical + i};
+    }
+  }
+
+  void truncate(std::uint64_t size) {
+    if (bytes_.size() > size) bytes_.resize(size);
+  }
+
+  [[nodiscard]] OracleCell at(std::uint64_t offset) const {
+    return offset < bytes_.size() ? bytes_[offset] : OracleCell{};
+  }
+
+  [[nodiscard]] std::uint64_t mapped_end() const {
+    for (std::uint64_t i = bytes_.size(); i > 0; --i) {
+      if (bytes_[i - 1].mapped) return i;
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<OracleCell> bytes_;
+};
+
+/// Check that lookup() over [offset, offset+length) tiles the range exactly
+/// and agrees with the oracle byte-for-byte.
+void verify_window(const ExtentMap& map, const Oracle& oracle,
+                   std::uint64_t offset, std::uint64_t length) {
+  const auto pieces = map.lookup(offset, length);
+  std::uint64_t cursor = offset;
+  for (const auto& piece : pieces) {
+    ASSERT_EQ(piece.logical, cursor) << "gap or overlap at " << cursor;
+    ASSERT_GT(piece.length, 0u);
+    for (std::uint64_t i = 0; i < piece.length; ++i) {
+      const OracleCell cell = oracle.at(piece.logical + i);
+      ASSERT_EQ(piece.hole, !cell.mapped)
+          << "byte " << piece.logical + i << " hole mismatch";
+      if (!piece.hole) {
+        ASSERT_EQ(piece.dropping, cell.dropping)
+            << "byte " << piece.logical + i << " wrong dropping";
+        ASSERT_EQ(piece.physical + i, cell.physical)
+            << "byte " << piece.logical + i << " wrong physical offset";
+      }
+    }
+    cursor += piece.length;
+  }
+  ASSERT_EQ(cursor, offset + length) << "lookup does not cover the range";
+}
+
+void run_property_trial(std::uint64_t seed, int ops) {
+  // Small domain so overlaps, splits and truncate interactions are dense.
+  constexpr std::uint64_t kDomain = 48 * 1024;
+  Rng rng(seed);
+  ExtentMap map;
+  Oracle oracle;
+  std::uint64_t timestamp = 1;
+
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 8) {
+      Extent e;
+      e.logical = rng.below(kDomain);
+      e.length = 1 + rng.below(512);
+      e.dropping = static_cast<std::uint32_t>(rng.below(16));
+      e.physical = rng.below(1 << 20);
+      e.timestamp = timestamp++;
+      map.insert(e);
+      oracle.insert(e);
+    } else if (kind == 8) {
+      const std::uint64_t size = rng.below(kDomain + 1024);
+      map.truncate(size);
+      oracle.truncate(size);
+    } else {
+      const std::uint64_t off = rng.below(kDomain);
+      verify_window(map, oracle, off, 1 + rng.below(2048));
+    }
+    if (op % 64 == 0) {
+      ASSERT_TRUE(map.check_invariants()) << "seed " << seed << " op " << op;
+    }
+  }
+
+  ASSERT_TRUE(map.check_invariants());
+  EXPECT_EQ(map.mapped_end(), oracle.mapped_end());
+  // Full-domain sweep, plus a window straddling the mapped end.
+  verify_window(map, oracle, 0, kDomain + 4096);
+  const std::uint64_t end = map.mapped_end();
+  verify_window(map, oracle, end > 100 ? end - 100 : 0, 300);
+}
+
+TEST(ExtentMapPropertyTest, RandomOpsMatchOracleSeed1) {
+  run_property_trial(1, 3000);
+}
+
+TEST(ExtentMapPropertyTest, RandomOpsMatchOracleSeed42) {
+  run_property_trial(42, 3000);
+}
+
+TEST(ExtentMapPropertyTest, RandomOpsMatchOracleSeed1337) {
+  run_property_trial(1337, 3000);
+}
+
+TEST(ExtentMapPropertyTest, TruncateHeavyWorkload) {
+  // Truncates every few ops: stresses the resize/cut path specifically.
+  constexpr std::uint64_t kDomain = 8 * 1024;
+  Rng rng(7);
+  ExtentMap map;
+  Oracle oracle;
+  std::uint64_t timestamp = 1;
+  for (int op = 0; op < 2000; ++op) {
+    if (rng.below(3) == 0) {
+      const std::uint64_t size = rng.below(kDomain);
+      map.truncate(size);
+      oracle.truncate(size);
+    } else {
+      Extent e;
+      e.logical = rng.below(kDomain);
+      e.length = 1 + rng.below(256);
+      e.dropping = static_cast<std::uint32_t>(rng.below(4));
+      e.physical = rng.below(1 << 16);
+      e.timestamp = timestamp++;
+      map.insert(e);
+      oracle.insert(e);
+    }
+    if (op % 50 == 0) verify_window(map, oracle, 0, kDomain + 512);
+  }
+  ASSERT_TRUE(map.check_invariants());
+  verify_window(map, oracle, 0, kDomain + 512);
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -1,0 +1,391 @@
+// The parallel read engine and the process-wide caches behind it.
+//
+// Covers: parallel result == serial result (byte-exact) on multi-dropping
+// strided containers, hole zero-fill, first-error-wins semantics, the
+// stat-validated IndexCache (hits, staleness detection, explicit
+// invalidation via truncate/rename/unlink/writer-close, LDPLFS_INDEX_CACHE=0
+// escape hatch), the shared LRU dropping-fd cache (reuse, cap, pinned fds
+// surviving eviction), and multi-threaded readers hammering one container
+// while the pool services their piece batches. Runs under TSan via the
+// `tsan` ctest label.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "plfs/container.hpp"
+#include "plfs/fd_cache.hpp"
+#include "plfs/index_cache.hpp"
+#include "plfs/plfs.hpp"
+#include "plfs/read_file.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+/// Set a variable for one test body, restoring the previous value after.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_;
+  std::string old_;
+};
+
+/// Pin the shared pool's size before any test runs: the pool is created
+/// once, and these suites want real workers regardless of test order.
+class PoolEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    ::setenv("LDPLFS_THREADS", "4", 1);
+    ASSERT_EQ(ThreadPool::shared().size(), 4u);
+  }
+};
+const auto* const g_pool_env =
+    ::testing::AddGlobalTestEnvironment(new PoolEnvironment);
+
+/// Write a strided N-1 pattern through `writers` writer streams (one data
+/// dropping each): block b of the logical file belongs to writer b %
+/// writers. Returns the expected logical file contents.
+std::vector<std::byte> build_strided(const std::string& path, int writers,
+                                     int blocks_per_writer,
+                                     std::size_t block) {
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 1);
+  EXPECT_TRUE(fd.ok());
+  const std::size_t total =
+      static_cast<std::size_t>(writers) * blocks_per_writer * block;
+  std::vector<std::byte> expected(total);
+  for (int w = 0; w < writers; ++w) {
+    for (int b = 0; b < blocks_per_writer; ++b) {
+      const std::size_t index =
+          static_cast<std::size_t>(b) * writers + static_cast<std::size_t>(w);
+      auto data = ldplfs::testing::random_bytes(
+          block, (static_cast<std::uint64_t>(w) << 32) | b);
+      std::memcpy(expected.data() + index * block, data.data(), block);
+      auto n = fd.value()->write(data, index * block, 1000 + w);
+      EXPECT_TRUE(n.ok());
+      EXPECT_EQ(n.value(), block);
+    }
+  }
+  for (int w = 0; w < writers; ++w) {
+    EXPECT_TRUE(fd.value()->close(1000 + w).ok());
+  }
+  return expected;
+}
+
+class ReadParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IndexCache::shared().clear();
+    DroppingFdCache::shared().invalidate("");
+  }
+  ldplfs::testing::TempDir dir_;
+};
+
+TEST_F(ReadParallelTest, ParallelMatchesExpectedByteExact) {
+  const std::string path = dir_.sub("strided");
+  const auto expected = build_strided(path, 8, 16, 4096);
+
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_EQ(rf.value()->size(), expected.size());
+
+  // Whole-file read (spans all 8 droppings → parallel path).
+  std::vector<std::byte> out(expected.size());
+  auto n = rf.value()->read(out, 0);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), expected.size());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), expected.size()), 0);
+
+  // Random windows, including unaligned ones and short reads at EOF.
+  Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t off = rng.below(expected.size());
+    const std::size_t len = 1 + rng.below(64 * 1024);
+    std::vector<std::byte> window(len, std::byte{0xAA});
+    auto got = rf.value()->read(window, off);
+    ASSERT_TRUE(got.ok());
+    const std::size_t want =
+        std::min<std::size_t>(len, expected.size() - off);
+    ASSERT_EQ(got.value(), want);
+    EXPECT_EQ(std::memcmp(window.data(), expected.data() + off, want), 0)
+        << "window at " << off << " len " << len;
+  }
+}
+
+TEST_F(ReadParallelTest, SerialPathMatchesParallelPath) {
+  const std::string path = dir_.sub("strided");
+  const auto expected = build_strided(path, 6, 8, 4096);
+
+  std::vector<std::byte> parallel(expected.size());
+  {
+    auto rf = ReadFile::open(path);
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rf.value()->read(parallel, 0).ok());
+  }
+  std::vector<std::byte> serial(expected.size());
+  {
+    EnvGuard threads("LDPLFS_THREADS", "0");  // read at open time
+    auto rf = ReadFile::open(path);
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rf.value()->read(serial, 0).ok());
+  }
+  EXPECT_EQ(std::memcmp(parallel.data(), expected.data(), expected.size()), 0);
+  EXPECT_EQ(std::memcmp(serial.data(), expected.data(), expected.size()), 0);
+}
+
+TEST_F(ReadParallelTest, HolesZeroFilledAcrossDroppings) {
+  const std::string path = dir_.sub("sparse");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  // Two writers, blocks with gaps: [0,4K) w1, hole, [8K,12K) w2, hole,
+  // then a far block at 32K from w1.
+  const auto a = ldplfs::testing::random_bytes(4096, 1);
+  const auto b = ldplfs::testing::random_bytes(4096, 2);
+  const auto c = ldplfs::testing::random_bytes(4096, 3);
+  ASSERT_TRUE(fd.value()->write(a, 0, 2001).ok());
+  ASSERT_TRUE(fd.value()->write(b, 8192, 2002).ok());
+  ASSERT_TRUE(fd.value()->write(c, 32768, 2001).ok());
+  ASSERT_TRUE(fd.value()->close(2001).ok());
+  ASSERT_TRUE(fd.value()->close(2002).ok());
+
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  std::vector<std::byte> out(36864, std::byte{0xFF});
+  auto n = rf.value()->read(out, 0);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), out.size());
+  EXPECT_EQ(std::memcmp(out.data(), a.data(), 4096), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 8192, b.data(), 4096), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 32768, c.data(), 4096), 0);
+  for (std::size_t i = 4096; i < 8192; ++i) {
+    ASSERT_EQ(out[i], std::byte{0}) << "hole byte " << i;
+  }
+  for (std::size_t i = 12288; i < 32768; i += 997) {
+    ASSERT_EQ(out[i], std::byte{0}) << "hole byte " << i;
+  }
+}
+
+TEST_F(ReadParallelTest, MissingDroppingFailsWholeRead) {
+  const std::string path = dir_.sub("broken");
+  build_strided(path, 4, 4, 4096);
+
+  // Delete one data dropping out from under the index.
+  auto droppings = find_data_droppings(path);
+  ASSERT_TRUE(droppings.ok());
+  ASSERT_EQ(droppings.value().size(), 4u);
+  ASSERT_TRUE(posix::remove_file(droppings.value()[1]).ok());
+  DroppingFdCache::shared().invalidate("");  // no cached fd resurrects it
+
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  std::vector<std::byte> out(rf.value()->size());
+  auto n = rf.value()->read(out, 0);
+  ASSERT_FALSE(n.ok()) << "no partial credit past an error hole";
+  EXPECT_EQ(n.error_code(), ENOENT);
+
+  // Serial path reports the same failure.
+  EnvGuard threads("LDPLFS_THREADS", "0");
+  auto serial = ReadFile::open(path);
+  ASSERT_TRUE(serial.ok());
+  auto sn = serial.value()->read(out, 0);
+  ASSERT_FALSE(sn.ok());
+  EXPECT_EQ(sn.error_code(), ENOENT);
+}
+
+TEST_F(ReadParallelTest, IndexCacheHitsOnReopenAndSeesNewWrites) {
+  const std::string path = dir_.sub("cached");
+  build_strided(path, 4, 4, 4096);
+
+  const auto before = IndexCache::shared().stats();
+  {
+    auto rf = ReadFile::open(path);
+    ASSERT_TRUE(rf.ok());
+  }
+  const auto cold = IndexCache::shared().stats();
+  EXPECT_EQ(cold.misses, before.misses + 1);
+  {
+    auto rf = ReadFile::open(path);
+    ASSERT_TRUE(rf.ok());
+  }
+  const auto warm = IndexCache::shared().stats();
+  EXPECT_EQ(warm.hits, cold.hits + 1);
+  EXPECT_EQ(warm.misses, cold.misses);
+
+  // Append through a new writer: the fingerprint (dropping count/size)
+  // changes, so the next open must re-merge even without an explicit hook.
+  auto fd = plfs_open(path, O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  const auto extra = ldplfs::testing::random_bytes(4096, 777);
+  const std::uint64_t old_size = 4u * 4u * 4096u;
+  ASSERT_TRUE(fd.value()->write(extra, old_size, 3000).ok());
+  ASSERT_TRUE(fd.value()->close(3000).ok());
+
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_EQ(rf.value()->size(), old_size + 4096);
+  std::vector<std::byte> tail(4096);
+  ASSERT_TRUE(rf.value()->read(tail, old_size).ok());
+  EXPECT_EQ(std::memcmp(tail.data(), extra.data(), 4096), 0);
+}
+
+TEST_F(ReadParallelTest, IndexCacheInvalidatedByTruncRenameUnlink) {
+  const std::string path = dir_.sub("mutated");
+  build_strided(path, 2, 2, 4096);
+
+  // Warm the cache, then truncate: size must update immediately.
+  ASSERT_TRUE(ReadFile::open(path).ok());
+  ASSERT_TRUE(plfs_trunc(path, 4096).ok());
+  {
+    auto rf = ReadFile::open(path);
+    ASSERT_TRUE(rf.ok());
+    EXPECT_EQ(rf.value()->size(), 4096u);
+  }
+
+  // Rename: old root's entry must not shadow the new location.
+  const std::string moved = dir_.sub("moved");
+  ASSERT_TRUE(plfs_rename(path, moved).ok());
+  {
+    auto rf = ReadFile::open(moved);
+    ASSERT_TRUE(rf.ok());
+    EXPECT_EQ(rf.value()->size(), 4096u);
+  }
+  EXPECT_FALSE(ReadFile::open(path).ok());
+
+  // Unlink, then recreate smaller: no stale index may answer for the name.
+  ASSERT_TRUE(plfs_unlink(moved).ok());
+  auto fd = plfs_open(moved, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  const auto tiny = ldplfs::testing::random_bytes(128, 5);
+  ASSERT_TRUE(fd.value()->write(tiny, 0, 1).ok());
+  ASSERT_TRUE(fd.value()->close(1).ok());
+  auto rf = ReadFile::open(moved);
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf.value()->size(), 128u);
+}
+
+TEST_F(ReadParallelTest, IndexCacheDisabledByEnv) {
+  EnvGuard off("LDPLFS_INDEX_CACHE", "0");
+  const std::string path = dir_.sub("nocache");
+  const auto expected = build_strided(path, 3, 2, 4096);
+
+  const auto before = IndexCache::shared().stats();
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  auto rf2 = ReadFile::open(path);
+  ASSERT_TRUE(rf2.ok());
+  const auto after = IndexCache::shared().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+
+  std::vector<std::byte> out(expected.size());
+  ASSERT_TRUE(rf.value()->read(out, 0).ok());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), expected.size()), 0);
+}
+
+TEST_F(ReadParallelTest, FdCacheReusesAndEvictsLru) {
+  // Local instance: deterministic cap without touching the shared cache.
+  DroppingFdCache cache(4);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 8; ++i) {
+    paths.push_back(dir_.sub("file" + std::to_string(i)));
+    ASSERT_TRUE(posix::write_file(paths.back(), "payload").ok());
+  }
+
+  auto first = cache.acquire(paths[0]);
+  ASSERT_TRUE(first.ok());
+  auto again = cache.acquire(paths[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first.value().get(), again.value().get()) << "hit reuses the fd";
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  for (int i = 1; i < 8; ++i) {
+    ASSERT_TRUE(cache.acquire(paths[i]).ok());
+  }
+  EXPECT_LE(cache.open_count(), 4u) << "cap bounds tracked descriptors";
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // paths[0] was evicted, but `first` still pins a working descriptor.
+  char buf[7];
+  ASSERT_EQ(::pread(first.value().get(), buf, sizeof buf, 0),
+            static_cast<ssize_t>(sizeof buf));
+  EXPECT_EQ(std::memcmp(buf, "payload", 7), 0);
+
+  cache.invalidate(dir_.path());
+  EXPECT_EQ(cache.open_count(), 0u);
+}
+
+TEST_F(ReadParallelTest, SharedFdCacheServesManyDroppingContainer) {
+  // More droppings than a tiny cap: reads stay correct while the cache
+  // recycles descriptors underneath.
+  EnvGuard cap("LDPLFS_FD_CACHE", "8");  // shared() already sized; local ok
+  const std::string path = dir_.sub("many");
+  const auto expected = build_strided(path, 24, 2, 512);
+  auto rf = ReadFile::open(path);
+  ASSERT_TRUE(rf.ok());
+  std::vector<std::byte> out(expected.size());
+  auto n = rf.value()->read(out, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), expected.size()), 0);
+}
+
+TEST_F(ReadParallelTest, MultiThreadedReadersOneContainer) {
+  const std::string path = dir_.sub("hammered");
+  const auto expected = build_strided(path, 8, 8, 4096);
+
+  auto fd = plfs_open(path, O_RDONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < 40; ++i) {
+        const std::uint64_t off = rng.below(expected.size());
+        const std::size_t len = 1 + rng.below(32 * 1024);
+        std::vector<std::byte> window(len);
+        auto n = fd.value()->read(window, off);
+        if (!n.ok()) {
+          ++failures;
+          continue;
+        }
+        const std::size_t want =
+            std::min<std::size_t>(len, expected.size() - off);
+        if (n.value() != want ||
+            std::memcmp(window.data(), expected.data() + off, want) != 0) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs
