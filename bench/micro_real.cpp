@@ -7,12 +7,13 @@
 // and an lseek) per POSIX call.
 //
 // A second mode, `micro_real --json=BENCH_micro.json [--smoke]`, skips the
-// google-benchmark suite and measures the two numbers the parallel read
-// engine is accountable for across PRs — strided N-1 read bandwidth
-// (serial vs parallel, raw and with modeled per-pread latency) and
-// plfs-open index latency (cold merge vs warm IndexCache hit) — writing
-// them as machine-readable JSON. The `bench_smoke` ctest (label
-// `bench-smoke`) runs a tiny configuration of this mode in tier-1.
+// google-benchmark suite and measures the numbers the I/O engines are
+// accountable for across PRs — strided N-1 read bandwidth (serial vs
+// parallel, raw and with modeled per-pread latency), small strided write
+// bandwidth (synchronous vs write-behind, raw and with modeled per-pwrite
+// latency), and plfs-open index latency (cold merge vs warm IndexCache
+// hit) — writing them as machine-readable JSON. The `bench_smoke` ctest
+// (label `bench-smoke`) runs a tiny configuration of this mode in tier-1.
 #include <benchmark/benchmark.h>
 #include <fcntl.h>
 #include <unistd.h>
@@ -275,7 +276,42 @@ double time_full_read(const std::string& path, std::size_t total, int reps) {
   return best;
 }
 
+/// Small coalesce-resistant strided writes into a fresh container per rep,
+/// timed open→writes→sync→close so drain barriers and the final fsync are
+/// charged to the engine being measured. Returns best-of-reps seconds.
+double time_strided_write(const std::string& dir, const std::string& tag,
+                          bool write_behind, int nblocks, std::size_t block,
+                          int reps) {
+  ::setenv("LDPLFS_WRITE_BEHIND", write_behind ? "1" : "0", 1);
+  std::vector<std::byte> buf(block, std::byte{0x3c});
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const std::string path = dir + "/" + tag + "." + std::to_string(r);
+    const auto start = Clock::now();
+    auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+    if (!fd) std::abort();
+    for (int b = 0; b < nblocks; ++b) {
+      // (b * 17) mod nblocks permutes [0, nblocks) for power-of-two counts:
+      // logically scattered checkpoint-style writes that no index record
+      // can coalesce, while the log still absorbs them as pure appends.
+      const std::uint64_t logical =
+          (static_cast<std::uint64_t>(b) * 17) %
+          static_cast<std::uint64_t>(nblocks);
+      if (!fd.value()->write(buf, logical * block, 1)) std::abort();
+    }
+    if (!fd.value()->sync(1).ok()) std::abort();
+    if (!plfs::plfs_close(fd.value(), 1).ok()) std::abort();
+    best = std::min(best, seconds_since(start));
+  }
+  ::unsetenv("LDPLFS_WRITE_BEHIND");
+  return best;
+}
+
 int run_json_bench(const std::string& json_path, bool smoke) {
+  // The shared thread pool latches LDPLFS_THREADS at first use, and the
+  // write-behind engine already uses it while building the read container
+  // below — pin the size the parallel phases expect before anything runs.
+  ::setenv("LDPLFS_THREADS", "8", 1);
   const int writers = smoke ? 4 : 16;
   const int blocks_per_writer = smoke ? 8 : 64;
   const std::size_t block = 64 * 1024;
@@ -325,21 +361,50 @@ int run_json_bench(const std::string& json_path, bool smoke) {
   const double parallel_modeled = time_full_read(path, total, reps);
   posix::faults::clear();
 
+  // Small strided write bandwidth, synchronous engine vs write-behind.
+  // "raw" is page-cache speed (the engines differ only by syscall count);
+  // "modeled" charges every data pwrite the per-op latency a parallel file
+  // system imposes, which is the regime aggregation is for: 4 KiB writes
+  // cost a memcpy while the few large flushes absorb the device latency on
+  // the pool thread.
+  const int write_blocks = smoke ? 256 : 4096;
+  const std::size_t write_block = 4 * 1024;
+  const std::size_t write_total =
+      static_cast<std::size_t>(write_blocks) * write_block;
+  const unsigned write_delay_usec = smoke ? 100 : 150;
+  const double wsync_raw =
+      time_strided_write(dir, "wsync", false, write_blocks, write_block, reps);
+  const double wwb_raw =
+      time_strided_write(dir, "wwb", true, write_blocks, write_block, reps);
+  const std::string write_delay_spec =
+      "pwrite:delay=" + std::to_string(write_delay_usec);
+  if (!posix::faults::configure(write_delay_spec)) std::abort();
+  const double wsync_modeled = time_strided_write(dir, "wsyncd", false,
+                                                  write_blocks, write_block,
+                                                  reps);
+  const double wwb_modeled =
+      time_strided_write(dir, "wwbd", true, write_blocks, write_block, reps);
+  posix::faults::clear();
+
   (void)posix::remove_tree(dir);
 
   const double gib = static_cast<double>(total) / (1024.0 * 1024.0 * 1024.0);
+  const double wgib =
+      static_cast<double>(write_total) / (1024.0 * 1024.0 * 1024.0);
   std::ofstream out(json_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  char buf[2048];
+  char buf[4096];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
       "  \"config\": {\"writers\": %d, \"blocks_per_writer\": %d,\n"
       "    \"block_bytes\": %zu, \"total_bytes\": %zu,\n"
       "    \"parallel_threads\": %d, \"modeled_pread_delay_usec\": %u,\n"
+      "    \"write_blocks\": %d, \"write_block_bytes\": %zu,\n"
+      "    \"write_total_bytes\": %zu, \"modeled_pwrite_delay_usec\": %u,\n"
       "    \"smoke\": %s},\n"
       "  \"strided_read\": {\n"
       "    \"raw\": {\"serial_gbps\": %.3f, \"parallel_gbps\": %.3f,\n"
@@ -351,14 +416,28 @@ int run_json_bench(const std::string& json_path, bool smoke) {
       "    \"speedup_basis\": \"modeled per-pread latency (%u usec via "
       "LDPLFS_FAULTS pread:delay)\"\n"
       "  },\n"
+      "  \"strided_write\": {\n"
+      "    \"raw\": {\"serial_gbps\": %.3f, \"write_behind_gbps\": %.3f,\n"
+      "      \"speedup\": %.2f},\n"
+      "    \"modeled_latency\": {\"serial_gbps\": %.3f, "
+      "\"write_behind_gbps\": %.3f,\n"
+      "      \"speedup\": %.2f},\n"
+      "    \"speedup\": %.2f,\n"
+      "    \"speedup_basis\": \"modeled per-pwrite latency (%u usec via "
+      "LDPLFS_FAULTS pwrite:delay)\"\n"
+      "  },\n"
       "  \"open_latency\": {\"cold_usec\": %.1f, \"warm_usec\": %.1f,\n"
       "    \"speedup\": %.2f}\n"
       "}\n",
       writers, blocks_per_writer, block, total, parallel_threads, delay_usec,
+      write_blocks, write_block, write_total, write_delay_usec,
       smoke ? "true" : "false", gib / serial_raw, gib / parallel_raw,
       serial_raw / parallel_raw, gib / serial_modeled, gib / parallel_modeled,
       serial_modeled / parallel_modeled, serial_modeled / parallel_modeled,
-      delay_usec, open_cold * 1e6, open_warm * 1e6, open_cold / open_warm);
+      delay_usec, wgib / wsync_raw, wgib / wwb_raw, wsync_raw / wwb_raw,
+      wgib / wsync_modeled, wgib / wwb_modeled, wsync_modeled / wwb_modeled,
+      wsync_modeled / wwb_modeled, write_delay_usec, open_cold * 1e6,
+      open_warm * 1e6, open_cold / open_warm);
   out << buf;
   out.close();
   std::fputs(buf, stdout);

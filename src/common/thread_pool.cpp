@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <pthread.h>
+
 #include <cstdlib>
 #include <utility>
 
@@ -36,6 +38,17 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (respawn_ != 0) {
+    // First submit after fork(): the child inherited the pool object but
+    // none of the parent's worker threads. The atfork child handler ran
+    // before any user code, so this thread is still the only one in the
+    // process — restart the crew without locking.
+    const unsigned n = std::exchange(respawn_, 0u);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
   if (workers_.empty()) {
     task();
     return;
@@ -59,8 +72,34 @@ unsigned ThreadPool::env_threads() {
   return value > 256 ? 256u : static_cast<unsigned>(value);
 }
 
+void ThreadPool::handle_fork_child() {
+  // Runs in the forked child with mu_ held (the prepare handler locked it,
+  // so no worker died mid-queue-operation). The parent's worker threads do
+  // not exist here: detach the stale handles (destroying a joinable
+  // std::thread would terminate()), drop the parent's queued tasks — they
+  // belong to the parent — and respawn lazily on the child's first submit.
+  // A task that was *running* at fork time is abandoned: engines must not
+  // fork with work in flight (WriteFile drains before plfs handles escape
+  // to callers that fork, and the crash soak forks between operations).
+  respawn_ = static_cast<unsigned>(workers_.size());
+  for (auto& worker : workers_) worker.detach();
+  workers_.clear();
+  queue_.clear();
+  mu_.unlock();
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(env_threads());
+  // Fork safety: fault-injected writers (tests, MPI-style launchers) fork
+  // after this process has already used the pool. Hold mu_ across the fork
+  // so the child never inherits it locked, then let the child rebuild.
+  static const int atfork_registered = [] {
+    ::pthread_atfork([] { shared().mu_.lock(); },
+                     [] { shared().mu_.unlock(); },
+                     [] { shared().handle_fork_child(); });
+    return 0;
+  }();
+  (void)atfork_registered;
   return pool;
 }
 

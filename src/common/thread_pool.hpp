@@ -1,15 +1,20 @@
-// Fixed-size thread pool used by the parallel read engine.
+// Fixed-size thread pool shared by the parallel read engine and the
+// write-behind flush engine.
 //
 // One process-wide pool (ThreadPool::shared()) is sized by LDPLFS_THREADS at
 // first use: unset or empty means hardware_concurrency, 0 disables the pool
 // entirely (every task runs inline on the submitting thread). There is no
-// work stealing and no task priorities — read batches are coarse (one per
-// data dropping) and complete in one hop, so a plain mutex-protected queue
-// is both sufficient and easy to reason about under TSan.
+// work stealing and no task priorities — the submitted tasks are coarse
+// (one per data dropping on reads, one aggregation buffer on writes) and
+// complete in one hop, so a plain mutex-protected queue is both sufficient
+// and easy to reason about under TSan.
 //
 // TaskGroup is the fork/join companion: submit a batch of tasks against a
 // pool, then wait() for all of them. Tasks must not submit to the same
-// group they run under (no nesting), which the read path never does.
+// group they run under (no nesting), which no engine does. The write-behind
+// engine does not use TaskGroup — it joins through its own one-slot
+// double-buffer handshake (WriteFile::FlushSlot), since it needs the flush
+// *result*, not just completion.
 #pragma once
 
 #include <condition_variable>
@@ -38,6 +43,10 @@ class ThreadPool {
   }
 
   /// Process-wide pool, created on first use with env_threads() workers.
+  /// Fork-safe: an atfork handler holds the queue lock across fork() and
+  /// the child discards the parent's queue and respawns workers on its
+  /// first submit. Tasks *running* at fork time are abandoned in the child,
+  /// so callers must not fork with work in flight.
   static ThreadPool& shared();
 
   /// Parse LDPLFS_THREADS: unset/empty → hardware_concurrency (min 1),
@@ -46,12 +55,15 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// atfork child handler body: drop inherited queue/threads, arm respawn.
+  void handle_fork_child();
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  unsigned respawn_ = 0;  // worker count to restore after fork(), else 0
 };
 
 /// Fork/join helper over a ThreadPool: run() submits, wait() blocks until

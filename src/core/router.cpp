@@ -332,9 +332,11 @@ int Router::stat(const char* path, struct ::stat* st) {
   if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
     return real_.stat(path, st);
   }
-  // If this process has the file open for writing, unflushed records make
-  // the on-disk index lag; answer from the live handle instead, the way
-  // the kernel answers stat from the in-memory inode.
+  // If this process has the file open for writing, unflushed records (and,
+  // under write-behind, data still coalescing in the aggregation buffer)
+  // make the on-disk index lag; answer from the live handle instead, the
+  // way the kernel answers stat from the in-memory inode. size() drains the
+  // writers, so the answer includes every acknowledged byte.
   if (auto open_file = table_.find_by_path(where.path)) {
     auto size = open_file->handle().size();
     if (!size) return fail(size.error());
@@ -359,6 +361,8 @@ int Router::lstat(const char* path, struct ::stat* st) {
 int Router::fstat(int fd, struct ::stat* st) {
   auto of = table_.lookup(fd);
   if (!of) return real_.fstat(fd, st);
+  // size() is a drain barrier over this handle's writers (see stat()), so
+  // fstat after a burst of buffered writes reports the true logical size.
   auto size = of->handle().size();
   if (!size) return fail(size.error());
   plfs::FileAttr attr;

@@ -171,6 +171,18 @@ void IndexWriter::add_write(std::uint64_t offset, std::uint64_t length,
                                  static_cast<std::uint32_t>(RecordKind::kData)});
 }
 
+void IndexWriter::add_records(std::span<const IndexRecord> records) {
+  pending_.reserve(pending_.size() + records.size());
+  for (const auto& rec : records) {
+    if (rec.kind == static_cast<std::uint32_t>(RecordKind::kData)) {
+      add_write(rec.logical_offset, rec.length, rec.physical_offset,
+                rec.timestamp);
+    } else {
+      add_truncate(rec.length, rec.timestamp);
+    }
+  }
+}
+
 void IndexWriter::add_truncate(std::uint64_t size, std::uint64_t timestamp) {
   pending_.push_back(IndexRecord{
       0, size, 0, timestamp, 0,

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,13 @@ class IndexWriter {
 
   /// Record a truncate to `size`.
   void add_truncate(std::uint64_t size, std::uint64_t timestamp);
+
+  /// Batched append for the write-behind engine: records staged against an
+  /// aggregation buffer land here in one call once the data flush that
+  /// covers them has completed. Re-coalesces across the batch boundary and
+  /// obeys the same tear-safety rules as add_write (records reach disk only
+  /// through flush(), which is sticky on failure).
+  void add_records(std::span<const IndexRecord> records);
 
   /// Append buffered records to the file.
   ///

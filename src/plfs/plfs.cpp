@@ -61,6 +61,10 @@ Result<std::size_t> FileHandle::write(std::span<const std::byte> data,
 }
 
 Status FileHandle::flush_writers_locked() {
+  // sync() is a drain barrier: it empties each writer's write-behind
+  // aggregation buffer into the log *and* flushes the index records, so a
+  // snapshot taken after this sees every acknowledged byte (read-your-writes
+  // holds even while appends are still coalescing in user space).
   for (auto& [pid, writer] : writers_) {
     if (auto s = writer->sync(); !s) return s;
   }

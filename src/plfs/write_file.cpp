@@ -4,13 +4,38 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.hpp"
 #include "common/paths.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
+
+namespace {
+
+constexpr std::size_t kDefaultWriteBuffer = std::size_t{4} << 20;
+constexpr std::size_t kMinWriteBuffer = std::size_t{4} << 10;
+constexpr std::size_t kMaxWriteBuffer = std::size_t{256} << 20;
+
+}  // namespace
+
+bool WriteFile::env_write_behind() {
+  const char* env = std::getenv("LDPLFS_WRITE_BEHIND");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::size_t WriteFile::env_write_buffer() {
+  const char* env = std::getenv("LDPLFS_WRITE_BUFFER");
+  if (env == nullptr || *env == '\0') return kDefaultWriteBuffer;
+  const std::uint64_t parsed = parse_bytes(env);
+  if (parsed == 0) return kDefaultWriteBuffer;  // malformed: stay safe
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(parsed, kMinWriteBuffer, kMaxWriteBuffer));
+}
 
 WriteFile::WriteFile(std::string root, WriterId writer)
     : root_(std::move(root)), writer_(std::move(writer)) {}
@@ -43,6 +68,12 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
   }
   wf->index_ = std::make_unique<IndexWriter>(std::move(index).value());
 
+  wf->write_behind_ = env_write_behind();
+  if (wf->write_behind_) {
+    wf->buffer_capacity_ = env_write_buffer();
+    wf->active_.reserve(wf->buffer_capacity_);
+  }
+
   if (auto s = posix::write_file(layout.openhost_path(writer), ""); !s) {
     LDPLFS_LOG_WARN("could not register openhost for %s: %s",
                     root.c_str(), s.error().message().c_str());
@@ -50,11 +81,8 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
   return wf;
 }
 
-Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
-                                     std::uint64_t offset) {
-  if (closed_) return Errno{EBADF};
-  if (deferred_errno_ != 0) return Errno{deferred_errno_};
-  if (data.empty()) return std::size_t{0};
+Result<std::size_t> WriteFile::write_through(std::span<const std::byte> data,
+                                             std::uint64_t offset) {
   const std::uint64_t physical = physical_end_;
   if (auto s = posix::pwrite_all(data_fd_, data,
                                  static_cast<off_t>(physical));
@@ -67,6 +95,155 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
   }
   index_->add_write(offset, data.size(), physical, next_timestamp());
   physical_end_ += data.size();
+  active_base_ = physical_end_;  // active_ is empty; keep its base at the tail
+  max_eof_ = std::max(max_eof_, offset + data.size());
+  return data.size();
+}
+
+void WriteFile::stage_record(std::uint64_t offset, std::uint64_t length,
+                             std::uint64_t physical) {
+  // Same coalescing rule as IndexWriter::add_write: extend the previous
+  // record when both the logical and physical runs continue exactly.
+  if (!active_records_.empty()) {
+    IndexRecord& last = active_records_.back();
+    if (last.logical_offset + last.length == offset &&
+        last.physical_offset + last.length == physical) {
+      last.length += length;
+      last.timestamp = next_timestamp();
+      return;
+    }
+  }
+  active_records_.push_back(
+      IndexRecord{offset, length, physical, next_timestamp(), 0,
+                  static_cast<std::uint32_t>(RecordKind::kData)});
+}
+
+void WriteFile::submit_active() {
+  inflight_.swap(active_);
+  active_.clear();
+  inflight_records_.swap(active_records_);
+  active_records_.clear();
+  inflight_base_ = active_base_;
+  active_base_ = inflight_base_ + inflight_.size();
+  {
+    std::lock_guard lock(slot_.mu);
+    slot_.done = false;
+    slot_.err = 0;
+  }
+  inflight_busy_ = true;
+  const int fd = data_fd_;
+  ThreadPool::shared().submit([this, fd] {
+    auto s = posix::pwrite_all(
+        fd, std::span<const std::byte>(inflight_.data(), inflight_.size()),
+        static_cast<off_t>(inflight_base_));
+    // Publish the result while holding the lock: complete_inflight()'s
+    // caller may destroy this WriteFile the moment it observes done, so
+    // the task must be finished with slot_ before any waiter can get past
+    // the mutex (same destruction-race rule as TaskGroup).
+    std::lock_guard lock(slot_.mu);
+    slot_.err = s.ok() ? 0 : s.error_code();
+    slot_.done = true;
+    slot_.cv.notify_all();
+  });
+}
+
+Status WriteFile::complete_inflight() {
+  if (!inflight_busy_) {
+    return deferred_errno_ == 0 ? Status::success()
+                                : Status(Errno{deferred_errno_});
+  }
+  int err = 0;
+  {
+    std::unique_lock lock(slot_.mu);
+    slot_.cv.wait(lock, [this] { return slot_.done; });
+    err = slot_.err;
+  }
+  inflight_busy_ = false;
+  if (err != 0) {
+    // The flush tore the log tail at some point inside [inflight_base_,
+    // inflight_base_ + size): nothing from this buffer gets indexed, and
+    // nothing may ever be appended past the tear — drop the in-flight
+    // records *and* everything still staged behind them. The first logical
+    // failure wins; later barriers keep reporting this errno.
+    if (deferred_errno_ == 0) deferred_errno_ = err;
+    inflight_records_.clear();
+    inflight_.clear();
+    active_.clear();
+    active_records_.clear();
+    physical_end_ = inflight_base_;
+    active_base_ = inflight_base_;
+    return Errno{deferred_errno_};
+  }
+  // The data is in the log; only now may its records reach the index
+  // (the index must always describe bytes that are really there).
+  index_->add_records(inflight_records_);
+  inflight_records_.clear();
+  return deferred_errno_ == 0 ? Status::success()
+                              : Status(Errno{deferred_errno_});
+}
+
+void WriteFile::poll_inflight() {
+  if (!inflight_busy_) return;
+  {
+    std::lock_guard lock(slot_.mu);
+    if (!slot_.done) return;
+  }
+  (void)complete_inflight();  // will not block: the task has finished
+}
+
+Status WriteFile::drain() {
+  if (auto s = complete_inflight(); !s) return s;
+  if (active_.empty()) return Status::success();
+  if (auto s = posix::pwrite_all(
+          data_fd_,
+          std::span<const std::byte>(active_.data(), active_.size()),
+          static_cast<off_t>(active_base_));
+      !s) {
+    deferred_errno_ = s.error_code();
+    active_.clear();
+    active_records_.clear();
+    physical_end_ = active_base_;
+    return s;
+  }
+  index_->add_records(active_records_);
+  active_records_.clear();
+  active_base_ += active_.size();
+  active_.clear();
+  return Status::success();
+}
+
+Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
+                                     std::uint64_t offset) {
+  if (closed_) return Errno{EBADF};
+  poll_inflight();  // surface a finished background-flush failure now
+  if (deferred_errno_ != 0) return Errno{deferred_errno_};
+  if (data.empty()) return std::size_t{0};
+  if (!write_behind_) return write_through(data, offset);
+
+  // Oversized writes dodge the buffer: after a drain the log tail is
+  // current, and one big pwrite beats staging through a smaller buffer.
+  if (data.size() >= buffer_capacity_) {
+    if (auto s = drain(); !s) return s.error();
+    return write_through(data, offset);
+  }
+
+  std::size_t copied = 0;
+  while (copied < data.size()) {
+    if (active_.size() == buffer_capacity_) {
+      // Double-buffer rotation: absorb the previous flush (this is the
+      // only point a healthy stream ever waits on the pool), then hand
+      // the full buffer over and keep filling the other one.
+      if (auto s = complete_inflight(); !s) return s.error();
+      submit_active();
+    }
+    const std::size_t take =
+        std::min(buffer_capacity_ - active_.size(), data.size() - copied);
+    stage_record(offset + copied, take, active_base_ + active_.size());
+    active_.insert(active_.end(), data.begin() + static_cast<std::ptrdiff_t>(copied),
+                   data.begin() + static_cast<std::ptrdiff_t>(copied + take));
+    copied += take;
+    physical_end_ += take;
+  }
   max_eof_ = std::max(max_eof_, offset + data.size());
   return data.size();
 }
@@ -74,6 +251,10 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
 Status WriteFile::truncate(std::uint64_t size) {
   if (closed_) return Errno{EBADF};
   if (deferred_errno_ != 0) return Errno{deferred_errno_};
+  // Drain barrier: every buffered append must be in the log (and its
+  // records staged ahead of the truncate record) before the truncate is
+  // made visible, or replay order would mask acknowledged writes.
+  if (auto s = drain(); !s) return s;
   index_->add_truncate(size, next_timestamp());
   max_eof_ = size;
   // Existing metadata hints describe pre-truncate EOFs; drop them so the
@@ -84,6 +265,14 @@ Status WriteFile::truncate(std::uint64_t size) {
     for (const auto& name : names.value()) {
       (void)posix::remove_file(path_join(layout.metadata_path(), name));
     }
+  } else {
+    // Failing to drop stale hints does not lose data, but it can let the
+    // getattr fast path serve a pre-truncate size until the next writer
+    // close rewrites them — worth a warning, like the close() path.
+    LDPLFS_LOG_WARN(
+        "truncate(%s): could not list metadata dir to drop stale size "
+        "hints (errno=%d %s); stat may overreport until the next close",
+        root_.c_str(), names.error_code(), names.error().message().c_str());
   }
   if (auto s = index_->flush(); !s) {
     deferred_errno_ = s.error_code();
@@ -95,6 +284,9 @@ Status WriteFile::truncate(std::uint64_t size) {
 Status WriteFile::sync() {
   if (closed_) return Errno{EBADF};
   if (deferred_errno_ != 0) return Errno{deferred_errno_};
+  // Drain barrier first: index records may only be flushed once the data
+  // they describe is in the log.
+  if (auto s = drain(); !s) return s;
   if (auto s = index_->flush(); !s) {
     deferred_errno_ = s.error_code();
     return s;
@@ -112,6 +304,9 @@ Status WriteFile::close() {
   // index_ is null when WriteFile::open failed part-way and the half-built
   // object is being destroyed; there is no stream to tear down then.
   if (!index_) return Status::success();
+  // Drain barrier (also joins any pool task so no flush can outlive this
+  // object). A failure here poisons deferred_errno_ and is surfaced below.
+  (void)drain();
   Status result = index_->close();
   if (deferred_errno_ != 0) result = Errno{deferred_errno_};  // original wins
   if (data_fd_ >= 0) {

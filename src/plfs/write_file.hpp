@@ -2,15 +2,34 @@
 // its paired index dropping. This is the log-structured half of PLFS — every
 // write lands at the tail of the data dropping regardless of its logical
 // offset, and the index records where it belongs.
+//
+// The write path runs one of two engines, chosen at open:
+//
+//   * synchronous (LDPLFS_WRITE_BEHIND=0): every write() issues an immediate
+//     pwrite at the log tail — the original behavior, byte-identical output.
+//   * write-behind (the default): writes are coalesced into a bounded
+//     aggregation buffer (LDPLFS_WRITE_BUFFER bytes) and flushed to the log
+//     as large physical appends. Flushes are double-buffered: a full buffer
+//     is handed to the shared thread pool while the caller keeps filling the
+//     other one, so small strided checkpoint writes cost a memcpy instead of
+//     a syscall and the device latency overlaps application compute.
+//
+// Both engines preserve the same contracts (see write()): sticky deferred
+// errors with the first logical failure winning, index records only ever
+// describing bytes whose pwrite completed, and sync()/truncate()/close()
+// acting as drain barriers so readers and stat see every acknowledged byte.
 #pragma once
 
 #include <sys/types.h>
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "plfs/container.hpp"
@@ -22,6 +41,7 @@ class WriteFile {
  public:
   /// Open a new writer stream for `writer` in the container at `root`.
   /// Creates the hostdir bucket on demand and registers in openhosts/.
+  /// Latches LDPLFS_WRITE_BEHIND / LDPLFS_WRITE_BUFFER for this stream.
   static Result<std::unique_ptr<WriteFile>> open(const std::string& root,
                                                  const WriterId& writer);
 
@@ -34,23 +54,32 @@ class WriteFile {
   /// Error semantics are POSIX write-back semantics: the first failed append
   /// (data pwrite or index flush) poisons the stream, and every subsequent
   /// write()/truncate()/sync() — and the final close() — reports the
-  /// original errno. Bytes written before the failure stay valid and
-  /// indexed (prefix consistency); bytes of the failed append were never
-  /// indexed and are invisible to readers.
+  /// original errno. Bytes whose pwrite completed before the failure stay
+  /// valid and indexed (prefix consistency); bytes of the failed append —
+  /// and, under write-behind, any later bytes still buffered when the
+  /// failure surfaced — were never indexed and are invisible to readers
+  /// (the same way a page-cache write-back failure loses acknowledged but
+  /// unsynced data). A background flush failure is detected on the next
+  /// write()/sync()/truncate()/close(), whichever comes first.
   Result<std::size_t> write(std::span<const std::byte> data,
                             std::uint64_t offset);
 
   /// Record a truncation. (Data already in the log is masked by the index;
-  /// log-structured stores never rewrite history.)
+  /// log-structured stores never rewrite history.) Drain barrier: all
+  /// buffered appends reach the log before the truncate record is flushed.
   Status truncate(std::uint64_t size);
 
-  /// Flush index records and fsync both droppings.
+  /// Drain barrier: flush the aggregation buffer, then index records, then
+  /// fsync the data dropping. After a successful sync every acknowledged
+  /// byte is durable and indexed.
   Status sync();
 
-  /// Flush, drop the openhosts registration, leave a metadata size hint.
-  /// Idempotent; called by the destructor as a last resort.
+  /// Drain, flush, drop the openhosts registration, leave a metadata size
+  /// hint. Idempotent; called by the destructor as a last resort.
   Status close();
 
+  /// Bytes accepted by write() (including any still in the aggregation
+  /// buffer; after a drain barrier this equals the data-dropping tail).
   [[nodiscard]] std::uint64_t bytes_written() const { return physical_end_; }
   /// Errno of the first failed append on this stream, or 0. See write().
   [[nodiscard]] int deferred_errno() const { return deferred_errno_; }
@@ -59,18 +88,74 @@ class WriteFile {
   /// (used when a *different* writer on the same handle truncates).
   void clamp_eof(std::uint64_t size) { max_eof_ = std::min(max_eof_, size); }
   [[nodiscard]] const WriterId& writer() const { return writer_; }
+  /// True when this stream aggregates writes (write-behind engine active).
+  [[nodiscard]] bool write_behind() const { return write_behind_; }
+
+  /// Parse LDPLFS_WRITE_BEHIND: "0" disables the engine, anything else
+  /// (including unset) enables it.
+  static bool env_write_behind();
+  /// Parse LDPLFS_WRITE_BUFFER ("4M", "512K", plain bytes) into the
+  /// aggregation-buffer capacity; malformed/unset falls back to the 4 MiB
+  /// default, and values clamp into [4 KiB, 256 MiB].
+  static std::size_t env_write_buffer();
 
  private:
   WriteFile(std::string root, WriterId writer);
+
+  /// Immediate pwrite + index record — the synchronous engine, also used
+  /// for buffer-dodging oversized writes after a drain.
+  Result<std::size_t> write_through(std::span<const std::byte> data,
+                                    std::uint64_t offset);
+  /// Coalesce a record for bytes staged in the active buffer.
+  void stage_record(std::uint64_t offset, std::uint64_t length,
+                    std::uint64_t physical);
+  /// Hand the active buffer to the pool as the in-flight flush.
+  /// Caller guarantees no flush is in flight and the buffer is non-empty.
+  void submit_active();
+  /// Block until the in-flight flush (if any) finishes and absorb its
+  /// result: merge its records into the index on success, poison the
+  /// stream (dropping everything still buffered) on failure.
+  Status complete_inflight();
+  /// Non-blocking complete_inflight: absorb the result only if the pool
+  /// task already finished, so write() surfaces background failures
+  /// promptly without stalling on a healthy in-flight flush.
+  void poll_inflight();
+  /// Drain barrier body: complete the in-flight flush, then flush the
+  /// active buffer synchronously. On return either everything accepted is
+  /// in the log and indexed, or the stream is poisoned.
+  Status drain();
 
   std::string root_;
   WriterId writer_;
   int data_fd_ = -1;
   std::unique_ptr<IndexWriter> index_;
-  std::uint64_t physical_end_ = 0;  // tail of the data dropping
+  std::uint64_t physical_end_ = 0;  // bytes accepted (log tail once drained)
   std::uint64_t max_eof_ = 0;       // highest logical offset+len written
   int deferred_errno_ = 0;          // first failed append poisons the stream
   bool closed_ = false;
+
+  // --- write-behind engine (unused when write_behind_ is false) ---------
+  // All fields are owned by the caller thread except slot_, which is the
+  // only state shared with the pool task. The task reads inflight_ /
+  // inflight_base_ without holding slot_.mu: the pool's submit queue
+  // publishes them to the worker, and the caller does not touch them again
+  // until it has observed slot_.done under slot_.mu.
+  bool write_behind_ = false;
+  std::size_t buffer_capacity_ = 0;
+  std::vector<std::byte> active_;            // buffer being filled
+  std::uint64_t active_base_ = 0;            // physical offset of active_[0]
+  std::vector<IndexRecord> active_records_;  // coalesced records for active_
+  std::vector<std::byte> inflight_;          // buffer being flushed
+  std::uint64_t inflight_base_ = 0;
+  std::vector<IndexRecord> inflight_records_;
+  bool inflight_busy_ = false;  // submitted and not yet absorbed
+  struct FlushSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    int err = 0;
+  };
+  FlushSlot slot_;
 };
 
 }  // namespace ldplfs::plfs

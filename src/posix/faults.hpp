@@ -27,6 +27,9 @@
 //   pwrite:errno=EAGAIN:count=2   two transient EAGAINs, then normal
 //   pread:delay=200               every pread costs an extra 200 µs (used by
 //                                 bench/micro_real to model a parallel FS)
+//   pwrite:delay=150              every pwrite costs an extra 150 µs (used by
+//                                 bench/micro_real to model device write
+//                                 latency against the write-behind engine)
 //   crash:after=5                 process dies at the 6th instrumented op
 //   pwrite:after=2:crash          process dies entering the 3rd pwrite
 //

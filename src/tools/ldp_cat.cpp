@@ -18,7 +18,7 @@ int cat_one(const std::string& path) {
     std::perror(("ldp-cat: " + path).c_str());
     return 1;
   }
-  std::vector<char> buf(1u << 20);
+  std::vector<char> buf(ldplfs::tools::io_buffer_size());
   int result = 0;
   while (true) {
     const ssize_t n = r.read(fd, buf.data(), buf.size());

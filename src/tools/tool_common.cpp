@@ -3,12 +3,27 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace ldplfs::tools {
+
+std::size_t io_buffer_size(std::size_t fallback) {
+  static const std::uint64_t env_bytes = [] {
+    const char* env = std::getenv("LDPLFS_TOOL_BUFFER");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    return parse_bytes(env);  // 0 on malformed input → fallback
+  }();
+  const std::uint64_t bytes = env_bytes != 0 ? env_bytes : fallback;
+  return static_cast<std::size_t>(std::clamp<std::uint64_t>(
+      bytes, std::uint64_t{4} << 10, std::uint64_t{256} << 20));
+}
 
 core::Router& router() {
   static core::Router& instance = []() -> core::Router& {
@@ -38,6 +53,7 @@ ToolArgs parse_common(int argc, char** argv) {
 
 long long copy_path(const std::string& src, const std::string& dst,
                     std::size_t block_size) {
+  if (block_size == 0) block_size = io_buffer_size(4u << 20);
   auto& r = router();
   const int in = r.open(src.c_str(), O_RDONLY, 0);
   if (in < 0) return -1;
@@ -96,13 +112,13 @@ bool LineReader::next(std::string& line) {
       pending_.clear();
       return true;
     }
-    char buf[1 << 16];
-    const ssize_t n = router().read(fd_, buf, sizeof buf);
+    if (buf_.empty()) buf_.resize(io_buffer_size());
+    const ssize_t n = router().read(fd_, buf_.data(), buf_.size());
     if (n <= 0) {
       eof_ = true;
       continue;
     }
-    pending_.append(buf, static_cast<std::size_t>(n));
+    pending_.append(buf_.data(), static_cast<std::size_t>(n));
   }
 }
 

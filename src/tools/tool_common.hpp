@@ -29,13 +29,21 @@ ToolArgs parse_common(int argc, char** argv);
 /// The router every tool uses (libc + global mount table).
 core::Router& router();
 
+/// I/O buffer size for the tools' read/copy loops: LDPLFS_TOOL_BUFFER
+/// (accepts "4M"-style suffixes) when set and sane, else `fallback`.
+/// Latched on first use. Clamped to [4 KiB, 256 MiB].
+std::size_t io_buffer_size(std::size_t fallback = 1u << 20);
+
 /// Copy the whole of `src` to `dst` through the router (either side may be
 /// a container). Returns bytes copied or -1 with errno set; prints nothing.
+/// `block_size` 0 means io_buffer_size(4 MiB).
 long long copy_path(const std::string& src, const std::string& dst,
-                    std::size_t block_size = 4u << 20);
+                    std::size_t block_size = 0);
 
 /// Line-oriented reader over a router fd for grep-style tools; refills an
-/// internal buffer with read(2) and hands out one line at a time.
+/// io_buffer_size() heap buffer with read(2) and hands out one line at a
+/// time (a big buffer keeps container reads from bottlenecking on per-call
+/// routing cost when lines are short).
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
@@ -46,6 +54,7 @@ class LineReader {
  private:
   int fd_;
   std::string pending_;
+  std::vector<char> buf_;  // sized on first refill
   bool eof_ = false;
 };
 

@@ -1,0 +1,325 @@
+// Write-behind engine suite: the aggregated, double-buffered async append
+// path (see write_file.hpp).
+//
+// The heart is a randomized oracle test: the same fixed-seed op sequence
+// (strided writes, truncates, syncs, read checkpoints) runs once under the
+// write-behind engine and once under the synchronous engine, each checked
+// against an in-memory byte model at every checkpoint. The two containers
+// must then agree byte-for-byte — identical data-dropping contents and
+// identical index records modulo timestamps — which pins the engines to the
+// same log-structured layout, not merely the same logical contents.
+//
+// The fault tests pin the deferred-error half of the contract: a background
+// flush failure on a pool thread poisons the stream, the original errno
+// resurfaces from the next write/sync/close, and no index record ever
+// describes bytes the failed flush did not land.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index_format.hpp"
+#include "plfs/plfs.hpp"
+#include "plfs/recovery.hpp"
+#include "plfs/write_file.hpp"
+#include "posix/faults.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+
+constexpr pid_t kPid = 9;
+constexpr std::size_t kChunk = 1024;
+
+char chunk_fill(std::size_t index) {
+  return static_cast<char>('A' + static_cast<char>(index));
+}
+
+class WriteBehindTest : public ::testing::Test {
+ protected:
+  void SetUp() override { posix::faults::clear(); }
+  void TearDown() override {
+    posix::faults::clear();
+    ::unsetenv("LDPLFS_WRITE_BEHIND");
+    ::unsetenv("LDPLFS_WRITE_BUFFER");
+  }
+  TempDir tmp_;
+};
+
+TEST_F(WriteBehindTest, EnvKnobs) {
+  ::unsetenv("LDPLFS_WRITE_BEHIND");
+  EXPECT_TRUE(WriteFile::env_write_behind());  // on by default
+  ::setenv("LDPLFS_WRITE_BEHIND", "0", 1);
+  EXPECT_FALSE(WriteFile::env_write_behind());
+  ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+  EXPECT_TRUE(WriteFile::env_write_behind());
+
+  ::unsetenv("LDPLFS_WRITE_BUFFER");
+  EXPECT_EQ(WriteFile::env_write_buffer(), std::size_t{4} << 20);
+  ::setenv("LDPLFS_WRITE_BUFFER", "8K", 1);
+  EXPECT_EQ(WriteFile::env_write_buffer(), std::size_t{8} << 10);
+  ::setenv("LDPLFS_WRITE_BUFFER", "1", 1);  // clamped to the 4 KiB floor
+  EXPECT_EQ(WriteFile::env_write_buffer(), std::size_t{4} << 10);
+  ::setenv("LDPLFS_WRITE_BUFFER", "1G", 1);  // clamped to the 256 MiB cap
+  EXPECT_EQ(WriteFile::env_write_buffer(), std::size_t{256} << 20);
+  ::setenv("LDPLFS_WRITE_BUFFER", "banana", 1);  // malformed: default
+  EXPECT_EQ(WriteFile::env_write_buffer(), std::size_t{4} << 20);
+}
+
+/// What one oracle run leaves behind, for cross-engine comparison.
+struct WorkloadResult {
+  std::vector<char> model;        // final oracle contents
+  std::string dropping_bytes;     // raw data-dropping contents
+  std::vector<IndexRecord> records;  // on-disk index records
+};
+
+/// Run the fixed-seed random workload against one container and the byte
+/// model, checking read-your-writes at every checkpoint. The 4 KiB buffer
+/// forces many double-buffer rotations; occasional oversized writes take
+/// the buffer-dodging path.
+WorkloadResult run_workload(const TempDir& tmp, const char* name,
+                            bool write_behind) {
+  ::setenv("LDPLFS_WRITE_BEHIND", write_behind ? "1" : "0", 1);
+  ::setenv("LDPLFS_WRITE_BUFFER", "4096", 1);
+  WorkloadResult result;
+  const std::string path = tmp.sub(name);
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, kPid);
+  EXPECT_TRUE(fd.ok());
+  if (!fd.ok()) return result;
+
+  std::vector<char>& model = result.model;
+  const auto checkpoint = [&](int op) {
+    auto size = fd.value()->size();
+    ASSERT_TRUE(size.ok()) << "op " << op;
+    EXPECT_EQ(size.value(), model.size()) << "op " << op;
+    std::vector<std::byte> buf(model.size());
+    auto got = plfs_read(*fd.value(), buf, 0);
+    ASSERT_TRUE(got.ok()) << "op " << op;
+    ASSERT_EQ(got.value(), model.size()) << "op " << op;
+    if (!model.empty()) {
+      EXPECT_EQ(std::memcmp(buf.data(), model.data(), model.size()), 0)
+          << "op " << op;
+    }
+  };
+
+  Rng rng(0xFEEDFACEu);  // same seed for both engines → identical ops
+  for (int op = 0; op < 240; ++op) {
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 7) {
+      const std::uint64_t off = rng.below(48 * 1024);
+      // Mostly sub-buffer writes; every 31st is oversized (> 4 KiB buffer)
+      // to exercise the drain-then-write-through dodge.
+      const std::size_t len =
+          1 + static_cast<std::size_t>(rng.below(op % 31 == 0 ? 6000 : 3000));
+      std::string data(len, '\0');
+      for (auto& c : data) {
+        c = static_cast<char>('a' + static_cast<char>(rng.below(26)));
+      }
+      auto n = fd.value()->write(as_bytes(data), off, kPid);
+      EXPECT_TRUE(n.ok()) << "op " << op;
+      if (model.size() < off + len) model.resize(off + len, '\0');
+      std::copy(data.begin(), data.end(),
+                model.begin() + static_cast<std::ptrdiff_t>(off));
+    } else if (kind == 7) {
+      // Truncate, mostly down but sometimes past EOF (hole at the tail).
+      const std::uint64_t size = rng.below(model.size() + model.size() / 4 + 1);
+      EXPECT_TRUE(fd.value()->truncate(size, kPid).ok()) << "op " << op;
+      model.resize(size, '\0');
+    } else if (kind == 8) {
+      EXPECT_TRUE(plfs_sync(*fd.value(), kPid).ok()) << "op " << op;
+    } else {
+      checkpoint(op);
+      if (::testing::Test::HasFatalFailure()) return result;
+    }
+  }
+  checkpoint(-1);
+  EXPECT_TRUE(plfs_close(fd.value(), kPid).ok());
+
+  // The closed container must agree with the oracle from a cold start too.
+  auto attr = plfs_getattr(path);
+  EXPECT_TRUE(attr.ok());
+  if (attr.ok()) EXPECT_EQ(attr.value().size, model.size());
+  auto rfd = plfs_open(path, O_RDONLY, kPid + 1);
+  EXPECT_TRUE(rfd.ok());
+  if (rfd.ok()) {
+    std::vector<std::byte> buf(model.size());
+    auto got = plfs_read(*rfd.value(), buf, 0);
+    EXPECT_TRUE(got.ok());
+    if (got.ok() && !model.empty()) {
+      EXPECT_EQ(got.value(), model.size());
+      EXPECT_EQ(std::memcmp(buf.data(), model.data(), model.size()), 0);
+    }
+    EXPECT_TRUE(plfs_close(rfd.value(), kPid + 1).ok());
+  }
+
+  auto data_paths = find_data_droppings(path);
+  EXPECT_TRUE(data_paths.ok());
+  if (data_paths.ok()) {
+    EXPECT_EQ(data_paths.value().size(), 1u);  // one writer, one log
+    if (!data_paths.value().empty()) {
+      auto bytes = posix::read_file(data_paths.value().front());
+      EXPECT_TRUE(bytes.ok());
+      if (bytes.ok()) result.dropping_bytes = std::move(bytes).value();
+    }
+  }
+  auto index_paths = find_index_droppings(path);
+  EXPECT_TRUE(index_paths.ok());
+  if (index_paths.ok() && index_paths.value().size() == 1) {
+    auto dropping = load_index_dropping(index_paths.value().front());
+    EXPECT_TRUE(dropping.ok());
+    if (dropping.ok()) result.records = std::move(dropping).value().records;
+  }
+  return result;
+}
+
+TEST_F(WriteBehindTest, RandomizedOracleBothEnginesAgree) {
+  auto wb = run_workload(tmp_, "wb", /*write_behind=*/true);
+  auto sync = run_workload(tmp_, "sync", /*write_behind=*/false);
+  if (HasFatalFailure()) return;
+
+  // Identical logical contents (both already matched the model, but compare
+  // directly so a shared-oracle bug cannot hide a divergence).
+  EXPECT_TRUE(wb.model == sync.model);
+
+  // Byte-identical physical log: every write lands at the tail in arrival
+  // order under both engines, so aggregation must not reorder or pad.
+  EXPECT_EQ(wb.dropping_bytes.size(), sync.dropping_bytes.size());
+  EXPECT_TRUE(wb.dropping_bytes == sync.dropping_bytes)
+      << "aggregation changed the physical log layout";
+
+  // Identical index records modulo timestamps: staging records per buffer
+  // and merging them after the flush must coalesce exactly like the
+  // synchronous engine's inline add_write path (flush boundaries — syncs
+  // and read checkpoints — are the same in both runs).
+  ASSERT_EQ(wb.records.size(), sync.records.size());
+  for (std::size_t i = 0; i < wb.records.size(); ++i) {
+    EXPECT_EQ(wb.records[i].logical_offset, sync.records[i].logical_offset)
+        << "record " << i;
+    EXPECT_EQ(wb.records[i].length, sync.records[i].length) << "record " << i;
+    EXPECT_EQ(wb.records[i].physical_offset, sync.records[i].physical_offset)
+        << "record " << i;
+    EXPECT_EQ(wb.records[i].kind, sync.records[i].kind) << "record " << i;
+  }
+}
+
+TEST_F(WriteBehindTest, ReadYourWritesWithoutSync) {
+  // Default 4 MiB buffer: nothing below forces a flush, so the data lives
+  // purely in the aggregation buffer until the reader's drain barrier.
+  ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+  const std::string path = tmp_.sub("ryw");
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, kPid);
+  ASSERT_TRUE(fd.ok());
+  std::string expect;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string chunk(kChunk, chunk_fill(i));
+    ASSERT_TRUE(fd.value()->write(as_bytes(chunk), i * kChunk, kPid).ok());
+    expect += chunk;
+  }
+
+  auto size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 3 * kChunk);
+  std::vector<std::byte> buf(3 * kChunk);
+  auto got = plfs_read(*fd.value(), buf, 0);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value(), 3 * kChunk);
+  EXPECT_EQ(std::memcmp(buf.data(), expect.data(), expect.size()), 0);
+
+  // Truncate is a drain barrier too; the clipped view must be immediate.
+  ASSERT_TRUE(fd.value()->truncate(1500, kPid).ok());
+  size = fd.value()->size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 1500u);
+
+  ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+  auto attr = plfs_getattr(path);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value().size, 1500u);
+}
+
+TEST_F(WriteBehindTest, BackgroundFlushFailurePoisonsStream) {
+  ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+  ::setenv("LDPLFS_WRITE_BUFFER", "4096", 1);
+  const std::string path = tmp_.sub("poison");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+
+  // count=1: only the background flush's pwrite fails; everything after is
+  // the stream's sticky deferred error, with the ORIGINAL errno.
+  ASSERT_TRUE(posix::faults::configure("pwrite:errno=ENOSPC:count=1"));
+  const std::string chunk(kChunk, 'x');
+  for (std::size_t i = 0; i < 5; ++i) {
+    // The 5th write rotates the buffer and submits the doomed flush. The
+    // writes themselves are acknowledged (write-back semantics) unless the
+    // non-blocking poll already saw the failure land.
+    auto n = fd.value()->write(as_bytes(chunk), i * kChunk, kPid);
+    if (!n.ok()) EXPECT_EQ(n.error_code(), ENOSPC);
+  }
+
+  // sync joins the flush: the failure MUST surface here at the latest...
+  EXPECT_EQ(plfs_sync(*fd.value(), kPid).error_code(), ENOSPC);
+  // ...and every later operation keeps reporting the original errno.
+  EXPECT_EQ(fd.value()->write(as_bytes(chunk), 5 * kChunk, kPid).error_code(),
+            ENOSPC);
+  EXPECT_EQ(fd.value()->truncate(0, kPid).error_code(), ENOSPC);
+  EXPECT_EQ(plfs_close(fd.value(), kPid).error_code(), ENOSPC);
+
+  // Nothing was ever indexed: the flush that failed carried the first four
+  // chunks, and the fifth was dropped with the poisoned stream.
+  posix::faults::clear();
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().logical_size, 0u);
+}
+
+TEST_F(WriteBehindTest, AcknowledgedPrefixSurvivesLaterFlushFailure) {
+  ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+  ::setenv("LDPLFS_WRITE_BUFFER", "4096", 1);
+  const std::string path = tmp_.sub("prefix");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+
+  // First flush (chunks 0-3) succeeds; second flush (chunks 4-7) hits EIO
+  // on the pool thread; chunks 8-11 are still buffered when the poison
+  // lands and must be dropped with it — no record past the torn tail.
+  ASSERT_TRUE(posix::faults::configure("pwrite:after=1:errno=EIO"));
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::string chunk(kChunk, chunk_fill(i));
+    auto n = fd.value()->write(as_bytes(chunk), i * kChunk, kPid);
+    if (!n.ok()) EXPECT_EQ(n.error_code(), EIO);
+  }
+  EXPECT_EQ(plfs_sync(*fd.value(), kPid).error_code(), EIO);
+  EXPECT_EQ(plfs_close(fd.value(), kPid).error_code(), EIO);
+
+  // Only the first buffer — whose pwrite completed before the failure —
+  // may be visible after recovery.
+  posix::faults::clear();
+  auto stats = plfs_recover(path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().logical_size, 4 * kChunk);
+  auto rfd = plfs_open(path, O_RDONLY, 1);
+  ASSERT_TRUE(rfd.ok());
+  std::vector<std::byte> buf(4 * kChunk);
+  auto got = plfs_read(*rfd.value(), buf, 0);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value(), 4 * kChunk);
+  for (std::uint64_t off = 0; off < 4 * kChunk; ++off) {
+    ASSERT_EQ(static_cast<char>(buf[off]), chunk_fill(off / kChunk))
+        << "byte " << off;
+  }
+  ASSERT_TRUE(plfs_close(rfd.value(), 1).ok());
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 
 #include "core/real_calls.hpp"
@@ -97,6 +98,26 @@ TEST_F(FaultsTest, OpenAndFsyncAndUnlinkClauses) {
   EXPECT_TRUE(fsync_fd(ok.value().get()).ok());  // count=1 exhausted
   EXPECT_EQ(remove_file(tmp_.sub("a")).error_code(), EACCES);
   EXPECT_TRUE(remove_file(tmp_.sub("a")).ok());
+}
+
+TEST_F(FaultsTest, PwriteDelayAddsLatencyWithoutFailing) {
+  // delay= models per-op device latency (bench/micro_real uses pwrite:delay
+  // to model write latency against the write-behind engine): the op must
+  // still succeed, just later.
+  ASSERT_TRUE(faults::configure("pwrite:delay=20000"));
+  auto fd = open_fd(tmp_.sub("slow"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("data"), 0).ok());
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("more"), 4).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            2 * 20000);
+  faults::clear();
+  auto content = read_file(tmp_.sub("slow"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "datamore");
 }
 
 TEST_F(FaultsTest, RealCallsTableHonoursPlan) {
