@@ -1,0 +1,18 @@
+# Asserts that a micro_real --json output contains the stats section with a
+# passing self-check. Run as: cmake -DJSON=<path> -P check_stats_section.cmake
+if(NOT DEFINED JSON)
+  message(FATAL_ERROR "pass -DJSON=<path to BENCH_micro json>")
+endif()
+file(READ "${JSON}" body)
+foreach(needle
+    "\"stats\""
+    "\"self_check\": \"pass\""
+    "\"router\""
+    "\"write\": {\"count\": 32, \"bytes\": 131072"
+    "\"read\":  {\"count\": 32, \"bytes\": 131072")
+  string(FIND "${body}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "stats section check failed: '${needle}' not found in ${JSON}")
+  endif()
+endforeach()
+message(STATUS "stats section present and self-check passed in ${JSON}")

@@ -276,6 +276,85 @@ double time_full_read(const std::string& path, std::size_t total, int reps) {
   return best;
 }
 
+/// Known-count router workload for the stats section: every op goes through
+/// a local Router over a fresh mount, with collection forced on, and the
+/// plfs_stats() delta must match the issued counts *exactly* — the bench
+/// fails (non-zero exit, so bench_smoke goes red) on any mismatch. This is
+/// the end-to-end proof that the LDPLFS_STATS counters mean what they say.
+struct StatsPhase {
+  static constexpr int kOps = 32;
+  static constexpr std::size_t kBlock = 4096;
+  bool pass = false;
+  stats::Snapshot delta;
+
+  void run() {
+    const std::string dir = scratch_dir();
+    core::MountTable mounts;
+    mounts.add(dir);
+    core::Router router(core::libc_calls(), mounts);
+    const std::string path = dir + "/stats-workload";
+
+    stats::force_enable(true);
+    const stats::Snapshot before = plfs::plfs_stats();
+
+    std::vector<char> buf(kBlock, 0x42);
+    const int fd = router.open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+    if (fd < 0) std::abort();
+    for (int i = 0; i < kOps; ++i) {
+      if (router.write(fd, buf.data(), kBlock) !=
+          static_cast<ssize_t>(kBlock)) {
+        std::abort();
+      }
+    }
+    if (router.lseek(fd, 0, SEEK_SET) != 0) std::abort();
+    for (int i = 0; i < kOps; ++i) {
+      if (router.read(fd, buf.data(), kBlock) !=
+          static_cast<ssize_t>(kBlock)) {
+        std::abort();
+      }
+    }
+    struct ::stat st{};
+    if (router.fstat(fd, &st) != 0) std::abort();
+    if (router.close(fd) != 0) std::abort();
+
+    delta = plfs::plfs_stats().since(before);
+    (void)posix::remove_tree(dir);
+
+    using C = stats::Counter;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(kOps) * kBlock;
+    pass = delta.get(C::kRouterOpenRouted) == 1 &&
+           delta.get(C::kRouterWriteRouted) == kOps &&
+           delta.get(C::kRouterWriteBytes) == bytes &&
+           delta.get(C::kRouterReadRouted) == kOps &&
+           delta.get(C::kRouterReadBytes) == bytes &&
+           delta.get(C::kRouterLseekRouted) == 1 &&
+           delta.get(C::kRouterStatRouted) == 1 &&
+           delta.get(C::kRouterCloseRouted) == 1;
+    if (!pass) {
+      std::fprintf(
+          stderr,
+          "stats self-check FAILED: open %llu/1 write %llu/%d (%llu/%llu B) "
+          "read %llu/%d (%llu/%llu B) lseek %llu/1 stat %llu/1 close %llu/1\n",
+          (unsigned long long)delta.get(C::kRouterOpenRouted),
+          (unsigned long long)delta.get(C::kRouterWriteRouted), kOps,
+          (unsigned long long)delta.get(C::kRouterWriteBytes),
+          (unsigned long long)bytes,
+          (unsigned long long)delta.get(C::kRouterReadRouted), kOps,
+          (unsigned long long)delta.get(C::kRouterReadBytes),
+          (unsigned long long)bytes,
+          (unsigned long long)delta.get(C::kRouterLseekRouted),
+          (unsigned long long)delta.get(C::kRouterStatRouted),
+          (unsigned long long)delta.get(C::kRouterCloseRouted));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t avg_ns(stats::Histogram h) const {
+    const auto& hist = delta.get(h);
+    return hist.count == 0 ? 0 : hist.sum_ns / hist.count;
+  }
+};
+
 /// Small coalesce-resistant strided writes into a fresh container per rep,
 /// timed open→writes→sync→close so drain barriers and the final fsync are
 /// charged to the engine being measured. Returns best-of-reps seconds.
@@ -388,6 +467,12 @@ int run_json_bench(const std::string& json_path, bool smoke) {
 
   (void)posix::remove_tree(dir);
 
+  // Router-workload stats phase last, so forcing collection on cannot
+  // perturb the timed phases above (when LDPLFS_STATS is unset they run
+  // with the one-relaxed-load disabled fast path).
+  StatsPhase stats_phase;
+  stats_phase.run();
+
   const double gib = static_cast<double>(total) / (1024.0 * 1024.0 * 1024.0);
   const double wgib =
       static_cast<double>(write_total) / (1024.0 * 1024.0 * 1024.0);
@@ -427,8 +512,7 @@ int run_json_bench(const std::string& json_path, bool smoke) {
       "LDPLFS_FAULTS pwrite:delay)\"\n"
       "  },\n"
       "  \"open_latency\": {\"cold_usec\": %.1f, \"warm_usec\": %.1f,\n"
-      "    \"speedup\": %.2f}\n"
-      "}\n",
+      "    \"speedup\": %.2f},\n",
       writers, blocks_per_writer, block, total, parallel_threads, delay_usec,
       write_blocks, write_block, write_total, write_delay_usec,
       smoke ? "true" : "false", gib / serial_raw, gib / parallel_raw,
@@ -438,10 +522,58 @@ int run_json_bench(const std::string& json_path, bool smoke) {
       wgib / wsync_modeled, wgib / wwb_modeled, wsync_modeled / wwb_modeled,
       wsync_modeled / wwb_modeled, write_delay_usec, open_cold * 1e6,
       open_warm * 1e6, open_cold / open_warm);
-  out << buf;
+
+  // Per-op breakdown from the known-count router workload: counts from the
+  // LDPLFS_STATS counters, per-op mean latency from the log2 histograms.
+  using C = stats::Counter;
+  using H = stats::Histogram;
+  const auto& d = stats_phase.delta;
+  const std::uint64_t expected_bytes =
+      static_cast<std::uint64_t>(StatsPhase::kOps) * StatsPhase::kBlock;
+  char stats_buf[2048];
+  std::snprintf(
+      stats_buf, sizeof stats_buf,
+      "  \"stats\": {\n"
+      "    \"self_check\": \"%s\",\n"
+      "    \"expected\": {\"ops\": %d, \"bytes\": %llu},\n"
+      "    \"router\": {\n"
+      "      \"open\":  {\"count\": %llu, \"avg_ns\": %llu},\n"
+      "      \"write\": {\"count\": %llu, \"bytes\": %llu, \"avg_ns\": %llu},\n"
+      "      \"read\":  {\"count\": %llu, \"bytes\": %llu, \"avg_ns\": %llu},\n"
+      "      \"lseek\": {\"count\": %llu},\n"
+      "      \"stat\":  {\"count\": %llu},\n"
+      "      \"close\": {\"count\": %llu, \"avg_ns\": %llu}\n"
+      "    },\n"
+      "    \"plfs\": {\"index_merges\": %llu, \"droppings_opened\": %llu},\n"
+      "    \"write_behind\": {\"flush_async\": %llu, \"flush_sync\": %llu,\n"
+      "      \"flush_bytes\": %llu, \"bypass\": %llu}\n"
+      "  }\n"
+      "}\n",
+      stats_phase.pass ? "pass" : "fail", StatsPhase::kOps,
+      (unsigned long long)expected_bytes,
+      (unsigned long long)d.get(C::kRouterOpenRouted),
+      (unsigned long long)stats_phase.avg_ns(H::kRouterOpenLatency),
+      (unsigned long long)d.get(C::kRouterWriteRouted),
+      (unsigned long long)d.get(C::kRouterWriteBytes),
+      (unsigned long long)stats_phase.avg_ns(H::kRouterWriteLatency),
+      (unsigned long long)d.get(C::kRouterReadRouted),
+      (unsigned long long)d.get(C::kRouterReadBytes),
+      (unsigned long long)stats_phase.avg_ns(H::kRouterReadLatency),
+      (unsigned long long)d.get(C::kRouterLseekRouted),
+      (unsigned long long)d.get(C::kRouterStatRouted),
+      (unsigned long long)d.get(C::kRouterCloseRouted),
+      (unsigned long long)stats_phase.avg_ns(H::kRouterCloseLatency),
+      (unsigned long long)d.get(C::kPlfsIndexMerges),
+      (unsigned long long)d.get(C::kPlfsDroppingsOpened),
+      (unsigned long long)d.get(C::kWbFlushAsync),
+      (unsigned long long)d.get(C::kWbFlushSync),
+      (unsigned long long)d.get(C::kWbFlushBytes),
+      (unsigned long long)d.get(C::kWbBypass));
+  out << buf << stats_buf;
   out.close();
   std::fputs(buf, stdout);
-  return 0;
+  std::fputs(stats_buf, stdout);
+  return stats_phase.pass ? 0 : 1;
 }
 
 }  // namespace

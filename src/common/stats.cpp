@@ -1,0 +1,403 @@
+#include "common/stats.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+namespace ldplfs::stats {
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+#define X(sym, str) str,
+    LDPLFS_STATS_COUNTERS(X)
+#undef X
+};
+
+constexpr const char* kHistogramNames[] = {
+#define X(sym, str) str,
+    LDPLFS_STATS_HISTOGRAMS(X)
+#undef X
+};
+
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+              kCounterCount);
+static_assert(sizeof(kHistogramNames) / sizeof(kHistogramNames[0]) ==
+              kHistogramCount);
+
+}  // namespace
+
+const char* name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+const char* name(Histogram h) {
+  return kHistogramNames[static_cast<std::size_t>(h)];
+}
+
+std::size_t bucket_for(std::uint64_t nanos) {
+  if (nanos == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(nanos));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+std::uint64_t bucket_upper_ns(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+std::uint64_t HistogramSnapshot::percentile_ns(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based; walk buckets until reached.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper_ns(i);
+      return upper < max_ns ? upper : max_ns;
+    }
+  }
+  return max_ns;
+}
+
+Snapshot Snapshot::since(const Snapshot& before) const {
+  Snapshot delta;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    delta.counters[i] = counters[i] - before.counters[i];
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const auto& now_h = histograms[i];
+    const auto& then_h = before.histograms[i];
+    auto& d = delta.histograms[i];
+    d.count = now_h.count - then_h.count;
+    d.sum_ns = now_h.sum_ns - then_h.sum_ns;
+    d.max_ns = now_h.max_ns;  // max is not subtractable; keep the later max
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      d.buckets[b] = now_h.buckets[b] - then_h.buckets[b];
+    }
+  }
+  return delta;
+}
+
+#ifndef LDPLFS_NO_STATS
+
+namespace {
+
+// One thread's slice of the registry. The owning thread is the only writer,
+// so updates are relaxed load+store (no RMW); any thread may read concurrently
+// (snapshot) and observes each cell atomically.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters{};
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Hist, kHistogramCount> histograms{};
+
+  void merge_into(Snapshot& out) const {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      out.counters[i] += counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kHistogramCount; ++i) {
+      const Hist& h = histograms[i];
+      auto& o = out.histograms[i];
+      o.count += h.count.load(std::memory_order_relaxed);
+      o.sum_ns += h.sum_ns.load(std::memory_order_relaxed);
+      const std::uint64_t m = h.max_ns.load(std::memory_order_relaxed);
+      if (m > o.max_ns) o.max_ns = m;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        o.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void zero() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum_ns.store(0, std::memory_order_relaxed);
+      h.max_ns.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Registry of live shards plus the accumulator for exited threads. Kept in a
+// leaky heap singleton so stats survive static-destruction order: the atexit
+// dump and late TLS destructors may run after file-scope statics are gone.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Shard>> shards;
+  Shard retired;  // folded-in shards of exited threads
+  std::string dump_destination;
+  bool dump_installed = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // intentionally leaked
+  return *r;
+}
+
+// Thread-exit hook: fold this thread's shard into the retired accumulator so
+// its samples survive, and drop it from the live list.
+struct ShardHolder {
+  std::shared_ptr<Shard> shard;
+
+  ShardHolder() : shard(std::make_shared<Shard>()) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.shards.push_back(shard);
+  }
+
+  ~ShardHolder() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    // fetch_add into retired: several threads may exit concurrently, and the
+    // snapshot path reads retired outside this thread's ownership.
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      const std::uint64_t v = shard->counters[i].load(std::memory_order_relaxed);
+      if (v) r.retired.counters[i].fetch_add(v, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kHistogramCount; ++i) {
+      const auto& h = shard->histograms[i];
+      auto& d = r.retired.histograms[i];
+      const std::uint64_t cnt = h.count.load(std::memory_order_relaxed);
+      if (cnt) {
+        d.count.fetch_add(cnt, std::memory_order_relaxed);
+        d.sum_ns.fetch_add(h.sum_ns.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+        const std::uint64_t m = h.max_ns.load(std::memory_order_relaxed);
+        std::uint64_t cur = d.max_ns.load(std::memory_order_relaxed);
+        while (m > cur && !d.max_ns.compare_exchange_weak(
+                              cur, m, std::memory_order_relaxed)) {
+        }
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          const std::uint64_t bv = h.buckets[b].load(std::memory_order_relaxed);
+          if (bv) d.buckets[b].fetch_add(bv, std::memory_order_relaxed);
+        }
+      }
+    }
+    for (auto it = r.shards.begin(); it != r.shards.end(); ++it) {
+      if (it->get() == shard.get()) {
+        r.shards.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+Shard& my_shard() {
+  thread_local ShardHolder holder;
+  return *holder.shard;
+}
+
+void atexit_dump() { dump_now(); }
+
+// Serialising a dump allocates, which is not async-signal-safe — so the
+// handler only raises this flag. The next instrumented operation (add or
+// record) notices it and writes the dump from ordinary thread context.
+std::atomic<bool> g_dump_requested{false};
+
+void sigusr1_dump(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};
+
+std::uint64_t now_ns() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool enabled_slow() {
+  // Latch LDPLFS_STATS exactly once. Racing threads may both read the env,
+  // but they compute the same answer; first store wins and the value never
+  // changes afterwards (force_enable excepted).
+  const char* env = std::getenv("LDPLFS_STATS");
+  const bool on = env != nullptr && env[0] != '\0' &&
+                  !(env[0] == '0' && env[1] == '\0');
+  int expected = -1;
+  if (g_mode.compare_exchange_strong(expected, on ? 1 : 0,
+                                     std::memory_order_relaxed)) {
+    if (on) configure_dump(env);
+  }
+  return g_mode.load(std::memory_order_relaxed) != 0;
+}
+
+// Serve a pending SIGUSR1 dump request from safe (non-signal) context.
+// One relaxed load per enabled op; the exchange settles races between
+// threads so only one of them writes the dump.
+void maybe_service_dump() {
+  if (g_dump_requested.load(std::memory_order_relaxed) &&
+      g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+    dump_now();
+  }
+}
+
+void add_slow(Counter c, std::uint64_t delta) {
+  maybe_service_dump();
+  auto& cell = my_shard().counters[static_cast<std::size_t>(c)];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void record_slow(Histogram h, std::uint64_t nanos) {
+  maybe_service_dump();
+  auto& hist = my_shard().histograms[static_cast<std::size_t>(h)];
+  hist.count.store(hist.count.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  hist.sum_ns.store(hist.sum_ns.load(std::memory_order_relaxed) + nanos,
+                    std::memory_order_relaxed);
+  if (nanos > hist.max_ns.load(std::memory_order_relaxed)) {
+    hist.max_ns.store(nanos, std::memory_order_relaxed);
+  }
+  auto& bucket = hist.buckets[bucket_for(nanos)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void force_enable(bool on) {
+  detail::g_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Snapshot snapshot() {
+  Snapshot out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& shard : r.shards) shard->merge_into(out);
+  r.retired.merge_into(out);
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& shard : r.shards) shard->zero();
+  r.retired.zero();
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(8192);
+  char buf[64];
+  out += "{\n  \"pid\": ";
+  std::snprintf(buf, sizeof(buf), "%ld", static_cast<long>(::getpid()));
+  out += buf;
+  out += ",\n  \"counters\": {\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out += "    \"";
+    out += kCounterNames[i];
+    out += "\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(snap.counters[i]));
+    out += buf;
+    out += (i + 1 < kCounterCount) ? ",\n" : "\n";
+  }
+  out += "  },\n  \"histograms\": {\n";
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const auto& h = snap.histograms[i];
+    out += "    \"";
+    out += kHistogramNames[i];
+    out += "\": {\"count\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    out += ", \"sum_ns\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.sum_ns));
+    out += buf;
+    out += ", \"max_ns\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(h.max_ns));
+    out += buf;
+    out += ", \"buckets\": [";
+    // Trailing zero buckets are elided to keep dumps small; ldp-stats and
+    // the parser treat missing buckets as zero.
+    std::size_t last = kHistogramBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(h.buckets[b]));
+      out += buf;
+    }
+    out += "]}";
+    out += (i + 1 < kHistogramCount) ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+void configure_dump(const std::string& destination) {
+  Registry& r = registry();
+  bool install = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.dump_destination = destination;
+    if (!r.dump_installed) {
+      r.dump_installed = true;
+      install = true;
+    }
+  }
+  if (install) {
+    std::atexit(atexit_dump);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = sigusr1_dump;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGUSR1, &sa, nullptr);
+  }
+}
+
+void dump_now() {
+  std::string dest;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    dest = r.dump_destination;
+  }
+  if (dest.empty()) return;
+  const std::string json = to_json(snapshot());
+  if (dest == "stderr") {
+    std::fwrite(json.data(), 1, json.size(), stderr);
+    std::fflush(stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(dest.c_str(), "w");
+  if (f == nullptr) return;  // silent: diagnostics must never break the app
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+#else  // LDPLFS_NO_STATS
+
+std::string to_json(const Snapshot&) { return "{}\n"; }
+
+#endif  // LDPLFS_NO_STATS
+
+}  // namespace ldplfs::stats

@@ -1,0 +1,251 @@
+// Op-level observability registry (LDPLFS_STATS) — the measurement substrate
+// the paper's evaluation presupposes: per-operation counters and latency
+// histograms for every layer of the shim, cheap enough to leave compiled in.
+//
+// Design:
+//   * Counters and histograms are fixed enums (see the X-macro tables below)
+//     so a hot-path update is an array index, never a string lookup.
+//   * Each thread owns a *shard* of relaxed atomics. The owning thread is the
+//     only writer (plain relaxed load/store, no RMW on the hot path); readers
+//     merge every live shard plus the retired-thread accumulator under the
+//     registry mutex. A thread that exits folds its shard into the retired
+//     accumulator, so no sample is ever lost.
+//   * Histograms bucket latencies by log2(nanoseconds): bucket 0 holds 0 ns,
+//     bucket i holds [2^(i-1), 2^i). 40 buckets cover ~9 minutes.
+//   * Everything is gated by enabled(): one relaxed atomic load on the hot
+//     path when the facility is off. LDPLFS_STATS is latched on first use;
+//     any non-empty value other than "0" enables collection and names the
+//     dump destination ("stderr" or a file path), written at process exit
+//     and on SIGUSR1. Tests and benches can flip collection on without
+//     installing dumps via force_enable().
+//   * Defining LDPLFS_NO_STATS compiles every entry point to a true no-op
+//     (for shops that want the instrumentation gone rather than gated).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ldplfs::stats {
+
+// X-macro table: enum symbol, dump name. Dump names are stable interface —
+// ldp-stats, BENCH_micro.json and the docs all key on them.
+#define LDPLFS_STATS_COUNTERS(X)                                \
+  X(kRouterOpenRouted, "router.open.routed")                    \
+  X(kRouterOpenPassthrough, "router.open.passthrough")          \
+  X(kRouterCloseRouted, "router.close.routed")                  \
+  X(kRouterClosePassthrough, "router.close.passthrough")        \
+  X(kRouterReadRouted, "router.read.routed")                    \
+  X(kRouterReadPassthrough, "router.read.passthrough")          \
+  X(kRouterWriteRouted, "router.write.routed")                  \
+  X(kRouterWritePassthrough, "router.write.passthrough")        \
+  X(kRouterPreadRouted, "router.pread.routed")                  \
+  X(kRouterPreadPassthrough, "router.pread.passthrough")        \
+  X(kRouterPwriteRouted, "router.pwrite.routed")                \
+  X(kRouterPwritePassthrough, "router.pwrite.passthrough")      \
+  X(kRouterReadvRouted, "router.readv.routed")                  \
+  X(kRouterReadvPassthrough, "router.readv.passthrough")        \
+  X(kRouterWritevRouted, "router.writev.routed")                \
+  X(kRouterWritevPassthrough, "router.writev.passthrough")      \
+  X(kRouterLseekRouted, "router.lseek.routed")                  \
+  X(kRouterLseekPassthrough, "router.lseek.passthrough")        \
+  X(kRouterSyncRouted, "router.sync.routed")                    \
+  X(kRouterSyncPassthrough, "router.sync.passthrough")          \
+  X(kRouterStatRouted, "router.stat.routed")                    \
+  X(kRouterStatPassthrough, "router.stat.passthrough")          \
+  X(kRouterMetaRouted, "router.meta.routed")                    \
+  X(kRouterMetaPassthrough, "router.meta.passthrough")          \
+  X(kRouterReadBytes, "router.read.bytes")                      \
+  X(kRouterWriteBytes, "router.write.bytes")                    \
+  X(kPlfsHandleOpened, "plfs.handle.opened")                    \
+  X(kPlfsHandleClosed, "plfs.handle.closed")                    \
+  X(kPlfsWriterOpened, "plfs.writer.opened")                    \
+  X(kPlfsWriterClosed, "plfs.writer.closed")                    \
+  X(kPlfsIndexMerges, "plfs.index.merges")                      \
+  X(kPlfsDroppingsOpened, "plfs.droppings.opened")              \
+  X(kCacheIndexHit, "cache.index.hit")                          \
+  X(kCacheIndexMiss, "cache.index.miss")                        \
+  X(kCacheIndexInvalidation, "cache.index.invalidation")        \
+  X(kCacheFdHit, "cache.fd.hit")                                \
+  X(kCacheFdMiss, "cache.fd.miss")                              \
+  X(kCacheFdEviction, "cache.fd.eviction")                      \
+  X(kPoolSubmitted, "pool.tasks.submitted")                     \
+  X(kPoolInline, "pool.tasks.inline")                           \
+  X(kPoolCompleted, "pool.tasks.completed")                     \
+  X(kWbFlushAsync, "wb.flush.async")                            \
+  X(kWbFlushSync, "wb.flush.sync")                              \
+  X(kWbFlushBytes, "wb.flush.bytes")                            \
+  X(kWbBufferedBytes, "wb.buffered.bytes")                      \
+  X(kWbBypass, "wb.bypass")                                     \
+  X(kWbPoisoned, "wb.poisoned")
+
+#define LDPLFS_STATS_HISTOGRAMS(X)                              \
+  X(kRouterOpenLatency, "router.open.latency")                  \
+  X(kRouterReadLatency, "router.read.latency")                  \
+  X(kRouterWriteLatency, "router.write.latency")                \
+  X(kRouterPreadLatency, "router.pread.latency")                \
+  X(kRouterPwriteLatency, "router.pwrite.latency")              \
+  X(kRouterCloseLatency, "router.close.latency")                \
+  X(kPlfsIndexMergeLatency, "plfs.index.merge.latency")         \
+  X(kPoolQueueDelay, "pool.queue.delay")                        \
+  X(kPoolQueueDepth, "pool.queue.depth")                        \
+  X(kPoolTaskLatency, "pool.task.latency")                      \
+  X(kWbFlushLatency, "wb.flush.latency")
+
+enum class Counter : std::size_t {
+#define X(sym, name) sym,
+  LDPLFS_STATS_COUNTERS(X)
+#undef X
+      kCount
+};
+
+enum class Histogram : std::size_t {
+#define X(sym, name) sym,
+  LDPLFS_STATS_HISTOGRAMS(X)
+#undef X
+      kCount
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+inline constexpr std::size_t kHistogramCount =
+    static_cast<std::size_t>(Histogram::kCount);
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// Dump name of a counter / histogram (the stable JSON key).
+const char* name(Counter c);
+const char* name(Histogram h);
+
+/// Bucket index for a latency sample: 0 for 0 ns, else min(bit_width(ns),
+/// kHistogramBuckets - 1). Bucket i > 0 covers [2^(i-1), 2^i) ns.
+std::size_t bucket_for(std::uint64_t nanos);
+/// Inclusive upper bound of a bucket in nanoseconds (used by percentile
+/// estimation here and in ldp-stats).
+std::uint64_t bucket_upper_ns(std::size_t bucket);
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Upper bound (ns) of the bucket holding the q-quantile sample, 0 when
+  /// empty. q in [0, 1].
+  [[nodiscard]] std::uint64_t percentile_ns(double q) const;
+};
+
+/// Merged view of every shard at one point in time.
+struct Snapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<HistogramSnapshot, kHistogramCount> histograms{};
+
+  [[nodiscard]] std::uint64_t get(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const HistogramSnapshot& get(Histogram h) const {
+    return histograms[static_cast<std::size_t>(h)];
+  }
+  /// Per-field `*this - before` (counters, histogram counts/sums/buckets).
+  [[nodiscard]] Snapshot since(const Snapshot& before) const;
+};
+
+#ifndef LDPLFS_NO_STATS
+
+namespace detail {
+// -1 = not yet latched from LDPLFS_STATS, 0 = off, 1 = on.
+extern std::atomic<int> g_mode;
+bool enabled_slow();
+std::uint64_t now_ns();
+void add_slow(Counter c, std::uint64_t delta);
+void record_slow(Histogram h, std::uint64_t nanos);
+}  // namespace detail
+
+/// True when collection is on. One relaxed load on the hot path once latched.
+inline bool enabled() {
+  const int mode = detail::g_mode.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  return detail::enabled_slow();
+}
+
+/// Turn collection on/off regardless of LDPLFS_STATS (tests, benches).
+/// Does not install exit/signal dumps.
+void force_enable(bool on);
+
+/// Bump a counter. No-op when disabled.
+inline void add(Counter c, std::uint64_t delta = 1) {
+  if (enabled()) detail::add_slow(c, delta);
+}
+
+/// Record a latency sample (nanoseconds). No-op when disabled.
+inline void record(Histogram h, std::uint64_t nanos) {
+  if (enabled()) detail::record_slow(h, nanos);
+}
+
+/// Scoped latency timer: samples CLOCK_MONOTONIC only when enabled.
+class Timer {
+ public:
+  explicit Timer(Histogram h)
+      : h_(h), start_(enabled() ? detail::now_ns() : 0) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Record now instead of at destruction; later calls are no-ops.
+  void stop() {
+    if (start_ != 0) {
+      detail::record_slow(h_, detail::now_ns() - start_);
+      start_ = 0;
+    }
+  }
+  /// Abandon without recording (e.g. the op turned out to be passthrough).
+  void cancel() { start_ = 0; }
+
+ private:
+  Histogram h_;
+  std::uint64_t start_;
+};
+
+/// Monotonic nanoseconds (exposed for callers that time across scopes).
+inline std::uint64_t now_ns() { return detail::now_ns(); }
+
+/// Merge every shard (live and retired) into one consistent view.
+Snapshot snapshot();
+
+/// Zero every shard and the retired accumulator.
+void reset();
+
+/// Serialise a snapshot as the stable dump JSON (see docs/OBSERVABILITY.md).
+std::string to_json(const Snapshot& snap);
+
+/// Point dumps at `destination` ("stderr" or a file path) and install the
+/// process-exit and SIGUSR1 dump hooks (idempotent). Called automatically
+/// when LDPLFS_STATS latches enabled; exposed for tests/benches.
+void configure_dump(const std::string& destination);
+
+/// Dump snapshot() to the configured destination now. Silently does nothing
+/// when no destination is configured or the destination is unwritable.
+void dump_now();
+
+#else  // LDPLFS_NO_STATS: every entry point is a true no-op.
+
+inline bool enabled() { return false; }
+inline void force_enable(bool) {}
+inline void add(Counter, std::uint64_t = 1) {}
+inline void record(Histogram, std::uint64_t) {}
+class Timer {
+ public:
+  explicit Timer(Histogram) {}
+  void stop() {}
+  void cancel() {}
+};
+inline std::uint64_t now_ns() { return 0; }
+inline Snapshot snapshot() { return {}; }
+inline void reset() {}
+std::string to_json(const Snapshot& snap);
+inline void configure_dump(const std::string&) {}
+inline void dump_now() {}
+
+#endif  // LDPLFS_NO_STATS
+
+}  // namespace ldplfs::stats

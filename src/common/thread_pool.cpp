@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/stats.hpp"
+
 namespace ldplfs {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -50,12 +52,29 @@ void ThreadPool::submit(std::function<void()> task) {
     }
   }
   if (workers_.empty()) {
+    stats::add(stats::Counter::kPoolInline);
     task();
+    stats::add(stats::Counter::kPoolCompleted);
     return;
+  }
+  stats::add(stats::Counter::kPoolSubmitted);
+  if (stats::enabled()) {
+    // Wrap only when collecting: queue delay is enqueue→start, task
+    // latency is start→finish, both on the worker thread's shard.
+    const std::uint64_t enqueued = stats::now_ns();
+    task = [inner = std::move(task), enqueued] {
+      const std::uint64_t start = stats::now_ns();
+      stats::record(stats::Histogram::kPoolQueueDelay, start - enqueued);
+      inner();
+      stats::record(stats::Histogram::kPoolTaskLatency,
+                    stats::now_ns() - start);
+      stats::add(stats::Counter::kPoolCompleted);
+    };
   }
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(task));
+    stats::record(stats::Histogram::kPoolQueueDepth, queue_.size());
   }
   cv_.notify_one();
 }

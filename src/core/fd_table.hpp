@@ -34,11 +34,12 @@ class OpenFile {
   [[nodiscard]] int flags() const { return flags_; }
   [[nodiscard]] pid_t pid() const { return pid_; }
 
-  /// Close the writer stream once; later calls are no-ops.
+  /// Close the writer stream once; later calls are no-ops. Goes through
+  /// plfs_close so the plfs.handle.opened/closed counters stay paired.
   Status close_stream() {
     if (closed_) return Status::success();
     closed_ = true;
-    return handle_->close(pid_);
+    return plfs::plfs_close(handle_, pid_);
   }
 
  private:

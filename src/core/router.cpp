@@ -6,11 +6,14 @@
 #include <ctime>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <span>
+#include <string_view>
 
 #include "common/logging.hpp"
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::core {
@@ -21,6 +24,19 @@ namespace {
 int fail(Errno e) {
   errno = e.code;
   return -1;
+}
+
+/// FNV-1a 64-bit. Containers are backend directories, so the kernel's
+/// st_ino/st_dev describe the directory inode, not the logical file; stat
+/// answers synthesize both from the backend path so that tar/du/find's
+/// hardlink detection ((dev, ino) pairs) sees distinct, stable identities.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 std::string current_dir() {
@@ -77,8 +93,15 @@ int Router::open_plfs(const Resolved& where, int flags, mode_t mode) {
 
   const int shadow = make_shadow_fd();
   if (shadow < 0) {
+    // Close the handle we just opened, or its container bookkeeping (open
+    // registration, any writer stream a future flush would create) leaks
+    // for the life of the process. Logging may clobber errno, so save the
+    // open() failure code around both.
+    const int saved_errno = errno;
+    (void)plfs::plfs_close(handle.value(), pid);
     LDPLFS_LOG_ERROR("cannot create shadow fd for %s", where.path.c_str());
-    return -1;  // errno from open
+    errno = saved_errno;
+    return -1;
   }
 
   // Note: O_APPEND does not move the initial offset — POSIX starts every
@@ -91,22 +114,35 @@ int Router::open_plfs(const Resolved& where, int flags, mode_t mode) {
 }
 
 int Router::open(const char* path, int flags, mode_t mode) {
+  stats::Timer timer(stats::Histogram::kRouterOpenLatency);
   const Resolved where = resolve(path);
-  if (!where.in_mount) return real_.open(path, flags, mode);
+  if (!where.in_mount) {
+    timer.cancel();
+    stats::add(stats::Counter::kRouterOpenPassthrough);
+    return real_.open(path, flags, mode);
+  }
 
   struct ::stat st{};
   const bool exists = real_.lstat(where.path.c_str(), &st) == 0;
   const bool container = exists && S_ISDIR(st.st_mode) &&
                          plfs::plfs_is_container(where.path);
-  if (container) return open_plfs(where, flags, mode);
+  if (container) {
+    stats::add(stats::Counter::kRouterOpenRouted);
+    return open_plfs(where, flags, mode);
+  }
   if (exists) {
     // A plain file or directory inside the backend (dotfiles, the mount
     // root itself, hostdir internals) — not ours, pass straight through.
+    timer.cancel();
+    stats::add(stats::Counter::kRouterOpenPassthrough);
     return real_.open(path, flags, mode);
   }
   if ((flags & O_CREAT) != 0 && (flags & O_DIRECTORY) == 0) {
+    stats::add(stats::Counter::kRouterOpenRouted);
     return open_plfs(where, flags, mode);
   }
+  timer.cancel();
+  stats::add(stats::Counter::kRouterOpenPassthrough);
   return real_.open(path, flags, mode);
 }
 
@@ -116,6 +152,8 @@ int Router::creat(const char* path, mode_t mode) {
 
 int Router::dup(int fd) {
   auto of = table_.lookup(fd);
+  stats::add(of ? stats::Counter::kRouterMetaRouted
+                : stats::Counter::kRouterMetaPassthrough);
   const int newfd = real_.dup(fd);
   if (newfd >= 0 && of) table_.alias(newfd, std::move(of));
   return newfd;
@@ -123,20 +161,29 @@ int Router::dup(int fd) {
 
 int Router::dup2(int oldfd, int newfd) {
   auto of = table_.lookup(oldfd);
-  // dup2 implicitly closes newfd: retire any PLFS state it held.
-  if (oldfd != newfd) {
-    if (auto old_target = table_.erase(newfd)) {
-      (void)old_target;  // writer stream closes if this was the last alias
-    }
-  }
+  stats::add(of ? stats::Counter::kRouterMetaRouted
+                : stats::Counter::kRouterMetaPassthrough);
+  // The real dup2 goes first: if it fails (EBADF, EINTR) the kernel left
+  // newfd untouched, so its PLFS state — fd-table entry, possibly the last
+  // alias of a writer stream — must stay intact too. Only a successful
+  // dup2 implicitly closed newfd, and only then is its state retired.
   const int result = real_.dup2(oldfd, newfd);
-  if (result >= 0 && of && oldfd != newfd) table_.alias(result, std::move(of));
+  if (result < 0 || oldfd == newfd) return result;
+  if (auto old_target = table_.erase(newfd)) {
+    (void)old_target;  // writer stream closes if this was the last alias
+  }
+  if (of) table_.alias(result, std::move(of));
   return result;
 }
 
 ssize_t Router::read(int fd, void* buf, size_t count) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.read(fd, buf, count);
+  if (!of) {
+    stats::add(stats::Counter::kRouterReadPassthrough);
+    return real_.read(fd, buf, count);
+  }
+  stats::add(stats::Counter::kRouterReadRouted);
+  stats::Timer timer(stats::Histogram::kRouterReadLatency);
 
   const off_t cursor = real_.lseek(fd, 0, SEEK_CUR);
   if (cursor < 0) return -1;
@@ -145,12 +192,18 @@ ssize_t Router::read(int fd, void* buf, size_t count) {
       static_cast<std::uint64_t>(cursor));
   if (!n) return fail(n.error());
   real_.lseek(fd, cursor + static_cast<off_t>(n.value()), SEEK_SET);
+  stats::add(stats::Counter::kRouterReadBytes, n.value());
   return static_cast<ssize_t>(n.value());
 }
 
 ssize_t Router::write(int fd, const void* buf, size_t count) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.write(fd, buf, count);
+  if (!of) {
+    stats::add(stats::Counter::kRouterWritePassthrough);
+    return real_.write(fd, buf, count);
+  }
+  stats::add(stats::Counter::kRouterWriteRouted);
+  stats::Timer timer(stats::Histogram::kRouterWriteLatency);
 
   std::uint64_t offset;
   if ((of->flags() & O_APPEND) != 0) {
@@ -167,22 +220,34 @@ ssize_t Router::write(int fd, const void* buf, size_t count) {
       offset, of->pid());
   if (!n) return fail(n.error());
   real_.lseek(fd, static_cast<off_t>(offset + n.value()), SEEK_SET);
+  stats::add(stats::Counter::kRouterWriteBytes, n.value());
   return static_cast<ssize_t>(n.value());
 }
 
 ssize_t Router::pread(int fd, void* buf, size_t count, off_t offset) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.pread(fd, buf, count, offset);
+  if (!of) {
+    stats::add(stats::Counter::kRouterPreadPassthrough);
+    return real_.pread(fd, buf, count, offset);
+  }
+  stats::add(stats::Counter::kRouterPreadRouted);
+  stats::Timer timer(stats::Histogram::kRouterPreadLatency);
   auto n = of->handle().read(
       std::span<std::byte>(static_cast<std::byte*>(buf), count),
       static_cast<std::uint64_t>(offset));
   if (!n) return fail(n.error());
+  stats::add(stats::Counter::kRouterReadBytes, n.value());
   return static_cast<ssize_t>(n.value());
 }
 
 ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.pwrite(fd, buf, count, offset);
+  if (!of) {
+    stats::add(stats::Counter::kRouterPwritePassthrough);
+    return real_.pwrite(fd, buf, count, offset);
+  }
+  stats::add(stats::Counter::kRouterPwriteRouted);
+  stats::Timer timer(stats::Histogram::kRouterPwriteLatency);
   std::uint64_t target = static_cast<std::uint64_t>(offset);
   if ((of->flags() & O_APPEND) != 0) {
     // Linux quirk (pwrite(2) BUGS): on an O_APPEND descriptor pwrite
@@ -196,12 +261,17 @@ ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
       std::span<const std::byte>(static_cast<const std::byte*>(buf), count),
       target, of->pid());
   if (!n) return fail(n.error());
+  stats::add(stats::Counter::kRouterWriteBytes, n.value());
   return static_cast<ssize_t>(n.value());
 }
 
 ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
   auto of = table_.lookup(fd);
-  if (!of) return ::readv(fd, iov, iovcnt);
+  if (!of) {
+    stats::add(stats::Counter::kRouterReadvPassthrough);
+    return ::readv(fd, iov, iovcnt);
+  }
+  stats::add(stats::Counter::kRouterReadvRouted);
   // Vectored I/O decomposes into sequential reads. The fd-table lookup and
   // the shadow-fd cursor round-trip happen once for the whole vector — the
   // cursor threads through the loop and lands in the shadow fd with a
@@ -226,12 +296,18 @@ ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
     if (n.value() < iov[i].iov_len) break;  // EOF
   }
   real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
+  stats::add(stats::Counter::kRouterReadBytes,
+             static_cast<std::uint64_t>(total));
   return total;
 }
 
 ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
   auto of = table_.lookup(fd);
-  if (!of) return ::writev(fd, iov, iovcnt);
+  if (!of) {
+    stats::add(stats::Counter::kRouterWritevPassthrough);
+    return ::writev(fd, iov, iovcnt);
+  }
+  stats::add(stats::Counter::kRouterWritevRouted);
   std::uint64_t pos;
   if ((of->flags() & O_APPEND) != 0) {
     auto size = of->handle().size();
@@ -258,12 +334,18 @@ ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
     if (n.value() < iov[i].iov_len) break;
   }
   real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
+  stats::add(stats::Counter::kRouterWriteBytes,
+             static_cast<std::uint64_t>(total));
   return total;
 }
 
 off_t Router::lseek(int fd, off_t offset, int whence) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.lseek(fd, offset, whence);
+  if (!of) {
+    stats::add(stats::Counter::kRouterLseekPassthrough);
+    return real_.lseek(fd, offset, whence);
+  }
+  stats::add(stats::Counter::kRouterLseekRouted);
   if (whence == SEEK_END) {
     auto size = of->handle().size();
     if (!size) return fail(size.error());
@@ -276,7 +358,12 @@ off_t Router::lseek(int fd, off_t offset, int whence) {
 
 int Router::close(int fd) {
   auto of = table_.erase(fd);
-  if (!of) return real_.close(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterClosePassthrough);
+    return real_.close(fd);
+  }
+  stats::add(stats::Counter::kRouterCloseRouted);
+  stats::Timer timer(stats::Histogram::kRouterCloseLatency);
   int result = 0;
   if (of.use_count() == 1) {
     // Last alias: shut down the writer stream and surface its errors here,
@@ -289,21 +376,33 @@ int Router::close(int fd) {
 
 int Router::fsync(int fd) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.fsync(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterSyncPassthrough);
+    return real_.fsync(fd);
+  }
+  stats::add(stats::Counter::kRouterSyncRouted);
   if (auto s = of->handle().sync(of->pid()); !s) return fail(s.error());
   return 0;
 }
 
 int Router::fdatasync(int fd) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.fdatasync(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterSyncPassthrough);
+    return real_.fdatasync(fd);
+  }
+  stats::add(stats::Counter::kRouterSyncRouted);
   if (auto s = of->handle().sync(of->pid()); !s) return fail(s.error());
   return 0;
 }
 
 int Router::ftruncate(int fd, off_t length) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.ftruncate(fd, length);
+  if (!of) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
+    return real_.ftruncate(fd, length);
+  }
+  stats::add(stats::Counter::kRouterMetaRouted);
   if (length < 0) return fail(Errno{EINVAL});
   if (auto s = of->handle().truncate(static_cast<std::uint64_t>(length),
                                      of->pid());
@@ -313,8 +412,20 @@ int Router::ftruncate(int fd, off_t length) {
   return 0;
 }
 
-void Router::fill_stat(struct ::stat* st, const plfs::FileAttr& attr) const {
+void Router::fill_stat(struct ::stat* st, const plfs::FileAttr& attr,
+                       const std::string& backend_path) const {
   *st = {};
+  // The backend inode belongs to the container *directory*; leaving st_ino
+  // and st_dev zero made every container a hardlink of every other to any
+  // tool that deduplicates on (st_dev, st_ino) — tar, du, find -samefile.
+  // Synthesize a stable inode from the backend path and a device id per
+  // mount, so identities survive across processes and cache states.
+  std::uint64_t ino = fnv1a(backend_path);
+  if (ino == 0) ino = 1;  // 0 means "no inode" to several tools
+  std::uint64_t dev = fnv1a(mounts_.match(backend_path).value_or("ldplfs"));
+  if (dev == 0) dev = 1;
+  st->st_ino = static_cast<ino_t>(ino);
+  st->st_dev = static_cast<dev_t>(dev);
   st->st_mode = S_IFREG | (attr.mode & 07777);
   st->st_size = static_cast<off_t>(attr.size);
   st->st_nlink = 1;
@@ -330,8 +441,10 @@ void Router::fill_stat(struct ::stat* st, const plfs::FileAttr& attr) const {
 int Router::stat(const char* path, struct ::stat* st) {
   const Resolved where = resolve(path);
   if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    stats::add(stats::Counter::kRouterStatPassthrough);
     return real_.stat(path, st);
   }
+  stats::add(stats::Counter::kRouterStatRouted);
   // If this process has the file open for writing, unflushed records (and,
   // under write-behind, data still coalescing in the aggregation buffer)
   // make the on-disk index lag; answer from the live handle instead, the
@@ -344,12 +457,12 @@ int Router::stat(const char* path, struct ::stat* st) {
     attr.size = size.value();
     auto disk = plfs::plfs_getattr(where.path);
     if (disk) attr.mode = disk.value().mode;
-    fill_stat(st, attr);
+    fill_stat(st, attr, where.path);
     return 0;
   }
   auto attr = plfs::plfs_getattr(where.path);
   if (!attr) return fail(attr.error());
-  fill_stat(st, attr.value());
+  fill_stat(st, attr.value(), where.path);
   return 0;
 }
 
@@ -360,7 +473,11 @@ int Router::lstat(const char* path, struct ::stat* st) {
 
 int Router::fstat(int fd, struct ::stat* st) {
   auto of = table_.lookup(fd);
-  if (!of) return real_.fstat(fd, st);
+  if (!of) {
+    stats::add(stats::Counter::kRouterStatPassthrough);
+    return real_.fstat(fd, st);
+  }
+  stats::add(stats::Counter::kRouterStatRouted);
   // size() is a drain barrier over this handle's writers (see stat()), so
   // fstat after a burst of buffered writes reports the true logical size.
   auto size = of->handle().size();
@@ -373,15 +490,17 @@ int Router::fstat(int fd, struct ::stat* st) {
   if (auto disk = plfs::plfs_getattr(of->handle().path())) {
     attr.mode = disk.value().mode;
   }
-  fill_stat(st, attr);
+  fill_stat(st, attr, of->handle().path());
   return 0;
 }
 
 int Router::unlink(const char* path) {
   const Resolved where = resolve(path);
   if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
     return real_.unlink(path);
   }
+  stats::add(stats::Counter::kRouterMetaRouted);
   if (auto s = plfs::plfs_unlink(where.path); !s) return fail(s.error());
   return 0;
 }
@@ -389,8 +508,10 @@ int Router::unlink(const char* path) {
 int Router::access(const char* path, int amode) {
   const Resolved where = resolve(path);
   if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
     return real_.access(path, amode);
   }
+  stats::add(stats::Counter::kRouterMetaRouted);
   if (auto s = plfs::plfs_access(where.path, amode); !s) {
     return fail(s.error());
   }
@@ -400,8 +521,10 @@ int Router::access(const char* path, int amode) {
 int Router::truncate(const char* path, off_t length) {
   const Resolved where = resolve(path);
   if (!where.in_mount || !plfs::plfs_is_container(where.path)) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
     return real_.truncate(path, length);
   }
+  stats::add(stats::Counter::kRouterMetaRouted);
   if (length < 0) return fail(Errno{EINVAL});
   if (auto s = plfs::plfs_trunc(where.path,
                                 static_cast<std::uint64_t>(length));
@@ -414,8 +537,10 @@ int Router::truncate(const char* path, off_t length) {
 int Router::rename(const char* from, const char* to) {
   const Resolved src = resolve(from);
   if (!src.in_mount || !plfs::plfs_is_container(src.path)) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
     return real_.rename(from, to);
   }
+  stats::add(stats::Counter::kRouterMetaRouted);
   const Resolved dst = resolve(to);
   if (!dst.in_mount) {
     // Renaming a container out of PLFS would need a copy; EXDEV tells the

@@ -78,7 +78,10 @@ class Router {
   int make_shadow_fd();
 
   int open_plfs(const Resolved& where, int flags, mode_t mode);
-  void fill_stat(struct ::stat* st, const plfs::FileAttr& attr) const;
+  /// Fill a stat answer for a logical file; `backend_path` seeds the
+  /// synthesized (st_dev, st_ino) identity.
+  void fill_stat(struct ::stat* st, const plfs::FileAttr& attr,
+                 const std::string& backend_path) const;
 
   const RealCalls& real_;
   MountTable& mounts_;

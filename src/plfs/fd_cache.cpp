@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 
+#include "common/stats.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -24,6 +25,7 @@ Result<CachedFd> DroppingFdCache::acquire(const std::string& path) {
       lru_.splice(lru_.begin(), lru_, it->second);
       it->second = lru_.begin();
       ++stats_.hits;
+      stats::add(stats::Counter::kCacheFdHit);
       return CachedFd(*it->second);
     }
   }
@@ -43,9 +45,12 @@ Result<CachedFd> DroppingFdCache::acquire(const std::string& path) {
     lru_.splice(lru_.begin(), lru_, it->second);
     it->second = lru_.begin();
     ++stats_.hits;
+    stats::add(stats::Counter::kCacheFdHit);
     return CachedFd(*it->second);
   }
   ++stats_.misses;
+  stats::add(stats::Counter::kCacheFdMiss);
+  stats::add(stats::Counter::kPlfsDroppingsOpened);
   lru_.push_front(entry);
   by_path_[path] = lru_.begin();
   evict_excess_locked();
@@ -57,6 +62,7 @@ void DroppingFdCache::evict_excess_locked() {
     by_path_.erase(lru_.back()->path);
     lru_.pop_back();  // fd closes now, or when the last pin drops
     ++stats_.evictions;
+    stats::add(stats::Counter::kCacheFdEviction);
   }
 }
 

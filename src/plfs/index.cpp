@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "plfs/container.hpp"
 #include "posix/fd.hpp"
 
@@ -37,6 +38,8 @@ void GlobalIndex::apply(const IndexRecord& rec, std::uint32_t global_ref) {
 }
 
 GlobalIndex GlobalIndex::merge(const std::vector<IndexDropping>& sources) {
+  stats::add(stats::Counter::kPlfsIndexMerges);
+  stats::Timer timer(stats::Histogram::kPlfsIndexMergeLatency);
   GlobalIndex index;
   std::unordered_map<std::string, std::uint32_t> path_ids;
   std::vector<TaggedRecord> tagged;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/stats.hpp"
 #include "plfs/container.hpp"
 #include "posix/fd.hpp"
 
@@ -51,6 +52,7 @@ Result<std::shared_ptr<const GlobalIndex>> IndexCache::get(
       lru_.splice(lru_.begin(), lru_, it->second.second);
       it->second.second = lru_.begin();
       ++stats_.hits;
+      stats::add(stats::Counter::kCacheIndexHit);
       return it->second.first.index;
     }
   }
@@ -65,6 +67,7 @@ Result<std::shared_ptr<const GlobalIndex>> IndexCache::get(
 
   std::lock_guard lock(mu_);
   ++stats_.misses;
+  stats::add(stats::Counter::kCacheIndexMiss);
   auto it = map_.find(root);
   if (it != map_.end()) {
     it->second.first = Entry{std::move(fp).value(), shared_index};
@@ -90,11 +93,13 @@ void IndexCache::invalidate(const std::string& root) {
   lru_.erase(it->second.second);
   map_.erase(it);
   ++stats_.invalidations;
+  stats::add(stats::Counter::kCacheIndexInvalidation);
 }
 
 void IndexCache::clear() {
   std::lock_guard lock(mu_);
   stats_.invalidations += map_.size();
+  stats::add(stats::Counter::kCacheIndexInvalidation, map_.size());
   map_.clear();
   lru_.clear();
 }

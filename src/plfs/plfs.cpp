@@ -163,6 +163,7 @@ Result<std::shared_ptr<FileHandle>> plfs_open(const std::string& path,
     // O_TRUNC checkpoint cycles do not accumulate dead log data.
     if (auto s = plfs_trunc(path, 0); !s) return s.error();
   }
+  stats::add(stats::Counter::kPlfsHandleOpened);
   return std::make_shared<FileHandle>(path, flags, opts);
 }
 
@@ -180,6 +181,7 @@ Status plfs_sync(FileHandle& fd, pid_t pid) { return fd.sync(pid); }
 
 Status plfs_close(const std::shared_ptr<FileHandle>& fd, pid_t pid) {
   if (!fd) return Errno{EBADF};
+  stats::add(stats::Counter::kPlfsHandleClosed);
   return fd->close(pid);
 }
 
@@ -329,5 +331,7 @@ Status plfs_flatten(const std::string& path) {
 }
 
 bool plfs_is_container(const std::string& path) { return is_container(path); }
+
+stats::Snapshot plfs_stats() { return stats::snapshot(); }
 
 }  // namespace ldplfs::plfs

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/stats.hpp"
 #include "plfs/read_file.hpp"
 #include "plfs/write_file.hpp"
 
@@ -128,5 +129,11 @@ Status plfs_flatten(const std::string& path);
 
 /// Expose container-ness at the API level for the interposition layer.
 bool plfs_is_container(const std::string& path);
+
+/// Merged view of the process-wide op counters/latency histograms
+/// (common/stats). Cheap API face for benchmarks and embedding tools;
+/// collection must be on (LDPLFS_STATS or stats::force_enable) or every
+/// value is zero. See docs/OBSERVABILITY.md.
+stats::Snapshot plfs_stats();
 
 }  // namespace ldplfs::plfs

@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "posix/fd.hpp"
@@ -78,6 +79,8 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
     LDPLFS_LOG_WARN("could not register openhost for %s: %s",
                     root.c_str(), s.error().message().c_str());
   }
+  stats::add(stats::Counter::kPlfsWriterOpened);
+  stats::add(stats::Counter::kPlfsDroppingsOpened);  // the data dropping
   return wf;
 }
 
@@ -131,11 +134,15 @@ void WriteFile::submit_active() {
     slot_.err = 0;
   }
   inflight_busy_ = true;
+  stats::add(stats::Counter::kWbFlushAsync);
+  stats::add(stats::Counter::kWbFlushBytes, inflight_.size());
   const int fd = data_fd_;
   ThreadPool::shared().submit([this, fd] {
+    stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
     auto s = posix::pwrite_all(
         fd, std::span<const std::byte>(inflight_.data(), inflight_.size()),
         static_cast<off_t>(inflight_base_));
+    flush_timer.stop();
     // Publish the result while holding the lock: complete_inflight()'s
     // caller may destroy this WriteFile the moment it observes done, so
     // the task must be finished with slot_ before any waiter can get past
@@ -165,7 +172,10 @@ Status WriteFile::complete_inflight() {
     // nothing may ever be appended past the tear — drop the in-flight
     // records *and* everything still staged behind them. The first logical
     // failure wins; later barriers keep reporting this errno.
-    if (deferred_errno_ == 0) deferred_errno_ = err;
+    if (deferred_errno_ == 0) {
+      deferred_errno_ = err;
+      stats::add(stats::Counter::kWbPoisoned);
+    }
     inflight_records_.clear();
     inflight_.clear();
     active_.clear();
@@ -194,11 +204,15 @@ void WriteFile::poll_inflight() {
 Status WriteFile::drain() {
   if (auto s = complete_inflight(); !s) return s;
   if (active_.empty()) return Status::success();
+  stats::add(stats::Counter::kWbFlushSync);
+  stats::add(stats::Counter::kWbFlushBytes, active_.size());
+  stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
   if (auto s = posix::pwrite_all(
           data_fd_,
           std::span<const std::byte>(active_.data(), active_.size()),
           static_cast<off_t>(active_base_));
       !s) {
+    if (deferred_errno_ == 0) stats::add(stats::Counter::kWbPoisoned);
     deferred_errno_ = s.error_code();
     active_.clear();
     active_records_.clear();
@@ -223,6 +237,7 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
   // Oversized writes dodge the buffer: after a drain the log tail is
   // current, and one big pwrite beats staging through a smaller buffer.
   if (data.size() >= buffer_capacity_) {
+    stats::add(stats::Counter::kWbBypass);
     if (auto s = drain(); !s) return s.error();
     return write_through(data, offset);
   }
@@ -243,6 +258,7 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
                    data.begin() + static_cast<std::ptrdiff_t>(copied + take));
     copied += take;
     physical_end_ += take;
+    stats::add(stats::Counter::kWbBufferedBytes, take);
   }
   max_eof_ = std::max(max_eof_, offset + data.size());
   return data.size();
@@ -304,6 +320,7 @@ Status WriteFile::close() {
   // index_ is null when WriteFile::open failed part-way and the half-built
   // object is being destroyed; there is no stream to tear down then.
   if (!index_) return Status::success();
+  stats::add(stats::Counter::kPlfsWriterClosed);
   // Drain barrier (also joins any pool task so no flush can outlive this
   // object). A failure here poisons deferred_errno_ and is surfaced below.
   (void)drain();

@@ -139,7 +139,11 @@ int open(const char* path, int flags, ...) {
 
 int open64(const char* path, int flags, ...) {
   mode_t mode = 0;
-  if ((flags & O_CREAT) != 0) {
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
     va_list args;
     va_start(args, flags);
     mode = static_cast<mode_t>(va_arg(args, int));
@@ -361,7 +365,11 @@ int openat(int dirfd, const char* path, int flags, ...) {
 
 int openat64(int dirfd, const char* path, int flags, ...) {
   mode_t mode = 0;
-  if ((flags & O_CREAT) != 0) {
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
     va_list args;
     va_start(args, flags);
     mode = static_cast<mode_t>(va_arg(args, int));
@@ -638,7 +646,11 @@ FILE* fopen(const char* path, const char* mode) {
   }
   if (!router().path_in_mount(path)) return real_fopen(path, mode);
 
-  // Translate the stdio mode string to open(2) flags.
+  // Translate the stdio mode string to open(2) flags, honoring the glibc
+  // modifiers: '+' (read-write), 'x' (O_EXCL — dropping it silently
+  // truncated existing containers on "wx"), 'e' (O_CLOEXEC), and 'b'/'t'
+  // and ',ccs=' charset suffixes, which change nothing at the fd layer and
+  // are explicitly ignored rather than tripping EINVAL.
   int flags;
   const bool plus = std::strchr(mode, '+') != nullptr;
   switch (mode[0]) {
@@ -646,6 +658,13 @@ FILE* fopen(const char* path, const char* mode) {
     case 'w': flags = (plus ? O_RDWR : O_WRONLY) | O_CREAT | O_TRUNC; break;
     case 'a': flags = (plus ? O_RDWR : O_WRONLY) | O_CREAT | O_APPEND; break;
     default: errno = EINVAL; return nullptr;
+  }
+  for (const char* m = mode + 1; *m != '\0' && *m != ','; ++m) {
+    switch (*m) {
+      case 'x': flags |= O_EXCL; break;
+      case 'e': flags |= O_CLOEXEC; break;
+      default: break;  // 'b', 't', '+', 'm' — no fd-level effect
+    }
   }
   const int fd = router().open(path, flags, 0644);
   if (fd < 0) return nullptr;

@@ -122,7 +122,11 @@ extern "C" {
 
 int __wrap_open(const char* path, int flags, ...) {
   mode_t mode = 0;
-  if ((flags & O_CREAT) != 0) {
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
     va_list args;
     va_start(args, flags);
     mode = static_cast<mode_t>(va_arg(args, int));
@@ -135,7 +139,11 @@ int __wrap_open(const char* path, int flags, ...) {
 
 int __wrap_open64(const char* path, int flags, ...) {
   mode_t mode = 0;
-  if ((flags & O_CREAT) != 0) {
+  if ((flags & O_CREAT) != 0
+#ifdef O_TMPFILE
+      || (flags & O_TMPFILE) == O_TMPFILE
+#endif
+  ) {
     va_list args;
     va_start(args, flags);
     mode = static_cast<mode_t>(va_arg(args, int));

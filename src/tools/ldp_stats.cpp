@@ -1,0 +1,341 @@
+// ldp-stats: pretty-print and diff LDPLFS_STATS dumps.
+//
+//   ldp-stats DUMP.json            one dump: counters sorted, histogram
+//                                  count/avg/p50/p99/max per op
+//   ldp-stats --diff A.json B.json counter deltas (B - A), histograms as
+//                                  count deltas
+//
+// Dumps come from the shim itself (LDPLFS_STATS=/path.json, or SIGUSR1 for
+// a mid-run snapshot) — see docs/OBSERVABILITY.md for the format. The tool
+// is deliberately standalone: it parses the dump with a small recursive-
+// descent JSON reader instead of linking the router, so it can inspect
+// dumps from any build.
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using ldplfs::stats::bucket_upper_ns;
+
+struct HistEntry {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+struct Dump {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistEntry> histograms;
+};
+
+// --- minimal JSON reader (objects, arrays, strings, unsigned numbers) ---
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(Dump& out) {
+    skip_ws();
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; return true; }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (key == "counters") {
+        if (!parse_counters(out)) return false;
+      } else if (key == "histograms") {
+        if (!parse_histograms(out)) return false;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool expect(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    return expect('"');
+  }
+
+  bool parse_number(std::uint64_t& out) {
+    out = 0;
+    bool any = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      out = out * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+      any = true;
+    }
+    return any;
+  }
+
+  bool skip_value() {
+    // Good enough for our own dumps: strings, numbers, arrays, objects.
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      std::string s;
+      return parse_string(s);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      int depth = 1;
+      while (pos_ < text_.size() && depth > 0) {
+        const char k = text_[pos_++];
+        if (k == '"') {
+          while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') ++pos_;
+            ++pos_;
+          }
+          ++pos_;
+        } else if (k == c) {
+          ++depth;
+        } else if (k == close) {
+          --depth;
+        }
+      }
+      return depth == 0;
+    }
+    while (pos_ < text_.size() && std::strchr(",}]", text_[pos_]) == nullptr) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool parse_counters(Dump& out) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; return true; }
+      std::string key;
+      std::uint64_t value = 0;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!parse_number(value)) return false;
+      out.counters[key] = value;
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+  bool parse_histograms(Dump& out) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; return true; }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      HistEntry h;
+      if (!parse_hist_entry(h)) return false;
+      out.histograms[key] = std::move(h);
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+  bool parse_hist_entry(HistEntry& h) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; return true; }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (key == "buckets") {
+        if (!expect('[')) return false;
+        while (true) {
+          skip_ws();
+          if (peek() == ']') { ++pos_; break; }
+          std::uint64_t v = 0;
+          if (!parse_number(v)) return false;
+          h.buckets.push_back(v);
+          skip_ws();
+          if (peek() == ',') ++pos_;
+        }
+      } else {
+        std::uint64_t v = 0;
+        if (!parse_number(v)) return false;
+        if (key == "count") h.count = v;
+        else if (key == "sum_ns") h.sum_ns = v;
+        else if (key == "max_ns") h.max_ns = v;
+      }
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool load_dump(const char* path, Dump& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ldp-stats: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string body = text.str();
+  Parser parser(body);
+  if (!parser.parse(out)) {
+    std::fprintf(stderr, "ldp-stats: %s is not a stats dump\n", path);
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t percentile(const HistEntry& h, double q) {
+  if (h.count == 0) return 0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(h.count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    seen += h.buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper_ns(i);
+      return upper < h.max_ns ? upper : h.max_ns;
+    }
+  }
+  return h.max_ns;
+}
+
+// Most histograms record nanoseconds; *.depth records dimensionless queue
+// depths and must not get a time suffix.
+bool is_duration(const std::string& key) {
+  const auto pos = key.rfind(".depth");
+  return pos == std::string::npos || pos + 6 != key.size();
+}
+
+std::string fmt_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+void print_dump(const Dump& dump) {
+  std::printf("counters:\n");
+  for (const auto& [key, value] : dump.counters) {
+    if (value == 0) continue;
+    std::printf("  %-28s %llu\n", key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("histograms:  %-8s %-10s %-10s %-10s %s\n", "count", "avg",
+              "p50", "p99", "max");
+  for (const auto& [key, h] : dump.histograms) {
+    if (h.count == 0) continue;
+    const bool dur = is_duration(key);
+    const auto fmt = [dur](std::uint64_t v) {
+      if (dur) return fmt_ns(v);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(v));
+      return std::string(buf);
+    };
+    std::printf("  %-28s", key.c_str());
+    std::printf(" %-8llu", static_cast<unsigned long long>(h.count));
+    std::printf(" %-10s", fmt(h.sum_ns / h.count).c_str());
+    std::printf(" %-10s", fmt(percentile(h, 0.50)).c_str());
+    std::printf(" %-10s", fmt(percentile(h, 0.99)).c_str());
+    std::printf(" %s\n", fmt(h.max_ns).c_str());
+  }
+}
+
+void print_diff(const Dump& before, const Dump& after) {
+  std::printf("counter deltas (after - before):\n");
+  for (const auto& [key, value] : after.counters) {
+    const auto it = before.counters.find(key);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    if (value == base) continue;
+    const long long delta =
+        static_cast<long long>(value) - static_cast<long long>(base);
+    std::printf("  %-28s %+lld\n", key.c_str(), delta);
+  }
+  std::printf("histogram count deltas:\n");
+  for (const auto& [key, h] : after.histograms) {
+    const auto it = before.histograms.find(key);
+    const std::uint64_t base =
+        it == before.histograms.end() ? 0 : it->second.count;
+    if (h.count == base) continue;
+    const long long delta =
+        static_cast<long long>(h.count) - static_cast<long long>(base);
+    std::printf("  %-28s %+lld\n", key.c_str(), delta);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ldp-stats DUMP.json\n"
+               "       ldp-stats --diff BEFORE.json AFTER.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--help") != 0) {
+    Dump dump;
+    if (!load_dump(argv[1], dump)) return 1;
+    print_dump(dump);
+    return 0;
+  }
+  if (argc == 4 && std::strcmp(argv[1], "--diff") == 0) {
+    Dump before;
+    Dump after;
+    if (!load_dump(argv[2], before) || !load_dump(argv[3], after)) return 1;
+    print_diff(before, after);
+    return 0;
+  }
+  return usage();
+}

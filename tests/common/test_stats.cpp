@@ -1,0 +1,211 @@
+// Unit tests for the LDPLFS_STATS registry: counter/histogram placement,
+// exact multi-thread merging (live shards + the retired accumulator), the
+// disabled fast path, JSON serialisation, and the dump hooks.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::stats {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    force_enable(true);
+    reset();
+  }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(StatsTest, DumpNamesAreStable) {
+  // These names are interface: ldp-stats, BENCH_micro.json and the docs
+  // key on them.
+  EXPECT_STREQ(name(Counter::kRouterOpenRouted), "router.open.routed");
+  EXPECT_STREQ(name(Counter::kRouterWriteBytes), "router.write.bytes");
+  EXPECT_STREQ(name(Counter::kCacheFdEviction), "cache.fd.eviction");
+  EXPECT_STREQ(name(Counter::kWbPoisoned), "wb.poisoned");
+  EXPECT_STREQ(name(Histogram::kRouterOpenLatency), "router.open.latency");
+  EXPECT_STREQ(name(Histogram::kPoolQueueDepth), "pool.queue.depth");
+}
+
+TEST_F(StatsTest, BucketBoundaries) {
+  EXPECT_EQ(bucket_for(0), 0u);
+  EXPECT_EQ(bucket_for(1), 1u);
+  EXPECT_EQ(bucket_for(2), 2u);
+  EXPECT_EQ(bucket_for(3), 2u);
+  EXPECT_EQ(bucket_for(4), 3u);
+  // Saturates at the last bucket rather than overflowing.
+  EXPECT_EQ(bucket_for(~0ull), kHistogramBuckets - 1);
+  // Every sample sits at or below its bucket's inclusive upper bound.
+  for (const std::uint64_t ns : {0ull, 1ull, 7ull, 1024ull, 999999937ull}) {
+    EXPECT_GE(bucket_upper_ns(bucket_for(ns)), ns) << ns;
+  }
+}
+
+TEST_F(StatsTest, DisabledCollectsNothing) {
+  force_enable(false);
+  add(Counter::kRouterOpenRouted);
+  record(Histogram::kRouterOpenLatency, 123);
+  {
+    Timer t(Histogram::kRouterReadLatency);
+  }
+  force_enable(true);
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.get(Counter::kRouterOpenRouted), 0u);
+  EXPECT_EQ(snap.get(Histogram::kRouterOpenLatency).count, 0u);
+  EXPECT_EQ(snap.get(Histogram::kRouterReadLatency).count, 0u);
+}
+
+TEST_F(StatsTest, CountersAccumulate) {
+  add(Counter::kRouterReadRouted);
+  add(Counter::kRouterReadRouted);
+  add(Counter::kRouterReadBytes, 4096);
+  add(Counter::kRouterReadBytes, 512);
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.get(Counter::kRouterReadRouted), 2u);
+  EXPECT_EQ(snap.get(Counter::kRouterReadBytes), 4608u);
+  EXPECT_EQ(snap.get(Counter::kRouterWriteRouted), 0u);
+}
+
+TEST_F(StatsTest, HistogramPlacementAndStats) {
+  record(Histogram::kRouterWriteLatency, 0);
+  record(Histogram::kRouterWriteLatency, 5);
+  record(Histogram::kRouterWriteLatency, 1000);
+  const Snapshot snap = snapshot();
+  const HistogramSnapshot& h = snap.get(Histogram::kRouterWriteLatency);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum_ns, 1005u);
+  EXPECT_EQ(h.max_ns, 1000u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[bucket_for(5)], 1u);
+  EXPECT_EQ(h.buckets[bucket_for(1000)], 1u);
+  // p0 lands in the smallest bucket, p100 at or below the recorded max.
+  EXPECT_EQ(h.percentile_ns(0.0), 0u);
+  EXPECT_LE(h.percentile_ns(1.0), h.max_ns);
+}
+
+TEST_F(StatsTest, TimerRecordsOnceAndCancelDiscards) {
+  {
+    Timer t(Histogram::kRouterCloseLatency);
+    t.stop();
+    t.stop();  // second stop is a no-op
+  }
+  {
+    Timer t(Histogram::kRouterCloseLatency);
+    t.cancel();
+  }  // destructor after cancel must not record
+  EXPECT_EQ(snapshot().get(Histogram::kRouterCloseLatency).count, 1u);
+}
+
+TEST_F(StatsTest, SnapshotSinceSubtracts) {
+  add(Counter::kPlfsIndexMerges, 3);
+  record(Histogram::kPlfsIndexMergeLatency, 100);
+  const Snapshot before = snapshot();
+  add(Counter::kPlfsIndexMerges, 2);
+  record(Histogram::kPlfsIndexMergeLatency, 200);
+  const Snapshot delta = snapshot().since(before);
+  EXPECT_EQ(delta.get(Counter::kPlfsIndexMerges), 2u);
+  EXPECT_EQ(delta.get(Histogram::kPlfsIndexMergeLatency).count, 1u);
+  EXPECT_EQ(delta.get(Histogram::kPlfsIndexMergeLatency).sum_ns, 200u);
+}
+
+TEST_F(StatsTest, MultiThreadedMergeIsExact) {
+  // Worker threads hammer their own shards, then exit — exercising both the
+  // live-shard merge and the retired-accumulator fold. Not one sample may
+  // be lost or double counted.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) {
+        add(Counter::kPoolCompleted);
+        record(Histogram::kPoolTaskLatency, 64);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.get(Counter::kPoolCompleted),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  const HistogramSnapshot& h = snap.get(Histogram::kPoolTaskLatency);
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(h.sum_ns, static_cast<std::uint64_t>(kThreads) * kIncrements * 64);
+  EXPECT_EQ(h.max_ns, 64u);
+}
+
+TEST_F(StatsTest, SnapshotWhileWritersRunDoesNotTearOrRace) {
+  // TSan target: concurrent add() with snapshot() merging live shards.
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      add(Counter::kCacheFdHit);
+      record(Histogram::kPoolQueueDelay, 32);
+    }
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = snapshot().get(Counter::kCacheFdHit);
+    EXPECT_GE(now, last);  // monotone under concurrent increments
+    last = now;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(StatsTest, ToJsonCarriesCountersAndHistograms) {
+  add(Counter::kRouterWriteRouted, 7);
+  record(Histogram::kRouterWriteLatency, 9);
+  const std::string json = to_json(snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"router.write.routed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"router.write.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(StatsTest, DumpNowWritesConfiguredFile) {
+  ldplfs::testing::TempDir dir;
+  const std::string dump = dir.sub("stats.json");
+  configure_dump(dump);
+  add(Counter::kRouterStatRouted, 2);
+  dump_now();
+  const std::string body = slurp(dump);
+  EXPECT_NE(body.find("\"router.stat.routed\": 2"), std::string::npos);
+}
+
+TEST_F(StatsTest, Sigusr1TriggersDeferredDump) {
+  // The handler is async-signal-safe: it only raises a flag, and the next
+  // instrumented operation writes the dump from ordinary thread context.
+  ldplfs::testing::TempDir dir;
+  const std::string dump = dir.sub("sig.json");
+  configure_dump(dump);
+  add(Counter::kRouterLseekRouted, 5);
+  ASSERT_EQ(::raise(SIGUSR1), 0);
+  EXPECT_EQ(slurp(dump), "");  // nothing written inside the handler
+  add(Counter::kRouterLseekRouted, 0);  // first op after the signal dumps
+  const std::string body = slurp(dump);
+  EXPECT_NE(body.find("\"router.lseek.routed\": 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldplfs::stats

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 
+#include "common/stats.hpp"
 #include "plfs/container.hpp"
 #include "testing/temp_dir.hpp"
 
@@ -287,6 +289,127 @@ TEST_F(RouterTest, ReadWriteOnNonPlfsFdPassesThrough) {
   EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
   EXPECT_EQ(read_str(fd, 4), "pass");
   EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, StatSynthesizesStableUniqueIdentity) {
+  for (const char* name : {"ident_a", "ident_b"}) {
+    const int fd = router_.open(mpath(name).c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    write_str(fd, "x");
+    router_.close(fd);
+  }
+
+  struct ::stat a1{};
+  struct ::stat a2{};
+  struct ::stat b{};
+  ASSERT_EQ(router_.stat(mpath("ident_a").c_str(), &a1), 0);
+  ASSERT_EQ(router_.stat(mpath("ident_a").c_str(), &a2), 0);
+  ASSERT_EQ(router_.stat(mpath("ident_b").c_str(), &b), 0);
+
+  // Tools like `find`, tar and rsync key on (st_dev, st_ino); all-zero
+  // answers make every logical file look identical.
+  EXPECT_NE(a1.st_ino, 0u);
+  EXPECT_NE(a1.st_dev, 0u);
+  EXPECT_EQ(a1.st_ino, a2.st_ino);  // stable across calls
+  EXPECT_EQ(a1.st_dev, a2.st_dev);
+  EXPECT_NE(a1.st_ino, b.st_ino);   // distinct files, distinct inodes
+  EXPECT_EQ(a1.st_dev, b.st_dev);   // same mount, same device
+
+  // fstat must agree with stat on the same logical file.
+  const int fd = router_.open(mpath("ident_a").c_str(), O_RDONLY, 0);
+  ASSERT_GE(fd, 0);
+  struct ::stat fs{};
+  ASSERT_EQ(router_.fstat(fd, &fs), 0);
+  EXPECT_EQ(fs.st_ino, a1.st_ino);
+  EXPECT_EQ(fs.st_dev, a1.st_dev);
+  router_.close(fd);
+}
+
+TEST(RouterDup2Test, FailedDup2PreservesNewfdState) {
+  ldplfs::testing::TempDir mount;
+  MountTable mounts;
+  mounts.add(mount.path());
+  RealCalls rc = libc_calls();
+  rc.dup2 = [](int, int) -> int {
+    errno = EINTR;
+    return -1;
+  };
+  Router router(rc, mounts);
+
+  const int fd1 =
+      router.open((mount.path() + "/a").c_str(), O_RDWR | O_CREAT, 0644);
+  const int fd2 =
+      router.open((mount.path() + "/b").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(router.write(fd2, "keep", 4), 4);
+
+  // dup2 fails at the kernel level: newfd's PLFS state must survive. The
+  // old code retired newfd before calling real dup2, so a failure orphaned
+  // a perfectly good descriptor.
+  errno = 0;
+  EXPECT_EQ(router.dup2(fd1, fd2), -1);
+  EXPECT_EQ(errno, EINTR);
+  EXPECT_TRUE(router.is_plfs_fd(fd2));
+
+  ASSERT_EQ(router.lseek(fd2, 0, SEEK_SET), 0);
+  char buf[4] = {0};
+  EXPECT_EQ(router.read(fd2, buf, 4), 4);
+  EXPECT_EQ(std::memcmp(buf, "keep", 4), 0);
+  EXPECT_EQ(router.close(fd1), 0);
+  EXPECT_EQ(router.close(fd2), 0);
+}
+
+TEST(RouterShadowFdTest, ShadowFdFailureClosesPlfsHandle) {
+  ldplfs::testing::TempDir mount;
+  MountTable mounts;
+  mounts.add(mount.path());
+  // Fail every real open: plfs_open succeeds (it bypasses RealCalls), then
+  // make_shadow_fd cannot get a descriptor and open() must unwind.
+  RealCalls rc = libc_calls();
+  rc.open = [](const char*, int, mode_t) -> int {
+    errno = ENFILE;
+    return -1;
+  };
+  Router router(rc, mounts);
+
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+  errno = 0;
+  const int fd = router.open((mount.path() + "/f").c_str(),
+                             O_WRONLY | O_CREAT, 0644);
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(errno, ENFILE);
+
+  // The handle opened before the shadow-fd failure must have been closed
+  // again, or its container bookkeeping leaks for the process lifetime.
+  const auto delta = stats::snapshot().since(before);
+  EXPECT_EQ(delta.get(stats::Counter::kPlfsHandleOpened), 1u);
+  EXPECT_EQ(delta.get(stats::Counter::kPlfsHandleClosed),
+            delta.get(stats::Counter::kPlfsHandleOpened));
+}
+
+TEST_F(RouterTest, RoutedOpsAreCountedExactly) {
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+
+  const int fd = router_.open(mpath("counted").c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(write_str(fd, "12345678"), 8);
+  EXPECT_EQ(router_.lseek(fd, 0, SEEK_SET), 0);
+  EXPECT_EQ(read_str(fd, 8), "12345678");
+  EXPECT_EQ(router_.close(fd), 0);
+
+  const auto delta = stats::snapshot().since(before);
+  using C = stats::Counter;
+  EXPECT_EQ(delta.get(C::kRouterOpenRouted), 1u);
+  EXPECT_EQ(delta.get(C::kRouterWriteRouted), 1u);
+  EXPECT_EQ(delta.get(C::kRouterWriteBytes), 8u);
+  EXPECT_EQ(delta.get(C::kRouterReadRouted), 1u);
+  EXPECT_EQ(delta.get(C::kRouterReadBytes), 8u);
+  EXPECT_EQ(delta.get(C::kRouterLseekRouted), 1u);
+  EXPECT_EQ(delta.get(C::kRouterCloseRouted), 1u);
+  EXPECT_EQ(delta.get(C::kRouterOpenPassthrough), 0u);
 }
 
 }  // namespace

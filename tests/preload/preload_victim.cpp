@@ -75,6 +75,45 @@ int scenario_stdio(const char* path) {
   return 0;
 }
 
+int scenario_stdio_excl(const char* path) {
+  // glibc fopen mode modifiers: 'x' => O_EXCL, 'b' is a no-op on POSIX,
+  // 'e' => O_CLOEXEC. An interposing shim must honour all three.
+  FILE* f = fopen(path, "wbx");
+  if (f == nullptr) return fail("fopen wbx fresh");
+  if (fputs("first\n", f) == EOF) return fail("fputs first");
+  if (fclose(f) != 0) return fail("fclose first");
+
+  // Exclusive create on an existing file must fail with EEXIST — and must
+  // NOT truncate what is already there.
+  errno = 0;
+  f = fopen(path, "wx");
+  if (f != nullptr) {
+    fclose(f);
+    fprintf(stderr, "fopen(\"wx\") succeeded on an existing file\n");
+    return 1;
+  }
+  if (errno != EEXIST) {
+    fprintf(stderr, "fopen(\"wx\") set errno %d, want EEXIST\n", errno);
+    return 1;
+  }
+
+  f = fopen(path, "ab");
+  if (f == nullptr) return fail("fopen ab");
+  if (fputs("second\n", f) == EOF) return fail("fputs second");
+  if (fclose(f) != 0) return fail("fclose append");
+
+  f = fopen(path, "rbe");
+  if (f == nullptr) return fail("fopen rbe");
+  char buf[64] = {0};
+  const size_t n = fread(buf, 1, sizeof buf - 1, f);
+  if (fclose(f) != 0) return fail("fclose read");
+  if (n != 13 || strcmp(buf, "first\nsecond\n") != 0) {
+    fprintf(stderr, "content after failed wx: %zu bytes: %s\n", n, buf);
+    return 1;
+  }
+  return 0;
+}
+
 int scenario_stat(const char* path) {
   struct stat st;
   if (stat(path, &st) != 0) return fail("stat");
@@ -204,6 +243,7 @@ int main(int argc, char** argv) {
   if (scenario == "write") return scenario_write(path);
   if (scenario == "read") return scenario_read(path);
   if (scenario == "stdio") return scenario_stdio(path);
+  if (scenario == "stdio_excl") return scenario_stdio_excl(path);
   if (scenario == "stat") return scenario_stat(path);
   if (scenario == "unlink") return scenario_unlink(path);
   if (scenario == "pread") return scenario_pread(path);

@@ -30,8 +30,11 @@ struct RunResult {
 };
 
 /// Run the victim with given scenario/path; `preload` toggles libldplfs.
+/// `extra_env` entries are NAME=VALUE pairs set in the child only.
 RunResult run_victim(const std::string& scenario, const std::string& path,
-                     const std::string& mount, bool preload = true) {
+                     const std::string& mount, bool preload = true,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_env = {}) {
   int out_pipe[2];
   int err_pipe[2];
   EXPECT_EQ(::pipe(out_pipe), 0);
@@ -51,6 +54,9 @@ RunResult run_victim(const std::string& scenario, const std::string& path,
     } else {
       ::unsetenv("LD_PRELOAD");
       ::unsetenv("LDPLFS_MOUNTS");
+    }
+    for (const auto& [key, value] : extra_env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
     }
     ::execl(LDPLFS_VICTIM_BIN, LDPLFS_VICTIM_BIN, scenario.c_str(),
             path.c_str(), static_cast<char*>(nullptr));
@@ -179,6 +185,41 @@ TEST(PreloadE2eTest, VectoredIoThroughShim) {
   const auto result = run_victim("vectored", file, mount.path());
   EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
   EXPECT_EQ(plfs_content(file), "alpha-bravo-charlie");
+}
+
+TEST(PreloadE2eTest, StdioExclusiveHonorsModeModifiers) {
+  // fopen("wx") on an existing container must fail EEXIST without
+  // truncating; "b"/"e" modifiers must be accepted. The victim asserts the
+  // mode semantics itself; we assert the surviving content from outside.
+  TempDir mount;
+  const std::string file = mount.sub("excl.txt");
+  const auto result = run_victim("stdio_excl", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_TRUE(ldplfs::plfs::is_container(file));
+  EXPECT_EQ(plfs_content(file), "first\nsecond\n");
+}
+
+TEST(PreloadE2eTest, StatsDumpMatchesIssuedOps) {
+  // LDPLFS_STATS=/path.json on an unmodified victim: the exit-time dump's
+  // routed-op counts and byte totals must equal exactly what the victim
+  // issued (scenario "write": 1 open, 3 writes totalling 17 bytes, 1 lseek,
+  // 1 close — see scenario_write in preload_victim.cpp).
+  TempDir mount;
+  TempDir scratch;
+  const std::string dump = scratch.sub("stats.json");
+  const auto result = run_victim("write", mount.sub("s.out"), mount.path(),
+                                 true, {{"LDPLFS_STATS", dump}});
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  auto body = ldplfs::posix::read_file(dump);
+  ASSERT_TRUE(body.ok());
+  for (const char* needle :
+       {"\"router.open.routed\": 1", "\"router.write.routed\": 3",
+        "\"router.write.bytes\": 17", "\"router.lseek.routed\": 1",
+        "\"router.close.routed\": 1"}) {
+    EXPECT_NE(body.value().find(needle), std::string::npos)
+        << "missing " << needle << " in:\n"
+        << body.value();
+  }
 }
 
 TEST(PreloadE2eTest, FileOutsideMountIsUntouched) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/md5.hpp"
+#include "common/stats.hpp"
 #include "plfs/container.hpp"
 #include "plfs/plfs.hpp"
 #include "posix/fd.hpp"
@@ -314,6 +315,40 @@ TEST_F(ToolsE2eTest, MissingFileFailsCleanly) {
   const auto result =
       run_tool("ldp-cat", {mount_flag_, mount_.sub("ghost.dat")});
   EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST_F(ToolsE2eTest, StatsToolPrintsAndDiffsDumps) {
+  // Produce two real dumps via the registry's own serialiser, then check
+  // ldp-stats can pretty-print one and diff the pair.
+  namespace stats = ldplfs::stats;
+  stats::force_enable(true);
+  stats::reset();
+  stats::add(stats::Counter::kRouterOpenRouted, 2);
+  stats::add(stats::Counter::kRouterWriteBytes, 4096);
+  stats::record(stats::Histogram::kRouterWriteLatency, 1500);
+  ASSERT_TRUE(ldplfs::posix::write_file(scratch_.sub("before.json"),
+                                        stats::to_json(stats::snapshot()))
+                  .ok());
+  stats::add(stats::Counter::kRouterOpenRouted, 3);
+  ASSERT_TRUE(ldplfs::posix::write_file(scratch_.sub("after.json"),
+                                        stats::to_json(stats::snapshot()))
+                  .ok());
+  stats::reset();
+
+  auto result = run_tool("ldp-stats", {scratch_.sub("before.json")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("router.open.routed"), std::string::npos);
+  EXPECT_NE(result.output.find("4096"), std::string::npos);
+  EXPECT_NE(result.output.find("router.write.latency"), std::string::npos);
+
+  result = run_tool("ldp-stats", {"--diff", scratch_.sub("before.json"),
+                                  scratch_.sub("after.json")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("router.open.routed"), std::string::npos);
+  EXPECT_NE(result.output.find("+3"), std::string::npos);
+
+  EXPECT_EQ(run_tool("ldp-stats", {}).exit_code, 2);
+  EXPECT_EQ(run_tool("ldp-stats", {scratch_.sub("absent.json")}).exit_code, 1);
 }
 
 }  // namespace
