@@ -1,0 +1,481 @@
+#include "common/health.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "common/paths.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace ldplfs::health {
+
+namespace {
+
+constexpr std::uint32_t kMaxWindow = 4096;
+
+/// Per-backend tracker. The sliding window is a circular buffer of outcome
+/// bits (true = failure) whose failure count is maintained incrementally.
+struct Backend {
+  explicit Backend(std::string r) : root(std::move(r)) {}
+
+  std::string root;
+  BreakerState state = BreakerState::kClosed;
+  int sticky_errno = 0;
+  std::uint64_t opened_ns = 0;       // when the breaker last opened
+  bool probe_inflight = false;       // a half-open probe was admitted
+  std::uint64_t probe_started_ns = 0;
+
+  std::vector<char> ring;            // sized lazily to the config window
+  std::uint32_t ring_pos = 0;
+  std::uint32_t ring_count = 0;
+  std::uint32_t window_failures = 0;
+
+  std::uint64_t ops = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t fast_fails = 0;
+  std::uint64_t trips = 0;
+  std::uint64_t probes_ok = 0;
+  std::uint64_t probes_failed = 0;
+  std::uint64_t latency_sum_ns = 0;
+};
+
+struct State {
+  std::mutex mu;
+  bool latched = false;  // environment read (or reset() pinned defaults)
+  RetryPolicy retry;
+  FailurePolicy policy = FailurePolicy::kErrors;
+  BreakerConfig breaker;
+  Rng rng;  // jitter source; determinism does not matter, reseeding does not
+  // Registered mount roots, longest first (innermost match wins), plus one
+  // default backend for paths outside every registered root.
+  std::vector<std::unique_ptr<Backend>> backends;
+  Backend fallback{std::string("*")};
+};
+
+State& state() {
+  static State* s = new State();  // leaked: usable during process teardown
+  return *s;
+}
+
+bool parse_u64_field(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Read LDPLFS_RETRY / LDPLFS_ON_FAILURE / LDPLFS_BREAKER once. Caller
+/// holds s.mu.
+void latch_env_locked(State& s) {
+  if (s.latched) return;
+  s.latched = true;
+  if (const char* spec = std::getenv("LDPLFS_RETRY");
+      spec != nullptr && *spec != '\0') {
+    std::string error;
+    if (!parse_retry(spec, s.retry, &error)) {
+      LDPLFS_LOG_WARN("LDPLFS_RETRY ignored: %s", error.c_str());
+    }
+  }
+  bool breaker_requested = false;
+  if (const char* spec = std::getenv("LDPLFS_ON_FAILURE");
+      spec != nullptr && *spec != '\0') {
+    if (parse_failure_policy(spec, s.policy)) {
+      breaker_requested = true;  // naming a degraded mode arms the breaker
+    } else {
+      LDPLFS_LOG_WARN("LDPLFS_ON_FAILURE ignored: unknown policy '%s'", spec);
+    }
+  }
+  if (const char* spec = std::getenv("LDPLFS_BREAKER");
+      spec != nullptr && *spec != '\0') {
+    std::string error;
+    if (parse_breaker(spec, s.breaker)) {
+      breaker_requested = true;
+    } else {
+      LDPLFS_LOG_WARN("LDPLFS_BREAKER ignored: %s", error.c_str());
+    }
+  }
+  s.breaker.enabled = s.breaker.enabled || breaker_requested;
+}
+
+/// Longest registered root that owns `path`, else the default backend.
+/// Caller holds s.mu.
+Backend& backend_for_locked(State& s, const std::string& path) {
+  if (!path.empty()) {
+    for (const auto& backend : s.backends) {
+      if (path_under(path, backend->root)) return *backend;
+    }
+  }
+  return s.fallback;
+}
+
+void push_outcome_locked(State& s, Backend& b, bool failed) {
+  const std::uint32_t window =
+      std::clamp<std::uint32_t>(s.breaker.window, 1, kMaxWindow);
+  if (b.ring.size() != window) {  // first op, or a test changed the config
+    b.ring.assign(window, 0);
+    b.ring_pos = 0;
+    b.ring_count = 0;
+    b.window_failures = 0;
+  }
+  if (b.ring_count == window) {
+    b.window_failures -= static_cast<std::uint32_t>(b.ring[b.ring_pos]);
+  } else {
+    ++b.ring_count;
+  }
+  b.ring[b.ring_pos] = failed ? 1 : 0;
+  if (failed) ++b.window_failures;
+  b.ring_pos = (b.ring_pos + 1) % window;
+}
+
+void open_breaker_locked(Backend& b, int err, std::uint64_t now) {
+  b.state = BreakerState::kOpen;
+  b.sticky_errno = err != 0 ? err : EIO;
+  b.opened_ns = now;
+  b.probe_inflight = false;
+  ++b.trips;
+  stats::add(stats::Counter::kBreakerOpened);
+  LDPLFS_LOG_WARN("backend %s: circuit breaker opened (errno=%d)",
+                  b.root.c_str(), b.sticky_errno);
+}
+
+void close_breaker_locked(Backend& b) {
+  b.state = BreakerState::kClosed;
+  b.sticky_errno = 0;
+  b.probe_inflight = false;
+  // A fresh start: the window that tripped the breaker must not instantly
+  // re-trip it on the first post-recovery failure.
+  b.ring.clear();
+  b.window_failures = 0;
+  b.ring_pos = 0;
+  b.ring_count = 0;
+  stats::add(stats::Counter::kBreakerClosed);
+  LDPLFS_LOG_WARN("backend %s: circuit breaker closed (recovered)",
+                  b.root.c_str());
+}
+
+/// Move an expired open breaker to half-open. Caller holds s.mu.
+void maybe_half_open_locked(State& s, Backend& b, std::uint64_t now) {
+  if (b.state != BreakerState::kOpen) return;
+  if (now - b.opened_ns < s.breaker.cooldown_ms * 1'000'000ULL) return;
+  b.state = BreakerState::kHalfOpen;
+  b.probe_inflight = false;
+  stats::add(stats::Counter::kBreakerHalfOpen);
+}
+
+void fill_snapshot(const Backend& b, BackendSnapshot& out) {
+  out.root = b.root;
+  out.state = b.state;
+  out.sticky_errno = b.sticky_errno;
+  out.ops = b.ops;
+  out.failures = b.failures;
+  out.window_ops = b.ring_count;
+  out.window_failures = b.window_failures;
+  out.fast_fails = b.fast_fails;
+  out.trips = b.trips;
+  out.probes_ok = b.probes_ok;
+  out.probes_failed = b.probes_failed;
+  out.latency_sum_ns = b.latency_sum_ns;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool parse_retry(const std::string& spec, RetryPolicy& out,
+                 std::string* error) {
+  const auto fields = split(spec, ',');
+  if (fields.size() != 3) {
+    return parse_fail(error, "expected attempts,base_ms,max_ms");
+  }
+  std::uint64_t attempts = 0;
+  std::uint64_t base_ms = 0;
+  std::uint64_t max_ms = 0;
+  if (!parse_u64_field(fields[0], attempts) || attempts > 1000) {
+    return parse_fail(error, "bad attempts value");
+  }
+  if (!parse_u64_field(fields[1], base_ms)) {
+    return parse_fail(error, "bad base_ms value");
+  }
+  if (!parse_u64_field(fields[2], max_ms) || max_ms < base_ms) {
+    return parse_fail(error, "bad max_ms value (must be >= base_ms)");
+  }
+  out.attempts = static_cast<int>(attempts);
+  out.base_ms = base_ms;
+  out.max_ms = max_ms;
+  return true;
+}
+
+bool parse_failure_policy(const std::string& spec, FailurePolicy& out) {
+  if (spec == "errors") {
+    out = FailurePolicy::kErrors;
+  } else if (spec == "readonly") {
+    out = FailurePolicy::kReadonly;
+  } else if (spec == "passthrough") {
+    out = FailurePolicy::kPassthrough;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_breaker(const std::string& spec, BreakerConfig& out,
+                   std::string* error) {
+  const auto fields = split(spec, ',');
+  if (fields.size() != 3) {
+    return parse_fail(error, "expected threshold,window,cooldown_ms");
+  }
+  std::uint64_t threshold = 0;
+  std::uint64_t window = 0;
+  std::uint64_t cooldown = 0;
+  if (!parse_u64_field(fields[0], threshold) || threshold == 0) {
+    return parse_fail(error, "bad threshold value");
+  }
+  if (!parse_u64_field(fields[1], window) || window == 0 ||
+      window > kMaxWindow || window < threshold) {
+    return parse_fail(error, "bad window value (threshold..4096)");
+  }
+  if (!parse_u64_field(fields[2], cooldown)) {
+    return parse_fail(error, "bad cooldown_ms value");
+  }
+  out.enabled = true;
+  out.threshold = static_cast<std::uint32_t>(threshold);
+  out.window = static_cast<std::uint32_t>(window);
+  out.cooldown_ms = cooldown;
+  return true;
+}
+
+RetryPolicy retry_policy() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  return s.retry;
+}
+
+FailurePolicy failure_policy() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  return s.policy;
+}
+
+BreakerConfig breaker_config() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  return s.breaker;
+}
+
+void set_retry_policy(const RetryPolicy& policy) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  s.latched = true;  // explicit install: the environment must not overwrite
+  s.retry = policy;
+}
+
+void set_failure_policy(FailurePolicy policy) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  s.latched = true;
+  s.policy = policy;
+}
+
+void set_breaker_config(const BreakerConfig& config) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  s.latched = true;
+  s.breaker = config;
+}
+
+std::uint64_t next_backoff_ms(std::uint64_t prev_ms) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  const std::uint64_t base = s.retry.base_ms;
+  if (prev_ms == 0 || base >= s.retry.max_ms) {
+    return std::min(base, s.retry.max_ms);
+  }
+  // Decorrelated jitter: uniform in [base, min(max, 3 * prev)]. Spreads
+  // herd retries apart while still growing toward the ceiling.
+  const std::uint64_t hi =
+      std::min(s.retry.max_ms, std::max(base, 3 * prev_ms));
+  if (hi <= base) return base;
+  return s.rng.range(base, hi);
+}
+
+void register_backend(const std::string& root) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  for (const auto& backend : s.backends) {
+    if (backend->root == root) return;
+  }
+  s.backends.push_back(std::make_unique<Backend>(root));
+  // Longest root first so nested mounts attribute to the innermost backend.
+  std::sort(s.backends.begin(), s.backends.end(),
+            [](const auto& a, const auto& b) {
+              return a->root.size() > b->root.size();
+            });
+}
+
+void record(const std::string& path, OpClass cls, int err,
+            std::uint64_t latency_ns) {
+  (void)cls;
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  Backend& b = backend_for_locked(s, path);
+  const bool failed = err != 0;
+  ++b.ops;
+  b.latency_sum_ns += latency_ns;
+  if (failed) ++b.failures;
+  push_outcome_locked(s, b, failed);
+  if (!s.breaker.enabled) return;
+  const std::uint64_t now = now_ns();
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (b.window_failures >= s.breaker.threshold) {
+        open_breaker_locked(b, err, now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The first outcome recorded while half-open decides — normally the
+      // admitted probe, but any concurrent readonly-mode read that lands
+      // first is just as much evidence about the backend.
+      if (failed) {
+        ++b.probes_failed;
+        stats::add(stats::Counter::kBreakerProbeFail);
+        open_breaker_locked(b, err, now);
+      } else {
+        ++b.probes_ok;
+        stats::add(stats::Counter::kBreakerProbeOk);
+        close_breaker_locked(b);
+      }
+      break;
+    case BreakerState::kOpen:
+      break;  // e.g. readonly-mode reads; outcomes feed the window only
+  }
+}
+
+int admit(const std::string& path, OpClass cls) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  if (!s.breaker.enabled) return 0;
+  Backend& b = backend_for_locked(s, path);
+  if (b.state == BreakerState::kClosed) return 0;
+  const std::uint64_t now = now_ns();
+  maybe_half_open_locked(s, b, now);
+  if (b.state == BreakerState::kHalfOpen) {
+    // One probe at a time; a probe whose stream died without recording an
+    // outcome expires after another cooldown so recovery cannot wedge.
+    const bool probe_expired =
+        b.probe_inflight &&
+        now - b.probe_started_ns > s.breaker.cooldown_ms * 1'000'000ULL;
+    if (!b.probe_inflight || probe_expired) {
+      b.probe_inflight = true;
+      b.probe_started_ns = now;
+      return 0;
+    }
+  }
+  if (s.policy == FailurePolicy::kReadonly && cls == OpClass::kRead) {
+    return 0;  // reads keep flowing in the degraded mode
+  }
+  ++b.fast_fails;
+  stats::add(stats::Counter::kBreakerFastFail);
+  if (s.policy == FailurePolicy::kReadonly) return EROFS;
+  return b.sticky_errno != 0 ? b.sticky_errno : EIO;
+}
+
+bool bypass_open(const std::string& path) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  if (!s.breaker.enabled || s.policy != FailurePolicy::kPassthrough) {
+    return false;
+  }
+  Backend& b = backend_for_locked(s, path);
+  if (b.state == BreakerState::kClosed) return false;
+  maybe_half_open_locked(s, b, now_ns());
+  // Half-open: let opens route into PLFS again so a probe can run; the
+  // admission check on the first posix op decides.
+  return b.state == BreakerState::kOpen;
+}
+
+void trip(const std::string& path, int err) {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  latch_env_locked(s);
+  Backend& b = backend_for_locked(s, path);
+  ++b.ops;
+  ++b.failures;
+  push_outcome_locked(s, b, /*failed=*/true);
+  if (!s.breaker.enabled) return;
+  if (b.state != BreakerState::kOpen) {
+    open_breaker_locked(b, err, now_ns());
+  }
+}
+
+std::vector<BackendSnapshot> snapshot() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  std::vector<BackendSnapshot> out;
+  out.reserve(s.backends.size() + 1);
+  for (const auto& backend : s.backends) {
+    fill_snapshot(*backend, out.emplace_back());
+  }
+  if (s.fallback.ops > 0 || s.fallback.fast_fails > 0) {
+    fill_snapshot(s.fallback, out.emplace_back());
+  }
+  return out;
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard lock(s.mu);
+  s.latched = true;  // pin defaults; tests configure via the setters
+  s.retry = RetryPolicy{};
+  s.policy = FailurePolicy::kErrors;
+  s.breaker = BreakerConfig{};
+  s.backends.clear();
+  s.fallback = Backend{std::string("*")};
+}
+
+const char* state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+const char* policy_name(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kErrors: return "errors";
+    case FailurePolicy::kReadonly: return "readonly";
+    case FailurePolicy::kPassthrough: return "passthrough";
+  }
+  return "?";
+}
+
+}  // namespace ldplfs::health

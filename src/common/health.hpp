@@ -1,0 +1,155 @@
+// Backend resilience engine: per-mount health tracking, the configurable
+// transient-retry policy, and a circuit breaker with policy-selectable
+// degraded modes.
+//
+// Every posix-helper outcome (src/posix/fd.cpp) is recorded here against the
+// backend that owns the path — sliding-window success/failure counts plus
+// latency accounting — and, when the breaker is enabled, the same window
+// drives a closed → open → half-open state machine:
+//
+//   closed     normal operation. When the failures inside the sliding window
+//              reach the threshold the breaker trips: state becomes open and
+//              the tripping errno becomes *sticky*.
+//   open       ops fail fast (no syscall, no retry budget) according to the
+//              failure policy below. After cooldown_ms the breaker moves to
+//              half-open on the next admission check.
+//   half-open  exactly one op is admitted as a *probe*; everything else
+//              keeps failing fast. The probe's outcome decides: success
+//              closes the breaker (full service restored), failure re-opens
+//              it and restarts the cooldown clock.
+//
+// What "fail fast" means is selected by LDPLFS_ON_FAILURE:
+//
+//   errors       (default) every op on the backend fails with the sticky
+//                errno of the failure that tripped the breaker.
+//   readonly     writes (and metadata mutations) fail with EROFS; reads keep
+//                working — cached indexes and already-written droppings stay
+//                readable, so a full backend that can still serve reads
+//                degrades instead of dying.
+//   passthrough  like errors at the posix layer, but the router additionally
+//                stops routing *new opens* into PLFS while the breaker is
+//                open — the application falls through to the real filesystem
+//                call, trading PLFS semantics for availability.
+//
+// The breaker is off unless LDPLFS_ON_FAILURE or LDPLFS_BREAKER is set (or a
+// test installs a config): plain fault-injection runs keep their exact
+// historical semantics. Health *tracking* is always on; it costs one small
+// critical section per posix-helper outcome and feeds plfs_health().
+//
+// Retry policy (used by the posix helpers, configured here so the breaker
+// and the retry loops share one definition): LDPLFS_RETRY=attempts,base_ms,
+// max_ms. A transient failure (EAGAIN/EWOULDBLOCK/EIO) is retried up to
+// `attempts` times with decorrelated-jitter backoff: the first sleep is
+// base_ms, each later sleep is uniform in [base_ms, min(max_ms, 3*prev)].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldplfs::health {
+
+/// Coarse op classes for admission decisions. Reads stay allowed in
+/// readonly degraded mode; writes and metadata mutations do not.
+enum class OpClass { kRead, kWrite };
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+enum class FailurePolicy { kErrors, kReadonly, kPassthrough };
+
+/// Transient-retry policy (LDPLFS_RETRY=attempts,base_ms,max_ms).
+struct RetryPolicy {
+  int attempts = 4;            // retries after the first try
+  std::uint64_t base_ms = 1;   // first backoff sleep
+  std::uint64_t max_ms = 8;    // backoff ceiling
+};
+
+/// Breaker tuning (LDPLFS_BREAKER=threshold,window,cooldown_ms).
+struct BreakerConfig {
+  bool enabled = false;
+  std::uint32_t threshold = 8;       // window failures that trip
+  std::uint32_t window = 32;         // sliding window size (op outcomes)
+  std::uint64_t cooldown_ms = 1000;  // open -> half-open delay
+};
+
+/// One backend's view for plfs_health() / diagnostics.
+struct BackendSnapshot {
+  std::string root;            // registered mount root ("*" = unmatched)
+  BreakerState state = BreakerState::kClosed;
+  int sticky_errno = 0;        // errno that tripped the breaker, 0 if closed
+  std::uint64_t ops = 0;       // outcomes recorded (lifetime)
+  std::uint64_t failures = 0;  // failed outcomes (lifetime)
+  std::uint64_t window_ops = 0;       // outcomes in the sliding window
+  std::uint64_t window_failures = 0;  // failures in the sliding window
+  std::uint64_t fast_fails = 0;  // ops rejected without touching the backend
+  std::uint64_t trips = 0;       // closed/half-open -> open transitions
+  std::uint64_t probes_ok = 0;   // half-open probes that closed the breaker
+  std::uint64_t probes_failed = 0;  // half-open probes that re-opened it
+  std::uint64_t latency_sum_ns = 0;  // total recorded op latency
+};
+
+/// Parse "attempts,base_ms,max_ms". Returns false (out untouched) on a
+/// malformed spec; *error gets a diagnostic when non-null.
+bool parse_retry(const std::string& spec, RetryPolicy& out,
+                 std::string* error = nullptr);
+/// Parse "errors" | "readonly" | "passthrough".
+bool parse_failure_policy(const std::string& spec, FailurePolicy& out);
+/// Parse "threshold,window,cooldown_ms" (threshold <= window, both > 0).
+bool parse_breaker(const std::string& spec, BreakerConfig& out,
+                   std::string* error = nullptr);
+
+/// Active policies. Latched from the environment on first use.
+RetryPolicy retry_policy();
+FailurePolicy failure_policy();
+BreakerConfig breaker_config();
+
+/// Test/embedding overrides (take precedence over the environment).
+void set_retry_policy(const RetryPolicy& policy);
+void set_failure_policy(FailurePolicy policy);
+void set_breaker_config(const BreakerConfig& config);
+
+/// Next decorrelated-jitter backoff sleep: base_ms for the first retry
+/// (prev_ms == 0), then uniform in [base_ms, min(max_ms, 3 * prev_ms)].
+std::uint64_t next_backoff_ms(std::uint64_t prev_ms);
+
+/// Register a mount root as a tracked backend (idempotent). Paths that match
+/// no registered root are attributed to a shared default backend, so
+/// library-only use (no mount table) still gets tracking and a breaker.
+void register_backend(const std::string& root);
+
+/// Record one posix-helper outcome for the backend owning `path`
+/// (err == 0 means success). Feeds the window and, when the breaker is
+/// enabled, drives the state machine — including deciding a half-open probe.
+void record(const std::string& path, OpClass cls, int err,
+            std::uint64_t latency_ns);
+
+/// Admission check before touching the backend. Returns 0 to proceed (also
+/// when the op is elected as the half-open probe) or the errno to fail fast
+/// with — the sticky errno, or EROFS for writes under the readonly policy.
+int admit(const std::string& path, OpClass cls);
+
+/// True when the router should route an open() around PLFS entirely:
+/// passthrough policy and the backend's breaker is open. Half-open admits
+/// opens back into PLFS so a probe can run.
+bool bypass_open(const std::string& path);
+
+/// Force the backend's breaker open with `err` as the sticky errno (used by
+/// the flush-deadline watchdog). No-op when the breaker is disabled.
+void trip(const std::string& path, int err);
+
+/// Snapshot every tracked backend (registered roots plus the default
+/// backend once it has recorded at least one op).
+std::vector<BackendSnapshot> snapshot();
+
+/// Monotonic nanoseconds, independent of the stats facility (available even
+/// under LDPLFS_NO_STATS — the breaker clock must always run).
+std::uint64_t now_ns();
+
+/// Tests: drop all backend state and overrides, restore default policies.
+/// The environment is NOT re-read after a reset — tests stay deterministic.
+void reset();
+
+const char* state_name(BreakerState state);
+const char* policy_name(FailurePolicy policy);
+
+}  // namespace ldplfs::health

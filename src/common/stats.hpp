@@ -78,7 +78,16 @@ namespace ldplfs::stats {
   X(kWbFlushBytes, "wb.flush.bytes")                            \
   X(kWbBufferedBytes, "wb.buffered.bytes")                      \
   X(kWbBypass, "wb.bypass")                                     \
-  X(kWbPoisoned, "wb.poisoned")
+  X(kWbPoisoned, "wb.poisoned")                                 \
+  X(kWbFlushTimeout, "wb.flush.timeout")                        \
+  X(kRetryAttempted, "retry.attempted")                         \
+  X(kRetryExhausted, "retry.exhausted")                         \
+  X(kBreakerOpened, "breaker.opened")                           \
+  X(kBreakerClosed, "breaker.closed")                           \
+  X(kBreakerHalfOpen, "breaker.halfopen")                       \
+  X(kBreakerProbeOk, "breaker.probe.ok")                        \
+  X(kBreakerProbeFail, "breaker.probe.fail")                    \
+  X(kBreakerFastFail, "breaker.fastfail")
 
 #define LDPLFS_STATS_HISTOGRAMS(X)                              \
   X(kRouterOpenLatency, "router.open.latency")                  \

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/health.hpp"
 #include "common/logging.hpp"
 #include "common/paths.hpp"
 #include "common/strings.hpp"
@@ -23,6 +24,9 @@ std::string current_dir() {
 
 void MountTable::add(const std::string& path) {
   std::string normal = normalize_path(path, current_dir());
+  // Every mount is a tracked backend: the resilience engine attributes
+  // posix-helper outcomes to the innermost registered root.
+  health::register_backend(normal);
   std::unique_lock lock(mu_);
   if (std::find(mounts_.begin(), mounts_.end(), normal) == mounts_.end()) {
     mounts_.push_back(std::move(normal));

@@ -11,6 +11,7 @@
 #include <span>
 #include <string_view>
 
+#include "common/health.hpp"
 #include "common/logging.hpp"
 #include "common/paths.hpp"
 #include "common/stats.hpp"
@@ -117,6 +118,14 @@ int Router::open(const char* path, int flags, mode_t mode) {
   stats::Timer timer(stats::Histogram::kRouterOpenLatency);
   const Resolved where = resolve(path);
   if (!where.in_mount) {
+    timer.cancel();
+    stats::add(stats::Counter::kRouterOpenPassthrough);
+    return real_.open(path, flags, mode);
+  }
+  if (health::bypass_open(where.path)) {
+    // LDPLFS_ON_FAILURE=passthrough with the backend's breaker open: route
+    // new opens around PLFS entirely — the application talks to the real
+    // filesystem until the breaker's half-open probe sees recovery.
     timer.cancel();
     stats::add(stats::Counter::kRouterOpenPassthrough);
     return real_.open(path, flags, mode);

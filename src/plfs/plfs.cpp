@@ -334,4 +334,8 @@ bool plfs_is_container(const std::string& path) { return is_container(path); }
 
 stats::Snapshot plfs_stats() { return stats::snapshot(); }
 
+std::vector<health::BackendSnapshot> plfs_health() {
+  return health::snapshot();
+}
+
 }  // namespace ldplfs::plfs

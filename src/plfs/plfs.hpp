@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/health.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
 #include "plfs/read_file.hpp"
@@ -135,5 +136,11 @@ bool plfs_is_container(const std::string& path);
 /// collection must be on (LDPLFS_STATS or stats::force_enable) or every
 /// value is zero. See docs/OBSERVABILITY.md.
 stats::Snapshot plfs_stats();
+
+/// Per-backend health view (common/health): sliding-window success/failure
+/// accounting and circuit-breaker state for every registered mount, plus
+/// the default backend once it has seen traffic. Always populated — health
+/// tracking is not gated by LDPLFS_STATS. See docs/RESILIENCE.md.
+std::vector<health::BackendSnapshot> plfs_health();
 
 }  // namespace ldplfs::plfs

@@ -4,9 +4,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <utility>
 
+#include "common/health.hpp"
 #include "common/logging.hpp"
 #include "common/paths.hpp"
 #include "common/stats.hpp"
@@ -24,6 +29,20 @@ constexpr std::size_t kMaxWriteBuffer = std::size_t{256} << 20;
 
 }  // namespace
 
+/// One in-flight background flush, self-contained so a deadline-expired
+/// flush can be abandoned: the task owns the bytes being flushed and a dup
+/// of the data fd (closed by UniqueFd when the last reference dies), and
+/// publishes done/err under its own mutex.
+struct WriteFile::FlushTask {
+  std::vector<std::byte> data;
+  std::uint64_t base = 0;
+  posix::UniqueFd fd;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  int err = 0;
+};
+
 bool WriteFile::env_write_behind() {
   const char* env = std::getenv("LDPLFS_WRITE_BEHIND");
   return env == nullptr || std::string(env) != "0";
@@ -36,6 +55,15 @@ std::size_t WriteFile::env_write_buffer() {
   if (parsed == 0) return kDefaultWriteBuffer;  // malformed: stay safe
   return static_cast<std::size_t>(
       std::clamp<std::uint64_t>(parsed, kMinWriteBuffer, kMaxWriteBuffer));
+}
+
+std::uint64_t WriteFile::env_flush_deadline_ms() {
+  const char* env = std::getenv("LDPLFS_FLUSH_DEADLINE_MS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;  // malformed: watchdog off
+  return static_cast<std::uint64_t>(parsed);
 }
 
 WriteFile::WriteFile(std::string root, WriterId writer)
@@ -53,6 +81,7 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
   auto data_fd = posix::open_fd(data_path, O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (!data_fd) return data_fd.error();
   wf->data_fd_ = data_fd.value().release();
+  wf->data_path_ = data_path;
 
   // The path table stores the dropping path relative to the container root
   // so containers stay relocatable (cp -r of a container keeps working).
@@ -73,6 +102,7 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
   if (wf->write_behind_) {
     wf->buffer_capacity_ = env_write_buffer();
     wf->active_.reserve(wf->buffer_capacity_);
+    wf->flush_deadline_ms_ = env_flush_deadline_ms();
   }
 
   if (auto s = posix::write_file(layout.openhost_path(writer), ""); !s) {
@@ -122,50 +152,91 @@ void WriteFile::stage_record(std::uint64_t offset, std::uint64_t length,
 }
 
 void WriteFile::submit_active() {
-  inflight_.swap(active_);
+  auto task = std::make_shared<FlushTask>();
+  task->data.swap(active_);
   active_.clear();
   inflight_records_.swap(active_records_);
   active_records_.clear();
-  inflight_base_ = active_base_;
-  active_base_ = inflight_base_ + inflight_.size();
-  {
-    std::lock_guard lock(slot_.mu);
-    slot_.done = false;
-    slot_.err = 0;
-  }
-  inflight_busy_ = true;
-  stats::add(stats::Counter::kWbFlushAsync);
-  stats::add(stats::Counter::kWbFlushBytes, inflight_.size());
-  const int fd = data_fd_;
-  ThreadPool::shared().submit([this, fd] {
+  task->base = active_base_;
+  inflight_base_ = task->base;
+  active_base_ = task->base + task->data.size();
+  inflight_task_ = task;
+  stats::add(stats::Counter::kWbFlushBytes, task->data.size());
+
+  // The task flushes through its own dup of the data fd so that an
+  // abandoned (deadline-expired) flush keeps a valid descriptor no matter
+  // what this WriteFile does afterwards. Register the dup's origin so the
+  // health tracker and path=-scoped fault clauses attribute it correctly.
+  task->fd = posix::UniqueFd(::fcntl(data_fd_, F_DUPFD_CLOEXEC, 0));
+  if (!task->fd.valid()) {
+    // Out of descriptors: flush inline on the caller and pre-complete the
+    // task; the next complete_inflight() absorbs the result as usual.
+    stats::add(stats::Counter::kWbFlushSync);
     stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
     auto s = posix::pwrite_all(
-        fd, std::span<const std::byte>(inflight_.data(), inflight_.size()),
-        static_cast<off_t>(inflight_base_));
+        data_fd_,
+        std::span<const std::byte>(task->data.data(), task->data.size()),
+        static_cast<off_t>(task->base));
     flush_timer.stop();
-    // Publish the result while holding the lock: complete_inflight()'s
-    // caller may destroy this WriteFile the moment it observes done, so
-    // the task must be finished with slot_ before any waiter can get past
-    // the mutex (same destruction-race rule as TaskGroup).
-    std::lock_guard lock(slot_.mu);
-    slot_.err = s.ok() ? 0 : s.error_code();
-    slot_.done = true;
-    slot_.cv.notify_all();
+    task->err = s.ok() ? 0 : s.error_code();
+    task->done = true;
+    return;
+  }
+  posix::note_fd_origin(task->fd.get(), data_path_);
+  stats::add(stats::Counter::kWbFlushAsync);
+  ThreadPool::shared().submit([task] {
+    stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
+    auto s = posix::pwrite_all(
+        task->fd.get(),
+        std::span<const std::byte>(task->data.data(), task->data.size()),
+        static_cast<off_t>(task->base));
+    flush_timer.stop();
+    // Publish under the task's lock: a waiter may drop its reference the
+    // moment it observes done, so the lambda must be finished with the
+    // shared state before any waiter can get past the mutex.
+    std::lock_guard lock(task->mu);
+    task->err = s.ok() ? 0 : s.error_code();
+    task->done = true;
+    task->cv.notify_all();
   });
 }
 
 Status WriteFile::complete_inflight() {
-  if (!inflight_busy_) {
+  if (!inflight_task_) {
     return deferred_errno_ == 0 ? Status::success()
                                 : Status(Errno{deferred_errno_});
   }
+  const std::shared_ptr<FlushTask> task = inflight_task_;
   int err = 0;
+  bool timed_out = false;
   {
-    std::unique_lock lock(slot_.mu);
-    slot_.cv.wait(lock, [this] { return slot_.done; });
-    err = slot_.err;
+    std::unique_lock lock(task->mu);
+    if (flush_deadline_ms_ == 0) {
+      task->cv.wait(lock, [&task] { return task->done; });
+    } else if (!task->cv.wait_for(lock,
+                                  std::chrono::milliseconds(flush_deadline_ms_),
+                                  [&task] { return task->done; })) {
+      timed_out = true;
+    }
+    if (!timed_out) err = task->err;
   }
-  inflight_busy_ = false;
+  inflight_task_.reset();
+  if (timed_out) {
+    // The flush blew its deadline: abandon it rather than wait out a hung
+    // backend. The task owns its own descriptor and buffer, so it finishes
+    // (or fails) harmlessly in the background; any bytes it eventually
+    // lands were never indexed and stay invisible. Poison the stream with
+    // ETIMEDOUT and trip the backend's breaker so sibling streams fail
+    // fast instead of queueing up behind the same hang.
+    err = ETIMEDOUT;
+    stats::add(stats::Counter::kWbFlushTimeout);
+    LDPLFS_LOG_WARN(
+        "flush of %s missed the %llu ms deadline; abandoning it and "
+        "poisoning the stream (ETIMEDOUT)",
+        data_path_.c_str(),
+        static_cast<unsigned long long>(flush_deadline_ms_));
+    health::trip(data_path_, ETIMEDOUT);
+  }
   if (err != 0) {
     // The flush tore the log tail at some point inside [inflight_base_,
     // inflight_base_ + size): nothing from this buffer gets indexed, and
@@ -177,7 +248,6 @@ Status WriteFile::complete_inflight() {
       stats::add(stats::Counter::kWbPoisoned);
     }
     inflight_records_.clear();
-    inflight_.clear();
     active_.clear();
     active_records_.clear();
     physical_end_ = inflight_base_;
@@ -193,10 +263,10 @@ Status WriteFile::complete_inflight() {
 }
 
 void WriteFile::poll_inflight() {
-  if (!inflight_busy_) return;
+  if (!inflight_task_) return;
   {
-    std::lock_guard lock(slot_.mu);
-    if (!slot_.done) return;
+    std::lock_guard lock(inflight_task_->mu);
+    if (!inflight_task_->done) return;
   }
   (void)complete_inflight();  // will not block: the task has finished
 }
@@ -204,6 +274,12 @@ void WriteFile::poll_inflight() {
 Status WriteFile::drain() {
   if (auto s = complete_inflight(); !s) return s;
   if (active_.empty()) return Status::success();
+  if (flush_deadline_ms_ > 0) {
+    // Under a deadline the barrier flush goes through the abandonable task
+    // machinery too, so even a never-rotated buffer cannot hang close().
+    submit_active();
+    return complete_inflight();
+  }
   stats::add(stats::Counter::kWbFlushSync);
   stats::add(stats::Counter::kWbFlushBytes, active_.size());
   stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
@@ -321,8 +397,11 @@ Status WriteFile::close() {
   // object is being destroyed; there is no stream to tear down then.
   if (!index_) return Status::success();
   stats::add(stats::Counter::kPlfsWriterClosed);
-  // Drain barrier (also joins any pool task so no flush can outlive this
-  // object). A failure here poisons deferred_errno_ and is surfaced below.
+  // Drain barrier. Bounded by LDPLFS_FLUSH_DEADLINE_MS when set; a flush
+  // that misses the deadline is abandoned to finish against its own dup'd
+  // descriptor, so nothing here can block forever and nothing the task
+  // still touches belongs to this object. A failure (or timeout) poisons
+  // deferred_errno_ and is surfaced below.
   (void)drain();
   Status result = index_->close();
   if (deferred_errno_ != 0) result = Errno{deferred_errno_};  // original wins

@@ -18,6 +18,14 @@
 // errors with the first logical failure winning, index records only ever
 // describing bytes whose pwrite completed, and sync()/truncate()/close()
 // acting as drain barriers so readers and stat see every acknowledged byte.
+//
+// Drain barriers are hang-proof when LDPLFS_FLUSH_DEADLINE_MS is set: a
+// barrier waits at most that long for the in-flight flush. On timeout the
+// stream is poisoned with ETIMEDOUT, the backend's circuit breaker is
+// tripped (common/health.hpp), and the hung flush is *abandoned* — it owns
+// its own dup'd descriptor and buffer, so it can finish or fail harmlessly
+// in the background while close() returns in bounded time; whatever bytes
+// it eventually lands were never indexed and stay invisible to readers.
 #pragma once
 
 #include <sys/types.h>
@@ -98,6 +106,10 @@ class WriteFile {
   /// aggregation-buffer capacity; malformed/unset falls back to the 4 MiB
   /// default, and values clamp into [4 KiB, 256 MiB].
   static std::size_t env_write_buffer();
+  /// Parse LDPLFS_FLUSH_DEADLINE_MS (plain milliseconds) into the drain
+  /// barrier deadline; 0 / unset / malformed disables the watchdog
+  /// (barriers wait indefinitely, the pre-deadline behavior).
+  static std::uint64_t env_flush_deadline_ms();
 
  private:
   WriteFile(std::string root, WriterId writer);
@@ -128,6 +140,7 @@ class WriteFile {
   std::string root_;
   WriterId writer_;
   int data_fd_ = -1;
+  std::string data_path_;  // the data dropping (health/fault attribution)
   std::unique_ptr<IndexWriter> index_;
   std::uint64_t physical_end_ = 0;  // bytes accepted (log tail once drained)
   std::uint64_t max_eof_ = 0;       // highest logical offset+len written
@@ -135,27 +148,24 @@ class WriteFile {
   bool closed_ = false;
 
   // --- write-behind engine (unused when write_behind_ is false) ---------
-  // All fields are owned by the caller thread except slot_, which is the
-  // only state shared with the pool task. The task reads inflight_ /
-  // inflight_base_ without holding slot_.mu: the pool's submit queue
-  // publishes them to the worker, and the caller does not touch them again
-  // until it has observed slot_.done under slot_.mu.
+  // The in-flight flush is a self-contained heap task: it owns the buffer
+  // being flushed and a dup of the data fd, and publishes its result under
+  // its own mutex. The caller holds one reference, the pool lambda the
+  // other, so a deadline-expired flush can simply be dropped — the task
+  // finishes (or fails) against its own descriptor with no use-after-free
+  // and no fd-reuse hazard, even after this WriteFile is destroyed. The
+  // caller-side record list (inflight_records_) is merged into the index
+  // only after the task reports success.
+  struct FlushTask;
   bool write_behind_ = false;
   std::size_t buffer_capacity_ = 0;
+  std::uint64_t flush_deadline_ms_ = 0;      // 0: barriers wait forever
   std::vector<std::byte> active_;            // buffer being filled
   std::uint64_t active_base_ = 0;            // physical offset of active_[0]
   std::vector<IndexRecord> active_records_;  // coalesced records for active_
-  std::vector<std::byte> inflight_;          // buffer being flushed
+  std::shared_ptr<FlushTask> inflight_task_;
   std::uint64_t inflight_base_ = 0;
   std::vector<IndexRecord> inflight_records_;
-  bool inflight_busy_ = false;  // submitted and not yet absorbed
-  struct FlushSlot {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    int err = 0;
-  };
-  FlushSlot slot_;
 };
 
 }  // namespace ldplfs::plfs

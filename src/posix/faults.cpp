@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 
 namespace ldplfs::posix::faults {
@@ -26,6 +27,8 @@ struct Clause {
   int err = EIO;
   std::size_t short_bytes = 0;      // >0: short transfer instead of failure
   std::uint64_t delay_usec = 0;     // sleep before acting (latency model)
+  double prob = 1.0;                // p=: firing probability per matching op
+  std::string path_substr;          // path=: scope to matching backend paths
   bool fails = false;               // errno= given: delay does not absorb it
   bool crash = false;
   // runtime state
@@ -33,8 +36,11 @@ struct Clause {
   std::uint64_t fired = 0;
 };
 
+constexpr std::uint64_t kDefaultFaultSeed = 0x1d91f5ULL;
+
 std::mutex g_mu;
 std::vector<Clause> g_plan;
+Rng g_rng{kDefaultFaultSeed};  // p= rolls; reseeded by configure()
 std::atomic<bool> g_active{false};
 std::atomic<bool> g_env_checked{false};
 
@@ -144,6 +150,19 @@ bool parse_clause(const std::string& text, Clause& clause,
         return fail(error, "short= needs a positive byte count");
       }
       clause.short_bytes = static_cast<std::size_t>(numeric);
+    } else if (key == "p") {
+      char* end = nullptr;
+      const double prob = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || prob <= 0.0 ||
+          prob > 1.0) {
+        return fail(error, "p= needs a probability in (0, 1]");
+      }
+      clause.prob = prob;
+    } else if (key == "path") {
+      if (value.empty()) {
+        return fail(error, "path= needs a non-empty substring");
+      }
+      clause.path_substr = value;
     } else if (key == "crash") {
       clause.crash = true;
     } else {
@@ -181,8 +200,17 @@ bool configure(const std::string& spec, std::string* error) {
     if (!parse_clause(part, clause, error)) return false;
     plan.push_back(clause);
   }
+  // Reseed the p= roll stream on every install so identical plans replay
+  // identical firing patterns (LDPLFS_FAULTS_SEED overrides the seed).
+  std::uint64_t seed = kDefaultFaultSeed;
+  if (const char* seed_env = std::getenv("LDPLFS_FAULTS_SEED");
+      seed_env != nullptr && *seed_env != '\0') {
+    std::uint64_t parsed = 0;
+    if (parse_u64(seed_env, parsed)) seed = parsed;
+  }
   std::lock_guard lock(g_mu);
   g_plan = std::move(plan);
+  g_rng = Rng(seed);
   g_active.store(!g_plan.empty(), std::memory_order_release);
   return true;
 }
@@ -199,7 +227,7 @@ bool active() {
   return g_active.load(std::memory_order_acquire);
 }
 
-Outcome next(Op op, std::size_t requested) {
+Outcome next(Op op, std::size_t requested, std::string_view path) {
   if (!active()) return {};
   Outcome outcome;
   std::uint64_t delay_usec = 0;
@@ -207,9 +235,18 @@ Outcome next(Op op, std::size_t requested) {
     std::lock_guard lock(g_mu);
     for (auto& clause : g_plan) {
       if (clause.op != kAnyOp && clause.op != static_cast<int>(op)) continue;
+      // A path=-scoped clause is invisible to ops outside its scope: they
+      // advance no counters, exactly as if the clause targeted another op.
+      if (!clause.path_substr.empty() &&
+          path.find(clause.path_substr) == std::string_view::npos) {
+        continue;
+      }
       ++clause.seen;
       if (clause.seen <= clause.after || clause.fired >= clause.count) {
         continue;
+      }
+      if (clause.prob < 1.0 && g_rng.uniform() >= clause.prob) {
+        continue;  // the roll spared this op; count= is not consumed
       }
       ++clause.fired;
       if (clause.crash) {

@@ -19,6 +19,17 @@
 //            | "delay=" U     sleep U microseconds, then proceed normally
 //                             (unless the clause also fails/shorts/crashes);
 //                             models per-op device/network latency
+//            | "p=" P         fire probabilistically with probability P in
+//                             (0, 1]; rolled per matching op after the
+//                             after=/count= gates, from a deterministic rng
+//                             reseeded at configure() (LDPLFS_FAULTS_SEED
+//                             overrides the seed) — models flapping backends
+//            | "path=" S      scope the clause to ops whose backend path
+//                             contains substring S; non-matching ops skip
+//                             the clause entirely (no counter advance).
+//                             Only the path-aware posix helpers match path=
+//                             clauses; the fd-level RealCalls wrappers have
+//                             no path and never match them
 //            | "crash"        _exit(137) instead of failing
 //
 // Examples:
@@ -30,17 +41,21 @@
 //   pwrite:delay=150              every pwrite costs an extra 150 µs (used by
 //                                 bench/micro_real to model device write
 //                                 latency against the write-behind engine)
+//   pwrite:p=0.3:errno=EIO        each pwrite fails EIO with probability 0.3
+//   pwrite:errno=EIO:path=/mnt/a  pwrites under /mnt/a fail; others proceed
 //   crash:after=5                 process dies at the 6th instrumented op
 //   pwrite:after=2:crash          process dies entering the 3rd pwrite
 //
 // Clauses are checked in order; an op counts against every clause up to and
-// including the first one that fires. Counters are process-wide (a forked
-// child starts from a copy of the parent's counters, so a child that wants a
-// fresh plan should call configure() itself).
+// including the first one that fires (path=-scoped clauses the op's path
+// does not match are skipped without counting). Counters are process-wide
+// (a forked child starts from a copy of the parent's counters, so a child
+// that wants a fresh plan should call configure() itself).
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 namespace ldplfs::posix::faults {
 
@@ -82,9 +97,11 @@ void clear();
 bool active();
 
 /// Consult the plan for the next `op` moving `requested` bytes, advancing
-/// the counters. A firing crash clause terminates the process with
-/// _exit(137) and never returns.
-Outcome next(Op op, std::size_t requested = 0);
+/// the counters. `path` (when the call site knows it) is matched against
+/// path= clause scopes; an empty path matches only unscoped clauses. A
+/// firing crash clause terminates the process with _exit(137) and never
+/// returns.
+Outcome next(Op op, std::size_t requested = 0, std::string_view path = {});
 
 /// Spec-grammar name of an op ("pwrite", ...).
 const char* op_name(Op op);

@@ -5,34 +5,77 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
+#include "common/health.hpp"
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "posix/faults.hpp"
 
 namespace ldplfs::posix {
 
 namespace {
 
-/// How many transient failures (EAGAIN / EIO) a data-moving helper absorbs
-/// before surfacing the errno. Backoff doubles from 1 ms, so a full retry
-/// budget costs ~15 ms — long enough to ride out a momentary stall, short
-/// enough not to hide a dead disk.
-constexpr int kTransientRetries = 4;
-
 bool transient_errno(int err) {
   return err == EAGAIN || err == EWOULDBLOCK || err == EIO;
 }
 
-void backoff_sleep(int attempt) {
-  struct timespec ts{0, (1L << attempt) * 1'000'000L};
-  ::nanosleep(&ts, nullptr);
+/// Sleep that survives signals: nanosleep resumes with the remaining time
+/// on EINTR instead of silently truncating the backoff (a signal-heavy
+/// process would otherwise burn its retry budget with near-zero sleeps).
+void sleep_ms_resumable(std::uint64_t ms) {
+  struct timespec req{static_cast<time_t>(ms / 1000),
+                      static_cast<long>(ms % 1000) * 1'000'000L};
+  while (::nanosleep(&req, &req) != 0 && errno == EINTR) {
+  }
+}
+
+/// One helper call's transient-retry budget under the LDPLFS_RETRY policy
+/// (common/health.hpp): bounded attempts, decorrelated-jitter backoff.
+/// Progress (any bytes moved) refills the budget, mirroring the historical
+/// behavior of the hardcoded retry loops.
+class RetryBudget {
+ public:
+  /// Sleep and account for one retry. False when the budget is exhausted
+  /// (the caller should surface the errno and bump retry.exhausted).
+  bool next_attempt() {
+    if (used_ >= policy_.attempts) return false;
+    ++used_;
+    stats::add(stats::Counter::kRetryAttempted);
+    prev_ms_ = health::next_backoff_ms(prev_ms_);
+    if (prev_ms_ > 0) sleep_ms_resumable(prev_ms_);
+    return true;
+  }
+
+  void reset_progress() {
+    used_ = 0;
+    prev_ms_ = 0;
+  }
+
+ private:
+  health::RetryPolicy policy_ = health::retry_policy();
+  int used_ = 0;
+  std::uint64_t prev_ms_ = 0;
+};
+
+// --- fd → origin-path registry ---------------------------------------
+// Lets the fd-based helpers attribute outcomes to the backend that owns
+// the descriptor (health tracking, path=-scoped fault clauses). Entries
+// survive UniqueFd::release() — the eventual close_fd() removes them.
+
+std::shared_mutex g_origin_mu;
+std::unordered_map<int, std::string>& origin_map() {
+  static auto* map = new std::unordered_map<int, std::string>();
+  return *map;
 }
 
 /// Issue one pwrite/write through the fault plan.
 ssize_t checked_write(int fd, const void* p, std::size_t len, off_t offset,
-                      bool positional) {
+                      bool positional, const std::string& path) {
   const auto fault = faults::next(
-      positional ? faults::Op::kPwrite : faults::Op::kWrite, len);
+      positional ? faults::Op::kPwrite : faults::Op::kWrite, len, path);
   if (fault.kind == faults::Outcome::Kind::kFail) {
     errno = fault.err;
     return -1;
@@ -45,34 +88,102 @@ ssize_t checked_write(int fd, const void* p, std::size_t len, off_t offset,
 
 }  // namespace
 
+namespace detail {
+
+void forget_fd_origin(int fd) {
+  std::unique_lock lock(g_origin_mu);
+  origin_map().erase(fd);
+}
+
+}  // namespace detail
+
+std::string fd_origin(int fd) {
+  std::shared_lock lock(g_origin_mu);
+  const auto& map = origin_map();
+  const auto it = map.find(fd);
+  return it == map.end() ? std::string() : it->second;
+}
+
+void note_fd_origin(int fd, const std::string& path) {
+  if (fd < 0) return;
+  std::unique_lock lock(g_origin_mu);
+  origin_map()[fd] = path;
+}
+
 Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode) {
-  if (const auto fault = faults::next(faults::Op::kOpen);
-      fault.kind == faults::Outcome::Kind::kFail) {
-    return Errno{fault.err};
+  const bool write_intent =
+      (flags & (O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND)) != 0;
+  const auto cls =
+      write_intent ? health::OpClass::kWrite : health::OpClass::kRead;
+  if (const int rejected = health::admit(path, cls); rejected != 0) {
+    return Errno{rejected};
   }
-  int fd;
-  do {
-    fd = ::open(path.c_str(), flags, mode);
-  } while (fd < 0 && errno == EINTR);
-  if (fd < 0) return Errno{errno};
-  return UniqueFd(fd);
+  RetryBudget budget;
+  while (true) {
+    const std::uint64_t start = health::now_ns();
+    const auto fault = faults::next(faults::Op::kOpen, 0, path);
+    int fd = -1;
+    int err = 0;
+    if (fault.kind == faults::Outcome::Kind::kFail) {
+      err = fault.err;
+    } else {
+      do {
+        fd = ::open(path.c_str(), flags, mode);
+      } while (fd < 0 && errno == EINTR);
+      if (fd < 0) err = errno;
+    }
+    health::record(path, cls, err, health::now_ns() - start);
+    if (err == 0) {
+      note_fd_origin(fd, path);
+      return UniqueFd(fd);
+    }
+    if (transient_errno(err)) {
+      if (budget.next_attempt()) {
+        if (const int rejected = health::admit(path, cls); rejected != 0) {
+          return Errno{rejected};  // the breaker tripped mid-budget
+        }
+        continue;
+      }
+      stats::add(stats::Counter::kRetryExhausted);
+    }
+    return Errno{err};
+  }
 }
 
 Status write_all(int fd, std::span<const std::byte> data) {
+  const std::string path = fd_origin(fd);
+  if (const int rejected = health::admit(path, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
+  }
   const auto* p = data.data();
   std::size_t left = data.size();
-  int retries = 0;
+  RetryBudget budget;
   while (left > 0) {
-    const ssize_t n = checked_write(fd, p, left, 0, /*positional=*/false);
+    const std::uint64_t start = health::now_ns();
+    const ssize_t n = checked_write(fd, p, left, 0, /*positional=*/false,
+                                    path);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (transient_errno(errno) && retries < kTransientRetries) {
-        backoff_sleep(retries++);
-        continue;
+      const int err = errno;
+      health::record(path, health::OpClass::kWrite, err,
+                     health::now_ns() - start);
+      if (transient_errno(err)) {
+        if (budget.next_attempt()) {
+          if (const int rejected =
+                  health::admit(path, health::OpClass::kWrite);
+              rejected != 0) {
+            return Errno{rejected};
+          }
+          continue;
+        }
+        stats::add(stats::Counter::kRetryExhausted);
       }
-      return Errno{errno};
+      return Errno{err};
     }
-    retries = 0;
+    health::record(path, health::OpClass::kWrite, 0,
+                   health::now_ns() - start);
+    budget.reset_progress();
     p += n;
     left -= static_cast<std::size_t>(n);
   }
@@ -80,20 +191,39 @@ Status write_all(int fd, std::span<const std::byte> data) {
 }
 
 Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset) {
+  const std::string path = fd_origin(fd);
+  if (const int rejected = health::admit(path, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
+  }
   const auto* p = data.data();
   std::size_t left = data.size();
-  int retries = 0;
+  RetryBudget budget;
   while (left > 0) {
-    const ssize_t n = checked_write(fd, p, left, offset, /*positional=*/true);
+    const std::uint64_t start = health::now_ns();
+    const ssize_t n = checked_write(fd, p, left, offset, /*positional=*/true,
+                                    path);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (transient_errno(errno) && retries < kTransientRetries) {
-        backoff_sleep(retries++);
-        continue;
+      const int err = errno;
+      health::record(path, health::OpClass::kWrite, err,
+                     health::now_ns() - start);
+      if (transient_errno(err)) {
+        if (budget.next_attempt()) {
+          if (const int rejected =
+                  health::admit(path, health::OpClass::kWrite);
+              rejected != 0) {
+            return Errno{rejected};
+          }
+          continue;
+        }
+        stats::add(stats::Counter::kRetryExhausted);
       }
-      return Errno{errno};
+      return Errno{err};
     }
-    retries = 0;
+    health::record(path, health::OpClass::kWrite, 0,
+                   health::now_ns() - start);
+    budget.reset_progress();
     p += n;
     left -= static_cast<std::size_t>(n);
     offset += n;
@@ -102,12 +232,18 @@ Status pwrite_all(int fd, std::span<const std::byte> data, off_t offset) {
 }
 
 Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset) {
+  const std::string path = fd_origin(fd);
+  if (const int rejected = health::admit(path, health::OpClass::kRead);
+      rejected != 0) {
+    return Errno{rejected};
+  }
   auto* p = out.data();
   std::size_t got = 0;
-  int retries = 0;
+  RetryBudget budget;
   while (got < out.size()) {
     std::size_t want = out.size() - got;
-    const auto fault = faults::next(faults::Op::kPread, want);
+    const std::uint64_t start = health::now_ns();
+    const auto fault = faults::next(faults::Op::kPread, want, path);
     ssize_t n;
     if (fault.kind == faults::Outcome::Kind::kFail) {
       errno = fault.err;
@@ -120,14 +256,26 @@ Result<std::size_t> pread_some(int fd, std::span<std::byte> out, off_t offset) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (transient_errno(errno) && retries < kTransientRetries) {
-        backoff_sleep(retries++);
-        continue;
+      const int err = errno;
+      health::record(path, health::OpClass::kRead, err,
+                     health::now_ns() - start);
+      if (transient_errno(err)) {
+        if (budget.next_attempt()) {
+          if (const int rejected =
+                  health::admit(path, health::OpClass::kRead);
+              rejected != 0) {
+            return Errno{rejected};
+          }
+          continue;
+        }
+        stats::add(stats::Counter::kRetryExhausted);
       }
-      return Errno{errno};
+      return Errno{err};
     }
+    health::record(path, health::OpClass::kRead, 0,
+                   health::now_ns() - start);
     if (n == 0) break;  // EOF
-    retries = 0;
+    budget.reset_progress();
     got += static_cast<std::size_t>(n);
   }
   return got;
@@ -141,27 +289,76 @@ Status pread_all(int fd, std::span<std::byte> out, off_t offset) {
 }
 
 Status fsync_fd(int fd) {
-  if (const auto fault = faults::next(faults::Op::kFsync);
-      fault.kind == faults::Outcome::Kind::kFail) {
-    return Errno{fault.err};
+  const std::string path = fd_origin(fd);
+  if (const int rejected = health::admit(path, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
   }
-  int rc;
-  do {
-    rc = ::fsync(fd);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return Errno{errno};
-  return Status::success();
+  RetryBudget budget;
+  while (true) {
+    const std::uint64_t start = health::now_ns();
+    const auto fault = faults::next(faults::Op::kFsync, 0, path);
+    int err = 0;
+    if (fault.kind == faults::Outcome::Kind::kFail) {
+      err = fault.err;
+    } else {
+      int rc;
+      do {
+        rc = ::fsync(fd);
+      } while (rc != 0 && errno == EINTR);
+      if (rc != 0) err = errno;
+    }
+    health::record(path, health::OpClass::kWrite, err,
+                   health::now_ns() - start);
+    if (err == 0) return Status::success();
+    // Same transient-retry treatment as the data movers: a breaker fed by
+    // per-op outcomes must see fsync and pwrite absorb (or surface) a
+    // transient EIO identically, or its thresholds would skew by op mix.
+    if (transient_errno(err)) {
+      if (budget.next_attempt()) {
+        if (const int rejected = health::admit(path, health::OpClass::kWrite);
+            rejected != 0) {
+          return Errno{rejected};
+        }
+        continue;
+      }
+      stats::add(stats::Counter::kRetryExhausted);
+    }
+    return Errno{err};
+  }
 }
 
 Status close_fd(int fd) {
-  // The real descriptor is always closed, even when a fault is injected:
-  // POSIX leaves the fd state unspecified after a failed close, and leaking
-  // descriptors under injection would make tests flaky in a useless way.
-  const auto fault = faults::next(faults::Op::kClose);
-  const int rc = ::close(fd);
-  if (fault.kind == faults::Outcome::Kind::kFail) return Errno{fault.err};
-  if (rc != 0 && errno != EINTR) return Errno{errno};
-  return Status::success();
+  const std::string path = fd_origin(fd);
+  detail::forget_fd_origin(fd);
+  // The real descriptor is closed exactly once, and always: POSIX leaves
+  // the fd state unspecified after a failed close, and leaking descriptors
+  // under injection would make tests flaky in a useless way. Transient
+  // *injected* errors still get the retry treatment — the plan is
+  // re-consulted, so a count=-bounded EAGAIN clause is absorbed here the
+  // same way the data movers absorb it. Close is never admission-gated:
+  // even on an open breaker the descriptor must be released.
+  RetryBudget budget;
+  bool closed = false;
+  while (true) {
+    const std::uint64_t start = health::now_ns();
+    const auto fault = faults::next(faults::Op::kClose, 0, path);
+    int err = 0;
+    if (!closed) {
+      const int rc = ::close(fd);
+      closed = true;
+      if (rc != 0 && errno != EINTR) err = errno;
+    }
+    if (fault.kind == faults::Outcome::Kind::kFail) err = fault.err;
+    health::record(path, health::OpClass::kWrite, err,
+                   health::now_ns() - start);
+    if (err == 0) return Status::success();
+    if (transient_errno(err)) {
+      if (budget.next_attempt()) continue;
+      stats::add(stats::Counter::kRetryExhausted);
+    }
+    return Errno{err};
+  }
 }
 
 Status truncate_path(const std::string& path, off_t length) {
@@ -192,11 +389,21 @@ bool is_directory(const std::string& path) {
 }
 
 Status make_dir(const std::string& path, mode_t mode) {
-  if (const auto fault = faults::next(faults::Op::kMkdir);
-      fault.kind == faults::Outcome::Kind::kFail) {
-    return Errno{fault.err};
+  if (const int rejected = health::admit(path, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
   }
-  if (::mkdir(path.c_str(), mode) != 0) return Errno{errno};
+  const std::uint64_t start = health::now_ns();
+  int err = 0;
+  if (const auto fault = faults::next(faults::Op::kMkdir, 0, path);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    err = fault.err;
+  } else if (::mkdir(path.c_str(), mode) != 0) {
+    err = errno;
+  }
+  health::record(path, health::OpClass::kWrite, err,
+                 health::now_ns() - start);
+  if (err != 0) return Errno{err};
   return Status::success();
 }
 
@@ -214,11 +421,21 @@ Status make_dirs(const std::string& path, mode_t mode) {
 }
 
 Status remove_file(const std::string& path) {
-  if (const auto fault = faults::next(faults::Op::kUnlink);
-      fault.kind == faults::Outcome::Kind::kFail) {
-    return Errno{fault.err};
+  if (const int rejected = health::admit(path, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
   }
-  if (::unlink(path.c_str()) != 0) return Errno{errno};
+  const std::uint64_t start = health::now_ns();
+  int err = 0;
+  if (const auto fault = faults::next(faults::Op::kUnlink, 0, path);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    err = fault.err;
+  } else if (::unlink(path.c_str()) != 0) {
+    err = errno;
+  }
+  health::record(path, health::OpClass::kWrite, err,
+                 health::now_ns() - start);
+  if (err != 0) return Errno{err};
   return Status::success();
 }
 
@@ -242,11 +459,21 @@ Status remove_tree(const std::string& path) {
 }
 
 Status rename_path(const std::string& from, const std::string& to) {
-  if (const auto fault = faults::next(faults::Op::kRename);
-      fault.kind == faults::Outcome::Kind::kFail) {
-    return Errno{fault.err};
+  if (const int rejected = health::admit(from, health::OpClass::kWrite);
+      rejected != 0) {
+    return Errno{rejected};
   }
-  if (::rename(from.c_str(), to.c_str()) != 0) return Errno{errno};
+  const std::uint64_t start = health::now_ns();
+  int err = 0;
+  if (const auto fault = faults::next(faults::Op::kRename, 0, from);
+      fault.kind == faults::Outcome::Kind::kFail) {
+    err = fault.err;
+  } else if (::rename(from.c_str(), to.c_str()) != 0) {
+    err = errno;
+  }
+  health::record(from, health::OpClass::kWrite, err,
+                 health::now_ns() - start);
+  if (err != 0) return Errno{err};
   return Status::success();
 }
 

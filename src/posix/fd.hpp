@@ -4,10 +4,17 @@
 // terms of UniqueFd / Result.
 //
 // Every helper consults the fault-injection plan (posix/faults.hpp) before
-// issuing its syscall, and the data-moving helpers retry transient failures
-// (EAGAIN / EIO) a bounded number of times with exponential backoff before
-// reporting them — real write paths fail partially and transiently, and the
-// callers above expect either full success or a final errno.
+// issuing its syscall, retries transient failures (EAGAIN / EIO) under the
+// configurable LDPLFS_RETRY policy (common/health.hpp: bounded attempts,
+// decorrelated-jitter backoff) — real write paths fail partially and
+// transiently, and the callers above expect either full success or a final
+// errno — and reports its outcome to the per-backend health tracker, which
+// can fail ops fast once a backend's circuit breaker is open.
+//
+// To attribute fd-based helpers (pwrite_all, fsync_fd, ...) to a backend,
+// open_fd records the fd → path origin in a process-wide registry;
+// close_fd / UniqueFd::reset remove it. fd_origin() exposes the mapping for
+// callers (e.g. the write-behind engine registers its dup'd flush fds).
 #pragma once
 
 #include <fcntl.h>
@@ -25,6 +32,11 @@
 #include "common/result.hpp"
 
 namespace ldplfs::posix {
+
+namespace detail {
+/// Drop a descriptor's fd → path registry entry (see fd_origin()).
+void forget_fd_origin(int fd);
+}  // namespace detail
 
 /// Owning file descriptor. Move-only; closes on destruction.
 class UniqueFd {
@@ -52,7 +64,10 @@ class UniqueFd {
   [[nodiscard]] int release() { return std::exchange(fd_, -1); }
 
   void reset(int fd = -1) {
-    if (fd_ >= 0) ::close(fd_);
+    if (fd_ >= 0) {
+      detail::forget_fd_origin(fd_);
+      ::close(fd_);
+    }
     fd_ = fd;
   }
 
@@ -60,8 +75,15 @@ class UniqueFd {
   int fd_ = -1;
 };
 
-/// open(2) returning a UniqueFd.
+/// open(2) returning a UniqueFd. Registers the fd's origin path so that
+/// fd-based helpers can attribute outcomes to the owning backend.
 Result<UniqueFd> open_fd(const std::string& path, int flags, mode_t mode = 0644);
+
+/// Path a descriptor was open_fd'd with, or "" for unknown descriptors.
+std::string fd_origin(int fd);
+/// Register (or re-register) a descriptor's origin path — for descriptors
+/// produced outside open_fd, e.g. dup(2)'d flush fds.
+void note_fd_origin(int fd, const std::string& path);
 
 /// Full-buffer write at the current offset; loops on short writes / EINTR.
 Status write_all(int fd, std::span<const std::byte> data);

@@ -264,7 +264,47 @@ std::string fmt_ns(std::uint64_t ns) {
   return buf;
 }
 
+// One-line digest of the resilience engine's counters (retry budget,
+// circuit breaker, flush watchdog). Printed only when any is nonzero so
+// dumps from runs that never saw a fault are unchanged.
+void print_resilience(const Dump& dump) {
+  const auto get = [&dump](const char* key) -> std::uint64_t {
+    const auto it = dump.counters.find(key);
+    return it == dump.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t attempted = get("retry.attempted");
+  const std::uint64_t exhausted = get("retry.exhausted");
+  const std::uint64_t opened = get("breaker.opened");
+  const std::uint64_t closed = get("breaker.closed");
+  const std::uint64_t halfopen = get("breaker.halfopen");
+  const std::uint64_t probe_ok = get("breaker.probe.ok");
+  const std::uint64_t probe_fail = get("breaker.probe.fail");
+  const std::uint64_t fastfail = get("breaker.fastfail");
+  const std::uint64_t flush_timeout = get("wb.flush.timeout");
+  if ((attempted | exhausted | opened | closed | halfopen | probe_ok |
+       probe_fail | fastfail | flush_timeout) == 0) {
+    return;
+  }
+  std::printf("resilience:\n");
+  std::printf("  retries      %llu attempted, %llu budgets exhausted\n",
+              static_cast<unsigned long long>(attempted),
+              static_cast<unsigned long long>(exhausted));
+  std::printf(
+      "  breaker      %llu opened, %llu closed, %llu half-open "
+      "(probes: %llu ok, %llu failed)\n",
+      static_cast<unsigned long long>(opened),
+      static_cast<unsigned long long>(closed),
+      static_cast<unsigned long long>(halfopen),
+      static_cast<unsigned long long>(probe_ok),
+      static_cast<unsigned long long>(probe_fail));
+  std::printf("  fast-fails   %llu ops rejected without touching a backend\n",
+              static_cast<unsigned long long>(fastfail));
+  std::printf("  flush        %llu write-behind flushes timed out\n",
+              static_cast<unsigned long long>(flush_timeout));
+}
+
 void print_dump(const Dump& dump) {
+  print_resilience(dump);
   std::printf("counters:\n");
   for (const auto& [key, value] : dump.counters) {
     if (value == 0) continue;

@@ -7,8 +7,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "core/real_calls.hpp"
 #include "posix/faults.hpp"
@@ -37,7 +39,64 @@ TEST_F(FaultsTest, ParseRejectsGarbage) {
   EXPECT_FALSE(faults::configure("pwrite:after=x", &error));
   EXPECT_FALSE(faults::configure("pwrite:short=0", &error));
   EXPECT_FALSE(faults::configure("pwrite:bogus=1", &error));
+  // p= must be a probability in (0, 1]; path= needs a substring.
+  EXPECT_FALSE(faults::configure("pwrite:p=0", &error));
+  EXPECT_FALSE(faults::configure("pwrite:p=1.5", &error));
+  EXPECT_FALSE(faults::configure("pwrite:p=banana", &error));
+  EXPECT_FALSE(faults::configure("pwrite:path=", &error));
+  EXPECT_TRUE(faults::configure("pwrite:p=1:errno=EIO"));  // p=1 is valid
+  faults::clear();
   EXPECT_FALSE(faults::active());
+}
+
+TEST_F(FaultsTest, PathScopedClauseFiresOnlyOnMatchingPaths) {
+  ASSERT_TRUE(faults::configure("pwrite:errno=ENOSPC:path=victim"));
+  auto victim = open_fd(tmp_.sub("victim"), O_WRONLY | O_CREAT, 0644);
+  auto other = open_fd(tmp_.sub("other"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(pwrite_all(other.value().get(), as_bytes("ok"), 0).ok());
+  EXPECT_EQ(pwrite_all(victim.value().get(), as_bytes("xx"), 0).error_code(),
+            ENOSPC);
+  EXPECT_TRUE(pwrite_all(other.value().get(), as_bytes("ok"), 2).ok());
+}
+
+TEST_F(FaultsTest, PathScopedClauseDoesNotCountForeignOps) {
+  // after=1 must be consumed by the first *matching* op: pwrites to other
+  // paths are invisible to the clause and advance no counters.
+  ASSERT_TRUE(faults::configure("pwrite:after=1:errno=ENOSPC:path=victim"));
+  auto victim = open_fd(tmp_.sub("victim"), O_WRONLY | O_CREAT, 0644);
+  auto other = open_fd(tmp_.sub("other"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(pwrite_all(other.value().get(), as_bytes("aa"), 0).ok());
+  EXPECT_TRUE(pwrite_all(other.value().get(), as_bytes("bb"), 2).ok());
+  EXPECT_TRUE(pwrite_all(victim.value().get(), as_bytes("cc"), 0).ok());
+  EXPECT_EQ(pwrite_all(victim.value().get(), as_bytes("dd"), 2).error_code(),
+            ENOSPC);
+}
+
+TEST_F(FaultsTest, ProbabilisticClauseIsDeterministicallySeeded) {
+  // ENOSPC is not transient, so each pwrite_all consults the plan exactly
+  // once and the firing pattern is a pure function of the reseeded rng.
+  const auto run_pattern = [&](const char* name) {
+    EXPECT_TRUE(faults::configure("pwrite:p=0.5:errno=ENOSPC"));
+    auto fd = open_fd(tmp_.sub(name), O_WRONLY | O_CREAT, 0644);
+    EXPECT_TRUE(fd.ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(
+          !pwrite_all(fd.value().get(), as_bytes("x"), i).ok());
+    }
+    return fired;
+  };
+  const auto first = run_pattern("p1");
+  const auto second = run_pattern("p2");
+  EXPECT_EQ(first, second);  // configure() reseeds: identical replay
+  const auto fires =
+      std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fires, 0);    // p=0.5 over 200 ops: both outcomes must appear
+  EXPECT_LT(fires, 200);
 }
 
 TEST_F(FaultsTest, EmptySpecClears) {
@@ -87,14 +146,18 @@ TEST_F(FaultsTest, PersistentEagainEventuallySurfaces) {
 }
 
 TEST_F(FaultsTest, OpenAndFsyncAndUnlinkClauses) {
+  // Non-transient errnos: fsync and open share the data movers' transient
+  // retry since the resilience engine, so a count=1 EIO/EAGAIN would be
+  // absorbed by the budget rather than surface (covered by the resilience
+  // retry suite).
   ASSERT_TRUE(faults::configure(
-      "open:after=1:errno=EMFILE:count=1,fsync:errno=EIO:count=1,"
+      "open:after=1:errno=EMFILE:count=1,fsync:errno=ENOSPC:count=1,"
       "unlink:errno=EACCES:count=1"));
   auto ok = open_fd(tmp_.sub("a"), O_WRONLY | O_CREAT, 0644);
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(open_fd(tmp_.sub("b"), O_WRONLY | O_CREAT, 0644).error_code(),
             EMFILE);
-  EXPECT_EQ(fsync_fd(ok.value().get()).error_code(), EIO);
+  EXPECT_EQ(fsync_fd(ok.value().get()).error_code(), ENOSPC);
   EXPECT_TRUE(fsync_fd(ok.value().get()).ok());  // count=1 exhausted
   EXPECT_EQ(remove_file(tmp_.sub("a")).error_code(), EACCES);
   EXPECT_TRUE(remove_file(tmp_.sub("a")).ok());

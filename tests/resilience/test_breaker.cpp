@@ -1,0 +1,319 @@
+// Resilience engine: the per-backend circuit breaker and its degraded modes.
+//
+// Covers the full state machine (closed → open → half-open → closed/open),
+// sticky-errno fail-fast, the LDPLFS_ON_FAILURE policies (errors / readonly
+// / passthrough), and the acceptance criterion of the issue: a 1000-op
+// victim against a hard-failing backend must complete in a small fraction
+// of the naive retry-budget time because the breaker fails fast.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/health.hpp"
+#include "common/stats.hpp"
+#include "core/router.hpp"
+#include "plfs/plfs.hpp"
+#include "posix/faults.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+namespace faults = ldplfs::posix::faults;
+
+constexpr pid_t kPid = 4242;
+
+std::uint64_t elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Snapshot entry for the backend owning `path` ("*" fallback when no mount
+/// is registered). Fails the test when the backend is untracked.
+health::BackendSnapshot backend_snapshot(const std::string& root) {
+  for (const auto& b : health::snapshot()) {
+    if (b.root == root) return b;
+  }
+  ADD_FAILURE() << "no tracked backend with root " << root;
+  return {};
+}
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faults::clear();
+    health::reset();
+    health::set_retry_policy({0, 0, 0});  // isolate the breaker from retries
+    stats::force_enable(true);
+    stats::reset();
+  }
+  void TearDown() override {
+    faults::clear();
+    health::reset();
+    stats::reset();
+    stats::force_enable(false);
+  }
+
+  TempDir tmp_;
+};
+
+TEST_F(BreakerTest, ParseBreakerAcceptsAndRejects) {
+  health::BreakerConfig c;
+  ASSERT_TRUE(health::parse_breaker("3,16,250", c));
+  EXPECT_TRUE(c.enabled);  // naming a config arms the breaker
+  EXPECT_EQ(c.threshold, 3u);
+  EXPECT_EQ(c.window, 16u);
+  EXPECT_EQ(c.cooldown_ms, 250u);
+
+  EXPECT_FALSE(health::parse_breaker("", c));
+  EXPECT_FALSE(health::parse_breaker("3,16", c));
+  EXPECT_FALSE(health::parse_breaker("0,16,250", c));   // threshold > 0
+  EXPECT_FALSE(health::parse_breaker("16,3,250", c));   // window >= threshold
+  EXPECT_FALSE(health::parse_breaker("1,9999,0", c));   // window cap
+  EXPECT_FALSE(health::parse_breaker("a,b,c", c));
+
+  health::FailurePolicy p;
+  EXPECT_TRUE(health::parse_failure_policy("errors", p));
+  EXPECT_TRUE(health::parse_failure_policy("readonly", p));
+  EXPECT_TRUE(health::parse_failure_policy("passthrough", p));
+  EXPECT_FALSE(health::parse_failure_policy("explode", p));
+}
+
+TEST_F(BreakerTest, DisabledBreakerNeverRejects) {
+  // Default config: health tracking on, breaker off — persistent failures
+  // keep surfacing their real errno and nothing fails fast.
+  ASSERT_TRUE(faults::configure("pwrite:errno=ENOSPC"));
+  auto fd = posix::open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(
+        posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+        ENOSPC);
+  }
+  const auto b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kClosed);
+  EXPECT_EQ(b.fast_fails, 0u);
+  EXPECT_EQ(b.trips, 0u);
+  EXPECT_EQ(b.failures, 20u);
+}
+
+TEST_F(BreakerTest, TripsFailsFastAndRecoversThroughAProbe) {
+  health::set_breaker_config({true, 2, 8, 100});
+  auto fd = posix::open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+
+  ASSERT_TRUE(faults::configure("pwrite:errno=ENOSPC"));
+  EXPECT_EQ(
+      posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+      ENOSPC);
+  EXPECT_EQ(
+      posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+      ENOSPC);
+  auto b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kOpen);
+  EXPECT_EQ(b.sticky_errno, ENOSPC);
+  EXPECT_EQ(b.trips, 1u);
+
+  // Fail fast with the sticky errno: the fault plan is gone, the breaker
+  // alone produces the error and no syscall is issued.
+  faults::clear();
+  EXPECT_EQ(
+      posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+      ENOSPC);
+  b = backend_snapshot("*");
+  EXPECT_GE(b.fast_fails, 1u);
+
+  // Before the cooldown elapses every op keeps failing fast.
+  EXPECT_EQ(
+      posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+      ENOSPC);
+
+  // After the cooldown one op is admitted as the half-open probe; its
+  // success closes the breaker and full service resumes.
+  ::usleep(150 * 1000);
+  EXPECT_TRUE(posix::pwrite_all(fd.value().get(), as_bytes("ok"), 0).ok());
+  b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kClosed);
+  EXPECT_EQ(b.sticky_errno, 0);
+  EXPECT_EQ(b.probes_ok, 1u);
+  EXPECT_TRUE(posix::pwrite_all(fd.value().get(), as_bytes("!!"), 2).ok());
+}
+
+TEST_F(BreakerTest, FailedProbeReopensTheBreaker) {
+  health::set_breaker_config({true, 2, 8, 80});
+  auto fd = posix::open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=ENOSPC"));
+  (void)posix::pwrite_all(fd.value().get(), as_bytes("x"), 0);
+  (void)posix::pwrite_all(fd.value().get(), as_bytes("x"), 0);
+  ASSERT_EQ(backend_snapshot("*").state, health::BreakerState::kOpen);
+
+  // The backend is still sick: the probe fails and the breaker re-opens,
+  // restarting the cooldown clock.
+  ::usleep(120 * 1000);
+  EXPECT_EQ(
+      posix::pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+      ENOSPC);
+  auto b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kOpen);
+  EXPECT_EQ(b.probes_failed, 1u);
+  EXPECT_EQ(b.trips, 2u);
+
+  // Second probe, backend healthy again: recovery completes.
+  faults::clear();
+  ::usleep(120 * 1000);
+  EXPECT_TRUE(posix::pwrite_all(fd.value().get(), as_bytes("ok"), 0).ok());
+  b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kClosed);
+  EXPECT_EQ(b.probes_ok, 1u);
+}
+
+TEST_F(BreakerTest, ThousandOpVictimFailsFastWithinBudget) {
+  // Acceptance criterion: with LDPLFS_RETRY=4,1,8 a naive 1000-op victim
+  // against a dead backend would sleep >= 1000 * 4 * 1ms = 4s in backoff
+  // alone. The breaker must cut that to a small fraction.
+  health::set_retry_policy({4, 1, 8});
+  health::set_breaker_config({true, 8, 32, 60'000});
+  ASSERT_TRUE(faults::configure("pwrite:errno=EIO"));
+  auto fd = posix::open_fd(tmp_.sub("victim"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto st = posix::pwrite_all(fd.value().get(), as_bytes("data"), 0);
+    if (!st.ok() && st.error_code() == EIO) ++failures;
+  }
+  const std::uint64_t took = elapsed_ms(start);
+  EXPECT_EQ(failures, 1000);
+  EXPECT_LT(took, 2000u);  // vs >= 4000ms of pure backoff without a breaker
+
+  const auto b = backend_snapshot("*");
+  EXPECT_EQ(b.state, health::BreakerState::kOpen);
+  EXPECT_EQ(b.sticky_errno, EIO);
+  EXPECT_EQ(b.trips, 1u);
+  EXPECT_GE(b.fast_fails, 990u);
+  EXPECT_GE(stats::snapshot().get(stats::Counter::kBreakerFastFail), 990u);
+}
+
+TEST_F(BreakerTest, ReadonlyModeKeepsServingReads) {
+  // Build a healthy container first.
+  const std::string path = tmp_.sub("container");
+  const std::string payload = "bytes that must stay readable";
+  {
+    auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, kPid);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        fd.value()->write(as_bytes(payload), 0, kPid).ok());
+    ASSERT_TRUE(plfs::plfs_close(fd.value(), kPid).ok());
+  }
+
+  // Degrade: breaker open, readonly policy, long cooldown so no probe
+  // sneaks in mid-test.
+  health::set_failure_policy(health::FailurePolicy::kReadonly);
+  health::set_breaker_config({true, 1, 8, 60'000});
+  health::trip(path, EIO);
+  ASSERT_EQ(backend_snapshot("*").state, health::BreakerState::kOpen);
+
+  // Writes are refused with EROFS...
+  EXPECT_EQ(plfs::plfs_open(tmp_.sub("new"), O_CREAT | O_WRONLY, kPid)
+                .error_code(),
+            EROFS);
+  {
+    auto fd = plfs::plfs_open(path, O_WRONLY, kPid);
+    if (fd.ok()) {
+      EXPECT_EQ(
+          fd.value()->write(as_bytes("nope"), 0, kPid).error_code(), EROFS);
+      (void)plfs::plfs_close(fd.value(), kPid);
+    } else {
+      EXPECT_EQ(fd.error_code(), EROFS);
+    }
+  }
+
+  // ...but reads of the existing container still serve the exact bytes.
+  auto rd = plfs::plfs_open(path, O_RDONLY, kPid);
+  ASSERT_TRUE(rd.ok());
+  std::string got(payload.size(), '\0');
+  auto n = plfs::plfs_read(
+      *rd.value(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(got.data()),
+                           got.size()),
+      0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), payload.size());
+  EXPECT_EQ(got, payload);
+  EXPECT_TRUE(plfs::plfs_close(rd.value(), kPid).ok());
+}
+
+/// Router-level passthrough: while the breaker is open the router routes
+/// new opens around PLFS to the real filesystem.
+class PassthroughTest : public ::testing::Test {
+ protected:
+  PassthroughTest() : router_(core::libc_calls(), mounts_) {
+    faults::clear();
+    health::reset();
+    mounts_.add(mount_.path());  // registers the mount as a health backend
+    stats::force_enable(true);
+    stats::reset();
+  }
+  ~PassthroughTest() override {
+    faults::clear();
+    health::reset();
+    stats::reset();
+    stats::force_enable(false);
+  }
+
+  std::string mpath(const std::string& name) { return mount_.sub(name); }
+
+  TempDir mount_;
+  core::MountTable mounts_;
+  core::Router router_;
+};
+
+TEST_F(PassthroughTest, OpenBypassesPlfsWhileBreakerIsOpen) {
+  health::set_failure_policy(health::FailurePolicy::kPassthrough);
+  health::set_breaker_config({true, 1, 8, 60'000});
+
+  // Healthy: opens inside the mount are routed into PLFS.
+  int fd = router_.open(mpath("routed").c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(router_.is_plfs_fd(fd));
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_TRUE(plfs::plfs_is_container(mpath("routed")));
+
+  // Breaker open: the same open falls through to the real filesystem —
+  // the application keeps running, just without PLFS semantics.
+  health::trip(mpath("routed"), EIO);
+  fd = router_.open(mpath("bypassed").c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_FALSE(router_.is_plfs_fd(fd));
+  const char* text = "plain bytes";
+  EXPECT_EQ(router_.write(fd, text, std::strlen(text)),
+            static_cast<ssize_t>(std::strlen(text)));
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_FALSE(plfs::plfs_is_container(mpath("bypassed")));
+  // Read back with plain iostreams: the posix helpers are admission-gated
+  // under passthrough (only *opens* are rerouted), which is the point.
+  std::ifstream in(mpath("bypassed"), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, text);
+}
+
+}  // namespace
+}  // namespace ldplfs

@@ -1,0 +1,172 @@
+// Resilience engine: the LDPLFS_FLUSH_DEADLINE_MS flush watchdog.
+//
+// A hung backend pwrite (modelled with a pwrite:delay fault scoped to the
+// data dropping) must not hang the drain barriers: close()/sync() abandon
+// the in-flight flush when the deadline expires, poison the stream with
+// ETIMEDOUT, bump wb.flush.timeout, and trip the backend's breaker. Data
+// synced before the hang stays readable; the abandoned bytes were never
+// indexed and stay invisible.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+
+#include "common/health.hpp"
+#include "common/stats.hpp"
+#include "plfs/plfs.hpp"
+#include "plfs/write_file.hpp"
+#include "posix/faults.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+using ldplfs::testing::random_bytes;
+namespace faults = ldplfs::posix::faults;
+
+constexpr pid_t kPid = 7;
+
+std::uint64_t elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+class FlushDeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faults::clear();
+    health::reset();
+    stats::force_enable(true);
+    stats::reset();
+    ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+    ::unsetenv("LDPLFS_WRITE_BUFFER");
+    ::unsetenv("LDPLFS_FLUSH_DEADLINE_MS");
+  }
+  void TearDown() override {
+    faults::clear();
+    health::reset();
+    stats::reset();
+    stats::force_enable(false);
+    ::unsetenv("LDPLFS_WRITE_BEHIND");
+    ::unsetenv("LDPLFS_WRITE_BUFFER");
+    ::unsetenv("LDPLFS_FLUSH_DEADLINE_MS");
+  }
+
+  TempDir tmp_;
+};
+
+TEST_F(FlushDeadlineTest, EnvKnobParsesDefensively) {
+  ::unsetenv("LDPLFS_FLUSH_DEADLINE_MS");
+  EXPECT_EQ(WriteFile::env_flush_deadline_ms(), 0u);  // watchdog off
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "250", 1);
+  EXPECT_EQ(WriteFile::env_flush_deadline_ms(), 250u);
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "", 1);
+  EXPECT_EQ(WriteFile::env_flush_deadline_ms(), 0u);
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "abc", 1);
+  EXPECT_EQ(WriteFile::env_flush_deadline_ms(), 0u);
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "120xyz", 1);
+  EXPECT_EQ(WriteFile::env_flush_deadline_ms(), 0u);
+}
+
+TEST_F(FlushDeadlineTest, HungFlushTimesOutAtCloseAndTripsTheBreaker) {
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "250", 1);
+  health::set_breaker_config({true, 8, 32, 60'000});
+
+  const std::string path = tmp_.sub("hung");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("doomed bytes"), 0, kPid).ok());
+
+  // The backend "hangs": the data-dropping flush sleeps 2s per pwrite.
+  // Scoped to dropping.data so index/metadata writes stay healthy.
+  ASSERT_TRUE(faults::configure("pwrite:delay=2000000:path=dropping.data"));
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(plfs_close(fd.value(), kPid).error_code(), ETIMEDOUT);
+  const std::uint64_t took = elapsed_ms(start);
+  // Bounded: the 250ms deadline, not the 2s hang, decides when close()
+  // returns (generous ceiling for slow CI).
+  EXPECT_LT(took, 1500u);
+  EXPECT_GE(stats::snapshot().get(stats::Counter::kWbFlushTimeout), 1u);
+
+  // The watchdog feeds the breaker: the hang is a backend failure and
+  // sibling streams must fail fast instead of queueing behind it.
+  bool found = false;
+  for (const auto& b : health::snapshot()) {
+    if (b.root != "*") continue;
+    found = true;
+    EXPECT_EQ(b.state, health::BreakerState::kOpen);
+    EXPECT_EQ(b.sticky_errno, ETIMEDOUT);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FlushDeadlineTest, SyncedDataSurvivesALaterTimeout) {
+  ::setenv("LDPLFS_FLUSH_DEADLINE_MS", "300", 1);
+  const std::string path = tmp_.sub("survivor");
+  const std::string chunk_a = ldplfs::testing::to_string(random_bytes(1024, 1));
+
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes(chunk_a), 0, kPid).ok());
+  ASSERT_TRUE(plfs_sync(*fd.value(), kPid).ok());  // chunk A is durable
+
+  ASSERT_TRUE(faults::configure("pwrite:delay=2000000:path=dropping.data"));
+  ASSERT_TRUE(
+      fd.value()->write(as_bytes("never indexed"), chunk_a.size(), kPid).ok());
+  EXPECT_EQ(plfs_close(fd.value(), kPid).error_code(), ETIMEDOUT);
+  EXPECT_GE(stats::snapshot().get(stats::Counter::kWbFlushTimeout), 1u);
+  faults::clear();
+
+  // Chunk A reads back byte-exact; the timed-out chunk was never indexed.
+  auto rd = plfs_open(path, O_RDONLY, kPid);
+  ASSERT_TRUE(rd.ok());
+  std::string got(chunk_a.size(), '\0');
+  auto n = plfs_read(
+      *rd.value(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(got.data()),
+                           got.size()),
+      0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), chunk_a.size());
+  EXPECT_EQ(got, chunk_a);
+  EXPECT_TRUE(plfs_close(rd.value(), kPid).ok());
+}
+
+TEST_F(FlushDeadlineTest, NoDeadlineMeansSlowFlushesStillComplete) {
+  // Default (unset) keeps the historical semantics: the drain waits out a
+  // slow backend and the data lands.
+  const std::string path = tmp_.sub("slow");
+  ASSERT_TRUE(faults::configure("pwrite:delay=100000:path=dropping.data"));
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("patient bytes"), 0, kPid).ok());
+  EXPECT_TRUE(plfs_close(fd.value(), kPid).ok());
+  EXPECT_EQ(stats::snapshot().get(stats::Counter::kWbFlushTimeout), 0u);
+  faults::clear();
+
+  auto rd = plfs_open(path, O_RDONLY, kPid);
+  ASSERT_TRUE(rd.ok());
+  std::string got(13, '\0');
+  auto n = plfs_read(
+      *rd.value(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(got.data()),
+                           got.size()),
+      0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(got, "patient bytes");
+  EXPECT_TRUE(plfs_close(rd.value(), kPid).ok());
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -1,0 +1,279 @@
+// Resilience engine: the configurable transient-retry policy (LDPLFS_RETRY).
+//
+// Exercises parse_retry / next_backoff_ms directly, then pins the exact
+// attempt accounting of every posix helper that owns a retry budget:
+// `errno=EAGAIN:count=K` fault plans must produce exactly K retry.attempted
+// bumps (success, budget not exhausted), and an unbounded transient clause
+// must burn precisely `attempts` retries before surfacing the errno and
+// bumping retry.exhausted once.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "common/health.hpp"
+#include "common/stats.hpp"
+#include "posix/faults.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::posix {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+
+std::uint64_t elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Deterministic ground state: no fault plan, default health policies with
+/// zero-length backoff sleeps (exact counts, fast tests), stats collection
+/// forced on so the retry counters are observable.
+class RetryPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faults::clear();
+    health::reset();
+    health::set_retry_policy({4, 0, 0});
+    stats::force_enable(true);
+    stats::reset();
+  }
+  void TearDown() override {
+    faults::clear();
+    health::reset();
+    stats::reset();
+    stats::force_enable(false);
+  }
+
+  stats::Snapshot since(const stats::Snapshot& before) {
+    return stats::snapshot().since(before);
+  }
+
+  TempDir tmp_;
+};
+
+TEST_F(RetryPolicyTest, ParseRetryAcceptsAndRejects) {
+  health::RetryPolicy p;
+  ASSERT_TRUE(health::parse_retry("6,2,50", p));
+  EXPECT_EQ(p.attempts, 6);
+  EXPECT_EQ(p.base_ms, 2u);
+  EXPECT_EQ(p.max_ms, 50u);
+  ASSERT_TRUE(health::parse_retry("0,0,0", p));  // retries can be disabled
+  EXPECT_EQ(p.attempts, 0);
+
+  std::string error;
+  EXPECT_FALSE(health::parse_retry("", p, &error));
+  EXPECT_FALSE(health::parse_retry("4,1", p, &error));
+  EXPECT_FALSE(health::parse_retry("a,b,c", p, &error));
+  EXPECT_FALSE(health::parse_retry("-1,1,8", p, &error));
+  EXPECT_FALSE(health::parse_retry("4,8,2", p, &error));  // max < base
+  EXPECT_NE(error.find("max_ms"), std::string::npos);
+  EXPECT_FALSE(health::parse_retry("5000,1,8", p, &error));  // absurd budget
+}
+
+TEST_F(RetryPolicyTest, BackoffIsDecorrelatedJitterWithinBounds) {
+  health::set_retry_policy({4, 5, 40});
+  // First retry sleeps exactly base_ms.
+  EXPECT_EQ(health::next_backoff_ms(0), 5u);
+  // Later sleeps are uniform in [base, min(max, 3 * prev)].
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t next = health::next_backoff_ms(8);
+    EXPECT_GE(next, 5u);
+    EXPECT_LE(next, 24u);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(health::next_backoff_ms(1000), 40u);  // clamped to the ceiling
+  }
+}
+
+TEST_F(RetryPolicyTest, PwriteAllCountsRetriesExactly) {
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN:count=3"));
+  const auto before = stats::snapshot();
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("data"), 0).ok());
+  const auto d = since(before);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 3u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 0u);
+}
+
+TEST_F(RetryPolicyTest, PwriteAllExhaustsTheBudget) {
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN"));
+  const auto before = stats::snapshot();
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("data"), 0).error_code(),
+            EAGAIN);
+  const auto d = since(before);
+  // 1 initial try + `attempts` retries, then the errno surfaces.
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 4u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+}
+
+TEST_F(RetryPolicyTest, WriteAllCountsRetriesExactly) {
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("write:errno=EAGAIN:count=2"));
+  const auto before = stats::snapshot();
+  EXPECT_TRUE(write_all(fd.value().get(), as_bytes("data")).ok());
+  EXPECT_EQ(since(before).get(stats::Counter::kRetryAttempted), 2u);
+
+  ASSERT_TRUE(faults::configure("write:errno=EAGAIN"));
+  const auto mid = stats::snapshot();
+  EXPECT_EQ(write_all(fd.value().get(), as_bytes("more")).error_code(),
+            EAGAIN);
+  const auto d = since(mid);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 4u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+}
+
+TEST_F(RetryPolicyTest, PreadAllCountsRetriesExactly) {
+  const std::string path = tmp_.sub("f");
+  ASSERT_TRUE(write_file(path, "0123456789").ok());
+  auto fd = open_fd(path, O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+
+  ASSERT_TRUE(faults::configure("pread:errno=EAGAIN:count=2"));
+  std::string out(10, '\0');
+  const auto before = stats::snapshot();
+  EXPECT_TRUE(pread_all(fd.value().get(),
+                        std::span<std::byte>(
+                            reinterpret_cast<std::byte*>(out.data()),
+                            out.size()),
+                        0)
+                  .ok());
+  EXPECT_EQ(out, "0123456789");  // retried reads still move the right bytes
+  EXPECT_EQ(since(before).get(stats::Counter::kRetryAttempted), 2u);
+
+  ASSERT_TRUE(faults::configure("pread:errno=EAGAIN"));
+  const auto mid = stats::snapshot();
+  EXPECT_EQ(pread_all(fd.value().get(),
+                      std::span<std::byte>(
+                          reinterpret_cast<std::byte*>(out.data()),
+                          out.size()),
+                      0)
+                .error_code(),
+            EAGAIN);
+  const auto d = since(mid);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 4u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+}
+
+TEST_F(RetryPolicyTest, OpenFdCountsRetriesExactly) {
+  ASSERT_TRUE(faults::configure("open:errno=EAGAIN:count=2"));
+  const auto before = stats::snapshot();
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  EXPECT_TRUE(fd.ok());
+  EXPECT_EQ(since(before).get(stats::Counter::kRetryAttempted), 2u);
+
+  ASSERT_TRUE(faults::configure("open:errno=EAGAIN"));
+  const auto mid = stats::snapshot();
+  EXPECT_EQ(open_fd(tmp_.sub("g"), O_WRONLY | O_CREAT, 0644).error_code(),
+            EAGAIN);
+  const auto d = since(mid);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 4u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+}
+
+TEST_F(RetryPolicyTest, FsyncAndCloseGetTheSameTreatment) {
+  // The satellite fix: fsync and close used to surface the first transient
+  // error while the data movers retried it. Now one budget covers them all.
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+
+  ASSERT_TRUE(faults::configure("fsync:errno=EIO:count=2"));
+  const auto before = stats::snapshot();
+  EXPECT_TRUE(fsync_fd(fd.value().get()).ok());
+  EXPECT_EQ(since(before).get(stats::Counter::kRetryAttempted), 2u);
+
+  ASSERT_TRUE(faults::configure("close:errno=EAGAIN:count=1"));
+  const auto mid = stats::snapshot();
+  EXPECT_TRUE(close_fd(fd.value().release()).ok());
+  EXPECT_EQ(since(mid).get(stats::Counter::kRetryAttempted), 1u);
+}
+
+TEST_F(RetryPolicyTest, CustomBudgetIsHonoured) {
+  health::set_retry_policy({2, 0, 0});
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN"));
+  const auto before = stats::snapshot();
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+            EAGAIN);
+  auto d = since(before);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 2u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+
+  // attempts=0 disables retries entirely: the first transient surfaces.
+  health::set_retry_policy({0, 0, 0});
+  const auto mid = stats::snapshot();
+  EXPECT_EQ(pwrite_all(fd.value().get(), as_bytes("x"), 0).error_code(),
+            EAGAIN);
+  d = since(mid);
+  EXPECT_EQ(d.get(stats::Counter::kRetryAttempted), 0u);
+  EXPECT_EQ(d.get(stats::Counter::kRetryExhausted), 1u);
+}
+
+TEST_F(RetryPolicyTest, BackoffActuallySleeps) {
+  health::set_retry_policy({2, 10, 20});
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN:count=2"));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("data"), 0).ok());
+  // Two backoff sleeps, each at least base_ms = 10ms.
+  EXPECT_GE(elapsed_ms(start), 18u);
+}
+
+extern "C" void retry_test_noop_handler(int) {}
+
+TEST_F(RetryPolicyTest, BackoffSurvivesSignalStorms) {
+  // The satellite fix for backoff_sleep: an EINTR used to truncate the
+  // sleep, so a signal-heavy process burned its whole retry budget in
+  // microseconds. nanosleep must now resume with the remaining time.
+  struct sigaction sa{};
+  sa.sa_handler = retry_test_noop_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: every signal EINTRs
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR2, &sa, &old), 0);
+
+  health::set_retry_policy({1, 60, 60});
+  auto fd = open_fd(tmp_.sub("f"), O_WRONLY | O_CREAT, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(faults::configure("pwrite:errno=EAGAIN:count=1"));
+
+  std::atomic<bool> stop{false};
+  pthread_t victim = ::pthread_self();
+  std::thread pinger([&stop, victim] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ::pthread_kill(victim, SIGUSR2);
+      ::usleep(2000);
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(pwrite_all(fd.value().get(), as_bytes("data"), 0).ok());
+  const std::uint64_t took = elapsed_ms(start);
+  stop.store(true);
+  pinger.join();
+  ::sigaction(SIGUSR2, &old, nullptr);
+  // One 60ms backoff under a ~2ms signal storm: the truncation bug would
+  // finish in a couple of milliseconds.
+  EXPECT_GE(took, 50u);
+}
+
+}  // namespace
+}  // namespace ldplfs::posix

@@ -340,6 +340,23 @@ TEST_F(ToolsE2eTest, StatsToolPrintsAndDiffsDumps) {
   EXPECT_NE(result.output.find("router.open.routed"), std::string::npos);
   EXPECT_NE(result.output.find("4096"), std::string::npos);
   EXPECT_NE(result.output.find("router.write.latency"), std::string::npos);
+  // No resilience activity in this dump: the digest section is suppressed.
+  EXPECT_EQ(result.output.find("resilience:"), std::string::npos);
+
+  // A dump with breaker/retry counters grows the "resilience:" digest.
+  stats::force_enable(true);
+  stats::add(stats::Counter::kRetryAttempted, 7);
+  stats::add(stats::Counter::kBreakerOpened, 1);
+  stats::add(stats::Counter::kBreakerFastFail, 42);
+  ASSERT_TRUE(ldplfs::posix::write_file(scratch_.sub("resilience.json"),
+                                        stats::to_json(stats::snapshot()))
+                  .ok());
+  stats::reset();
+  result = run_tool("ldp-stats", {scratch_.sub("resilience.json")});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("resilience:"), std::string::npos);
+  EXPECT_NE(result.output.find("7 attempted"), std::string::npos);
+  EXPECT_NE(result.output.find("42 ops rejected"), std::string::npos);
 
   result = run_tool("ldp-stats", {"--diff", scratch_.sub("before.json"),
                                   scratch_.sub("after.json")});
