@@ -1,0 +1,66 @@
+# The tier-1 regression gate, self-testing and machine-independent.
+#
+# A committed baseline of absolute seconds would make tier-1 flaky on any
+# machine other than the one that produced it, so the gate instead proves
+# both halves of the detector *on this machine, in this session*:
+#
+#   1. A/A: two fresh runs of the same build must compare clean
+#      (exit 0) — the detector does not fire on run-to-run noise.
+#   2. Injection: a candidate run with LDPLFS_FAULTS="pwrite:delay=2000"
+#      (2 ms per backend pwrite, a 4-6x slowdown at smoke scale) must be
+#      flagged as a statistically significant regression (exit 1).
+#
+# Thresholds: reps 6 so full separation under the exact Mann-Whitney
+# distribution gives p = 2/924 < alpha = 0.01, and --min-effect 0.5 so
+# back-to-back machine drift (measured ~±12% median) has 4x headroom while
+# the injected effect clears it by another ~8x.
+#
+# Run as: cmake -DLDP_BENCH=<binary> -DWORK=<scratch dir> -P bench_gate.cmake
+if(NOT DEFINED LDP_BENCH OR NOT DEFINED WORK)
+  message(FATAL_ERROR "pass -DLDP_BENCH=<ldp-bench binary> -DWORK=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+set(measure_args --scenario strided_write,mixed_rw --reps 6 --warmup 1 --seed 7)
+
+function(run_measure json)
+  execute_process(
+    COMMAND "${LDP_BENCH}" ${measure_args} --json "${json}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "measurement run failed (exit ${rc}):\n${out}${err}")
+  endif()
+endfunction()
+
+run_measure("${WORK}/base.json")
+run_measure("${WORK}/aa.json")
+
+set(ENV{LDPLFS_FAULTS} "pwrite:delay=2000")
+run_measure("${WORK}/delayed.json")
+unset(ENV{LDPLFS_FAULTS})
+
+# Half 1: A/A must be clean.
+execute_process(
+  COMMAND "${LDP_BENCH}" --compare "${WORK}/base.json" "${WORK}/aa.json"
+          --alpha 0.01 --min-effect 0.5
+  RESULT_VARIABLE aa_rc OUTPUT_VARIABLE aa_out ERROR_VARIABLE aa_err)
+if(NOT aa_rc EQUAL 0)
+  message(FATAL_ERROR
+    "gate FAILED: A/A comparison flagged a regression (exit ${aa_rc}) — "
+    "the detector fires on noise:\n${aa_out}${aa_err}")
+endif()
+
+# Half 2: the injected delay must be caught.
+execute_process(
+  COMMAND "${LDP_BENCH}" --compare "${WORK}/base.json" "${WORK}/delayed.json"
+          --alpha 0.01 --min-effect 0.5
+  RESULT_VARIABLE inj_rc OUTPUT_VARIABLE inj_out ERROR_VARIABLE inj_err)
+if(NOT inj_rc EQUAL 1)
+  message(FATAL_ERROR
+    "gate FAILED: injected 2 ms/pwrite delay was NOT flagged "
+    "(exit ${inj_rc}, expected 1) — the detector is blind:\n${inj_out}${inj_err}")
+endif()
+
+message(STATUS "bench gate passed: A/A clean, injected delay flagged")

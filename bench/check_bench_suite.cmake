@@ -1,0 +1,47 @@
+# Asserts that an ldp-bench --json report carries the versioned schema with
+# per-scenario raw samples and summary statistics for all six scenario
+# families. Run as: cmake -DJSON=<path> -P check_bench_suite.cmake
+if(NOT DEFINED JSON)
+  message(FATAL_ERROR "pass -DJSON=<path to BENCH_suite json>")
+endif()
+file(READ "${JSON}" body)
+foreach(needle
+    # envelope
+    "\"schema_version\": 1"
+    "\"tool\": \"ldp-bench\""
+    "\"suite\""
+    "\"config\""
+    "\"seed\""
+    "\"reps\""
+    "\"scenarios\""
+    # all six scenario families
+    "\"family\": \"unix_tools\""
+    "\"family\": \"n1_strided\""
+    "\"family\": \"nn_per_process\""
+    "\"family\": \"metadata_storm\""
+    "\"family\": \"mixed_rw\""
+    "\"family\": \"crash_recovery\""
+    # the full scenario matrix
+    "\"name\": \"unix_cp\""
+    "\"name\": \"unix_grep\""
+    "\"name\": \"unix_md5sum\""
+    "\"name\": \"strided_write\""
+    "\"name\": \"strided_read\""
+    "\"name\": \"nn_write\""
+    "\"name\": \"metadata_storm\""
+    "\"name\": \"mixed_rw\""
+    "\"name\": \"crash_recovery\""
+    # per-scenario statistics
+    "\"samples\""
+    "\"mean\""
+    "\"median\""
+    "\"stddev\""
+    "\"ci95\""
+    "\"unit\": \"seconds\""
+    "\"direction\": \"lower_is_better\"")
+  string(FIND "${body}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "bench suite schema check failed: '${needle}' not found in ${JSON}")
+  endif()
+endforeach()
+message(STATUS "BENCH_suite schema valid: six families with full statistics in ${JSON}")

@@ -9,7 +9,15 @@ foreach(needle
     "\"self_check\": \"pass\""
     "\"router\""
     "\"write\": {\"count\": 32, \"bytes\": 131072"
-    "\"read\":  {\"count\": 32, \"bytes\": 131072")
+    "\"read\":  {\"count\": 32, \"bytes\": 131072"
+    # repetition accounting + per-phase variance
+    "\"reps\":"
+    "\"phases\""
+    "\"samples_s\""
+    "\"stddev_s\""
+    # tracked deviations must stay annotated
+    "\"known_regressions\""
+    "\"metric\": \"strided_write.raw.speedup\"")
   string(FIND "${body}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "stats section check failed: '${needle}' not found in ${JSON}")

@@ -1,0 +1,67 @@
+// ldp-bench scenario model.
+//
+// A Scenario is one named, repeatable measurement: the runner gives it a
+// fresh scratch directory and a seed, calls setup() once, then times
+// warm-up + K repetitions of run_once(). Scenarios hold the stopwatch
+// themselves (run_once returns the timed seconds) so each can exclude its
+// own untimed per-rep preparation — building the to-be-recovered container
+// for crash_recovery, repopulating the base file for mixed_rw — without
+// the runner needing to know.
+//
+// The suite reproduces the paper's measurement surface and the engines
+// this repo has grown since, one family per row:
+//
+//   unix_tools      Table II: cp / grep / md5sum over a container through
+//                   the router (the §III-D "ordinary tools, no FUSE" claim)
+//   n1_strided      N-1 checkpoint: all ranks interleave blocks into one
+//                   logical file (write and read scenarios)
+//   nn_per_process  N-N: every rank owns a private file
+//   metadata_storm  mdtest-style create / stat / unlink over many names
+//   mixed_rw        random interleaved reads and writes in one container
+//   crash_recovery  plfs_recover wall time over planted crash debris
+//
+// All workload shapes come from the seeded generators in
+// src/workloads/posix_patterns.hpp, so a fixed --seed reproduces the exact
+// byte pattern (the property tests' reproducibility oracle).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldplfs::bench {
+
+/// Per-scenario execution context. `dir` is a fresh scratch directory the
+/// scenario owns across its reps; `seed` is derived from the suite seed
+/// and the scenario *name*, so filtering or reordering scenarios never
+/// shifts another scenario's random stream.
+struct Workspace {
+  std::string dir;
+  std::uint64_t seed = 0;
+  bool smoke = true;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual const char* family() const = 0;
+  /// Untimed one-off preparation (build source containers, mount tables).
+  virtual void setup(Workspace&) {}
+  /// One repetition; returns the timed seconds.
+  virtual double run_once(Workspace&) = 0;
+  virtual void teardown(Workspace&) {}
+  /// Derived per-rep quantities (bytes moved, ops issued) for the report.
+  [[nodiscard]] virtual std::map<std::string, double> extras(
+      const Workspace&) const {
+    return {};
+  }
+};
+
+/// The full named scenario matrix (six families). Order is the report
+/// order.
+std::vector<std::unique_ptr<Scenario>> make_suite();
+
+}  // namespace ldplfs::bench

@@ -1,0 +1,233 @@
+#include "bench_harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace ldplfs::bench {
+
+json::Value report_to_json(const Report& report) {
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("tool", "ldp-bench");
+  doc.set("suite", report.suite);
+
+  json::Value config = json::Value::object();
+  config.set("seed", report.config.seed);
+  config.set("reps", report.config.reps);
+  config.set("warmup", report.config.warmup);
+  config.set("smoke", report.config.smoke);
+  config.set("modeled_latency_usec",
+             static_cast<std::uint64_t>(report.config.modeled_latency_usec));
+  doc.set("config", std::move(config));
+
+  json::Value scenarios = json::Value::array();
+  for (const auto& s : report.scenarios) {
+    json::Value entry = json::Value::object();
+    entry.set("name", s.name);
+    entry.set("family", s.family);
+    entry.set("unit", "seconds");
+    entry.set("direction", "lower_is_better");
+    json::Value samples = json::Value::array();
+    for (double x : s.samples) samples.push_back(x);
+    entry.set("samples", std::move(samples));
+    entry.set("mean", s.stats.mean);
+    entry.set("median", s.stats.median);
+    entry.set("stddev", s.stats.stddev);
+    json::Value ci = json::Value::object();
+    ci.set("lo", s.stats.ci95.lo);
+    ci.set("hi", s.stats.ci95.hi);
+    entry.set("ci95", std::move(ci));
+    if (!s.extras.empty()) {
+      json::Value extras = json::Value::object();
+      for (const auto& [key, value] : s.extras) extras.set(key, value);
+      entry.set("extras", std::move(extras));
+    }
+    scenarios.push_back(std::move(entry));
+  }
+  doc.set("scenarios", std::move(scenarios));
+  return doc;
+}
+
+std::vector<std::string> validate_report_json(const json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("document is not a JSON object");
+    return problems;
+  }
+  if (doc.number_at("schema_version", -1) != kSchemaVersion) {
+    problems.push_back("missing or unsupported schema_version");
+  }
+  const json::Value* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    problems.push_back("missing config object");
+  } else {
+    for (const char* key : {"seed", "reps", "warmup"}) {
+      const json::Value* v = config->find(key);
+      if (v == nullptr || !v->is_number()) {
+        problems.push_back(std::string("config.") + key +
+                           " missing or not a number");
+      }
+    }
+  }
+  const json::Value* scenarios = doc.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array() ||
+      scenarios->items().empty()) {
+    problems.push_back("missing or empty scenarios array");
+    return problems;
+  }
+  for (const auto& entry : scenarios->items()) {
+    const std::string name = entry.string_at("name", "<unnamed>");
+    if (!entry.is_object()) {
+      problems.push_back("scenario entry is not an object");
+      continue;
+    }
+    if (entry.string_at("name").empty()) {
+      problems.push_back("scenario with empty name");
+    }
+    if (entry.string_at("family").empty()) {
+      problems.push_back(name + ": missing family");
+    }
+    const json::Value* samples = entry.find("samples");
+    if (samples == nullptr || !samples->is_array() ||
+        samples->items().empty()) {
+      problems.push_back(name + ": missing or empty samples");
+    } else {
+      for (const auto& x : samples->items()) {
+        if (!x.is_number() || !(x.as_number() >= 0.0)) {
+          problems.push_back(name + ": non-numeric or negative sample");
+          break;
+        }
+      }
+    }
+    for (const char* key : {"mean", "median", "stddev"}) {
+      const json::Value* v = entry.find(key);
+      if (v == nullptr || !v->is_number()) {
+        problems.push_back(name + ": missing " + key);
+      }
+    }
+    const json::Value* ci = entry.find("ci95");
+    if (ci == nullptr || !ci->is_object() || ci->find("lo") == nullptr ||
+        ci->find("hi") == nullptr) {
+      problems.push_back(name + ": missing ci95 {lo, hi}");
+    }
+  }
+  return problems;
+}
+
+Result<Report> report_from_json(const json::Value& doc) {
+  if (!validate_report_json(doc).empty()) return Errno{EINVAL};
+  Report report;
+  report.suite = doc.string_at("suite", "custom");
+  const json::Value* config = doc.find("config");
+  report.config.seed =
+      static_cast<std::uint64_t>(config->number_at("seed"));
+  report.config.reps = static_cast<int>(config->number_at("reps"));
+  report.config.warmup = static_cast<int>(config->number_at("warmup"));
+  const json::Value* smoke = config->find("smoke");
+  report.config.smoke = smoke != nullptr && smoke->as_bool();
+  report.config.modeled_latency_usec =
+      static_cast<unsigned>(config->number_at("modeled_latency_usec"));
+
+  for (const auto& entry : doc.find("scenarios")->items()) {
+    ScenarioResult s;
+    s.name = entry.string_at("name");
+    s.family = entry.string_at("family");
+    for (const auto& x : entry.find("samples")->items()) {
+      s.samples.push_back(x.as_number());
+    }
+    s.stats.n = static_cast<int>(s.samples.size());
+    s.stats.mean = entry.number_at("mean");
+    s.stats.median = entry.number_at("median");
+    s.stats.stddev = entry.number_at("stddev");
+    const json::Value* ci = entry.find("ci95");
+    s.stats.ci95.lo = ci->number_at("lo");
+    s.stats.ci95.hi = ci->number_at("hi");
+    if (const json::Value* extras = entry.find("extras");
+        extras != nullptr && extras->is_object()) {
+      for (const auto& [key, value] : extras->members()) {
+        if (value.is_number()) s.extras[key] = value.as_number();
+      }
+    }
+    report.scenarios.push_back(std::move(s));
+  }
+  return report;
+}
+
+Result<Report> load_report(const std::string& path) {
+  auto doc = json::parse_file(path);
+  if (!doc) return doc.error();
+  return report_from_json(doc.value());
+}
+
+Status save_report(const Report& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Errno{errno != 0 ? errno : EIO};
+  out << report_to_json(report).dump(2);
+  out.close();
+  return out.good() ? Status::success() : Status(Errno{EIO});
+}
+
+CompareResult compare_reports(const Report& base, const Report& cand,
+                              const CompareOptions& options) {
+  CompareResult result;
+
+  if (base.config.seed != cand.config.seed) {
+    result.warnings.push_back(
+        "seed differs between baseline and candidate (workloads are not "
+        "byte-identical)");
+  }
+  if (base.config.smoke != cand.config.smoke) {
+    result.warnings.push_back(
+        "scale differs (smoke vs full) — medians are not comparable");
+  }
+  if (base.config.modeled_latency_usec != cand.config.modeled_latency_usec) {
+    result.warnings.push_back(
+        "modeled_latency_usec differs between baseline and candidate");
+  }
+
+  for (const auto& b : base.scenarios) {
+    const ScenarioResult* c = nullptr;
+    for (const auto& candidate : cand.scenarios) {
+      if (candidate.name == b.name) {
+        c = &candidate;
+        break;
+      }
+    }
+    if (c == nullptr) {
+      result.warnings.push_back("scenario " + b.name +
+                                " missing from candidate");
+      continue;
+    }
+    Verdict v;
+    v.name = b.name;
+    v.base_median = stats_math::median(b.samples);
+    v.cand_median = stats_math::median(c->samples);
+    v.rel_change = v.base_median > 0.0
+                       ? (v.cand_median - v.base_median) / v.base_median
+                       : 0.0;
+    const auto mw = stats_math::mann_whitney_u(b.samples, c->samples);
+    v.p = mw.p;
+    v.exact = mw.exact;
+    const bool significant = v.p < options.alpha;
+    if (significant && v.rel_change > options.min_effect) {
+      v.kind = Verdict::Kind::kRegression;
+      result.regression = true;
+    } else if (significant && v.rel_change < -options.min_effect) {
+      v.kind = Verdict::Kind::kImprovement;
+    }
+    result.verdicts.push_back(std::move(v));
+  }
+  for (const auto& c : cand.scenarios) {
+    const bool known = std::any_of(
+        base.scenarios.begin(), base.scenarios.end(),
+        [&](const ScenarioResult& b) { return b.name == c.name; });
+    if (!known) {
+      result.warnings.push_back("scenario " + c.name +
+                                " missing from baseline");
+    }
+  }
+  return result;
+}
+
+}  // namespace ldplfs::bench

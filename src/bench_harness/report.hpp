@@ -1,0 +1,74 @@
+// BENCH_suite.json model: emit, load, schema-validate, and compare.
+//
+// A report is self-describing: it carries the config that produced it
+// (seed, reps, warm-up, scale, modeled latency) alongside the raw per-rep
+// samples, so `ldp-bench --compare` can rerun the statistics — not just
+// eyeball the summaries — and can refuse to draw conclusions from
+// mismatched configurations.
+//
+// The regression verdict is two-gated on purpose: a scenario regresses
+// only when the Mann-Whitney U test rejects "same distribution" at `alpha`
+// AND the median slowdown exceeds `min_effect`. Either gate alone is
+// wrong for a CI gate: p < alpha fires on ~alpha of A/A comparisons by
+// construction (100 seeded A/A runs would see ~1-5 false alarms), and a
+// bare effect threshold fires on any noisy machine. Jointly they require
+// the slowdown to be both statistically real and big enough to care about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_harness/runner.hpp"
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace ldplfs::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+struct Report {
+  std::string suite;  ///< "smoke", "full", or "custom"
+  RunOptions config;  ///< reps/warmup/seed/smoke/modeled_latency
+  std::vector<ScenarioResult> scenarios;
+};
+
+json::Value report_to_json(const Report& report);
+
+/// Parse + schema-validate. EINVAL on any schema violation (see
+/// validate_report_json for the human-readable complaints).
+Result<Report> report_from_json(const json::Value& doc);
+Result<Report> load_report(const std::string& path);
+Status save_report(const Report& report, const std::string& path);
+
+/// Schema check: returns the list of violations (empty = valid).
+std::vector<std::string> validate_report_json(const json::Value& doc);
+
+struct CompareOptions {
+  double alpha = 0.01;       ///< two-sided Mann-Whitney significance level
+  double min_effect = 0.10;  ///< minimum relative median change (10%)
+};
+
+struct Verdict {
+  enum class Kind { kRegression, kImprovement, kNoChange };
+  std::string name;
+  double base_median = 0.0;
+  double cand_median = 0.0;
+  double rel_change = 0.0;  ///< (cand - base) / base; positive = slower
+  double p = 1.0;
+  bool exact = false;  ///< exact small-sample U distribution used
+  Kind kind = Kind::kNoChange;
+};
+
+struct CompareResult {
+  std::vector<Verdict> verdicts;
+  /// Config mismatches and scenarios present on only one side (filtered
+  /// candidate runs are legitimate, so these warn rather than fail; a
+  /// comparison with no scenario in common is the caller's error).
+  std::vector<std::string> warnings;
+  bool regression = false;
+};
+
+CompareResult compare_reports(const Report& base, const Report& cand,
+                              const CompareOptions& options);
+
+}  // namespace ldplfs::bench

@@ -1,0 +1,104 @@
+#include "bench_harness/runner.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "posix/faults.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::bench {
+namespace {
+
+std::string make_scratch_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                    "/ldplfs_bench_XXXXXX";
+  std::vector<char> buf(dir.begin(), dir.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) std::abort();
+  return buf.data();
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t scenario_seed(std::uint64_t suite_seed,
+                            const std::string& name) {
+  std::uint64_t state = suite_seed ^ fnv1a(name);
+  return splitmix64(state);
+}
+
+Result<std::vector<ScenarioResult>> run_suite(const RunOptions& options) {
+  if (options.reps < 1 || options.warmup < 0) return Errno{EINVAL};
+  auto suite = make_suite();
+
+  // Validate the filter before running anything.
+  for (const auto& want : options.only) {
+    const bool known = std::any_of(
+        suite.begin(), suite.end(),
+        [&](const auto& s) { return want == s->name(); });
+    if (!known) return Errno{EINVAL};
+  }
+
+  const bool modeled = options.modeled_latency_usec > 0;
+  const std::string delay_spec =
+      "pread:delay=" + std::to_string(options.modeled_latency_usec) +
+      ",pwrite:delay=" + std::to_string(options.modeled_latency_usec);
+
+  std::vector<ScenarioResult> results;
+  for (auto& scenario : suite) {
+    if (!options.only.empty() &&
+        std::find(options.only.begin(), options.only.end(),
+                  scenario->name()) == options.only.end()) {
+      continue;
+    }
+    Workspace ws;
+    ws.dir = make_scratch_dir();
+    ws.seed = scenario_seed(options.seed, scenario->name());
+    ws.smoke = options.smoke;
+
+    scenario->setup(ws);
+    // Flush dirty pages so the previous scenario's writeback is not
+    // charged to this one's reps (same settle as the table2 bench).
+    ::sync();
+    // The modeled-latency plan covers warm-up and timed reps (including
+    // any untimed per-rep prep the scenario does — modeled mode is about
+    // wall-clock behaviour on a slow backend, not selective charging),
+    // but never setup/teardown.
+    if (modeled && !posix::faults::configure(delay_spec)) std::abort();
+    for (int w = 0; w < options.warmup; ++w) (void)scenario->run_once(ws);
+    ScenarioResult result;
+    result.samples.reserve(static_cast<std::size_t>(options.reps));
+    for (int r = 0; r < options.reps; ++r) {
+      result.samples.push_back(scenario->run_once(ws));
+    }
+    if (modeled) posix::faults::clear();
+    scenario->teardown(ws);
+
+    result.name = scenario->name();
+    result.family = scenario->family();
+    // CI resampling seeded per scenario: same run → bit-identical report.
+    result.stats = stats_math::summarize(result.samples,
+                                         ws.seed ^ 0xC1C1C1C1ULL);
+    result.extras = scenario->extras(ws);
+    results.push_back(std::move(result));
+
+    (void)posix::remove_tree(ws.dir);
+  }
+  return results;
+}
+
+}  // namespace ldplfs::bench

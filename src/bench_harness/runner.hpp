@@ -1,0 +1,44 @@
+// Suite runner: warm-up + repetitions + summary statistics per scenario.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_harness/harness.hpp"
+#include "common/result.hpp"
+#include "common/stats_math.hpp"
+
+namespace ldplfs::bench {
+
+struct RunOptions {
+  int reps = 5;     ///< measured repetitions per scenario (K >= 1)
+  int warmup = 1;   ///< discarded warm-up repetitions (cache/page warm-in)
+  std::uint64_t seed = 42;
+  bool smoke = true;  ///< smoke scale (tier-1) vs full scale
+  /// When non-zero, every pread/pwrite is charged this many microseconds
+  /// via the LDPLFS_FAULTS delay injector for the duration of the timed
+  /// reps — the modeled-parallel-file-system regime the paper's results
+  /// are about (page-cache-raw numbers mostly measure memcpy).
+  unsigned modeled_latency_usec = 0;
+  /// Scenario-name filter; empty runs the whole matrix.
+  std::vector<std::string> only;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string family;
+  std::vector<double> samples;  ///< seconds per rep, post-warm-up
+  stats_math::Summary stats;    ///< mean/median/stddev/95% bootstrap CI
+  std::map<std::string, double> extras;
+};
+
+/// Deterministic per-scenario seed: depends only on the suite seed and the
+/// scenario *name*, never on suite order or filters.
+std::uint64_t scenario_seed(std::uint64_t suite_seed, const std::string& name);
+
+/// Run the (filtered) matrix. EINVAL when a filter name matches nothing.
+Result<std::vector<ScenarioResult>> run_suite(const RunOptions& options);
+
+}  // namespace ldplfs::bench

@@ -1,0 +1,513 @@
+#include "bench_harness/harness.hpp"
+
+#include <fcntl.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/md5.hpp"
+#include "common/rng.hpp"
+#include "core/mounts.hpp"
+#include "core/router.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index_format.hpp"
+#include "plfs/plfs.hpp"
+#include "plfs/read_file.hpp"
+#include "plfs/recovery.hpp"
+#include "posix/fd.hpp"
+#include "workloads/posix_patterns.hpp"
+
+namespace ldplfs::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using workloads::fill_payload;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[noreturn]] void die(const char* scenario, const char* what) {
+  std::fprintf(stderr, "ldp-bench: scenario %s: %s failed\n", scenario, what);
+  std::abort();
+}
+
+/// Scenario sizes. One place, so smoke-vs-full scaling stays coherent:
+/// smoke keeps every rep in the tens-of-milliseconds range (the tier-1
+/// budget), full multiplies volume ~16x for real measurement runs.
+struct Scale {
+  int writers;
+  int blocks_per_writer;
+  std::size_t block_bytes;
+  std::uint64_t tool_bytes;   // unix_tools content size
+  int storm_files;            // metadata_storm names
+  int mixed_ops;              // mixed_rw operations
+  std::uint64_t mixed_bytes;  // mixed_rw base file size
+};
+
+Scale scale_for(const Workspace& ws) {
+  if (ws.smoke) {
+    return {4, 16, 64 * 1024, 4ull << 20, 48, 192, 2ull << 20};
+  }
+  return {16, 64, 64 * 1024, 64ull << 20, 512, 2048, 32ull << 20};
+}
+
+/// Write a strided N-1 pattern into a fresh container at `path`,
+/// interleaving ranks block-by-block (checkpoint style), then close every
+/// rank. Returns the elapsed seconds including the final drain/close.
+double write_strided_container(const char* who, const std::string& path,
+                               const workloads::StridedPattern& pattern) {
+  std::vector<std::byte> buf(pattern.block_bytes);
+  const auto start = Clock::now();
+  auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  if (!fd) die(who, "plfs_open");
+  for (int b = 0; b < pattern.blocks_per_writer; ++b) {
+    for (int w = 0; w < pattern.writers; ++w) {
+      const auto& op =
+          pattern.per_writer[static_cast<std::size_t>(w)][static_cast<
+              std::size_t>(b)];
+      fill_payload({buf.data(), op.length}, op.fill_seed);
+      if (!fd.value()->write({buf.data(), op.length}, op.offset,
+                             1000 + w)) {
+        die(who, "write");
+      }
+    }
+  }
+  for (int w = 0; w < pattern.writers; ++w) {
+    if (!fd.value()->close(1000 + w).ok()) die(who, "close");
+  }
+  return seconds_since(start);
+}
+
+// --- n1_strided -----------------------------------------------------------
+
+class StridedWriteScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "strided_write"; }
+  [[nodiscard]] const char* family() const override { return "n1_strided"; }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const auto pattern = workloads::make_strided_n1(
+        s.writers, s.blocks_per_writer, s.block_bytes, ws.seed);
+    const std::string path =
+        ws.dir + "/strided_write." + std::to_string(rep_++);
+    return write_strided_container(name(), path, pattern);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    const Scale s = scale_for(ws);
+    return {{"bytes_per_rep",
+             static_cast<double>(workloads::make_strided_n1(
+                                     s.writers, s.blocks_per_writer,
+                                     s.block_bytes, ws.seed)
+                                     .total_bytes())}};
+  }
+
+ private:
+  int rep_ = 0;
+};
+
+class StridedReadScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "strided_read"; }
+  [[nodiscard]] const char* family() const override { return "n1_strided"; }
+
+  void setup(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const auto pattern = workloads::make_strided_n1(
+        s.writers, s.blocks_per_writer, s.block_bytes, ws.seed);
+    path_ = ws.dir + "/strided_read";
+    total_ = pattern.total_bytes();
+    write_strided_container(name(), path_, pattern);
+  }
+
+  double run_once(Workspace&) override {
+    std::vector<std::byte> out(total_);
+    const auto start = Clock::now();
+    auto rf = plfs::ReadFile::open(path_);
+    if (!rf) die(name(), "ReadFile::open");
+    auto n = rf.value()->read(out, 0);
+    const double elapsed = seconds_since(start);
+    if (!n || n.value() != total_) die(name(), "read");
+    return elapsed;
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace&) const override {
+    return {{"bytes_per_rep", static_cast<double>(total_)}};
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t total_ = 0;
+};
+
+// --- nn_per_process -------------------------------------------------------
+
+class NnWriteScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "nn_write"; }
+  [[nodiscard]] const char* family() const override {
+    return "nn_per_process";
+  }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    std::vector<std::byte> buf(s.block_bytes);
+    Rng rng(ws.seed);
+    const auto start = Clock::now();
+    for (int p = 0; p < s.writers; ++p) {
+      const std::string path = ws.dir + "/nn." + std::to_string(rep_) + "." +
+                               std::to_string(p);
+      auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+      if (!fd) die(name(), "plfs_open");
+      for (int b = 0; b < s.blocks_per_writer; ++b) {
+        fill_payload(buf, rng.next());
+        if (!fd.value()->write(buf,
+                               static_cast<std::uint64_t>(b) * s.block_bytes,
+                               1)) {
+          die(name(), "write");
+        }
+      }
+      if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    }
+    ++rep_;
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    const Scale s = scale_for(ws);
+    return {{"bytes_per_rep", static_cast<double>(s.writers) *
+                                  static_cast<double>(s.blocks_per_writer) *
+                                  static_cast<double>(s.block_bytes)}};
+  }
+
+ private:
+  int rep_ = 0;
+};
+
+// --- metadata_storm -------------------------------------------------------
+
+class MetadataStormScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "metadata_storm"; }
+  [[nodiscard]] const char* family() const override {
+    return "metadata_storm";
+  }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const auto names = workloads::make_storm_names(s.storm_files, ws.seed);
+    const auto start = Clock::now();
+    for (const auto& n : names) {
+      auto fd = plfs::plfs_open(ws.dir + "/" + n, O_CREAT | O_WRONLY, 1);
+      if (!fd) die(name(), "create");
+      if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    }
+    for (const auto& n : names) {
+      if (!plfs::plfs_getattr(ws.dir + "/" + n)) die(name(), "stat");
+    }
+    for (const auto& n : names) {
+      if (!plfs::plfs_unlink(ws.dir + "/" + n).ok()) die(name(), "unlink");
+    }
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    // create + stat + unlink per name
+    return {{"ops_per_rep", 3.0 * scale_for(ws).storm_files}};
+  }
+};
+
+// --- mixed_rw -------------------------------------------------------------
+
+class MixedRwScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "mixed_rw"; }
+  [[nodiscard]] const char* family() const override { return "mixed_rw"; }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const std::string path = ws.dir + "/mixed." + std::to_string(rep_++);
+    // Untimed: populate the base file (sequential seeded content).
+    {
+      auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+      if (!fd) die(name(), "plfs_open(base)");
+      std::vector<std::byte> base(1u << 20);
+      std::uint64_t off = 0;
+      Rng rng(ws.seed ^ 0x6d69786564ULL);  // "mixed"
+      while (off < s.mixed_bytes) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(base.size(), s.mixed_bytes - off));
+        fill_payload({base.data(), n}, rng.next());
+        if (!fd.value()->write({base.data(), n}, off, 1)) {
+          die(name(), "write(base)");
+        }
+        off += n;
+      }
+      if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close(base)");
+    }
+    const auto stream = workloads::make_mixed_rw(
+        s.mixed_bytes, s.mixed_ops, 64 * 1024, 0.5, ws.seed);
+    std::vector<std::byte> buf(64 * 1024);
+    const auto start = Clock::now();
+    auto fd = plfs::plfs_open(path, O_RDWR, 1);
+    if (!fd) die(name(), "plfs_open(rw)");
+    for (const auto& op : stream) {
+      if (op.is_read) {
+        if (!fd.value()->read({buf.data(), op.length}, op.offset)) {
+          die(name(), "read");
+        }
+      } else {
+        fill_payload({buf.data(), op.length}, op.fill_seed);
+        if (!fd.value()->write({buf.data(), op.length}, op.offset, 1)) {
+          die(name(), "write");
+        }
+      }
+    }
+    if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    return {{"ops_per_rep", static_cast<double>(scale_for(ws).mixed_ops)}};
+  }
+
+ private:
+  int rep_ = 0;
+};
+
+// --- unix_tools (Table II) ------------------------------------------------
+
+/// Shared scaffolding: a router whose mount table covers ws.dir/mnt, a
+/// text container at mnt/data (NEEDLE lines every ~512), and a flat
+/// destination area outside the mount.
+class UnixToolScenario : public Scenario {
+ public:
+  [[nodiscard]] const char* family() const override { return "unix_tools"; }
+
+  void setup(Workspace& ws) override {
+    mnt_ = ws.dir + "/mnt";
+    flat_ = ws.dir + "/flat";
+    if (!posix::make_dirs(mnt_).ok() || !posix::make_dirs(flat_).ok()) {
+      die(name(), "mkdir");
+    }
+    mounts_.add(mnt_);
+    router_ = std::make_unique<core::Router>(core::libc_calls(), mounts_);
+    src_ = mnt_ + "/data";
+    bytes_ = scale_for(ws).tool_bytes;
+
+    const int fd = router_->open(src_.c_str(),
+                                 O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) die(name(), "open(src)");
+    Rng rng(ws.seed);
+    std::vector<char> block(1u << 20);
+    std::uint64_t written = 0;
+    while (written < bytes_) {
+      for (std::size_t i = 0; i < block.size(); i += 64) {
+        std::snprintf(block.data() + i, 64,
+                      "line %12llu payload %016llx pattern %s",
+                      static_cast<unsigned long long>(written + i),
+                      static_cast<unsigned long long>(rng.next()),
+                      (rng.below(512) == 0) ? "NEEDLE" : "hay");
+        block[i + 63] = '\n';
+      }
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(block.size(), bytes_ - written));
+      if (router_->write(fd, block.data(), n) != static_cast<ssize_t>(n)) {
+        die(name(), "write(src)");
+      }
+      written += n;
+    }
+    if (router_->close(fd) != 0) die(name(), "close(src)");
+  }
+
+  void teardown(Workspace&) override { router_.reset(); }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace&) const override {
+    return {{"bytes_per_rep", static_cast<double>(bytes_)}};
+  }
+
+ protected:
+  core::MountTable mounts_;
+  std::unique_ptr<core::Router> router_;
+  std::string mnt_;
+  std::string flat_;
+  std::string src_;
+  std::uint64_t bytes_ = 0;
+};
+
+class UnixCpScenario final : public UnixToolScenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "unix_cp"; }
+
+  double run_once(Workspace&) override {
+    const std::string dst = flat_ + "/copy." + std::to_string(rep_++);
+    std::vector<char> buf(1u << 20);
+    const auto start = Clock::now();
+    const int in = router_->open(src_.c_str(), O_RDONLY, 0);
+    const int out =
+        router_->open(dst.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (in < 0 || out < 0) die(name(), "open");
+    ssize_t n;
+    while ((n = router_->read(in, buf.data(), buf.size())) > 0) {
+      if (router_->write(out, buf.data(), static_cast<std::size_t>(n)) != n) {
+        die(name(), "write");
+      }
+    }
+    if (n < 0) die(name(), "read");
+    router_->close(in);
+    if (router_->close(out) != 0) die(name(), "close");
+    return seconds_since(start);
+  }
+
+ private:
+  int rep_ = 0;
+};
+
+class UnixGrepScenario final : public UnixToolScenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "unix_grep"; }
+
+  double run_once(Workspace&) override {
+    std::vector<char> buf(1u << 20);
+    const auto start = Clock::now();
+    const int fd = router_->open(src_.c_str(), O_RDONLY, 0);
+    if (fd < 0) die(name(), "open");
+    long long hits = 0;
+    std::string carry;  // partial line spanning a buffer boundary
+    ssize_t n;
+    while ((n = router_->read(fd, buf.data(), buf.size())) > 0) {
+      std::string_view chunk(buf.data(), static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      while (true) {
+        const std::size_t nl = chunk.find('\n', pos);
+        if (nl == std::string_view::npos) {
+          carry.append(chunk.substr(pos));
+          break;
+        }
+        if (!carry.empty()) {
+          carry.append(chunk.substr(pos, nl - pos));
+          if (carry.find("NEEDLE") != std::string::npos) ++hits;
+          carry.clear();
+        } else if (chunk.substr(pos, nl - pos).find("NEEDLE") !=
+                   std::string_view::npos) {
+          ++hits;
+        }
+        pos = nl + 1;
+      }
+    }
+    if (n < 0) die(name(), "read");
+    router_->close(fd);
+    hits_ = hits;
+    return seconds_since(start);
+  }
+
+ private:
+  long long hits_ = 0;
+};
+
+class UnixMd5Scenario final : public UnixToolScenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "unix_md5sum"; }
+
+  double run_once(Workspace&) override {
+    std::vector<char> buf(1u << 20);
+    const auto start = Clock::now();
+    const int fd = router_->open(src_.c_str(), O_RDONLY, 0);
+    if (fd < 0) die(name(), "open");
+    Md5 hasher;
+    ssize_t n;
+    while ((n = router_->read(fd, buf.data(), buf.size())) > 0) {
+      hasher.update(buf.data(), static_cast<std::size_t>(n));
+    }
+    if (n < 0) die(name(), "read");
+    router_->close(fd);
+    digest_ = Md5::to_hex(hasher.finish());
+    return seconds_since(start);
+  }
+
+ private:
+  std::string digest_;
+};
+
+// --- crash_recovery -------------------------------------------------------
+
+class CrashRecoveryScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "crash_recovery"; }
+  [[nodiscard]] const char* family() const override {
+    return "crash_recovery";
+  }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const std::string path = ws.dir + "/crash." + std::to_string(rep_++);
+    // Untimed: a healthy container, then the debris a killed writer
+    // leaves — an unindexed data dropping, a torn index tail, and a stale
+    // openhosts registration (same planting as the recovery tests).
+    const auto pattern = workloads::make_strided_n1(
+        s.writers, s.blocks_per_writer / 2, s.block_bytes, ws.seed);
+    write_strided_container(name(), path, pattern);
+    plant_debris(path);
+    const auto start = Clock::now();
+    auto stats = plfs::plfs_recover(path);
+    const double elapsed = seconds_since(start);
+    if (!stats || !stats.value().index_readable) die(name(), "plfs_recover");
+    if (stats.value().stale_openhosts_removed == 0) {
+      die(name(), "debris check");
+    }
+    return elapsed;
+  }
+
+ private:
+  void plant_debris(const std::string& path) {
+    plfs::ContainerLayout layout(path);
+    plfs::WriterId ghost{"benchghost", 4242, plfs::next_timestamp()};
+    if (!posix::make_dirs(layout.hostdir_for(ghost.host)).ok()) {
+      die(name(), "mkdir(debris)");
+    }
+    if (!posix::write_file(layout.data_dropping_path(ghost),
+                           "never-indexed bytes")
+             .ok()) {
+      die(name(), "write(orphan)");
+    }
+    std::string idx = plfs::encode_index_header(
+        {"hostdir.0/dropping.data.benchghost"});
+    idx.append(23, '\x5a');  // torn record tail
+    if (!posix::write_file(layout.index_dropping_path(ghost), idx).ok()) {
+      die(name(), "write(torn index)");
+    }
+    if (!posix::write_file(layout.openhost_path(ghost), "").ok()) {
+      die(name(), "write(openhost)");
+    }
+  }
+
+  int rep_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Scenario>> make_suite() {
+  std::vector<std::unique_ptr<Scenario>> suite;
+  suite.push_back(std::make_unique<UnixCpScenario>());
+  suite.push_back(std::make_unique<UnixGrepScenario>());
+  suite.push_back(std::make_unique<UnixMd5Scenario>());
+  suite.push_back(std::make_unique<StridedWriteScenario>());
+  suite.push_back(std::make_unique<StridedReadScenario>());
+  suite.push_back(std::make_unique<NnWriteScenario>());
+  suite.push_back(std::make_unique<MetadataStormScenario>());
+  suite.push_back(std::make_unique<MixedRwScenario>());
+  suite.push_back(std::make_unique<CrashRecoveryScenario>());
+  return suite;
+}
+
+}  // namespace ldplfs::bench

@@ -1,0 +1,105 @@
+// Minimal JSON value: parse, build, serialize.
+//
+// The benchmark harness both emits BENCH_suite.json and reads it back for
+// `ldp-bench --compare`, so unlike the write-only snprintf JSON in the
+// older bench code it needs a real (if tiny) document model. Scope is
+// deliberately small: UTF-8 passthrough strings with the standard escapes,
+// doubles for every number (integers round-trip exactly up to 2^53 — far
+// beyond anything a benchmark report holds), objects preserving insertion
+// order so emitted reports diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ldplfs::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Value(int v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(std::int64_t v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(std::uint64_t v) : Value(static_cast<double>(v)) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? num_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience: find(key) as number/string with fallback.
+  [[nodiscard]] double number_at(std::string_view key,
+                                 double fallback = 0.0) const;
+  [[nodiscard]] std::string string_at(std::string_view key,
+                                      std::string fallback = "") const;
+
+  /// Builders (no-ops unless this value has the matching type).
+  void push_back(Value v);
+  void set(std::string key, Value v);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits a compact single line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Malformed input returns EINVAL, in
+/// keeping with the repo-wide errno-style Result.
+Result<Value> parse(std::string_view text);
+
+/// Parse the file at `path`.
+Result<Value> parse_file(const std::string& path);
+
+}  // namespace ldplfs::json

@@ -1,0 +1,207 @@
+#include "common/stats_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ldplfs::stats_math {
+namespace {
+
+/// Largest per-side sample size for which the exact U distribution is
+/// tabulated. 12 vs 12 needs a 145-entry row over C(24,12) ~ 2.7e6
+/// arrangements — trivial — while covering every rep count the harness
+/// realistically runs.
+constexpr std::size_t kExactLimit = 12;
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Number of arrangements of n-vs-m samples with U statistic exactly u,
+/// for all u in [0, n*m]. U is determined by how many b-values precede
+/// each a-value (a nondecreasing sequence bounded by m), so the counts are
+/// Gaussian-binomial coefficients with the classic recurrence
+///   N(u; n, m) = N(u; n, m-1) + N(u - m; n-1, m).
+/// Counts fit comfortably in uint64 for n, m <= kExactLimit
+/// (they sum to C(n+m, n) <= C(24, 12) ~ 2.7e6).
+std::vector<std::uint64_t> exact_u_counts(std::size_t n, std::size_t m) {
+  // rows[i][u] = N(u; i, j) for the current j; sweep j from 0 to m.
+  std::vector<std::vector<std::uint64_t>> rows(
+      n + 1, std::vector<std::uint64_t>(n * m + 1, 0));
+  for (std::size_t i = 0; i <= n; ++i) rows[i][0] = 1;  // j == 0 base case
+  for (std::size_t j = 1; j <= m; ++j) {
+    auto prev = rows;  // values at j-1
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t u = 0; u <= i * j; ++u) {
+        rows[i][u] = prev[i][u] + (u >= j ? rows[i - 1][u - j] : 0);
+      }
+    }
+  }
+  return rows[n];
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double sample_stddev(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+Interval bootstrap_ci_mean(std::span<const double> xs, double confidence,
+                           int resamples, std::uint64_t seed) {
+  if (xs.empty()) return {};
+  if (xs.size() == 1) return {xs[0], xs[0]};
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = xs.size();
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += xs[rng.below(n)];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  return {quantile_sorted(means, tail), quantile_sorted(means, 1.0 - tail)};
+}
+
+MannWhitney mann_whitney_u(std::span<const double> a,
+                           std::span<const double> b) {
+  MannWhitney result;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return result;
+
+  // Pool, sort, assign midranks.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(n + m);
+  for (double x : a) pool.push_back({x, true});
+  for (double x : b) pool.push_back({x, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& lhs, const Tagged& rhs) {
+              return lhs.value < rhs.value;
+            });
+
+  const std::size_t total = n + m;
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum over tie groups of t^3 - t
+  bool any_tie = false;
+  std::size_t i = 0;
+  while (i < total) {
+    std::size_t j = i;
+    while (j + 1 < total && pool[j + 1].value == pool[i].value) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) {
+      any_tie = true;
+      tie_term += t * t * t - t;
+    }
+    // Ranks are 1-based; the group spanning [i, j] shares the midrank.
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pool[k].from_a) rank_sum_a += midrank;
+    }
+    i = j + 1;
+  }
+
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  const double u_a = rank_sum_a - nn * (nn + 1.0) / 2.0;
+  result.u_a = u_a;
+
+  const double mu = nn * mm / 2.0;
+  if (!any_tie && n <= kExactLimit && m <= kExactLimit) {
+    // Exact two-sided p: with no ties U is an integer.
+    const auto counts = exact_u_counts(n, m);
+    std::uint64_t total_count = 0;
+    for (auto c : counts) total_count += c;
+    const auto u_int = static_cast<std::size_t>(std::lround(u_a));
+    std::uint64_t le = 0;
+    std::uint64_t ge = 0;
+    for (std::size_t u = 0; u < counts.size(); ++u) {
+      if (u <= u_int) le += counts[u];
+      if (u >= u_int) ge += counts[u];
+    }
+    const double p_le = static_cast<double>(le) /
+                        static_cast<double>(total_count);
+    const double p_ge = static_cast<double>(ge) /
+                        static_cast<double>(total_count);
+    result.p = std::min(1.0, 2.0 * std::min(p_le, p_ge));
+    result.exact = true;
+    // Still report a z for display, without continuity fuss.
+    const double sigma = std::sqrt(nn * mm * (nn + mm + 1.0) / 12.0);
+    result.z = sigma > 0.0 ? (u_a - mu) / sigma : 0.0;
+    return result;
+  }
+
+  // Normal approximation with tie-corrected variance and continuity
+  // correction toward the mean.
+  const double nt = static_cast<double>(total);
+  double var = nn * mm / 12.0 *
+               ((nt + 1.0) - tie_term / (nt * (nt - 1.0)));
+  if (var <= 0.0) {
+    // Every pooled value identical: no evidence of any shift.
+    result.z = 0.0;
+    result.p = 1.0;
+    return result;
+  }
+  const double sigma = std::sqrt(var);
+  double diff = u_a - mu;
+  if (diff > 0.5) {
+    diff -= 0.5;
+  } else if (diff < -0.5) {
+    diff += 0.5;
+  } else {
+    diff = 0.0;
+  }
+  result.z = diff / sigma;
+  result.p = std::min(1.0, 2.0 * (1.0 - normal_cdf(std::fabs(result.z))));
+  return result;
+}
+
+Summary summarize(std::span<const double> xs, std::uint64_t ci_seed) {
+  Summary s;
+  s.n = static_cast<int>(xs.size());
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.stddev = sample_stddev(xs);
+  s.ci95 = bootstrap_ci_mean(xs, 0.95, 2000, ci_seed);
+  return s;
+}
+
+}  // namespace ldplfs::stats_math

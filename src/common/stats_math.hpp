@@ -1,0 +1,76 @@
+// Statistics for the benchmark harness: summary statistics, percentile
+// bootstrap confidence intervals, and the Mann-Whitney U rank test.
+//
+// Benchmark repetitions are small (K >= 5), skewed, and occasionally
+// contaminated by scheduler noise, so the harness reasons about them with
+// rank statistics rather than t-tests: the Mann-Whitney U test makes no
+// normality assumption, and the bootstrap CI quantifies how much the mean
+// of K noisy repetitions can be trusted. Everything here is deterministic:
+// the bootstrap resampler is driven by an explicit seed (threaded from
+// `ldp-bench --seed`), so two runs of the harness on the same samples
+// produce bit-identical reports.
+//
+// For the sample sizes the harness actually uses (both sides <= 12, no
+// ties), mann_whitney_u computes the *exact* null distribution of U by
+// dynamic programming — at K = 5 vs 5 the smallest achievable two-sided
+// p-value is 2/252 ~ 0.0079, which the normal approximation misreports as
+// ~0.012 and would push a complete separation over an alpha = 0.01 gate.
+// Larger samples (or tied data) use the normal approximation with midranks,
+// tie-corrected variance, and continuity correction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ldplfs::stats_math {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Median (average of the two central order statistics for even n);
+/// 0 for an empty sample.
+double median(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double sample_stddev(std::span<const double> xs);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the mean: `resamples`
+/// with-replacement resamples of xs, each reduced to its mean, interval
+/// taken at the (1±confidence)/2 quantiles. Deterministic in `seed`.
+/// n == 0 returns {0,0}; n == 1 returns {x,x}.
+Interval bootstrap_ci_mean(std::span<const double> xs,
+                           double confidence = 0.95, int resamples = 2000,
+                           std::uint64_t seed = 1);
+
+struct MannWhitney {
+  double u_a = 0.0;  ///< U statistic of sample a (midranks under ties)
+  double z = 0.0;    ///< normal-approximation z score (0 when sigma == 0)
+  double p = 1.0;    ///< two-sided p-value
+  bool exact = false;  ///< exact small-sample distribution was used
+};
+
+/// Two-sided Mann-Whitney U test of a vs b. Either side empty => p = 1.
+MannWhitney mann_whitney_u(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Everything the per-scenario report needs, in one call. The CI seed is
+/// explicit so reports are reproducible.
+struct Summary {
+  int n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  Interval ci95;
+};
+
+Summary summarize(std::span<const double> xs, std::uint64_t ci_seed);
+
+}  // namespace ldplfs::stats_math

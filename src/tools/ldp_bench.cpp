@@ -1,0 +1,272 @@
+// ldp-bench: the statistically rigorous benchmark driver.
+//
+//   ldp-bench --suite smoke|full [--json PATH] [--seed N] [--reps K]
+//             [--warmup W] [--scenario NAME[,NAME...]]
+//             [--modeled-latency USEC]
+//       Run the named scenario matrix (warm-up + K repetitions each) and
+//       print per-scenario mean/median/stddev/95% bootstrap CI; --json
+//       writes the schema-versioned BENCH_suite.json report.
+//
+//   ldp-bench --list
+//       Print the scenario matrix (name, family).
+//
+//   ldp-bench --compare BASELINE.json CANDIDATE.json
+//             [--alpha A] [--min-effect E]
+//       Mann-Whitney U per scenario on the raw samples. Exit 1 when any
+//       scenario shows a statistically significant regression (p < alpha
+//       AND median slowdown > min-effect); exit 0 otherwise; exit 2 on
+//       usage or unreadable/invalid reports.
+//
+// See docs/BENCHMARKING.md for the methodology and the tier-1 gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "bench_harness/runner.hpp"
+
+namespace {
+
+using namespace ldplfs;
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: ldp-bench --suite smoke|full [--json PATH] [--seed N]\n"
+      "                 [--reps K] [--warmup W] [--scenario NAME[,NAME...]]\n"
+      "                 [--modeled-latency USEC]\n"
+      "       ldp-bench --list\n"
+      "       ldp-bench --compare BASELINE.json CANDIDATE.json\n"
+      "                 [--alpha A] [--min-effect E]\n",
+      to);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+void split_names(const std::string& arg, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string name =
+        arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!name.empty()) out.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+int run_list() {
+  auto suite = bench::make_suite();
+  std::printf("%-16s %s\n", "scenario", "family");
+  for (const auto& s : suite) {
+    std::printf("%-16s %s\n", s->name(), s->family());
+  }
+  return 0;
+}
+
+int run_measure(const bench::RunOptions& options, const std::string& suite,
+                const std::string& json_path) {
+  auto results = bench::run_suite(options);
+  if (!results) {
+    std::fprintf(stderr, "ldp-bench: run failed: %s\n",
+                 results.error().message().c_str());
+    return 2;
+  }
+
+  std::printf("suite %s  seed %llu  reps %d  warmup %d%s\n", suite.c_str(),
+              static_cast<unsigned long long>(options.seed), options.reps,
+              options.warmup,
+              options.modeled_latency_usec > 0 ? "  (modeled latency)" : "");
+  std::printf("%-16s %10s %10s %10s %21s\n", "scenario", "mean_s",
+              "median_s", "stddev_s", "ci95_s");
+  for (const auto& r : results.value()) {
+    std::printf("%-16s %10.4f %10.4f %10.4f [%9.4f,%9.4f]\n",
+                r.name.c_str(), r.stats.mean, r.stats.median, r.stats.stddev,
+                r.stats.ci95.lo, r.stats.ci95.hi);
+  }
+
+  if (!json_path.empty()) {
+    bench::Report report;
+    report.suite = suite;
+    report.config = options;
+    report.scenarios = std::move(results.value());
+    const auto saved = bench::save_report(report, json_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "ldp-bench: cannot write %s: %s\n",
+                   json_path.c_str(), saved.error().message().c_str());
+      return 2;
+    }
+    std::printf("report: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int run_compare(const std::string& base_path, const std::string& cand_path,
+                const bench::CompareOptions& options) {
+  auto base = bench::load_report(base_path);
+  if (!base) {
+    std::fprintf(stderr, "ldp-bench: cannot load baseline %s\n",
+                 base_path.c_str());
+    return 2;
+  }
+  auto cand = bench::load_report(cand_path);
+  if (!cand) {
+    std::fprintf(stderr, "ldp-bench: cannot load candidate %s\n",
+                 cand_path.c_str());
+    return 2;
+  }
+
+  const auto cmp =
+      bench::compare_reports(base.value(), cand.value(), options);
+  for (const auto& warning : cmp.warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  if (cmp.verdicts.empty()) {
+    std::fprintf(stderr,
+                 "ldp-bench: no scenario in common between %s and %s\n",
+                 base_path.c_str(), cand_path.c_str());
+    return 2;
+  }
+
+  std::printf("compare: alpha %.3g, min effect %.0f%%\n", options.alpha,
+              options.min_effect * 100.0);
+  std::printf("%-16s %10s %10s %8s %10s %6s  %s\n", "scenario", "base_s",
+              "cand_s", "change", "p", "test", "verdict");
+  for (const auto& v : cmp.verdicts) {
+    const char* verdict = "no significant change";
+    if (v.kind == bench::Verdict::Kind::kRegression) {
+      verdict = "REGRESSION";
+    } else if (v.kind == bench::Verdict::Kind::kImprovement) {
+      verdict = "improvement";
+    }
+    std::printf("%-16s %10.4f %10.4f %+7.1f%% %10.4g %6s  %s\n",
+                v.name.c_str(), v.base_median, v.cand_median,
+                v.rel_change * 100.0, v.p, v.exact ? "exact" : "approx",
+                verdict);
+  }
+  if (cmp.regression) {
+    std::printf("result: statistically significant regression detected\n");
+    return 1;
+  }
+  std::printf("result: no statistically significant regression\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RunOptions options;
+  bench::CompareOptions compare_options;
+  std::string suite;
+  std::string json_path;
+  bool list = false;
+  bool compare = false;
+  std::vector<std::string> compare_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ldp-bench: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg == "--suite") {
+      suite = next("--suite");
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--seed") {
+      if (!parse_u64(next("--seed"), options.seed)) {
+        std::fprintf(stderr, "ldp-bench: bad --seed\n");
+        return 2;
+      }
+    } else if (arg == "--reps") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next("--reps"), v) || v < 1 || v > 1000) {
+        std::fprintf(stderr, "ldp-bench: bad --reps\n");
+        return 2;
+      }
+      options.reps = static_cast<int>(v);
+    } else if (arg == "--warmup") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next("--warmup"), v) || v > 100) {
+        std::fprintf(stderr, "ldp-bench: bad --warmup\n");
+        return 2;
+      }
+      options.warmup = static_cast<int>(v);
+    } else if (arg == "--scenario") {
+      split_names(next("--scenario"), options.only);
+    } else if (arg == "--modeled-latency") {
+      std::uint64_t v = 0;
+      if (!parse_u64(next("--modeled-latency"), v) || v > 1000000) {
+        std::fprintf(stderr, "ldp-bench: bad --modeled-latency\n");
+        return 2;
+      }
+      options.modeled_latency_usec = static_cast<unsigned>(v);
+    } else if (arg == "--alpha") {
+      if (!parse_double(next("--alpha"), compare_options.alpha) ||
+          compare_options.alpha <= 0.0 || compare_options.alpha >= 1.0) {
+        std::fprintf(stderr, "ldp-bench: bad --alpha\n");
+        return 2;
+      }
+    } else if (arg == "--min-effect") {
+      if (!parse_double(next("--min-effect"), compare_options.min_effect) ||
+          compare_options.min_effect < 0.0) {
+        std::fprintf(stderr, "ldp-bench: bad --min-effect\n");
+        return 2;
+      }
+    } else if (compare && arg.rfind("--", 0) != 0) {
+      compare_paths.push_back(arg);
+    } else {
+      std::fprintf(stderr, "ldp-bench: unknown argument %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (list) return run_list();
+  if (compare) {
+    if (compare_paths.size() != 2) {
+      std::fprintf(stderr,
+                   "ldp-bench: --compare needs BASELINE.json and "
+                   "CANDIDATE.json\n");
+      return 2;
+    }
+    return run_compare(compare_paths[0], compare_paths[1], compare_options);
+  }
+
+  if (suite.empty() && options.only.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (suite == "full") {
+    options.smoke = false;
+  } else if (suite == "smoke" || suite.empty()) {
+    options.smoke = true;
+    if (suite.empty()) suite = "custom";
+  } else {
+    std::fprintf(stderr, "ldp-bench: unknown suite '%s'\n", suite.c_str());
+    return 2;
+  }
+  return run_measure(options, suite, json_path);
+}

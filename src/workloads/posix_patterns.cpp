@@ -1,0 +1,89 @@
+#include "workloads/posix_patterns.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace ldplfs::workloads {
+
+StridedPattern make_strided_n1(int writers, int blocks_per_writer,
+                               std::size_t block_bytes, std::uint64_t seed) {
+  StridedPattern pattern;
+  pattern.writers = writers;
+  pattern.blocks_per_writer = blocks_per_writer;
+  pattern.block_bytes = block_bytes;
+  pattern.per_writer.resize(static_cast<std::size_t>(writers));
+
+  Rng rng(seed);
+  // Seed-derived rank permutation (Fisher-Yates).
+  std::vector<int> perm(static_cast<std::size_t>(writers));
+  for (int w = 0; w < writers; ++w) perm[static_cast<std::size_t>(w)] = w;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+
+  Rng payload_rng = rng.split();
+  for (int w = 0; w < writers; ++w) {
+    auto& ops = pattern.per_writer[static_cast<std::size_t>(w)];
+    ops.reserve(static_cast<std::size_t>(blocks_per_writer));
+    for (int b = 0; b < blocks_per_writer; ++b) {
+      const std::uint64_t logical_block =
+          static_cast<std::uint64_t>(b) * static_cast<std::uint64_t>(writers) +
+          static_cast<std::uint64_t>(perm[static_cast<std::size_t>(w)]);
+      ops.push_back({logical_block * block_bytes,
+                     static_cast<std::uint32_t>(block_bytes),
+                     payload_rng.next()});
+    }
+  }
+  return pattern;
+}
+
+std::vector<MixedOp> make_mixed_rw(std::uint64_t file_bytes, int ops,
+                                   std::size_t max_len, double read_fraction,
+                                   std::uint64_t seed) {
+  std::vector<MixedOp> stream;
+  stream.reserve(static_cast<std::size_t>(ops));
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    MixedOp op;
+    op.is_read = rng.uniform() < read_fraction;
+    op.offset = rng.below(file_bytes);
+    const std::uint64_t remaining = file_bytes - op.offset;
+    const std::uint64_t len =
+        1 + rng.below(std::min<std::uint64_t>(max_len, remaining));
+    op.length = static_cast<std::uint32_t>(len);
+    if (!op.is_read) op.fill_seed = rng.next();
+    stream.push_back(op);
+  }
+  return stream;
+}
+
+std::vector<std::string> make_storm_names(int files, std::uint64_t seed) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(files));
+  Rng rng(seed);
+  for (int i = 0; i < files; ++i) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "storm.%06d.%08llx", i,
+                  static_cast<unsigned long long>(rng.next() & 0xFFFFFFFFu));
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+void fill_payload(std::span<std::byte> out, std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = rng.next();
+    std::memcpy(out.data() + i, &word, 8);
+    i += 8;
+  }
+  for (; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>(rng.next() & 0xFF);
+  }
+}
+
+}  // namespace ldplfs::workloads

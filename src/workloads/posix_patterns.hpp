@@ -1,0 +1,75 @@
+// Seeded access-pattern generators for the real-I/O stratum.
+//
+// The sim-stratum workloads in this directory (mpiio_test, bt_io,
+// flash_io) describe traffic for the cluster simulator; these generators
+// describe byte-level POSIX access patterns for the benchmark harness
+// (src/bench_harness) and its property tests. They are pure functions of
+// their parameters and seed — no I/O, no globals — which is what makes the
+// harness's reproducibility oracle possible: the same `--seed` must yield
+// byte-identical container contents across runs, so every offset, length,
+// and payload byte is derived from the seed via the repo's SplitMix64 /
+// xoshiro streams (common/rng.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ldplfs::workloads {
+
+/// One logical write: `length` bytes at `offset`, payload bytes generated
+/// from `fill_seed` (see fill_payload).
+struct WriteOp {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint64_t fill_seed = 0;
+};
+
+/// N-1 strided checkpoint pattern: `writers` ranks interleave fixed-size
+/// blocks into one logical file. Rank w's b-th block lands at logical
+/// block index b * writers + perm(w), where perm is a seed-derived
+/// permutation of the ranks — coalesce-resistant (no two consecutive
+/// logical blocks come from the same rank) and distinct across seeds.
+struct StridedPattern {
+  int writers = 0;
+  int blocks_per_writer = 0;
+  std::size_t block_bytes = 0;
+  /// per_writer[w] lists rank w's writes in issue order.
+  std::vector<std::vector<WriteOp>> per_writer;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(writers) *
+           static_cast<std::uint64_t>(blocks_per_writer) * block_bytes;
+  }
+};
+
+StridedPattern make_strided_n1(int writers, int blocks_per_writer,
+                               std::size_t block_bytes, std::uint64_t seed);
+
+/// Mixed read/write op stream over a file of `file_bytes` (which must be
+/// pre-populated): roughly `read_fraction` of ops are reads; offsets and
+/// lengths are uniform with lengths in [1, max_len] clamped to EOF, so the
+/// logical size never grows and the final contents are a pure function of
+/// the op sequence.
+struct MixedOp {
+  bool is_read = false;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint64_t fill_seed = 0;  ///< writes only
+};
+
+std::vector<MixedOp> make_mixed_rw(std::uint64_t file_bytes, int ops,
+                                   std::size_t max_len, double read_fraction,
+                                   std::uint64_t seed);
+
+/// Metadata-storm name list: `files` distinct names, deterministic in the
+/// seed (mdtest-style create/stat/unlink storms need stable name sets so
+/// two runs touch the same dentries).
+std::vector<std::string> make_storm_names(int files, std::uint64_t seed);
+
+/// Fill `out` with the deterministic byte stream of `seed`.
+void fill_payload(std::span<std::byte> out, std::uint64_t seed);
+
+}  // namespace ldplfs::workloads

@@ -1,0 +1,169 @@
+// End-to-end regression-gate test: spawn the real ldp-bench binary.
+//
+// The gate property is self-testing and machine-independent: two runs of
+// the same build on the same machine (A/A) must compare clean, while a
+// candidate run with an injected per-pwrite delay (LDPLFS_FAULTS) must be
+// flagged as a statistically significant regression with a non-zero exit.
+// This is the same pair of checks the tier-1 `bench_suite_gate` ctest
+// performs via bench/bench_gate.cmake — here in-process so a failure
+// pinpoints which half broke.
+//
+// Thresholds mirror the ctest gate: reps 6 at smoke scale, alpha 0.01
+// (exact Mann-Whitney: full separation at 6v6 gives p = 2/924), and
+// --min-effect 0.5 — the injected 2 ms/pwrite delay produces a multiple-x
+// slowdown, so detection clears 50% with huge margin while back-to-back
+// A/A runs never drift that far.
+//
+// Binary location comes in via -DLDPLFS_BENCH_BIN.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace {
+
+using ldplfs::testing::TempDir;
+
+struct BenchResult {
+  int exit_code = -1;
+  std::string output;  // stdout
+};
+
+/// Run ldp-bench with `args`; when `faults` is non-empty it is exported as
+/// LDPLFS_FAULTS in the child only.
+BenchResult run_bench(const std::vector<std::string>& args,
+                      const std::string& faults = "") {
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    if (!faults.empty()) ::setenv("LDPLFS_FAULTS", faults.c_str(), 1);
+    std::vector<char*> argv;
+    const std::string bin = LDPLFS_BENCH_BIN;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    for (const auto& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  BenchResult result;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(out_pipe[0], buf, sizeof buf)) > 0) {
+    result.output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(out_pipe[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// One measurement run over the gate's scenario subset.
+BenchResult run_measure(const std::string& json_path,
+                        const std::string& faults = "") {
+  return run_bench({"--scenario", "strided_write,mixed_rw", "--reps", "6",
+                    "--warmup", "1", "--seed", "7", "--json", json_path},
+                   faults);
+}
+
+class RegressionGateTest : public ::testing::Test {
+ protected:
+  // The three measurement runs are shared across tests: they are the
+  // expensive part, and every test only re-compares the JSON artifacts.
+  static void SetUpTestSuite() {
+    dir_ = new TempDir;
+    const auto base = run_measure(base_json());
+    ASSERT_EQ(base.exit_code, 0) << base.output;
+    const auto aa = run_measure(aa_json());
+    ASSERT_EQ(aa.exit_code, 0) << aa.output;
+    const auto delayed = run_measure(delayed_json(), "pwrite:delay=2000");
+    ASSERT_EQ(delayed.exit_code, 0) << delayed.output;
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string base_json() { return dir_->sub("base.json"); }
+  static std::string aa_json() { return dir_->sub("aa.json"); }
+  static std::string delayed_json() { return dir_->sub("delayed.json"); }
+
+  static TempDir* dir_;
+};
+
+TempDir* RegressionGateTest::dir_ = nullptr;
+
+TEST_F(RegressionGateTest, EmittedReportIsSchemaValid) {
+  auto report = ldplfs::bench::load_report(base_json());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().scenarios.size(), 2u);
+  for (const auto& s : report.value().scenarios) {
+    EXPECT_EQ(s.samples.size(), 6u);
+  }
+}
+
+TEST_F(RegressionGateTest, AaCompareReportsNoRegressionAndExitsZero) {
+  const auto cmp = run_bench({"--compare", base_json(), aa_json(), "--alpha",
+                              "0.01", "--min-effect", "0.5"});
+  EXPECT_EQ(cmp.exit_code, 0) << cmp.output;
+  EXPECT_NE(cmp.output.find("no statistically significant regression"),
+            std::string::npos)
+      << cmp.output;
+  EXPECT_EQ(cmp.output.find("REGRESSION"), std::string::npos) << cmp.output;
+}
+
+TEST_F(RegressionGateTest, InjectedDelayIsFlaggedAsRegressionNonZeroExit) {
+  const auto cmp = run_bench({"--compare", base_json(), delayed_json(),
+                              "--alpha", "0.01", "--min-effect", "0.5"});
+  EXPECT_EQ(cmp.exit_code, 1) << cmp.output;
+  EXPECT_NE(cmp.output.find("REGRESSION"), std::string::npos) << cmp.output;
+  EXPECT_NE(cmp.output.find("statistically significant regression detected"),
+            std::string::npos)
+      << cmp.output;
+}
+
+TEST_F(RegressionGateTest, ImprovementDirectionDoesNotGate) {
+  // Swapping baseline and candidate turns the regression into an
+  // improvement: still significant, but the gate must not fail the build
+  // for getting faster.
+  const auto cmp = run_bench({"--compare", delayed_json(), base_json(),
+                              "--alpha", "0.01", "--min-effect", "0.5"});
+  EXPECT_EQ(cmp.exit_code, 0) << cmp.output;
+  EXPECT_NE(cmp.output.find("improvement"), std::string::npos) << cmp.output;
+}
+
+TEST_F(RegressionGateTest, CompareRejectsInvalidReports) {
+  ASSERT_TRUE(
+      ldplfs::posix::write_file(dir_->sub("garbage.json"), "not json").ok());
+  const auto cmp =
+      run_bench({"--compare", base_json(), dir_->sub("garbage.json")});
+  EXPECT_EQ(cmp.exit_code, 2);
+  const auto missing =
+      run_bench({"--compare", base_json(), dir_->sub("nonexistent.json")});
+  EXPECT_EQ(missing.exit_code, 2);
+}
+
+TEST_F(RegressionGateTest, BadUsageExitsTwo) {
+  EXPECT_EQ(run_bench({"--compare", base_json()}).exit_code, 2);
+  EXPECT_EQ(run_bench({"--suite", "nope"}).exit_code, 2);
+  EXPECT_EQ(run_bench({"--scenario", "no_such_scenario", "--reps", "1"})
+                .exit_code,
+            2);
+}
+
+}  // namespace
