@@ -9,6 +9,10 @@
 #   2. Injection: a candidate run with LDPLFS_FAULTS="pwrite:delay=2000"
 #      (2 ms per backend pwrite, a 4-6x slowdown at smoke scale) must be
 #      flagged as a statistically significant regression (exit 1).
+#   3. Injection, read side: LDPLFS_FAULTS="pread:delay=2000" must be
+#      flagged too — strided_readv is in the measured set, so a data-
+#      sieving regression that multiplies the pread count (or any
+#      slowdown on the batch read path) cannot slip through the gate.
 #
 # Thresholds: reps 6 so full separation under the exact Mann-Whitney
 # distribution gives p = 2/924 < alpha = 0.01, and --min-effect 0.5 so
@@ -23,7 +27,7 @@ endif()
 file(REMOVE_RECURSE "${WORK}")
 file(MAKE_DIRECTORY "${WORK}")
 
-set(measure_args --scenario strided_write,mixed_rw --reps 6 --warmup 1 --seed 7)
+set(measure_args --scenario strided_write,mixed_rw,strided_readv --reps 6 --warmup 1 --seed 7)
 
 function(run_measure json)
   execute_process(
@@ -39,6 +43,10 @@ run_measure("${WORK}/aa.json")
 
 set(ENV{LDPLFS_FAULTS} "pwrite:delay=2000")
 run_measure("${WORK}/delayed.json")
+unset(ENV{LDPLFS_FAULTS})
+
+set(ENV{LDPLFS_FAULTS} "pread:delay=2000")
+run_measure("${WORK}/read_delayed.json")
 unset(ENV{LDPLFS_FAULTS})
 
 # Half 1: A/A must be clean.
@@ -63,4 +71,17 @@ if(NOT inj_rc EQUAL 1)
     "(exit ${inj_rc}, expected 1) — the detector is blind:\n${inj_out}${inj_err}")
 endif()
 
-message(STATUS "bench gate passed: A/A clean, injected delay flagged")
+# Half 3: the injected read delay must be caught (the strided_readv batch
+# still issues real preads — one covering read per dropping — so per-pread
+# delay lands squarely on it).
+execute_process(
+  COMMAND "${LDP_BENCH}" --compare "${WORK}/base.json" "${WORK}/read_delayed.json"
+          --alpha 0.01 --min-effect 0.5
+  RESULT_VARIABLE rinj_rc OUTPUT_VARIABLE rinj_out ERROR_VARIABLE rinj_err)
+if(NOT rinj_rc EQUAL 1)
+  message(FATAL_ERROR
+    "gate FAILED: injected 2 ms/pread delay was NOT flagged "
+    "(exit ${rinj_rc}, expected 1) — the read-side detector is blind:\n${rinj_out}${rinj_err}")
+endif()
+
+message(STATUS "bench gate passed: A/A clean, injected write and read delays flagged")

@@ -1,5 +1,5 @@
 # Asserts that an ldp-bench --json report carries the versioned schema with
-# per-scenario raw samples and summary statistics for all six scenario
+# per-scenario raw samples and summary statistics for all seven scenario
 # families. Run as: cmake -DJSON=<path> -P check_bench_suite.cmake
 if(NOT DEFINED JSON)
   message(FATAL_ERROR "pass -DJSON=<path to BENCH_suite json>")
@@ -7,16 +7,17 @@ endif()
 file(READ "${JSON}" body)
 foreach(needle
     # envelope
-    "\"schema_version\": 1"
+    "\"schema_version\": 2"
     "\"tool\": \"ldp-bench\""
     "\"suite\""
     "\"config\""
     "\"seed\""
     "\"reps\""
     "\"scenarios\""
-    # all six scenario families
+    # all seven scenario families
     "\"family\": \"unix_tools\""
     "\"family\": \"n1_strided\""
+    "\"family\": \"list_io\""
     "\"family\": \"nn_per_process\""
     "\"family\": \"metadata_storm\""
     "\"family\": \"mixed_rw\""
@@ -27,6 +28,8 @@ foreach(needle
     "\"name\": \"unix_md5sum\""
     "\"name\": \"strided_write\""
     "\"name\": \"strided_read\""
+    "\"name\": \"strided_readv\""
+    "\"name\": \"coalesced_write\""
     "\"name\": \"nn_write\""
     "\"name\": \"metadata_storm\""
     "\"name\": \"mixed_rw\""
@@ -44,4 +47,4 @@ foreach(needle
     message(FATAL_ERROR "bench suite schema check failed: '${needle}' not found in ${JSON}")
   endif()
 endforeach()
-message(STATUS "BENCH_suite schema valid: six families with full statistics in ${JSON}")
+message(STATUS "BENCH_suite schema valid: seven families with full statistics in ${JSON}")

@@ -15,9 +15,14 @@ foreach(needle
     "\"phases\""
     "\"samples_s\""
     "\"stddev_s\""
-    # tracked deviations must stay annotated
+    # tracked deviations must stay annotated (the list may be empty, but the
+    # key — and the retirement trail — must survive)
     "\"known_regressions\""
-    "\"metric\": \"strided_write.raw.speedup\"")
+    "\"retired_regressions\""
+    "\"metric\": \"strided_write.raw.speedup\""
+    # data-sieving exact-count self-check: one covering pread per dropping
+    "\"sieve\""
+    "\"direct_reads\": 0")
   string(FIND "${body}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "stats section check failed: '${needle}' not found in ${JSON}")

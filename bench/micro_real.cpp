@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/md5.hpp"
+#include "common/stats.hpp"
 #include "common/stats_math.hpp"
 #include "common/rng.hpp"
 #include "core/mounts.hpp"
@@ -36,6 +37,7 @@
 #include "plfs/index.hpp"
 #include "plfs/index_cache.hpp"
 #include "plfs/plfs.hpp"
+#include "plfs/read_file.hpp"
 #include "posix/faults.hpp"
 #include "posix/fd.hpp"
 #include "sim/engine.hpp"
@@ -504,6 +506,36 @@ int run_json_bench(const std::string& json_path, bool smoke) {
   const double wwb_modeled = best_of(wwb_modeled_s);
   posix::faults::clear();
 
+  // Sieve self-check (not timed): the strided container interleaves the
+  // logical file across `writers` droppings, each physically contiguous, so
+  // a whole-file read must collapse into EXACTLY one covering pread per
+  // dropping — no per-piece fallback reads, no hole bytes fetched. Counted
+  // via the sieve stats counters so a regression in run formation fails the
+  // benchmark, not just slows it.
+  stats::force_enable(true);
+  const auto sieve_before = stats::snapshot();
+  {
+    ::setenv("LDPLFS_THREADS", "0", 1);
+    auto rf = plfs::ReadFile::open(path);
+    if (!rf) std::abort();
+    std::vector<std::byte> sieve_buf(total);
+    auto n = rf.value()->read(sieve_buf, 0);
+    if (!n || n.value() != total) std::abort();
+  }
+  const auto sieve_delta = stats::snapshot().since(sieve_before);
+  const std::uint64_t sieve_reads =
+      sieve_delta.get(stats::Counter::kSieveReads);
+  const std::uint64_t sieve_direct =
+      sieve_delta.get(stats::Counter::kSieveDirectReads);
+  const std::uint64_t sieve_read_bytes =
+      sieve_delta.get(stats::Counter::kSieveBytesRead);
+  const std::uint64_t sieve_delivered =
+      sieve_delta.get(stats::Counter::kSieveBytesDelivered);
+  const bool sieve_pass =
+      sieve_reads == static_cast<std::uint64_t>(writers) &&
+      sieve_direct == 0 && sieve_read_bytes == total &&
+      sieve_delivered == total;
+
   (void)posix::remove_tree(dir);
 
   // Router-workload stats phase last, so forcing collection on cannot
@@ -581,22 +613,50 @@ int run_json_bench(const std::string& json_path, bool smoke) {
 
   // Tracked, accepted deviations — so a BENCH_micro.json reader (or the
   // per-PR manual comparison) can tell a known trade-off from a new
-  // regression.
+  // regression. The strided_write.raw.speedup entry (accepted at 0.45) is
+  // retired: flush-boundary extent coalescing made the staging path
+  // allocation-free at steady state and collapses permuted writes into one
+  // pwrite region and one index record per contiguous run, and the
+  // remaining raw-ratio movement is kernel-writeback noise (2-3x swings on
+  // the same build), which a hand-tracked accepted value cannot separate
+  // from a real relapse — the Mann-Whitney-gated coalesced_write scenario
+  // in ldp-bench can, and is now the regression surface for this path.
+  // The retired entry stays in the JSON (with the live ratio) for context.
   char known_buf[1024];
   std::snprintf(
       known_buf, sizeof known_buf,
-      "  \"known_regressions\": [{\n"
+      "  \"known_regressions\": [],\n"
+      "  \"retired_regressions\": [{\n"
       "    \"metric\": \"strided_write.raw.speedup\",\n"
-      "    \"value\": 0.45,\n"
+      "    \"accepted_value\": 0.45,\n"
       "    \"current\": %.2f,\n"
-      "    \"status\": \"accepted\",\n"
-      "    \"cause\": \"write-behind buffering spends an extra memcpy and "
-      "pool handoff per 4 KiB write; at page-cache (raw) speed there is no "
-      "device latency to hide, so the synchronous engine wins. The "
-      "modeled-latency speedup is the tracked headline; the adaptive-tuning "
-      "roadmap item should bypass buffering on fast backends.\"\n"
+      "    \"status\": \"retired\",\n"
+      "    \"resolution\": \"flush-boundary extent coalescing "
+      "(LDPLFS_COALESCE) collapses permuted small writes into one pwrite "
+      "region and one index record per contiguous run, and the staging "
+      "path reuses its buffers across flush rotations; the residual raw "
+      "ratio is dominated by kernel writeback state, so regressions on "
+      "this path are now caught statistically by the coalesced_write "
+      "scenario in ldp-bench (bench_suite_gate) instead of a hand-tracked "
+      "accepted value.\"\n"
       "  }],\n",
       wsync_raw / wwb_raw);
+
+  // Sieve self-check numbers (counted above, before the container teardown).
+  char sieve_buf[512];
+  std::snprintf(
+      sieve_buf, sizeof sieve_buf,
+      "  \"sieve\": {\n"
+      "    \"self_check\": \"%s\",\n"
+      "    \"expected_reads\": %d,\n"
+      "    \"reads\": %llu,\n"
+      "    \"direct_reads\": %llu,\n"
+      "    \"bytes_read\": %llu,\n"
+      "    \"bytes_delivered\": %llu\n"
+      "  },\n",
+      sieve_pass ? "pass" : "fail", writers, (unsigned long long)sieve_reads,
+      (unsigned long long)sieve_direct, (unsigned long long)sieve_read_bytes,
+      (unsigned long long)sieve_delivered);
 
   // Per-op breakdown from the known-count router workload: counts from the
   // LDPLFS_STATS counters, per-op mean latency from the log2 histograms.
@@ -644,13 +704,14 @@ int run_json_bench(const std::string& json_path, bool smoke) {
       (unsigned long long)d.get(C::kWbFlushSync),
       (unsigned long long)d.get(C::kWbFlushBytes),
       (unsigned long long)d.get(C::kWbBypass));
-  out << buf << phases << known_buf << stats_buf;
+  out << buf << phases << known_buf << sieve_buf << stats_buf;
   out.close();
   std::fputs(buf, stdout);
   std::fputs(phases.c_str(), stdout);
   std::fputs(known_buf, stdout);
+  std::fputs(sieve_buf, stdout);
   std::fputs(stats_buf, stdout);
-  return stats_phase.pass ? 0 : 1;
+  return (stats_phase.pass && sieve_pass) ? 0 : 1;
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 //                   the router (the §III-D "ordinary tools, no FUSE" claim)
 //   n1_strided      N-1 checkpoint: all ranks interleave blocks into one
 //                   logical file (write and read scenarios)
+//   list_io         the noncontiguous batch API: strided_readv (one rank's
+//                   slice via readx — data sieving's one-pread-per-dropping
+//                   case) and coalesced_write (permuted small writes via
+//                   writex — flush-boundary extent coalescing's case)
 //   nn_per_process  N-N: every rank owns a private file
 //   metadata_storm  mdtest-style create / stat / unlink over many names
 //   mixed_rw        random interleaved reads and writes in one container
@@ -60,7 +64,7 @@ class Scenario {
   }
 };
 
-/// The full named scenario matrix (six families). Order is the report
+/// The full named scenario matrix (seven families). Order is the report
 /// order.
 std::vector<std::unique_ptr<Scenario>> make_suite();
 

@@ -24,7 +24,8 @@
 
 namespace ldplfs::bench {
 
-inline constexpr int kSchemaVersion = 1;
+// v2: list_io family (strided_readv, coalesced_write) joined the matrix.
+inline constexpr int kSchemaVersion = 2;
 
 struct Report {
   std::string suite;  ///< "smoke", "full", or "custom"

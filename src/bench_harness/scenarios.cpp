@@ -146,6 +146,129 @@ class StridedReadScenario final : public Scenario {
   std::uint64_t total_ = 0;
 };
 
+// --- list_io --------------------------------------------------------------
+
+/// One rank reads back its own strided slice through the list-I/O batch
+/// API: logically strided segments, physically contiguous in the rank's
+/// dropping — data sieving collapses the whole batch into one covering
+/// pread per dropping instead of one per block.
+class StridedReadvScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "strided_readv"; }
+  [[nodiscard]] const char* family() const override { return "list_io"; }
+
+  void setup(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    pattern_ = workloads::make_strided_n1(s.writers, s.blocks_per_writer,
+                                          s.block_bytes, ws.seed);
+    path_ = ws.dir + "/strided_readv";
+    write_strided_container(name(), path_, pattern_);
+    slice_bytes_ = static_cast<std::uint64_t>(pattern_.blocks_per_writer) *
+                   pattern_.block_bytes;
+  }
+
+  double run_once(Workspace& ws) override {
+    const int reader = rep_++ % pattern_.writers;
+    const auto segs = workloads::make_strided_readv(
+        pattern_, reader, ws.seed + static_cast<std::uint64_t>(rep_));
+    std::vector<std::byte> arena(slice_bytes_);
+    std::vector<plfs::ReadSegment> batch;
+    batch.reserve(segs.size());
+    std::size_t used = 0;
+    for (const auto& seg : segs) {
+      batch.push_back({seg.offset, {arena.data() + used, seg.length}});
+      used += seg.length;
+    }
+    const auto start = Clock::now();
+    auto fd = plfs::plfs_open(path_, O_RDONLY, 1);
+    if (!fd) die(name(), "plfs_open");
+    auto n = fd.value()->readx(batch);
+    const double elapsed = seconds_since(start);
+    if (!n || n.value() != slice_bytes_) die(name(), "readx");
+    if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    return elapsed;
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace&) const override {
+    return {{"bytes_per_rep", static_cast<double>(slice_bytes_)}};
+  }
+
+ private:
+  workloads::StridedPattern pattern_;
+  std::string path_;
+  std::uint64_t slice_bytes_ = 0;
+  int rep_ = 0;
+};
+
+/// Randomly permuted small writes through the list-I/O batch API with the
+/// write-behind engine: scattered at issue time, densely covering the
+/// file, so flush-boundary extent coalescing relays each aggregation
+/// window into contiguous runs — one pwrite region and one index record
+/// per run instead of one per 4 KiB write.
+class CoalescedWriteScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "coalesced_write";
+  }
+  [[nodiscard]] const char* family() const override { return "list_io"; }
+
+  void setup(Workspace&) override {
+    // The engines under test; latched per stream at the first write, so
+    // set for the scenario's whole lifetime (defaults are on — this pins
+    // the measurement against ambient overrides).
+    ::setenv("LDPLFS_WRITE_BEHIND", "1", 1);
+    ::setenv("LDPLFS_COALESCE", "1", 1);
+  }
+
+  void teardown(Workspace&) override {
+    ::unsetenv("LDPLFS_WRITE_BEHIND");
+    ::unsetenv("LDPLFS_COALESCE");
+  }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const int nblocks = s.writers * s.blocks_per_writer *
+                        static_cast<int>(s.block_bytes / kWriteBlock);
+    const auto ops = workloads::make_permuted_writes(
+        nblocks, kWriteBlock, ws.seed + static_cast<std::uint64_t>(rep_));
+    // Untimed: materialise every payload into one arena so the timed
+    // section measures the engine, not the generator.
+    std::vector<std::byte> arena(static_cast<std::size_t>(nblocks) *
+                                 kWriteBlock);
+    std::vector<plfs::WriteSegment> batch;
+    batch.reserve(ops.size());
+    std::size_t used = 0;
+    for (const auto& op : ops) {
+      fill_payload({arena.data() + used, op.length}, op.fill_seed);
+      batch.push_back({op.offset, {arena.data() + used, op.length}});
+      used += op.length;
+    }
+    const std::string path =
+        ws.dir + "/coalesced." + std::to_string(rep_++);
+    const auto start = Clock::now();
+    auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+    if (!fd) die(name(), "plfs_open");
+    auto n = fd.value()->writex(batch, 1);
+    if (!n || n.value() != arena.size()) die(name(), "writex");
+    if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    const Scale s = scale_for(ws);
+    return {{"bytes_per_rep",
+             static_cast<double>(s.writers) *
+                 static_cast<double>(s.blocks_per_writer) *
+                 static_cast<double>(s.block_bytes)}};
+  }
+
+ private:
+  static constexpr std::size_t kWriteBlock = 4096;
+  int rep_ = 0;
+};
+
 // --- nn_per_process -------------------------------------------------------
 
 class NnWriteScenario final : public Scenario {
@@ -503,6 +626,8 @@ std::vector<std::unique_ptr<Scenario>> make_suite() {
   suite.push_back(std::make_unique<UnixMd5Scenario>());
   suite.push_back(std::make_unique<StridedWriteScenario>());
   suite.push_back(std::make_unique<StridedReadScenario>());
+  suite.push_back(std::make_unique<StridedReadvScenario>());
+  suite.push_back(std::make_unique<CoalescedWriteScenario>());
   suite.push_back(std::make_unique<NnWriteScenario>());
   suite.push_back(std::make_unique<MetadataStormScenario>());
   suite.push_back(std::make_unique<MixedRwScenario>());

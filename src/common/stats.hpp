@@ -48,6 +48,10 @@ namespace ldplfs::stats {
   X(kRouterReadvPassthrough, "router.readv.passthrough")        \
   X(kRouterWritevRouted, "router.writev.routed")                \
   X(kRouterWritevPassthrough, "router.writev.passthrough")      \
+  X(kRouterPreadvRouted, "router.preadv.routed")                \
+  X(kRouterPreadvPassthrough, "router.preadv.passthrough")      \
+  X(kRouterPwritevRouted, "router.pwritev.routed")              \
+  X(kRouterPwritevPassthrough, "router.pwritev.passthrough")    \
   X(kRouterLseekRouted, "router.lseek.routed")                  \
   X(kRouterLseekPassthrough, "router.lseek.passthrough")        \
   X(kRouterSyncRouted, "router.sync.routed")                    \
@@ -64,6 +68,11 @@ namespace ldplfs::stats {
   X(kPlfsWriterClosed, "plfs.writer.closed")                    \
   X(kPlfsIndexMerges, "plfs.index.merges")                      \
   X(kPlfsDroppingsOpened, "plfs.droppings.opened")              \
+  X(kSieveReads, "sieve.reads")                                 \
+  X(kSieveDirectReads, "sieve.reads.direct")                    \
+  X(kSieveBytesRead, "sieve.bytes.read")                        \
+  X(kSieveBytesDelivered, "sieve.bytes.delivered")              \
+  X(kSieveHoleBytes, "sieve.holes.bytes")                       \
   X(kCacheIndexHit, "cache.index.hit")                          \
   X(kCacheIndexMiss, "cache.index.miss")                        \
   X(kCacheIndexInvalidation, "cache.index.invalidation")        \
@@ -78,6 +87,7 @@ namespace ldplfs::stats {
   X(kWbFlushBytes, "wb.flush.bytes")                            \
   X(kWbBufferedBytes, "wb.buffered.bytes")                      \
   X(kWbBypass, "wb.bypass")                                     \
+  X(kWbCoalesceMerged, "wb.coalesce.merged")                    \
   X(kWbPoisoned, "wb.poisoned")                                 \
   X(kWbFlushTimeout, "wb.flush.timeout")                        \
   X(kRetryAttempted, "retry.attempted")                         \

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/health.hpp"
 #include "common/logging.hpp"
@@ -274,6 +275,43 @@ ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
   return static_cast<ssize_t>(n.value());
 }
 
+namespace {
+
+/// Address an iovec vector at cumulative offsets from `pos`. Offsets are
+/// fixed up front — a batch read only ever lands short at EOF, where the
+/// batch ends anyway, so cumulative addressing equals cursor threading.
+std::vector<plfs::ReadSegment> read_segments(const struct ::iovec* iov,
+                                             int iovcnt, std::uint64_t pos) {
+  std::vector<plfs::ReadSegment> segs;
+  segs.reserve(iovcnt > 0 ? static_cast<std::size_t>(iovcnt) : 0);
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) continue;
+    segs.push_back(plfs::ReadSegment{
+        pos, std::span<std::byte>(static_cast<std::byte*>(iov[i].iov_base),
+                                  iov[i].iov_len)});
+    pos += iov[i].iov_len;
+  }
+  return segs;
+}
+
+std::vector<plfs::WriteSegment> write_segments(const struct ::iovec* iov,
+                                               int iovcnt,
+                                               std::uint64_t pos) {
+  std::vector<plfs::WriteSegment> segs;
+  segs.reserve(iovcnt > 0 ? static_cast<std::size_t>(iovcnt) : 0);
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) continue;
+    segs.push_back(plfs::WriteSegment{
+        pos, std::span<const std::byte>(
+                 static_cast<const std::byte*>(iov[i].iov_base),
+                 iov[i].iov_len)});
+    pos += iov[i].iov_len;
+  }
+  return segs;
+}
+
+}  // namespace
+
 ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
   auto of = table_.lookup(fd);
   if (!of) {
@@ -281,33 +319,21 @@ ssize_t Router::readv(int fd, const struct ::iovec* iov, int iovcnt) {
     return ::readv(fd, iov, iovcnt);
   }
   stats::add(stats::Counter::kRouterReadvRouted);
-  // Vectored I/O decomposes into sequential reads. The fd-table lookup and
-  // the shadow-fd cursor round-trip happen once for the whole vector — the
-  // cursor threads through the loop and lands in the shadow fd with a
-  // single final lseek. POSIX offset-atomicity holds because the cursor
-  // only moves through this thread's own calls.
+  // Vectored I/O goes through the list-I/O batch API: one fd-table lookup,
+  // one shadow-fd cursor round-trip, and one index snapshot for the whole
+  // vector (readx), so a snapshot refresh between iovecs can never tear
+  // the vector and the cumulative count survives a middle iovec landing
+  // short at EOF. POSIX offset-atomicity holds because the cursor only
+  // moves through this thread's own calls.
   const off_t start = real_.lseek(fd, 0, SEEK_CUR);
   if (start < 0) return -1;
-  std::uint64_t pos = static_cast<std::uint64_t>(start);
-  ssize_t total = 0;
-  for (int i = 0; i < iovcnt; ++i) {
-    if (iov[i].iov_len == 0) continue;
-    auto n = of->handle().read(
-        std::span<std::byte>(static_cast<std::byte*>(iov[i].iov_base),
-                             iov[i].iov_len),
-        pos);
-    if (!n) {
-      if (total > 0) break;  // partial success: report what landed
-      return fail(n.error());
-    }
-    pos += n.value();
-    total += static_cast<ssize_t>(n.value());
-    if (n.value() < iov[i].iov_len) break;  // EOF
-  }
-  real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
-  stats::add(stats::Counter::kRouterReadBytes,
-             static_cast<std::uint64_t>(total));
-  return total;
+  const auto segs =
+      read_segments(iov, iovcnt, static_cast<std::uint64_t>(start));
+  auto n = of->handle().readx(segs);
+  if (!n) return fail(n.error());
+  real_.lseek(fd, start + static_cast<off_t>(n.value()), SEEK_SET);
+  stats::add(stats::Counter::kRouterReadBytes, n.value());
+  return static_cast<ssize_t>(n.value());
 }
 
 ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
@@ -327,25 +353,51 @@ ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
     if (start < 0) return -1;
     pos = static_cast<std::uint64_t>(start);
   }
-  ssize_t total = 0;
-  for (int i = 0; i < iovcnt; ++i) {
-    if (iov[i].iov_len == 0) continue;
-    auto n = of->handle().write(
-        std::span<const std::byte>(
-            static_cast<const std::byte*>(iov[i].iov_base), iov[i].iov_len),
-        pos, of->pid());
-    if (!n) {
-      if (total > 0) break;
-      return fail(n.error());
-    }
-    pos += n.value();
-    total += static_cast<ssize_t>(n.value());
-    if (n.value() < iov[i].iov_len) break;
+  const auto segs = write_segments(iov, iovcnt, pos);
+  auto n = of->handle().writex(segs, of->pid());
+  if (!n) return fail(n.error());
+  real_.lseek(fd, static_cast<off_t>(pos + n.value()), SEEK_SET);
+  stats::add(stats::Counter::kRouterWriteBytes, n.value());
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::preadv(int fd, const struct ::iovec* iov, int iovcnt,
+                       off_t offset) {
+  auto of = table_.lookup(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterPreadvPassthrough);
+    return ::preadv(fd, iov, iovcnt, offset);
   }
-  real_.lseek(fd, static_cast<off_t>(pos), SEEK_SET);
-  stats::add(stats::Counter::kRouterWriteBytes,
-             static_cast<std::uint64_t>(total));
-  return total;
+  stats::add(stats::Counter::kRouterPreadvRouted);
+  const auto segs =
+      read_segments(iov, iovcnt, static_cast<std::uint64_t>(offset));
+  auto n = of->handle().readx(segs);
+  if (!n) return fail(n.error());
+  stats::add(stats::Counter::kRouterReadBytes, n.value());
+  return static_cast<ssize_t>(n.value());
+}
+
+ssize_t Router::pwritev(int fd, const struct ::iovec* iov, int iovcnt,
+                        off_t offset) {
+  auto of = table_.lookup(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterPwritevPassthrough);
+    return ::pwritev(fd, iov, iovcnt, offset);
+  }
+  stats::add(stats::Counter::kRouterPwritevRouted);
+  std::uint64_t target = static_cast<std::uint64_t>(offset);
+  if ((of->flags() & O_APPEND) != 0) {
+    // Same Linux quirk as pwrite (pwrite(2) BUGS): O_APPEND wins over the
+    // explicit offset and the vector appends at EOF.
+    auto size = of->handle().size();
+    if (!size) return fail(size.error());
+    target = size.value();
+  }
+  const auto segs = write_segments(iov, iovcnt, target);
+  auto n = of->handle().writex(segs, of->pid());
+  if (!n) return fail(n.error());
+  stats::add(stats::Counter::kRouterWriteBytes, n.value());
+  return static_cast<ssize_t>(n.value());
 }
 
 off_t Router::lseek(int fd, off_t offset, int whence) {

@@ -38,6 +38,8 @@ class Router {
   ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset);
   ssize_t readv(int fd, const struct ::iovec* iov, int iovcnt);
   ssize_t writev(int fd, const struct ::iovec* iov, int iovcnt);
+  ssize_t preadv(int fd, const struct ::iovec* iov, int iovcnt, off_t offset);
+  ssize_t pwritev(int fd, const struct ::iovec* iov, int iovcnt, off_t offset);
   off_t lseek(int fd, off_t offset, int whence);
   int close(int fd);
   int fsync(int fd);

@@ -207,18 +207,21 @@ const std::string& local_hostname() {
 }
 
 std::uint64_t next_timestamp() {
-  static std::atomic<std::uint64_t> last{0};
-  const auto now = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-  std::uint64_t prev = last.load(std::memory_order_relaxed);
-  while (true) {
-    const std::uint64_t next = now > prev ? now : prev + 1;
-    if (last.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
-      return next;
-    }
-  }
+  // Seeded from the wall clock once, then a strict +1 counter. Keeping
+  // consecutive calls exactly one apart is load-bearing: the index-record
+  // continuation merges (IndexWriter::add_write, WriteFile::stage_record /
+  // coalesce_active) re-stamp merged bytes, which is only sound when no
+  // stamp can sit between the merged ones — "the stamps are consecutive
+  // integers" is precisely that guarantee. Cross-process ordering only
+  // drifts from real time by the number of stamps drawn (nanoseconds per
+  // call), far below the clock skew the wall-clock scheme tolerated anyway.
+  static std::atomic<std::uint64_t> last{[] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }()};
+  return last.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace ldplfs::plfs

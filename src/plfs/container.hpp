@@ -117,9 +117,11 @@ Result<std::vector<std::string>> read_open_hosts(const std::string& root);
 /// Hostname of this machine (cached).
 const std::string& local_hostname();
 
-/// Monotonic-per-process wall-clock nanoseconds used to order droppings and
-/// index records across writers (Lamport-adjusted so repeated calls are
-/// strictly increasing within a process).
+/// Stamp used to order droppings and index records across writers: wall
+/// clock (ns) at first use, then a strict +1 counter. Consecutive calls
+/// within a process differ by exactly one — the continuation merges in the
+/// index layer rely on that to prove no other stamp sits between two
+/// merged records (see IndexWriter::add_write).
 std::uint64_t next_timestamp();
 
 }  // namespace ldplfs::plfs

@@ -156,30 +156,41 @@ Result<IndexWriter> IndexWriter::create(const std::string& index_path,
 }
 
 void IndexWriter::add_write(std::uint64_t offset, std::uint64_t length,
-                            std::uint64_t physical, std::uint64_t timestamp) {
+                            std::uint64_t physical, std::uint64_t timestamp,
+                            std::uint64_t timestamp_first) {
   if (length == 0) return;
+  if (timestamp_first == 0) timestamp_first = timestamp;
   // Coalesce with the previous record when both the logical and physical
-  // runs continue exactly — the common case for streaming checkpoints.
+  // runs continue exactly — the common case for streaming checkpoints —
+  // AND the incoming stamp block starts right past the previous record's
+  // block end (see the header: the merge re-stamps old bytes, which is
+  // only sound when nothing can hold a stamp between the blocks).
   if (!pending_.empty()) {
     IndexRecord& last = pending_.back();
     if (last.kind == static_cast<std::uint32_t>(RecordKind::kData) &&
         last.logical_offset + last.length == offset &&
-        last.physical_offset + last.length == physical) {
+        last.physical_offset + last.length == physical &&
+        timestamp_first == pending_last_stamp_ + 1) {
       last.length += length;
       last.timestamp = timestamp;
+      pending_last_stamp_ = timestamp;
       return;
     }
   }
   pending_.push_back(IndexRecord{offset, length, physical, timestamp, 0,
                                  static_cast<std::uint32_t>(RecordKind::kData)});
+  pending_last_stamp_ = timestamp;
 }
 
-void IndexWriter::add_records(std::span<const IndexRecord> records) {
+void IndexWriter::add_records(std::span<const IndexRecord> records,
+                              std::span<const std::uint64_t> first_stamps) {
   pending_.reserve(pending_.size() + records.size());
-  for (const auto& rec : records) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
     if (rec.kind == static_cast<std::uint32_t>(RecordKind::kData)) {
       add_write(rec.logical_offset, rec.length, rec.physical_offset,
-                rec.timestamp);
+                rec.timestamp,
+                i < first_stamps.size() ? first_stamps[i] : rec.timestamp);
     } else {
       add_truncate(rec.length, rec.timestamp);
     }
@@ -190,6 +201,7 @@ void IndexWriter::add_truncate(std::uint64_t size, std::uint64_t timestamp) {
   pending_.push_back(IndexRecord{
       0, size, 0, timestamp, 0,
       static_cast<std::uint32_t>(RecordKind::kTruncate)});
+  pending_last_stamp_ = timestamp;
 }
 
 Status IndexWriter::flush() {

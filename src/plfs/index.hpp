@@ -71,8 +71,20 @@ class IndexWriter {
 
   /// Record a write of `length` bytes at logical `offset` stored at
   /// `physical` in the data dropping.
+  ///
+  /// A record may stand for a *block* of consecutive stamps when the
+  /// caller already merged several writes into it: `timestamp` is the
+  /// newest stamp of the block and `timestamp_first` the oldest (0 means
+  /// the record covers the single stamp `timestamp`). Continuation merges
+  /// re-stamp the previous record's bytes with the newer stamp, which is
+  /// only sound when nothing anywhere can hold a stamp between the two
+  /// blocks — so a merge requires the incoming block to start exactly one
+  /// past the previous record's block end. Stamps come from one
+  /// process-wide counter, so an interleaved writer stream leaves a gap
+  /// and keeps its own record.
   void add_write(std::uint64_t offset, std::uint64_t length,
-                 std::uint64_t physical, std::uint64_t timestamp);
+                 std::uint64_t physical, std::uint64_t timestamp,
+                 std::uint64_t timestamp_first = 0);
 
   /// Record a truncate to `size`.
   void add_truncate(std::uint64_t size, std::uint64_t timestamp);
@@ -81,8 +93,11 @@ class IndexWriter {
   /// aggregation buffer land here in one call once the data flush that
   /// covers them has completed. Re-coalesces across the batch boundary and
   /// obeys the same tear-safety rules as add_write (records reach disk only
-  /// through flush(), which is sticky on failure).
-  void add_records(std::span<const IndexRecord> records);
+  /// through flush(), which is sticky on failure). `first_stamps`, when
+  /// non-empty, runs parallel to `records` and carries each record's
+  /// stamp-block start (see add_write).
+  void add_records(std::span<const IndexRecord> records,
+                   std::span<const std::uint64_t> first_stamps = {});
 
   /// Append buffered records to the file.
   ///
@@ -110,6 +125,10 @@ class IndexWriter {
   std::string index_path_;
   int fd_ = -1;
   std::vector<IndexRecord> pending_;
+  // Stamp-block end of pending_.back() (== its timestamp field); kept
+  // separately so continuation merges can test block adjacency even after
+  // pending_ is flushed away.
+  std::uint64_t pending_last_stamp_ = 0;
   std::uint64_t records_written_ = 0;
   int deferred_errno_ = 0;
 };

@@ -92,6 +92,36 @@ Result<std::size_t> FileHandle::read(std::span<std::byte> out,
   return reader.value()->read(out, offset);
 }
 
+Result<std::size_t> FileHandle::readx(std::span<const ReadSegment> segs) {
+  if ((flags_ & O_ACCMODE) == O_WRONLY) return Errno{EBADF};
+  std::lock_guard lock(mu_);
+  // One snapshot for the whole batch: every segment sees the same index
+  // state, no matter what concurrent writers do between segments.
+  auto reader = reader_locked();
+  if (!reader) return reader.error();
+  return reader.value()->read_batch(segs);
+}
+
+Result<std::size_t> FileHandle::writex(std::span<const WriteSegment> segs,
+                                       pid_t pid) {
+  if ((flags_ & O_ACCMODE) == O_RDONLY) return Errno{EBADF};
+  std::lock_guard lock(mu_);
+  auto writer = writer_for(pid);
+  if (!writer) return writer.error();
+  std::size_t total = 0;
+  for (const auto& seg : segs) {
+    if (seg.buf.empty()) continue;
+    auto n = writer.value()->write(seg.buf, seg.offset);
+    if (!n) {
+      if (total > 0) break;  // partial success: report what landed
+      return n.error();
+    }
+    ++writes_since_snapshot_;
+    total += n.value();
+  }
+  return total;
+}
+
 Status FileHandle::sync(pid_t pid) {
   std::lock_guard lock(mu_);
   auto it = writers_.find(pid);
@@ -175,6 +205,17 @@ Result<std::size_t> plfs_write(FileHandle& fd, std::span<const std::byte> data,
 Result<std::size_t> plfs_read(FileHandle& fd, std::span<std::byte> out,
                               std::uint64_t offset) {
   return fd.read(out, offset);
+}
+
+Result<std::size_t> plfs_readx(FileHandle& fd,
+                               std::span<const ReadSegment> segs) {
+  return fd.readx(segs);
+}
+
+Result<std::size_t> plfs_writex(FileHandle& fd,
+                                std::span<const WriteSegment> segs,
+                                pid_t pid) {
+  return fd.writex(segs, pid);
 }
 
 Status plfs_sync(FileHandle& fd, pid_t pid) { return fd.sync(pid); }

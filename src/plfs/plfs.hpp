@@ -65,6 +65,21 @@ class FileHandle {
   /// writers are flushed and the index snapshot refreshed when stale.
   Result<std::size_t> read(std::span<std::byte> out, std::uint64_t offset);
 
+  /// List-I/O batch read (plfs_readx): every segment is served from ONE
+  /// handle lock and ONE reader snapshot — the single-lookup guarantee a
+  /// readv decomposed into per-iovec read() calls cannot give. Returns the
+  /// cumulative byte count with POSIX readv semantics: segments fill in
+  /// order, EOF cutting a segment short ends the batch there, later
+  /// segments are not attempted.
+  Result<std::size_t> readx(std::span<const ReadSegment> segs);
+
+  /// List-I/O batch write (plfs_writex): every segment goes through the
+  /// same writer stream under one handle lock. Returns the cumulative byte
+  /// count; a failure after bytes landed reports the partial count, a
+  /// failure with nothing landed reports the error (POSIX writev
+  /// semantics).
+  Result<std::size_t> writex(std::span<const WriteSegment> segs, pid_t pid);
+
   /// Flush `pid`'s writer stream (plfs_sync).
   Status sync(pid_t pid);
 
@@ -104,6 +119,17 @@ Result<std::size_t> plfs_write(FileHandle& fd, std::span<const std::byte> data,
                                std::uint64_t offset, pid_t pid);
 Result<std::size_t> plfs_read(FileHandle& fd, std::span<std::byte> out,
                               std::uint64_t offset);
+
+/// List-I/O batch entry points (after PVFS list I/O): one call describes
+/// many file regions. Reads are served from one index snapshot (and data
+/// sieving coalesces physically-close pieces per dropping, see
+/// ReadFile::read_batch); writes stream through one writer and coalesce at
+/// flush boundaries (see WriteFile). Segment types: ReadSegment in
+/// read_file.hpp, WriteSegment in write_file.hpp.
+Result<std::size_t> plfs_readx(FileHandle& fd,
+                               std::span<const ReadSegment> segs);
+Result<std::size_t> plfs_writex(FileHandle& fd,
+                                std::span<const WriteSegment> segs, pid_t pid);
 Status plfs_sync(FileHandle& fd, pid_t pid);
 Status plfs_close(const std::shared_ptr<FileHandle>& fd, pid_t pid);
 

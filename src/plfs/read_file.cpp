@@ -1,21 +1,60 @@
 #include "plfs/read_file.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/units.hpp"
 #include "plfs/fd_cache.hpp"
 #include "plfs/index_cache.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
 
+namespace {
+
+constexpr std::size_t kDefaultSieveMaxHole = std::size_t{64} << 10;
+constexpr std::size_t kMaxSieveMaxHole = std::size_t{16} << 20;
+constexpr std::size_t kDefaultSieveBuffer = std::size_t{4} << 20;
+constexpr std::size_t kMinSieveBuffer = std::size_t{64} << 10;
+constexpr std::size_t kMaxSieveBuffer = std::size_t{256} << 20;
+
+}  // namespace
+
+bool ReadFile::env_sieve() {
+  const char* env = std::getenv("LDPLFS_SIEVE");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::size_t ReadFile::env_sieve_max_hole() {
+  const char* env = std::getenv("LDPLFS_SIEVE_MAX_HOLE");
+  if (env == nullptr || *env == '\0') return kDefaultSieveMaxHole;
+  const std::uint64_t parsed = parse_bytes(env);
+  if (parsed == 0) return kDefaultSieveMaxHole;  // malformed: stay safe
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(parsed, kMaxSieveMaxHole));
+}
+
+std::size_t ReadFile::env_sieve_buffer() {
+  const char* env = std::getenv("LDPLFS_SIEVE_BUFFER");
+  if (env == nullptr || *env == '\0') return kDefaultSieveBuffer;
+  const std::uint64_t parsed = parse_bytes(env);
+  if (parsed == 0) return kDefaultSieveBuffer;  // malformed: stay safe
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(parsed, kMinSieveBuffer, kMaxSieveBuffer));
+}
+
 ReadFile::ReadFile(std::string root, std::shared_ptr<const GlobalIndex> index)
     : root_(std::move(root)),
       index_(std::move(index)),
-      threads_(ThreadPool::env_threads()) {}
+      threads_(ThreadPool::env_threads()),
+      sieve_(env_sieve()),
+      sieve_max_hole_(env_sieve_max_hole()),
+      sieve_buffer_(env_sieve_buffer()) {}
 
 Result<std::unique_ptr<ReadFile>> ReadFile::open(const std::string& root) {
   auto index = IndexCache::shared().get(root);
@@ -31,94 +70,166 @@ std::unique_ptr<ReadFile> ReadFile::with_index(std::string root,
       std::make_shared<const GlobalIndex>(std::move(index))));
 }
 
-Result<std::size_t> ReadFile::read_serial(
-    const std::vector<MappedPiece>& pieces, std::span<std::byte> out,
-    std::uint64_t offset, std::size_t want) {
-  for (const auto& piece : pieces) {
-    std::byte* dst = out.data() + (piece.logical - offset);
-    if (piece.hole) continue;  // pre-zeroed by the caller
-    auto fd = DroppingFdCache::shared().acquire(
-        path_join(root_, index_->data_paths()[piece.dropping]));
-    if (!fd) return fd.error();
-    auto s = posix::pread_all(fd.value().get(),
-                              std::span<std::byte>(dst, piece.length),
-                              static_cast<off_t>(piece.physical));
-    if (!s) return s.error();
+int ReadFile::read_dropping(std::uint32_t dropping,
+                            const std::vector<PieceRef>& refs,
+                            std::size_t* failing_seq) {
+  auto fd = DroppingFdCache::shared().acquire(
+      path_join(root_, index_->data_paths()[dropping]));
+  if (!fd) {
+    *failing_seq = refs.front().seq;
+    return fd.error_code();
   }
-  return want;
+
+  std::vector<std::byte> scratch;  // reused across sieve runs
+  std::size_t i = 0;
+  while (i < refs.size()) {
+    // Grow the run while the next piece is close enough that one covering
+    // pread beats separate calls: physical gap bounded by the max-hole
+    // knob, covering span bounded by the sieve buffer.
+    std::size_t j = i;
+    const std::uint64_t base = refs[i].piece.physical;
+    std::uint64_t end = base + refs[i].piece.length;
+    if (sieve_) {
+      while (j + 1 < refs.size()) {
+        const auto& next = refs[j + 1].piece;
+        const std::uint64_t gap = next.physical > end ? next.physical - end : 0;
+        const std::uint64_t reach = std::max(end, next.physical + next.length);
+        if (gap > sieve_max_hole_ || reach - base > sieve_buffer_) break;
+        end = reach;
+        ++j;
+      }
+    }
+
+    if (j == i) {
+      // Singleton run: pread straight into the destination, no extra copy.
+      const auto& ref = refs[i];
+      stats::add(stats::Counter::kSieveDirectReads);
+      auto s = posix::pread_all(
+          fd.value().get(), std::span<std::byte>(ref.dst, ref.piece.length),
+          static_cast<off_t>(ref.piece.physical));
+      if (!s) {
+        *failing_seq = ref.seq;
+        return s.error_code();
+      }
+    } else {
+      // Sieved run: one covering pread, scatter in memory. The covering
+      // range may include bytes no piece asked for (physical holes between
+      // pieces); they are read and dropped — that is the sieving trade.
+      const std::size_t span = static_cast<std::size_t>(end - base);
+      scratch.resize(span);
+      auto s = posix::pread_all(fd.value().get(),
+                                std::span<std::byte>(scratch.data(), span),
+                                static_cast<off_t>(base));
+      if (!s) {
+        std::size_t seq = refs[i].seq;
+        for (std::size_t k = i + 1; k <= j; ++k) {
+          seq = std::min(seq, refs[k].seq);
+        }
+        *failing_seq = seq;
+        return s.error_code();
+      }
+      std::uint64_t delivered = 0;
+      for (std::size_t k = i; k <= j; ++k) {
+        const auto& ref = refs[k];
+        std::memcpy(ref.dst, scratch.data() + (ref.piece.physical - base),
+                    ref.piece.length);
+        delivered += ref.piece.length;
+      }
+      stats::add(stats::Counter::kSieveReads);
+      stats::add(stats::Counter::kSieveBytesRead, span);
+      stats::add(stats::Counter::kSieveBytesDelivered, delivered);
+      stats::add(stats::Counter::kSieveHoleBytes, span - delivered);
+    }
+    i = j + 1;
+  }
+  return 0;
 }
 
 Result<std::size_t> ReadFile::read(std::span<std::byte> out,
                                    std::uint64_t offset) {
+  const ReadSegment seg{offset, out};
+  return read_batch(std::span<const ReadSegment>(&seg, 1));
+}
+
+Result<std::size_t> ReadFile::read_batch(std::span<const ReadSegment> segs) {
   const std::uint64_t file_size = index_->size();
-  if (offset >= file_size || out.empty()) return std::size_t{0};
-  const std::size_t want = static_cast<std::size_t>(
-      std::min<std::uint64_t>(out.size(), file_size - offset));
 
-  const auto pieces = index_->lookup(offset, want);
-
-  // Holes are pure memset; do them inline and batch only data pieces.
-  // Batching by dropping keeps each worker's preads on one descriptor,
-  // which is the unit of parallelism a strided N-1 container exposes.
-  std::map<std::uint32_t, std::vector<std::size_t>> batches;
-  for (std::size_t i = 0; i < pieces.size(); ++i) {
-    const auto& piece = pieces[i];
-    if (piece.hole) {
-      std::memset(out.data() + (piece.logical - offset), 0, piece.length);
-    } else {
-      batches[piece.dropping].push_back(i);
+  // Resolve every segment against the snapshot up front. Holes are pure
+  // memset; only data pieces queue for I/O. A segment past EOF (or one that
+  // EOF cuts short) ends the batch: POSIX readv semantics, the cumulative
+  // count covers everything delivered up to that point.
+  std::size_t total = 0;
+  std::vector<PieceRef> refs;
+  for (const auto& seg : segs) {
+    if (seg.buf.empty()) continue;
+    if (seg.offset >= file_size) break;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(seg.buf.size(), file_size - seg.offset));
+    const auto pieces = index_->lookup(seg.offset, want);
+    for (const auto& piece : pieces) {
+      std::byte* dst = seg.buf.data() + (piece.logical - seg.offset);
+      if (piece.hole) {
+        std::memset(dst, 0, piece.length);
+      } else {
+        refs.push_back(PieceRef{piece, dst, refs.size()});
+      }
     }
+    total += want;
+    if (want < seg.buf.size()) break;  // EOF inside this segment
   }
+  if (refs.empty()) return total;
 
-  if (threads_ < 2 || batches.size() < 2) {
-    return read_serial(pieces, out, offset, want);
+  // Batching by dropping keeps each worker's preads on one descriptor,
+  // which is both the unit of parallelism a strided N-1 container exposes
+  // and the unit data sieving coalesces within. Physical order inside a
+  // dropping is what makes runs contiguous.
+  std::map<std::uint32_t, std::vector<PieceRef>> batches;
+  for (const auto& ref : refs) batches[ref.piece.dropping].push_back(ref);
+  for (auto& [dropping, batch] : batches) {
+    std::sort(batch.begin(), batch.end(),
+              [](const PieceRef& a, const PieceRef& b) {
+                if (a.piece.physical != b.piece.physical) {
+                  return a.piece.physical < b.piece.physical;
+                }
+                return a.seq < b.seq;
+              });
   }
 
   struct BatchOutcome {
     int err = 0;
-    std::uint64_t logical = ~std::uint64_t{0};  // of the first failing piece
+    std::size_t seq = ~std::size_t{0};  // of the first failing piece
   };
   std::vector<BatchOutcome> outcomes(batches.size());
 
-  TaskGroup group(ThreadPool::shared());
-  std::size_t slot = 0;
-  for (const auto& [dropping, batch] : batches) {
-    group.run([this, &pieces, &out, offset, dropping = dropping,
-               batch = &batch, outcome = &outcomes[slot]] {
-      auto fd = DroppingFdCache::shared().acquire(
-          path_join(root_, index_->data_paths()[dropping]));
-      if (!fd) {
-        outcome->err = fd.error_code();
-        outcome->logical = pieces[batch->front()].logical;
-        return;
-      }
-      for (const std::size_t i : *batch) {
-        const auto& piece = pieces[i];
-        auto s = posix::pread_all(
-            fd.value().get(),
-            std::span<std::byte>(out.data() + (piece.logical - offset),
-                                 piece.length),
-            static_cast<off_t>(piece.physical));
-        if (!s) {
-          outcome->err = s.error_code();
-          outcome->logical = piece.logical;
-          return;
-        }
-      }
-    });
-    ++slot;
+  if (threads_ < 2 || batches.size() < 2) {
+    std::size_t slot = 0;
+    for (const auto& [dropping, batch] : batches) {
+      outcomes[slot].err =
+          read_dropping(dropping, batch, &outcomes[slot].seq);
+      ++slot;
+    }
+  } else {
+    TaskGroup group(ThreadPool::shared());
+    std::size_t slot = 0;
+    for (const auto& [dropping, batch] : batches) {
+      group.run([this, dropping = dropping, batch = &batch,
+                 outcome = &outcomes[slot]] {
+        outcome->err = read_dropping(dropping, *batch, &outcome->seq);
+      });
+      ++slot;
+    }
+    group.wait();
   }
-  group.wait();
 
   const BatchOutcome* first_error = nullptr;
   for (const auto& outcome : outcomes) {
     if (outcome.err != 0 &&
-        (first_error == nullptr || outcome.logical < first_error->logical)) {
+        (first_error == nullptr || outcome.seq < first_error->seq)) {
       first_error = &outcome;
     }
   }
   if (first_error != nullptr) return Errno{first_error->err};
-  return want;
+  return total;
 }
 
 }  // namespace ldplfs::plfs

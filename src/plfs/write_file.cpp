@@ -48,6 +48,11 @@ bool WriteFile::env_write_behind() {
   return env == nullptr || std::string(env) != "0";
 }
 
+bool WriteFile::env_coalesce() {
+  const char* env = std::getenv("LDPLFS_COALESCE");
+  return env == nullptr || std::string(env) != "0";
+}
+
 std::size_t WriteFile::env_write_buffer() {
   const char* env = std::getenv("LDPLFS_WRITE_BUFFER");
   if (env == nullptr || *env == '\0') return kDefaultWriteBuffer;
@@ -100,6 +105,7 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
 
   wf->write_behind_ = env_write_behind();
   if (wf->write_behind_) {
+    wf->coalesce_ = env_coalesce();
     wf->buffer_capacity_ = env_write_buffer();
     wf->active_.reserve(wf->buffer_capacity_);
     wf->flush_deadline_ms_ = env_flush_deadline_ms();
@@ -136,27 +142,129 @@ Result<std::size_t> WriteFile::write_through(std::span<const std::byte> data,
 void WriteFile::stage_record(std::uint64_t offset, std::uint64_t length,
                              std::uint64_t physical) {
   // Same coalescing rule as IndexWriter::add_write: extend the previous
-  // record when both the logical and physical runs continue exactly.
+  // record when both the logical and physical runs continue exactly AND
+  // the stamps are consecutive — extension re-stamps the old bytes, which
+  // is only sound when nothing can sit between the two stamps in the
+  // global order (an interleaved stream leaves a gap and gets refused).
+  const std::uint64_t ts = next_timestamp();
   if (!active_records_.empty()) {
     IndexRecord& last = active_records_.back();
     if (last.logical_offset + last.length == offset &&
-        last.physical_offset + last.length == physical) {
+        last.physical_offset + last.length == physical &&
+        ts == last.timestamp + 1) {
       last.length += length;
-      last.timestamp = next_timestamp();
+      last.timestamp = ts;  // block grows to [first .. ts]
       return;
     }
   }
   active_records_.push_back(
-      IndexRecord{offset, length, physical, next_timestamp(), 0,
+      IndexRecord{offset, length, physical, ts, 0,
                   static_cast<std::uint32_t>(RecordKind::kData)});
+  active_first_stamps_.push_back(ts);
+}
+
+void WriteFile::coalesce_active() {
+  if (!coalesce_ || active_records_.size() < 2) return;
+  // Stage order is authority order: replay the staged records through an
+  // ExtentMap (newest wins) keyed on buffer-relative physical offsets, so
+  // bytes a later staged write overwrote drop out entirely.
+  ExtentMap map;
+  for (std::size_t i = 0; i < active_records_.size(); ++i) {
+    const auto& rec = active_records_[i];
+    map.insert(Extent{rec.logical_offset, rec.length,
+                      static_cast<std::uint32_t>(i),
+                      rec.physical_offset - active_base_, rec.timestamp});
+  }
+  const auto extents = map.extents();  // logical order, no overlap
+
+  scratch_.clear();
+  scratch_.reserve(active_.size());
+  std::vector<IndexRecord> records;
+  records.reserve(extents.size());
+  std::vector<std::uint64_t> firsts;
+  firsts.reserve(extents.size());
+  // Stamp span [span_first, span_last] of the staged records contributing
+  // to records.back(). A merged record carries one stamp for bytes written
+  // at several; that is only exact when no record anywhere — another
+  // writer stream, an earlier flush — can hold a stamp between the
+  // contributors. next_timestamp() hands out consecutive integers, so
+  // "the contributing blocks form one contiguous block" guarantees exactly
+  // that, and stamping the block end is then sound: anything older than
+  // the block loses to every contributor, anything newer beats them all.
+  // Back-to-back writes from one stream (the writev / sequential case this
+  // optimisation targets) merge; interleaved streams leave stamp gaps and
+  // keep their own records.
+  //
+  // The contributor set stays one contiguous stamp span by construction (a
+  // refused merge starts a fresh record), and staged records partition the
+  // stamp space disjointly, so membership and adjacency are O(1) interval
+  // checks: a candidate block is already a contributor iff its first stamp
+  // falls inside the span, and the union stays contiguous iff the block
+  // abuts either end. No per-extent rescan of the contributors.
+  std::uint64_t span_first = 0, span_last = 0;
+  for (const auto& ext : extents) {
+    const std::uint64_t physical = active_base_ + scratch_.size();
+    const std::byte* src =
+        active_.data() + static_cast<std::size_t>(ext.physical);
+    scratch_.insert(scratch_.end(), src,
+                    src + static_cast<std::size_t>(ext.length));
+    // ext.dropping carries the staged-record index (set above); split
+    // pieces of one record share its full block.
+    const std::uint64_t blk_first = active_first_stamps_[ext.dropping];
+    const std::uint64_t blk_last = active_records_[ext.dropping].timestamp;
+    if (!records.empty() &&
+        records.back().logical_offset + records.back().length ==
+            ext.logical) {
+      const bool present =
+          blk_first >= span_first && blk_first <= span_last;
+      const bool adjacent =
+          blk_first == span_last + 1 || blk_last + 1 == span_first;
+      if (present || adjacent) {
+        span_first = std::min(span_first, blk_first);
+        span_last = std::max(span_last, blk_last);
+        records.back().length += ext.length;
+        records.back().timestamp = span_last;
+        firsts.back() = span_first;
+        continue;
+      }
+    }
+    records.push_back(IndexRecord{ext.logical, ext.length, physical,
+                                  blk_last, 0,
+                                  static_cast<std::uint32_t>(RecordKind::kData)});
+    firsts.push_back(blk_first);
+    span_first = blk_first;
+    span_last = blk_last;
+  }
+  // Skip the swap when nothing got cheaper — the rewrite only pays when a
+  // record or a byte actually drops out of the flush. (Records can also
+  // *grow*: a stamp gap refusing the re-merge of a split record; only go
+  // through with that when overlap elimination shrank the data.)
+  if (records.size() >= active_records_.size() &&
+      scratch_.size() == active_.size()) {
+    return;
+  }
+  if (records.size() < active_records_.size()) {
+    stats::add(stats::Counter::kWbCoalesceMerged,
+               active_records_.size() - records.size());
+  }
+  active_.swap(scratch_);
+  active_records_.swap(records);
+  active_first_stamps_.swap(firsts);
+  // Overlap elimination may have shrunk the staged bytes; the accepted-byte
+  // counter must keep matching the log tail the drained stream will have.
+  physical_end_ = active_base_ + active_.size();
 }
 
 void WriteFile::submit_active() {
+  coalesce_active();
   auto task = std::make_shared<FlushTask>();
   task->data.swap(active_);
+  active_.swap(spare_);  // reuse the last completed flush's storage
   active_.clear();
   inflight_records_.swap(active_records_);
   active_records_.clear();
+  inflight_first_stamps_.swap(active_first_stamps_);
+  active_first_stamps_.clear();
   task->base = active_base_;
   inflight_base_ = task->base;
   active_base_ = task->base + task->data.size();
@@ -248,16 +356,26 @@ Status WriteFile::complete_inflight() {
       stats::add(stats::Counter::kWbPoisoned);
     }
     inflight_records_.clear();
+    inflight_first_stamps_.clear();
     active_.clear();
     active_records_.clear();
+    active_first_stamps_.clear();
     physical_end_ = inflight_base_;
     active_base_ = inflight_base_;
     return Errno{deferred_errno_};
   }
+  // Sole owner of the finished task (the pool lambda has dropped its
+  // reference): reclaim its buffer so the next rotation reuses the pages
+  // instead of growing a cold vector from scratch.
+  if (task.use_count() == 1 && spare_.capacity() < task->data.capacity()) {
+    spare_ = std::move(task->data);
+    spare_.clear();
+  }
   // The data is in the log; only now may its records reach the index
   // (the index must always describe bytes that are really there).
-  index_->add_records(inflight_records_);
+  index_->add_records(inflight_records_, inflight_first_stamps_);
   inflight_records_.clear();
+  inflight_first_stamps_.clear();
   return deferred_errno_ == 0 ? Status::success()
                               : Status(Errno{deferred_errno_});
 }
@@ -280,6 +398,7 @@ Status WriteFile::drain() {
     submit_active();
     return complete_inflight();
   }
+  coalesce_active();
   stats::add(stats::Counter::kWbFlushSync);
   stats::add(stats::Counter::kWbFlushBytes, active_.size());
   stats::Timer flush_timer(stats::Histogram::kWbFlushLatency);
@@ -292,11 +411,13 @@ Status WriteFile::drain() {
     deferred_errno_ = s.error_code();
     active_.clear();
     active_records_.clear();
+    active_first_stamps_.clear();
     physical_end_ = active_base_;
     return s;
   }
-  index_->add_records(active_records_);
+  index_->add_records(active_records_, active_first_stamps_);
   active_records_.clear();
+  active_first_stamps_.clear();
   active_base_ += active_.size();
   active_.clear();
   return Status::success();
@@ -317,6 +438,11 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
     if (auto s = drain(); !s) return s.error();
     return write_through(data, offset);
   }
+
+  // One up-front reservation per buffer generation: the staging loop may
+  // append thousands of small writes, and growing to capacity through
+  // vector doubling would copy the whole window several times over.
+  if (active_.capacity() < buffer_capacity_) active_.reserve(buffer_capacity_);
 
   std::size_t copied = 0;
   while (copied < data.size()) {

@@ -45,6 +45,12 @@
 
 namespace ldplfs::plfs {
 
+/// One segment of a list-I/O write batch: write `buf` at logical `offset`.
+struct WriteSegment {
+  std::uint64_t offset = 0;
+  std::span<const std::byte> buf;
+};
+
 class WriteFile {
  public:
   /// Open a new writer stream for `writer` in the container at `root`.
@@ -102,6 +108,10 @@ class WriteFile {
   /// Parse LDPLFS_WRITE_BEHIND: "0" disables the engine, anything else
   /// (including unset) enables it.
   static bool env_write_behind();
+  /// Parse LDPLFS_COALESCE: "0" disables flush-time extent coalescing,
+  /// anything else (including unset) enables it. Only meaningful under
+  /// write-behind (the synchronous engine never stages extents).
+  static bool env_coalesce();
   /// Parse LDPLFS_WRITE_BUFFER ("4M", "512K", plain bytes) into the
   /// aggregation-buffer capacity; malformed/unset falls back to the 4 MiB
   /// default, and values clamp into [4 KiB, 256 MiB].
@@ -121,6 +131,14 @@ class WriteFile {
   /// Coalesce a record for bytes staged in the active buffer.
   void stage_record(std::uint64_t offset, std::uint64_t length,
                     std::uint64_t physical);
+  /// Flush-boundary extent coalescing (list-I/O write side): rewrite the
+  /// active buffer so logically adjacent or overlapping staged extents
+  /// become one contiguous run — one pwrite region and one index record
+  /// per run instead of one per logical write. Overwritten bytes within
+  /// the buffer are eliminated (newest wins), which can shrink the staged
+  /// byte count. No-op unless it would reduce the record count or the
+  /// buffer size.
+  void coalesce_active();
   /// Hand the active buffer to the pool as the in-flight flush.
   /// Caller guarantees no flush is in flight and the buffer is non-empty.
   void submit_active();
@@ -158,14 +176,27 @@ class WriteFile {
   // only after the task reports success.
   struct FlushTask;
   bool write_behind_ = false;
+  bool coalesce_ = false;  // LDPLFS_COALESCE at open (write-behind only)
   std::size_t buffer_capacity_ = 0;
   std::uint64_t flush_deadline_ms_ = 0;      // 0: barriers wait forever
   std::vector<std::byte> active_;            // buffer being filled
   std::uint64_t active_base_ = 0;            // physical offset of active_[0]
   std::vector<IndexRecord> active_records_;  // coalesced records for active_
+  // Runs parallel to active_records_: the oldest stamp each record's
+  // merged block covers (its .timestamp is the newest). The pair proves
+  // the block contiguous so IndexWriter::add_write can re-merge across
+  // the flush boundary exactly like the synchronous path.
+  std::vector<std::uint64_t> active_first_stamps_;
   std::shared_ptr<FlushTask> inflight_task_;
   std::uint64_t inflight_base_ = 0;
   std::vector<IndexRecord> inflight_records_;
+  std::vector<std::uint64_t> inflight_first_stamps_;
+  // Recycled storage, so steady-state rotation allocates nothing: spare_
+  // is the buffer reclaimed from the last completed flush task (the next
+  // submit hands it back out), scratch_ the coalesce relayout target
+  // (swapped with active_, so the two ping-pong).
+  std::vector<std::byte> spare_;
+  std::vector<std::byte> scratch_;
 };
 
 }  // namespace ldplfs::plfs

@@ -212,6 +212,35 @@ ssize_t writev(int fd, const struct ::iovec* iov, int iovcnt) {
   return router().writev(fd, iov, iovcnt);
 }
 
+ssize_t preadv(int fd, const struct ::iovec* iov, int iovcnt, off_t offset) {
+  using PreadvFn = ssize_t (*)(int, const struct ::iovec*, int, off_t);
+  static PreadvFn real_preadv = next_symbol<PreadvFn>("preadv");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_preadv(fd, iov, iovcnt, offset);
+  }
+  return router().preadv(fd, iov, iovcnt, offset);
+}
+
+ssize_t pwritev(int fd, const struct ::iovec* iov, int iovcnt, off_t offset) {
+  using PwritevFn = ssize_t (*)(int, const struct ::iovec*, int, off_t);
+  static PwritevFn real_pwritev = next_symbol<PwritevFn>("pwritev");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_pwritev(fd, iov, iovcnt, offset);
+  }
+  return router().pwritev(fd, iov, iovcnt, offset);
+}
+
+ssize_t preadv64(int fd, const struct ::iovec* iov, int iovcnt, off_t offset) {
+  return preadv(fd, iov, iovcnt, offset);
+}
+
+ssize_t pwritev64(int fd, const struct ::iovec* iov, int iovcnt,
+                  off_t offset) {
+  return pwritev(fd, iov, iovcnt, offset);
+}
+
 ssize_t pread64(int fd, void* buf, size_t count, off_t offset) {
   return pread(fd, buf, count, offset);
 }

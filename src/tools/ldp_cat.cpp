@@ -18,10 +18,12 @@ int cat_one(const std::string& path) {
     std::perror(("ldp-cat: " + path).c_str());
     return 1;
   }
-  std::vector<char> buf(ldplfs::tools::io_buffer_size());
+  // Each refill is one batched preadv — on a container that is one index
+  // snapshot and one sieved read per dropping for the whole buffer.
+  ldplfs::tools::BatchReader reader(fd);
   int result = 0;
   while (true) {
-    const ssize_t n = r.read(fd, buf.data(), buf.size());
+    const ssize_t n = reader.fill();
     if (n < 0) {
       std::perror(("ldp-cat: " + path).c_str());
       result = 1;
@@ -32,7 +34,7 @@ int cat_one(const std::string& path) {
     // with EINTR); write_all loops until the chunk is fully delivered.
     if (auto s = ldplfs::posix::write_all(
             STDOUT_FILENO,
-            {reinterpret_cast<const std::byte*>(buf.data()),
+            {reinterpret_cast<const std::byte*>(reader.data()),
              static_cast<size_t>(n)});
         !s) {
       errno = s.error_code();

@@ -51,6 +51,36 @@ ToolArgs parse_common(int argc, char** argv) {
   return out;
 }
 
+BatchReader::BatchReader(int fd, int segments, std::size_t buffer_size)
+    : fd_(fd), segments_(std::clamp(segments, 1, 16)),
+      buffer_size_(buffer_size) {}
+
+ssize_t BatchReader::fill() {
+  if (buf_.empty()) {
+    buf_.resize(buffer_size_ != 0 ? buffer_size_ : io_buffer_size());
+  }
+  // Slice the buffer into iovecs so the whole refill is one routed preadv:
+  // on a container the vector reaches plfs_readx as one batch (one
+  // snapshot, per-dropping sieved reads); on a plain file the kernel takes
+  // the vector whole.
+  struct ::iovec iov[16];
+  const std::size_t chunk =
+      std::max<std::size_t>(buf_.size() / static_cast<std::size_t>(segments_),
+                            std::size_t{4} << 10);
+  int cnt = 0;
+  std::size_t off = 0;
+  while (off < buf_.size() && cnt < segments_) {
+    iov[cnt].iov_base = buf_.data() + off;
+    iov[cnt].iov_len = std::min(chunk, buf_.size() - off);
+    off += iov[cnt].iov_len;
+    ++cnt;
+  }
+  const ssize_t n =
+      router().preadv(fd_, iov, cnt, static_cast<off_t>(pos_));
+  if (n > 0) pos_ += n;
+  return n;
+}
+
 long long copy_path(const std::string& src, const std::string& dst,
                     std::size_t block_size) {
   if (block_size == 0) block_size = io_buffer_size(4u << 20);
@@ -65,11 +95,11 @@ long long copy_path(const std::string& src, const std::string& dst,
     return -1;
   }
 
-  std::vector<char> buf(block_size);
+  BatchReader reader(in, 8, block_size);
   long long total = 0;
   long long result = 0;
   while (true) {
-    const ssize_t n = r.read(in, buf.data(), buf.size());
+    const ssize_t n = reader.fill();
     if (n < 0) {
       result = -1;
       break;
@@ -80,7 +110,7 @@ long long copy_path(const std::string& src, const std::string& dst,
     }
     ssize_t written = 0;
     while (written < n) {
-      const ssize_t w = r.write(out, buf.data() + written,
+      const ssize_t w = r.write(out, reader.data() + written,
                                 static_cast<std::size_t>(n - written));
       if (w < 0) {
         result = -1;
@@ -112,13 +142,12 @@ bool LineReader::next(std::string& line) {
       pending_.clear();
       return true;
     }
-    if (buf_.empty()) buf_.resize(io_buffer_size());
-    const ssize_t n = router().read(fd_, buf_.data(), buf_.size());
+    const ssize_t n = reader_.fill();
     if (n <= 0) {
       eof_ = true;
       continue;
     }
-    pending_.append(buf_.data(), static_cast<std::size_t>(n));
+    pending_.append(reader_.data(), static_cast<std::size_t>(n));
   }
 }
 

@@ -40,21 +40,45 @@ std::size_t io_buffer_size(std::size_t fallback = 1u << 20);
 long long copy_path(const std::string& src, const std::string& dst,
                     std::size_t block_size = 0);
 
-/// Line-oriented reader over a router fd for grep-style tools; refills an
-/// io_buffer_size() heap buffer with read(2) and hands out one line at a
-/// time (a big buffer keeps container reads from bottlenecking on per-call
-/// routing cost when lines are short).
+/// Batched sequential reader over a router fd: each refill issues ONE
+/// routed preadv whose iovecs slice an io_buffer_size() heap buffer into
+/// segment-sized pieces. On a container that lands in the list-I/O batch
+/// path (plfs_readx) — one fd-table lookup, one index snapshot, and one
+/// sieved read per dropping for the whole buffer — instead of a routed
+/// read() per chunk. On a plain file it is a single kernel preadv.
+class BatchReader {
+ public:
+  /// `segments` is the iovec fan-out per refill (clamped to [1, 16]);
+  /// `buffer_size` 0 means io_buffer_size().
+  explicit BatchReader(int fd, int segments = 8, std::size_t buffer_size = 0);
+
+  /// Refill and return the byte count now valid in data(); 0 at EOF, -1
+  /// with errno set on error.
+  ssize_t fill();
+  [[nodiscard]] const char* data() const { return buf_.data(); }
+
+ private:
+  int fd_;
+  int segments_;
+  std::size_t buffer_size_;
+  std::vector<char> buf_;  // sized on first fill
+  long long pos_ = 0;
+};
+
+/// Line-oriented reader over a router fd for grep-style tools; refills
+/// through a BatchReader and hands out one line at a time (a big batched
+/// buffer keeps container reads from bottlenecking on per-call routing
+/// cost when lines are short).
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  explicit LineReader(int fd) : reader_(fd) {}
 
   /// False at EOF. The returned line excludes the trailing newline.
   bool next(std::string& line);
 
  private:
-  int fd_;
+  BatchReader reader_;
   std::string pending_;
-  std::vector<char> buf_;  // sized on first refill
   bool eof_ = false;
 };
 

@@ -40,6 +40,37 @@ StridedPattern make_strided_n1(int writers, int blocks_per_writer,
   return pattern;
 }
 
+std::vector<ReadOp> make_strided_readv(const StridedPattern& pattern,
+                                       int reader, std::uint64_t seed) {
+  const auto& ops =
+      pattern.per_writer[static_cast<std::size_t>(reader) %
+                         static_cast<std::size_t>(pattern.writers)];
+  std::vector<ReadOp> segs;
+  segs.reserve(ops.size());
+  for (const auto& op : ops) segs.push_back({op.offset, op.length});
+  Rng rng(seed ^ 0x7265616476ULL);  // "readv"
+  for (std::size_t i = segs.size(); i > 1; --i) {
+    std::swap(segs[i - 1], segs[rng.below(i)]);
+  }
+  return segs;
+}
+
+std::vector<WriteOp> make_permuted_writes(int nblocks,
+                                          std::size_t block_bytes,
+                                          std::uint64_t seed) {
+  std::vector<WriteOp> ops;
+  ops.reserve(static_cast<std::size_t>(nblocks));
+  Rng rng(seed);
+  for (int b = 0; b < nblocks; ++b) {
+    ops.push_back({static_cast<std::uint64_t>(b) * block_bytes,
+                   static_cast<std::uint32_t>(block_bytes), rng.next()});
+  }
+  for (std::size_t i = ops.size(); i > 1; --i) {
+    std::swap(ops[i - 1], ops[rng.below(i)]);
+  }
+  return ops;
+}
+
 std::vector<MixedOp> make_mixed_rw(std::uint64_t file_bytes, int ops,
                                    std::size_t max_len, double read_fraction,
                                    std::uint64_t seed) {

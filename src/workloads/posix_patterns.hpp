@@ -48,6 +48,31 @@ struct StridedPattern {
 StridedPattern make_strided_n1(int writers, int blocks_per_writer,
                                std::size_t block_bytes, std::uint64_t seed);
 
+/// One segment of a list-I/O read batch: `length` bytes at `offset`.
+struct ReadOp {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// List-I/O strided read-back: the segments rank `reader` (taken mod
+/// pattern.writers) must issue to fetch every block it contributed to a
+/// strided N-1 file, in a seed-shuffled order — batches arrive out of
+/// order, and sorting/sieving them is the I/O engine's job, not the
+/// application's. The blocks are logically strided but physically
+/// contiguous inside the rank's dropping, which is exactly the shape data
+/// sieving collapses into one covering pread.
+std::vector<ReadOp> make_strided_readv(const StridedPattern& pattern,
+                                       int reader, std::uint64_t seed);
+
+/// Coalescible permuted writes: every `block_bytes`-sized block of a
+/// `nblocks * block_bytes` logical file exactly once, in a seed-derived
+/// random order. Scattered at issue time (index records cannot merge as
+/// they are staged) yet densely covering the file, this is the shape
+/// flush-boundary extent coalescing relays into contiguous runs.
+std::vector<WriteOp> make_permuted_writes(int nblocks,
+                                          std::size_t block_bytes,
+                                          std::uint64_t seed);
+
 /// Mixed read/write op stream over a file of `file_bytes` (which must be
 /// pre-populated): roughly `read_fraction` of ops are reads; offsets and
 /// lengths are uniform with lengths in [1, max_len] clamped to EOF, so the

@@ -52,6 +52,10 @@ TEST(CompactionTest, OverwriteHeavyLogShrinks) {
   TempDir tmp;
   const std::string path = tmp.sub("f");
   {
+    // Flush-time coalescing would drop the dead overwrites before they
+    // ever reach the log; force it off so the garbage this test compacts
+    // actually exists on disk.
+    ::setenv("LDPLFS_COALESCE", "0", 1);
     auto fd = plfs_open(path, O_CREAT | O_WRONLY, 5);
     ASSERT_TRUE(fd.ok());
     // Write the same 1 KiB region 50 times: 50 KiB of log, 1 KiB live.
@@ -60,6 +64,7 @@ TEST(CompactionTest, OverwriteHeavyLogShrinks) {
       ASSERT_TRUE(fd.value()->write(as_bytes(block), 0, 5).ok());
     }
     ASSERT_TRUE(plfs_close(fd.value(), 5).ok());
+    ::unsetenv("LDPLFS_COALESCE");
   }
   const std::string before = read_whole(path);
 

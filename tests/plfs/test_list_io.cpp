@@ -1,0 +1,335 @@
+// List-I/O batch API (plfs_readx / plfs_writex) against serial oracles.
+//
+// The batch calls promise the same bytes as issuing every segment as its
+// own read()/write() in list order — whatever the sieving and coalescing
+// knobs say. The property tests here drive seeded random segment lists
+// (overlapping, exactly adjacent, out-of-order offsets) through both the
+// batch call and the one-call-at-a-time oracle and require byte-identical
+// results with each optimisation forced on and off.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "plfs/plfs.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+using ldplfs::testing::random_bytes;
+
+constexpr pid_t kPid = 7;
+
+class ListIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("LDPLFS_SIEVE");
+    ::unsetenv("LDPLFS_SIEVE_MAX_HOLE");
+    ::unsetenv("LDPLFS_SIEVE_BUFFER");
+    ::unsetenv("LDPLFS_COALESCE");
+    ::unsetenv("LDPLFS_THREADS");
+  }
+  TempDir tmp_;
+};
+
+/// Build a container with a seeded random content layout and return the
+/// flat-file oracle of its contents.
+std::vector<char> populate(const std::string& path, Rng& rng,
+                           std::size_t max_file) {
+  std::vector<char> oracle;
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+  EXPECT_TRUE(fd.ok());
+  const int ops = 20 + static_cast<int>(rng.below(30));
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t off = rng.below(max_file / 2);
+    const std::size_t len = 1 + rng.below(max_file / 8);
+    const auto data = random_bytes(len, rng.next());
+    EXPECT_TRUE(fd.value()->write(data, off, kPid).ok());
+    if (oracle.size() < off + len) oracle.resize(off + len, '\0');
+    std::memcpy(oracle.data() + off, data.data(), len);
+  }
+  EXPECT_TRUE(plfs_close(fd.value(), kPid).ok());
+  return oracle;
+}
+
+/// Random segment list: mostly small, some overlapping or exactly adjacent,
+/// shuffled so offsets arrive out of order.
+std::vector<std::pair<std::uint64_t, std::size_t>> random_segments(
+    Rng& rng, std::uint64_t span, int count) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> segs;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t kind = rng.below(4);
+    std::uint64_t off;
+    if (kind == 0 && !segs.empty()) {
+      // Exactly adjacent to the previous segment.
+      off = segs.back().first + segs.back().second;
+    } else if (kind == 1 && !segs.empty()) {
+      // Overlapping the previous segment.
+      off = segs.back().first + rng.below(segs.back().second + 1);
+    } else {
+      off = rng.below(span);
+    }
+    const std::size_t len = 1 + rng.below(span / 8 + 1);
+    segs.emplace_back(off, len);
+  }
+  // Shuffle so the batch sees out-of-order offsets.
+  for (std::size_t i = segs.size(); i > 1; --i) {
+    std::swap(segs[i - 1], segs[rng.below(i)]);
+  }
+  return segs;
+}
+
+class ListIoReadPropertyTest
+    : public ListIoTest,
+      public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(ListIoReadPropertyTest, ReadxMatchesSerialOracle) {
+  constexpr std::uint64_t kSpan = 32 * 1024;
+  Rng rng(GetParam() * 6151 + 3);
+  const std::string path = tmp_.sub("f");
+  const auto oracle = populate(path, rng, kSpan);
+
+  for (const bool sieve : {true, false}) {
+    for (const char* threads : {"1", "4"}) {
+      ::setenv("LDPLFS_SIEVE", sieve ? "1" : "0", 1);
+      // Tiny hole/buffer caps on half the runs push multi-run splits.
+      if (rng.below(2) == 0) {
+        ::setenv("LDPLFS_SIEVE_MAX_HOLE", "64", 1);
+        ::setenv("LDPLFS_SIEVE_BUFFER", "64K", 1);
+      }
+      ::setenv("LDPLFS_THREADS", threads, 1);
+
+      auto fd = plfs_open(path, O_RDONLY, kPid + 1);
+      ASSERT_TRUE(fd.ok());
+      const auto layout = random_segments(rng, kSpan, 12);
+
+      std::vector<std::vector<std::byte>> batch_bufs;
+      std::vector<ReadSegment> segs;
+      for (const auto& [off, len] : layout) {
+        batch_bufs.emplace_back(len);
+        segs.push_back(ReadSegment{off, batch_bufs.back()});
+      }
+      auto got = plfs_readx(*fd.value(), segs);
+      ASSERT_TRUE(got.ok());
+
+      // Serial oracle: each segment as its own positional read — and both
+      // must agree with the independent flat-file oracle.
+      std::size_t expect_total = 0;
+      for (std::size_t i = 0; i < layout.size(); ++i) {
+        std::vector<std::byte> one(layout[i].second);
+        auto n = fd.value()->read(one, layout[i].first);
+        ASSERT_TRUE(n.ok());
+        one.resize(n.value());
+        ASSERT_GE(batch_bufs[i].size(), one.size());
+        EXPECT_EQ(std::memcmp(batch_bufs[i].data(), one.data(), one.size()),
+                  0)
+            << "segment " << i << " sieve=" << sieve
+            << " threads=" << threads;
+        if (n.value() > 0) {
+          ASSERT_LE(layout[i].first + n.value(), oracle.size());
+          EXPECT_EQ(std::memcmp(one.data(), oracle.data() + layout[i].first,
+                                n.value()),
+                    0)
+              << "segment " << i << " vs flat oracle";
+        }
+        expect_total += n.value();
+        if (n.value() < layout[i].second) break;  // batch stops at EOF
+      }
+      EXPECT_EQ(got.value(), expect_total)
+          << "sieve=" << sieve << " threads=" << threads;
+      ASSERT_TRUE(plfs_close(fd.value(), kPid + 1).ok());
+      ::unsetenv("LDPLFS_SIEVE_MAX_HOLE");
+      ::unsetenv("LDPLFS_SIEVE_BUFFER");
+    }
+  }
+}
+
+TEST_P(ListIoReadPropertyTest, WritexMatchesSerialOracle) {
+  constexpr std::uint64_t kSpan = 32 * 1024;
+  Rng rng(GetParam() * 12289 + 17);
+
+  for (const bool coalesce : {true, false}) {
+    ::setenv("LDPLFS_COALESCE", coalesce ? "1" : "0", 1);
+    const std::string suffix = coalesce ? "c1" : "c0";
+    const std::string batch_path = tmp_.sub("batch-" + suffix);
+    const std::string serial_path = tmp_.sub("serial-" + suffix);
+
+    const auto layout = random_segments(rng, kSpan, 12);
+    std::vector<std::vector<std::byte>> payloads;
+    for (const auto& [off, len] : layout) {
+      (void)off;
+      payloads.push_back(random_bytes(len, rng.next()));
+    }
+
+    // Batch container: one writex for the whole list.
+    {
+      auto fd = plfs_open(batch_path, O_CREAT | O_WRONLY, kPid);
+      ASSERT_TRUE(fd.ok());
+      std::vector<WriteSegment> segs;
+      for (std::size_t i = 0; i < layout.size(); ++i) {
+        segs.push_back(WriteSegment{layout[i].first, payloads[i]});
+      }
+      auto n = plfs_writex(*fd.value(), segs, kPid);
+      ASSERT_TRUE(n.ok());
+      std::size_t expect = 0;
+      for (const auto& p : payloads) expect += p.size();
+      EXPECT_EQ(n.value(), expect);
+      ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+    }
+    // Serial container: the same list one write at a time.
+    {
+      auto fd = plfs_open(serial_path, O_CREAT | O_WRONLY, kPid);
+      ASSERT_TRUE(fd.ok());
+      for (std::size_t i = 0; i < layout.size(); ++i) {
+        ASSERT_TRUE(
+            fd.value()->write(payloads[i], layout[i].first, kPid).ok());
+      }
+      ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+    }
+
+    // Byte-identical logical contents from cold opens.
+    auto ba = plfs_open(batch_path, O_RDONLY, kPid + 1);
+    auto sa = plfs_open(serial_path, O_RDONLY, kPid + 1);
+    ASSERT_TRUE(ba.ok());
+    ASSERT_TRUE(sa.ok());
+    auto bsize = ba.value()->size();
+    auto ssize = sa.value()->size();
+    ASSERT_TRUE(bsize.ok());
+    ASSERT_TRUE(ssize.ok());
+    EXPECT_EQ(bsize.value(), ssize.value()) << "coalesce=" << coalesce;
+    std::vector<std::byte> bbuf(bsize.value());
+    std::vector<std::byte> sbuf(ssize.value());
+    auto bn = ba.value()->read(bbuf, 0);
+    auto sn = sa.value()->read(sbuf, 0);
+    ASSERT_TRUE(bn.ok());
+    ASSERT_TRUE(sn.ok());
+    ASSERT_EQ(bn.value(), sn.value());
+    EXPECT_EQ(std::memcmp(bbuf.data(), sbuf.data(), bn.value()), 0)
+        << "coalesce=" << coalesce;
+    ASSERT_TRUE(plfs_close(ba.value(), kPid + 1).ok());
+    ASSERT_TRUE(plfs_close(sa.value(), kPid + 1).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListIoReadPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// Regression: a batch whose middle segment crosses EOF must count every
+// byte delivered up to and including the short segment — and nothing after
+// it — mirroring POSIX readv's contiguous-prefix contract. (The routed
+// readv used to sum per-segment calls even after a short one.)
+TEST_F(ListIoTest, ShortReadInTheMiddleCountsPrefixOnly) {
+  const std::string path = tmp_.sub("f");
+  {
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+    ASSERT_TRUE(fd.ok());
+    const auto data = random_bytes(1000, 42);
+    ASSERT_TRUE(fd.value()->write(data, 0, kPid).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+  }
+  auto fd = plfs_open(path, O_RDONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+
+  std::vector<std::byte> b0(400), b1(400), b2(400);
+  const ReadSegment segs[] = {
+      {0, b0},    // full
+      {800, b1},  // short: only 200 bytes before EOF
+      {0, b2},    // must NOT be counted (or delivered) after the short one
+  };
+  auto n = fd.value()->readx(segs);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 400u + 200u);
+
+  // Segment fully past EOF ends the batch with whatever came before.
+  const ReadSegment past[] = {{0, b0}, {4096, b1}};
+  auto m = fd.value()->readx(past);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), 400u);
+  ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+}
+
+// Zero-length and empty batches are no-ops, not errors.
+TEST_F(ListIoTest, EmptyAndZeroLengthSegments) {
+  const std::string path = tmp_.sub("f");
+  auto fd = plfs_open(path, O_CREAT | O_RDWR, kPid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("abcdef"), 0, kPid).ok());
+
+  auto w = fd.value()->writex({}, kPid);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 0u);
+
+  std::vector<std::byte> buf(3);
+  const ReadSegment segs[] = {{0, {}}, {3, buf}};
+  auto r = fd.value()->readx(segs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3u);
+  EXPECT_EQ(std::memcmp(buf.data(), "def", 3), 0);
+  ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+}
+
+// The sieve must not change what a strided batch reads, and its counters
+// must prove a covering read actually happened (holes skipped, more bytes
+// read than delivered only when holes sit inside the covering span).
+TEST_F(ListIoTest, SievedStridedBatchCountersAddUp) {
+  const std::string path = tmp_.sub("f");
+  constexpr std::size_t kBlock = 512;
+  constexpr int kBlocks = 16;
+  {
+    // One writer, contiguous log: blocks at stride 2*kBlock (holes between).
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, kPid);
+    ASSERT_TRUE(fd.ok());
+    for (int b = 0; b < kBlocks; ++b) {
+      const auto data = random_bytes(kBlock, 1000 + b);
+      ASSERT_TRUE(
+          fd.value()
+              ->write(data, static_cast<std::uint64_t>(b) * 2 * kBlock, kPid)
+              .ok());
+    }
+    ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+  }
+
+  ::setenv("LDPLFS_SIEVE", "1", 1);
+  ::setenv("LDPLFS_THREADS", "1", 1);
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+
+  auto fd = plfs_open(path, O_RDONLY, kPid);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::vector<std::byte>> bufs;
+  std::vector<ReadSegment> segs;
+  for (int b = 0; b < kBlocks; ++b) {
+    bufs.emplace_back(kBlock);
+    segs.push_back(
+        ReadSegment{static_cast<std::uint64_t>(b) * 2 * kBlock, bufs.back()});
+  }
+  auto n = fd.value()->readx(segs);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), static_cast<std::size_t>(kBlocks) * kBlock);
+  for (int b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(b)],
+              random_bytes(kBlock, 1000 + b))
+        << "block " << b;
+  }
+
+  // The log is physically contiguous (one writer, blocks appended in
+  // order), so the whole strided batch must collapse into one covering
+  // pread: bytes read == bytes delivered, no holes inside the span.
+  const auto delta = stats::snapshot().since(before);
+  EXPECT_EQ(delta.get(stats::Counter::kSieveReads), 1u);
+  EXPECT_EQ(delta.get(stats::Counter::kSieveDirectReads), 0u);
+  EXPECT_EQ(delta.get(stats::Counter::kSieveBytesRead),
+            delta.get(stats::Counter::kSieveBytesDelivered));
+  ASSERT_TRUE(plfs_close(fd.value(), kPid).ok());
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs
