@@ -13,6 +13,14 @@
 #      flagged too — strided_readv is in the measured set, so a data-
 #      sieving regression that multiplies the pread count (or any
 #      slowdown on the batch read path) cannot slip through the gate.
+#   4. Zero-copy immunity: flat_strided_read runs with LDPLFS_MMAP_READS
+#      pinned on, so a per-pread delay must NOT move it — the mapped path
+#      issues no preads at all. A clean compare here is the machine-checked
+#      proof of "zero preads on the mapped path".
+#   5. Fallback storm: the same pread delay WITH
+#      LDPLFS_MMAP_FORCE_FALLBACK=1 (every map acquire fails, every read
+#      drops to the pread/sieve path) must be flagged — a regression that
+#      silently degrades mapped reads into preads cannot slip through.
 #
 # Thresholds: reps 6 so full separation under the exact Mann-Whitney
 # distribution gives p = 2/924 < alpha = 0.01, and --min-effect 0.5 so
@@ -28,6 +36,7 @@ file(REMOVE_RECURSE "${WORK}")
 file(MAKE_DIRECTORY "${WORK}")
 
 set(measure_args --scenario strided_write,mixed_rw,strided_readv --reps 6 --warmup 1 --seed 7)
+set(flat_args --scenario flat_strided_read --reps 6 --warmup 1 --seed 7)
 
 function(run_measure json)
   execute_process(
@@ -35,6 +44,15 @@ function(run_measure json)
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "measurement run failed (exit ${rc}):\n${out}${err}")
+  endif()
+endfunction()
+
+function(run_flat json)
+  execute_process(
+    COMMAND "${LDP_BENCH}" ${flat_args} --json "${json}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "flat_read run failed (exit ${rc}):\n${out}${err}")
   endif()
 endfunction()
 
@@ -47,6 +65,15 @@ unset(ENV{LDPLFS_FAULTS})
 
 set(ENV{LDPLFS_FAULTS} "pread:delay=2000")
 run_measure("${WORK}/read_delayed.json")
+unset(ENV{LDPLFS_FAULTS})
+
+run_flat("${WORK}/flat_base.json")
+
+set(ENV{LDPLFS_FAULTS} "pread:delay=2000")
+run_flat("${WORK}/flat_mapped_delayed.json")
+set(ENV{LDPLFS_MMAP_FORCE_FALLBACK} "1")
+run_flat("${WORK}/flat_storm.json")
+unset(ENV{LDPLFS_MMAP_FORCE_FALLBACK})
 unset(ENV{LDPLFS_FAULTS})
 
 # Half 1: A/A must be clean.
@@ -84,4 +111,35 @@ if(NOT rinj_rc EQUAL 1)
     "(exit ${rinj_rc}, expected 1) — the read-side detector is blind:\n${rinj_out}${rinj_err}")
 endif()
 
-message(STATUS "bench gate passed: A/A clean, injected write and read delays flagged")
+# Half 4: the mapped read path must shrug off a per-pread delay — it does
+# not issue preads. Anything flagged here means reads are leaking onto the
+# pread path while LDPLFS_MMAP_READS says they should be served by the map.
+# --min-effect 4.0: the reps are ~100 µs, so the armed fault machinery's
+# fixed bookkeeping overhead alone can register as a sub-2x change; a
+# single real 2 ms delayed pread per rep is still a >20x swing.
+execute_process(
+  COMMAND "${LDP_BENCH}" --compare "${WORK}/flat_base.json"
+          "${WORK}/flat_mapped_delayed.json" --alpha 0.01 --min-effect 4.0
+  RESULT_VARIABLE imm_rc OUTPUT_VARIABLE imm_out ERROR_VARIABLE imm_err)
+if(NOT imm_rc EQUAL 0)
+  message(FATAL_ERROR
+    "gate FAILED: mapped flat_strided_read slowed under a pread delay "
+    "(exit ${imm_rc}) — the zero-copy path is issuing preads:\n${imm_out}${imm_err}")
+endif()
+
+# Half 5: a fallback storm (every map acquire refused, every read demoted
+# to the delayed pread path) must be flagged.
+execute_process(
+  COMMAND "${LDP_BENCH}" --compare "${WORK}/flat_base.json"
+          "${WORK}/flat_storm.json" --alpha 0.01 --min-effect 0.5
+  RESULT_VARIABLE storm_rc OUTPUT_VARIABLE storm_out ERROR_VARIABLE storm_err)
+if(NOT storm_rc EQUAL 1)
+  message(FATAL_ERROR
+    "gate FAILED: mmap fallback storm was NOT flagged "
+    "(exit ${storm_rc}, expected 1) — a silent mapped-to-pread demotion "
+    "would slip through:\n${storm_out}${storm_err}")
+endif()
+
+message(STATUS
+  "bench gate passed: A/A clean, injected write/read delays flagged, "
+  "mapped path pread-immune, fallback storm flagged")

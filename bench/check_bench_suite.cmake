@@ -1,5 +1,5 @@
 # Asserts that an ldp-bench --json report carries the versioned schema with
-# per-scenario raw samples and summary statistics for all seven scenario
+# per-scenario raw samples and summary statistics for all eight scenario
 # families. Run as: cmake -DJSON=<path> -P check_bench_suite.cmake
 if(NOT DEFINED JSON)
   message(FATAL_ERROR "pass -DJSON=<path to BENCH_suite json>")
@@ -7,17 +7,18 @@ endif()
 file(READ "${JSON}" body)
 foreach(needle
     # envelope
-    "\"schema_version\": 2"
+    "\"schema_version\": 3"
     "\"tool\": \"ldp-bench\""
     "\"suite\""
     "\"config\""
     "\"seed\""
     "\"reps\""
     "\"scenarios\""
-    # all seven scenario families
+    # all eight scenario families
     "\"family\": \"unix_tools\""
     "\"family\": \"n1_strided\""
     "\"family\": \"list_io\""
+    "\"family\": \"flat_read\""
     "\"family\": \"nn_per_process\""
     "\"family\": \"metadata_storm\""
     "\"family\": \"mixed_rw\""
@@ -30,6 +31,8 @@ foreach(needle
     "\"name\": \"strided_read\""
     "\"name\": \"strided_readv\""
     "\"name\": \"coalesced_write\""
+    "\"name\": \"flat_seq_read\""
+    "\"name\": \"flat_strided_read\""
     "\"name\": \"nn_write\""
     "\"name\": \"metadata_storm\""
     "\"name\": \"mixed_rw\""
@@ -47,4 +50,4 @@ foreach(needle
     message(FATAL_ERROR "bench suite schema check failed: '${needle}' not found in ${JSON}")
   endif()
 endforeach()
-message(STATUS "BENCH_suite schema valid: seven families with full statistics in ${JSON}")
+message(STATUS "BENCH_suite schema valid: eight families with full statistics in ${JSON}")

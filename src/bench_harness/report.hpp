@@ -25,7 +25,9 @@
 namespace ldplfs::bench {
 
 // v2: list_io family (strided_readv, coalesced_write) joined the matrix.
-inline constexpr int kSchemaVersion = 2;
+// v3: flat_read family (flat_seq_read, flat_strided_read) — zero-copy
+//     mapped reads of flattened containers.
+inline constexpr int kSchemaVersion = 3;
 
 struct Report {
   std::string suite;  ///< "smoke", "full", or "custom"

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/mounts.hpp"
 #include "core/router.hpp"
+#include "plfs/compaction.hpp"
 #include "plfs/container.hpp"
 #include "plfs/index_format.hpp"
 #include "plfs/plfs.hpp"
@@ -266,6 +267,104 @@ class CoalescedWriteScenario final : public Scenario {
 
  private:
   static constexpr std::size_t kWriteBlock = 4096;
+  int rep_ = 0;
+};
+
+// --- flat_read (zero-copy mapped reads) -----------------------------------
+
+/// Shared scaffolding for the mapped-read measurements: a strided N-1
+/// container flattened by compaction in setup, with LDPLFS_MMAP_READS
+/// pinned on for the scenario's lifetime (checked per open, same
+/// setenv-in-setup pattern as coalesced_write). Reads are served by memcpy
+/// from the registry's mapping of the single dropping — zero preads. An
+/// ambient LDPLFS_MMAP_FORCE_FALLBACK=1 fails every acquire and drops the
+/// same reps onto the pread/sieve path: that one knob yields both the
+/// mapped-vs-pread --compare and the gate's detectable fallback storm.
+class FlatReadScenario : public Scenario {
+ public:
+  [[nodiscard]] const char* family() const override { return "flat_read"; }
+
+  void setup(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    pattern_ = workloads::make_strided_n1(s.writers, s.blocks_per_writer,
+                                          s.block_bytes, ws.seed);
+    path_ = ws.dir + "/" + std::string(name());
+    total_ = pattern_.total_bytes();
+    write_strided_container(name(), path_, pattern_);
+    if (!plfs::plfs_compact(path_)) die(name(), "plfs_compact");
+    ::setenv("LDPLFS_MMAP_READS", "1", 1);
+  }
+
+  void teardown(Workspace&) override { ::unsetenv("LDPLFS_MMAP_READS"); }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace&) const override {
+    return {{"bytes_per_rep", static_cast<double>(bytes_per_rep_)}};
+  }
+
+ protected:
+  workloads::StridedPattern pattern_;
+  std::string path_;
+  std::uint64_t total_ = 0;
+  std::uint64_t bytes_per_rep_ = 0;
+};
+
+class FlatSeqReadScenario final : public FlatReadScenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "flat_seq_read"; }
+
+  void setup(Workspace& ws) override {
+    FlatReadScenario::setup(ws);
+    bytes_per_rep_ = total_;
+  }
+
+  double run_once(Workspace&) override {
+    std::vector<std::byte> out(total_);
+    const auto start = Clock::now();
+    auto rf = plfs::ReadFile::open(path_);
+    if (!rf) die(name(), "ReadFile::open");
+    auto n = rf.value()->read(out, 0);
+    const double elapsed = seconds_since(start);
+    if (!n || n.value() != total_) die(name(), "read");
+    return elapsed;
+  }
+};
+
+class FlatStridedReadScenario final : public FlatReadScenario {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "flat_strided_read";
+  }
+
+  void setup(Workspace& ws) override {
+    FlatReadScenario::setup(ws);
+    bytes_per_rep_ = static_cast<std::uint64_t>(pattern_.blocks_per_writer) *
+                     pattern_.block_bytes;
+  }
+
+  double run_once(Workspace& ws) override {
+    const int reader = rep_++ % pattern_.writers;
+    const auto segs = workloads::make_strided_readv(
+        pattern_, reader, ws.seed + static_cast<std::uint64_t>(rep_));
+    std::vector<std::byte> arena(bytes_per_rep_);
+    std::vector<plfs::ReadSegment> batch;
+    batch.reserve(segs.size());
+    std::size_t used = 0;
+    for (const auto& seg : segs) {
+      batch.push_back({seg.offset, {arena.data() + used, seg.length}});
+      used += seg.length;
+    }
+    const auto start = Clock::now();
+    auto fd = plfs::plfs_open(path_, O_RDONLY, 1);
+    if (!fd) die(name(), "plfs_open");
+    auto n = fd.value()->readx(batch);
+    const double elapsed = seconds_since(start);
+    if (!n || n.value() != bytes_per_rep_) die(name(), "readx");
+    if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close");
+    return elapsed;
+  }
+
+ private:
   int rep_ = 0;
 };
 
@@ -628,6 +727,8 @@ std::vector<std::unique_ptr<Scenario>> make_suite() {
   suite.push_back(std::make_unique<StridedReadScenario>());
   suite.push_back(std::make_unique<StridedReadvScenario>());
   suite.push_back(std::make_unique<CoalescedWriteScenario>());
+  suite.push_back(std::make_unique<FlatSeqReadScenario>());
+  suite.push_back(std::make_unique<FlatStridedReadScenario>());
   suite.push_back(std::make_unique<NnWriteScenario>());
   suite.push_back(std::make_unique<MetadataStormScenario>());
   suite.push_back(std::make_unique<MixedRwScenario>());

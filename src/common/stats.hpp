@@ -97,7 +97,15 @@ namespace ldplfs::stats {
   X(kBreakerHalfOpen, "breaker.halfopen")                       \
   X(kBreakerProbeOk, "breaker.probe.ok")                        \
   X(kBreakerProbeFail, "breaker.probe.fail")                    \
-  X(kBreakerFastFail, "breaker.fastfail")
+  X(kBreakerFastFail, "breaker.fastfail")                       \
+  X(kMmapReads, "mmap.reads")                                   \
+  X(kMmapBytes, "mmap.bytes")                                   \
+  X(kMmapFallbacks, "mmap.fallbacks")                           \
+  X(kMmapMaps, "mmap.maps")                                     \
+  X(kMmapAppMaps, "mmap.app.maps")                              \
+  X(kZeroCopyOps, "zerocopy.ops")                               \
+  X(kZeroCopyBytes, "zerocopy.bytes")                           \
+  X(kAutoFlattenKicked, "flatten.auto")
 
 #define LDPLFS_STATS_HISTOGRAMS(X)                              \
   X(kRouterOpenLatency, "router.open.latency")                  \

@@ -42,6 +42,15 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// True once the destructor has begun: workers are draining the queue so
+  /// the process can exit. Best-effort background tasks (e.g. auto-flatten
+  /// compaction) should check this and bail — other static state may be
+  /// mid-destruction.
+  [[nodiscard]] bool stopping() {
+    std::lock_guard lock(mu_);
+    return stop_;
+  }
+
   /// Process-wide pool, created on first use with env_threads() workers.
   /// Fork-safe: an atfork handler holds the queue lock across fork() and
   /// the child discards the parent's queue and respawns workers on its

@@ -66,6 +66,10 @@ bool Router::path_is_container(const char* path) const {
   return r.in_mount && plfs::plfs_is_container(r.path);
 }
 
+std::string Router::resolve_path(const char* path) const {
+  return resolve(path).path;
+}
+
 int Router::make_shadow_fd() {
   const char* tmpdir = std::getenv("TMPDIR");
   if (tmpdir == nullptr || tmpdir[0] == '\0') tmpdir = "/tmp";

@@ -61,6 +61,9 @@ class Router {
   [[nodiscard]] bool path_in_mount(const char* path) const;
   /// True when the path is an existing PLFS container.
   [[nodiscard]] bool path_is_container(const char* path) const;
+  /// Absolute normalised form of `path` ("" for nullptr) — the key the
+  /// plfs:: layer is addressed by (tools use it to probe container shape).
+  [[nodiscard]] std::string resolve_path(const char* path) const;
 
   [[nodiscard]] MountTable& mounts() { return mounts_; }
   [[nodiscard]] FdTable& fd_table() { return table_; }

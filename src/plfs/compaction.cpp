@@ -7,7 +7,10 @@
 
 #include "common/paths.hpp"
 #include "plfs/container.hpp"
+#include "plfs/fd_cache.hpp"
 #include "plfs/index.hpp"
+#include "plfs/index_cache.hpp"
+#include "plfs/mapped_container.hpp"
 #include "plfs/read_file.hpp"
 #include "posix/fd.hpp"
 
@@ -47,6 +50,9 @@ Result<CompactionStats> plfs_compact(const std::string& path) {
     for (const auto& p : old_data.value()) {
       if (auto s = posix::remove_file(p); !s) return s.error();
     }
+    IndexCache::shared().invalidate(path);
+    DroppingFdCache::shared().invalidate(path + "/");
+    MappedContainerRegistry::shared().invalidate(path + "/");
     return stats;
   }
 
@@ -112,6 +118,13 @@ Result<CompactionStats> plfs_compact(const std::string& path) {
                 compactor.pid};
   (void)posix::write_file(
       path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)), "");
+
+  // The container's whole dropping set just changed identity: readers must
+  // not serve the pre-compaction snapshot, pinned fds, or mappings of the
+  // unlinked droppings from any process-wide cache.
+  IndexCache::shared().invalidate(path);
+  DroppingFdCache::shared().invalidate(path + "/");
+  MappedContainerRegistry::shared().invalidate(path + "/");
 
   stats.droppings_after = 1;
   stats.reclaimed_bytes -= std::min(stats.reclaimed_bytes, stats.live_bytes);

@@ -89,7 +89,10 @@ DroppingFdCache::Stats DroppingFdCache::stats() const {
 }
 
 DroppingFdCache& DroppingFdCache::shared() {
-  static DroppingFdCache cache([] {
+  // Deliberately leaked: pool threads drained at process exit (background
+  // auto-flatten, abandoned flushes) may still touch the cache after a
+  // by-value static's destructor would have run. The OS reclaims the fds.
+  static DroppingFdCache* cache = new DroppingFdCache([] {
     const char* env = std::getenv("LDPLFS_FD_CACHE");
     if (env == nullptr || *env == '\0') return std::size_t{256};
     char* end = nullptr;
@@ -97,7 +100,7 @@ DroppingFdCache& DroppingFdCache::shared() {
     if (end == env || *end != '\0') return std::size_t{256};
     return value < 8 ? std::size_t{8} : static_cast<std::size_t>(value);
   }());
-  return cache;
+  return *cache;
 }
 
 }  // namespace ldplfs::plfs

@@ -110,8 +110,10 @@ IndexCache::Stats IndexCache::stats() const {
 }
 
 IndexCache& IndexCache::shared() {
-  static IndexCache cache(64);
-  return cache;
+  // Deliberately leaked — see DroppingFdCache::shared(): exit-drained pool
+  // tasks may still consult the cache after static destruction begins.
+  static IndexCache* cache = new IndexCache(64);
+  return *cache;
 }
 
 }  // namespace ldplfs::plfs

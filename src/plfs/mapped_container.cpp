@@ -1,0 +1,182 @@
+#include "plfs/mapped_container.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/paths.hpp"
+#include "common/stats.hpp"
+#include "plfs/index_cache.hpp"
+#include "posix/fd.hpp"
+
+namespace ldplfs::plfs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 16;
+constexpr std::size_t kMinCapacity = 2;
+
+std::uint64_t mtime_ns_of(const struct ::stat& st) {
+  return static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> single_dropping_of(const GlobalIndex& index) {
+  const auto extents = index.extent_map().extents();
+  if (extents.empty()) return std::nullopt;
+  const std::uint32_t dropping = extents.front().dropping;
+  for (const auto& e : extents) {
+    if (e.dropping != dropping) return std::nullopt;
+  }
+  return dropping;
+}
+
+std::optional<FlatView> identity_flat_view(const GlobalIndex& index) {
+  const auto extents = index.extent_map().extents();
+  if (extents.empty()) return std::nullopt;
+  const std::uint32_t dropping = extents.front().dropping;
+  std::uint64_t cursor = 0;
+  for (const auto& e : extents) {
+    if (e.dropping != dropping) return std::nullopt;  // multi-dropping
+    if (e.logical != cursor) return std::nullopt;     // hole before e
+    if (e.physical != e.logical) return std::nullopt; // shuffled layout
+    cursor += e.length;
+  }
+  // A truncate-up tail (size past the mapped bytes) has no backing bytes in
+  // the dropping, so offset passthrough would read past its EOF.
+  if (cursor != index.size()) return std::nullopt;
+  return FlatView{index.data_paths()[dropping], cursor};
+}
+
+Result<FlatDropping> plfs_flat_dropping(const std::string& root) {
+  auto index = IndexCache::shared().get(root);
+  if (!index) return index.error();
+  const auto view = identity_flat_view(*index.value());
+  if (!view) return Errno{ENODEV};
+  return FlatDropping{path_join(root, view->dropping_rel), view->size};
+}
+
+MappedRegion::Entry::~Entry() {
+  if (base != nullptr && base != MAP_FAILED) ::munmap(base, len);
+}
+
+MappedContainerRegistry::MappedContainerRegistry(std::size_t capacity)
+    : capacity_(std::max(capacity, kMinCapacity)) {}
+
+bool MappedContainerRegistry::reads_enabled() {
+  const char* env = std::getenv("LDPLFS_MMAP_READS");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool MappedContainerRegistry::force_fallback() {
+  const char* env = std::getenv("LDPLFS_MMAP_FORCE_FALLBACK");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+MappedContainerRegistry& MappedContainerRegistry::shared() {
+  static MappedContainerRegistry* instance = [] {
+    std::size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("LDPLFS_MMAP_CACHE");
+        env != nullptr && *env != '\0') {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
+    }
+    return new MappedContainerRegistry(capacity);  // never destroyed
+  }();
+  return *instance;
+}
+
+Result<MappedRegion> MappedContainerRegistry::acquire(
+    const std::string& path) {
+  if (force_fallback()) return Errno{EIO};
+
+  // Validate against the file as it is now; posix::stat_path keeps fault
+  // injection and health accounting in the loop.
+  auto st = posix::stat_path(path);
+  if (!st) return st.error();
+  if (st.value().st_size <= 0) return Errno{ENODATA};
+  const auto want_dev = static_cast<std::uint64_t>(st.value().st_dev);
+  const auto want_ino = static_cast<std::uint64_t>(st.value().st_ino);
+  const auto want_size = static_cast<std::uint64_t>(st.value().st_size);
+  const auto want_mtime = mtime_ns_of(st.value());
+
+  std::lock_guard lock(mu_);
+  if (auto it = by_path_.find(path); it != by_path_.end()) {
+    const EntryPtr& entry = *it->second;
+    if (entry->dev == want_dev && entry->ino == want_ino &&
+        entry->file_size == want_size && entry->mtime_ns == want_mtime) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return MappedRegion(entry);
+    }
+    // Stale (appended-to or replaced): unpin from the registry and remap.
+    // The old pages survive under any outstanding MappedRegion pins.
+    lru_.erase(it->second);
+    by_path_.erase(it);
+    ++stats_.invalidations;
+  }
+
+  auto fd = posix::open_fd(path, O_RDONLY);
+  if (!fd) return fd.error();
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(want_size), PROT_READ,
+                      MAP_SHARED, fd.value().get(), 0);
+  if (base == MAP_FAILED) return Errno{errno};
+  // The mapping keeps its own reference to the file; the fd can go.
+
+  auto entry = std::make_shared<MappedRegion::Entry>();
+  entry->path = path;
+  entry->base = base;
+  entry->len = static_cast<std::size_t>(want_size);
+  entry->dev = want_dev;
+  entry->ino = want_ino;
+  entry->file_size = want_size;
+  entry->mtime_ns = want_mtime;
+
+  lru_.push_front(entry);
+  by_path_[path] = lru_.begin();
+  ++stats_.misses;
+  stats::add(stats::Counter::kMmapMaps);
+  evict_excess_locked();
+  return MappedRegion(std::move(entry));
+}
+
+void MappedContainerRegistry::evict_excess_locked() {
+  while (lru_.size() > capacity_) {
+    by_path_.erase(lru_.back()->path);
+    lru_.pop_back();  // unmaps now unless a pin still holds the entry
+  }
+}
+
+void MappedContainerRegistry::invalidate(const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it)->path.rfind(prefix, 0) == 0) {
+      by_path_.erase((*it)->path);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t MappedContainerRegistry::mapped_count() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+MappedContainerRegistry::Stats MappedContainerRegistry::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace ldplfs::plfs

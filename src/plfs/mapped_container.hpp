@@ -1,0 +1,156 @@
+// MappedContainer: the zero-copy read substrate for flattened containers.
+//
+// A container that compaction (`plfs_compact` / `ldp-compact`) has rewritten
+// holds exactly one data dropping whose physical layout mirrors the logical
+// file. That shape is what lets the page cache — not engine buffers — hold
+// hot read-mostly data (after SplitFS's split of the data path from the
+// metadata path): the dropping can be mmap'd once and served by memcpy (the
+// engine fast path, LDPLFS_MMAP_READS) or handed to the application as a
+// *real* mapping / a true kernel-side copy (the preload mmap and
+// copy_file_range/sendfile paths).
+//
+// Two eligibility tiers, both derived from a merged GlobalIndex snapshot:
+//
+//   * single dropping (single_dropping_of): every live extent lives in ONE
+//     data dropping. Enough for the engine's mapped reads, which scatter by
+//     per-piece physical offsets.
+//   * identity-flat (identity_flat_view): one dropping AND logical ==
+//     physical, contiguous from 0, no holes, no truncate-up tail. Required
+//     whenever the dropping's bytes are exposed at caller-chosen offsets —
+//     app mmap, copy_file_range, sendfile — because those paths pass the
+//     logical offset straight through to the dropping.
+//
+// The registry mirrors DroppingFdCache: entries are keyed by absolute
+// dropping path, LRU-bounded (LDPLFS_MMAP_CACHE, default 16 maps), and
+// acquire() returns a refcounted pin — an evicted or invalidated mapping is
+// munmap'd only when the last pin drops, so no reader ever loses its pages
+// mid-copy. Every acquire re-stats the dropping and compares a fingerprint
+// (dev, ino, size, mtime_ns) exactly like the IndexCache validates index
+// droppings; an appended-to or replaced dropping is remapped transparently.
+// Container mutators flush the registry through the same invalidation hooks
+// that flush the IndexCache and DroppingFdCache (plfs.cpp, compaction.cpp).
+//
+// LDPLFS_MMAP_FORCE_FALLBACK=1 makes every acquire fail (counted as
+// mmap.fallbacks) — the knob the self-testing bench gate uses to prove a
+// fallback storm is detectable, and tests use to force the pread path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "plfs/index.hpp"
+
+namespace ldplfs::plfs {
+
+/// Identity-flat shape of a container (see file comment): the single data
+/// dropping, relative to the container root, plus the logical size it
+/// covers byte-for-byte.
+struct FlatView {
+  std::string dropping_rel;
+  std::uint64_t size = 0;
+};
+
+/// Dropping id when every live extent of `index` lives in one data
+/// dropping (the engine-mappable shape); nullopt otherwise or when empty.
+std::optional<std::uint32_t> single_dropping_of(const GlobalIndex& index);
+
+/// Identity-flat view of `index`: extents cover [0, size) contiguously with
+/// logical == physical in one dropping, no holes, no truncate-up tail.
+std::optional<FlatView> identity_flat_view(const GlobalIndex& index);
+
+/// Resolve the identity-flat view of the container at `root` through the
+/// IndexCache, with the dropping path made absolute. Errors propagate from
+/// the index build; a non-flat container is Errno{ENODEV}.
+struct FlatDropping {
+  std::string dropping_abs;
+  std::uint64_t size = 0;
+};
+Result<FlatDropping> plfs_flat_dropping(const std::string& root);
+
+/// Pin on one mapped dropping; the pages stay mapped while any pin exists.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+
+  [[nodiscard]] const std::byte* data() const {
+    return entry_ ? static_cast<const std::byte*>(entry_->base) : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return entry_ ? entry_->len : 0; }
+  [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+
+ private:
+  friend class MappedContainerRegistry;
+  struct Entry {
+    std::string path;
+    void* base = nullptr;
+    std::size_t len = 0;
+    // Stat fingerprint the mapping was taken against.
+    std::uint64_t dev = 0;
+    std::uint64_t ino = 0;
+    std::uint64_t file_size = 0;
+    std::uint64_t mtime_ns = 0;
+    ~Entry();  // munmap
+  };
+  explicit MappedRegion(std::shared_ptr<Entry> entry)
+      : entry_(std::move(entry)) {}
+  std::shared_ptr<Entry> entry_;
+};
+
+class MappedContainerRegistry {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  // mapped because absent or stale
+    std::uint64_t invalidations = 0;
+  };
+
+  explicit MappedContainerRegistry(std::size_t capacity);
+
+  /// Borrow a read-only mapping of the whole file at `path` (an absolute
+  /// dropping path), mapping it on a miss and remapping when the stat
+  /// fingerprint says the cached mapping is stale. Fails with EIO when
+  /// LDPLFS_MMAP_FORCE_FALLBACK=1, ENODATA for an empty file, or the
+  /// open/stat/mmap errno.
+  Result<MappedRegion> acquire(const std::string& path);
+
+  /// Drop every entry whose path starts with `prefix` (a container root +
+  /// "/", or "" for everything). Pinned mappings unmap when pins drop.
+  void invalidate(const std::string& prefix);
+
+  [[nodiscard]] std::size_t mapped_count() const;
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide registry; capacity from LDPLFS_MMAP_CACHE (default 16,
+  /// minimum 2) read once at first use.
+  static MappedContainerRegistry& shared();
+
+  /// True when LDPLFS_MMAP_READS=1: the engine serves single-dropping
+  /// containers from the registry instead of pread (checked per open, so
+  /// tests can toggle it). Off by default: mapped reads bypass the posix
+  /// helpers, so fault injection and sieve accounting no longer see them.
+  static bool reads_enabled();
+
+  /// True when LDPLFS_MMAP_FORCE_FALLBACK=1 (checked per acquire).
+  static bool force_fallback();
+
+ private:
+  using EntryPtr = std::shared_ptr<MappedRegion::Entry>;
+  using LruList = std::list<EntryPtr>;
+
+  void evict_excess_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_path_;
+  Stats stats_;
+};
+
+}  // namespace ldplfs::plfs

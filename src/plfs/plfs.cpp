@@ -4,24 +4,74 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <set>
 
 #include "common/logging.hpp"
 #include "common/paths.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "plfs/compaction.hpp"
 #include "plfs/fd_cache.hpp"
 #include "plfs/index_cache.hpp"
+#include "plfs/mapped_container.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
 
 namespace {
 
-/// A mutation removed or renamed droppings under `root`: flush both
-/// process-wide caches for it. (Appends don't need this — the IndexCache
-/// fingerprint catches them — but removals must also release cached fds.)
+/// A mutation removed or renamed droppings under `root`: flush every
+/// process-wide cache for it. (Appends don't need this — the IndexCache and
+/// MappedContainerRegistry fingerprints catch them — but removals must also
+/// release cached fds and mappings.)
 void drop_container_caches(const std::string& root) {
   IndexCache::shared().invalidate(root);
   DroppingFdCache::shared().invalidate(root + "/");
+  MappedContainerRegistry::shared().invalidate(root + "/");
+}
+
+/// True when LDPLFS_AUTO_FLATTEN is set and not "0" (default off).
+bool auto_flatten_enabled() {
+  const char* env = std::getenv("LDPLFS_AUTO_FLATTEN");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// "Flatten when read-mostly": a read-only open is the signal that the
+/// container has entered its consumption phase, so kick a background
+/// compaction to converge it to the single-dropping, mmap-servable shape.
+/// Consults health (a degraded backend is not churned further) and the
+/// container's own state (already-flat and writer-occupied containers are
+/// skipped; plfs_compact re-checks openhosts and bows out EBUSY on a race).
+/// At most one attempt per container per process.
+void maybe_auto_flatten(const std::string& path) {
+  if (!auto_flatten_enabled()) return;
+  if (health::bypass_open(path)) return;
+  static std::mutex mu;
+  static auto* attempted = new std::set<std::string>();  // never destroyed
+  {
+    std::lock_guard lock(mu);
+    if (!attempted->insert(path).second) return;
+  }
+  auto data = find_data_droppings(path);
+  auto index = find_index_droppings(path);
+  if (!data || !index) return;
+  if (data.value().size() < 2 && index.value().size() < 2) return;
+  auto hosts = read_open_hosts(path);
+  if (!hosts || !hosts.value().empty()) return;
+  stats::add(stats::Counter::kAutoFlattenKicked);
+  // Touch the caches compaction uses while the process is demonstrably
+  // alive, so the task never constructs a static during exit processing.
+  (void)IndexCache::shared();
+  (void)DroppingFdCache::shared();
+  (void)MappedContainerRegistry::shared();
+  ThreadPool::shared().submit([path] {
+    // Best-effort: a short-lived process reaches the pool's exit drain with
+    // this task still queued — skip it rather than compact mid-shutdown.
+    if (ThreadPool::shared().stopping()) return;
+    (void)plfs_compact(path);  // invalidates caches itself on success
+  });
 }
 
 /// How many writes may accumulate before a read re-snapshots the index.
@@ -193,6 +243,7 @@ Result<std::shared_ptr<FileHandle>> plfs_open(const std::string& path,
     // O_TRUNC checkpoint cycles do not accumulate dead log data.
     if (auto s = plfs_trunc(path, 0); !s) return s.error();
   }
+  if (container && (flags & O_ACCMODE) == O_RDONLY) maybe_auto_flatten(path);
   stats::add(stats::Counter::kPlfsHandleOpened);
   return std::make_shared<FileHandle>(path, flags, opts);
 }

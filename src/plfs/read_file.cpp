@@ -11,6 +11,7 @@
 #include "common/units.hpp"
 #include "plfs/fd_cache.hpp"
 #include "plfs/index_cache.hpp"
+#include "plfs/mapped_container.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -54,7 +55,11 @@ ReadFile::ReadFile(std::string root, std::shared_ptr<const GlobalIndex> index)
       threads_(ThreadPool::env_threads()),
       sieve_(env_sieve()),
       sieve_max_hole_(env_sieve_max_hole()),
-      sieve_buffer_(env_sieve_buffer()) {}
+      sieve_buffer_(env_sieve_buffer()) {
+  if (MappedContainerRegistry::reads_enabled()) {
+    mapped_dropping_ = single_dropping_of(*index_);
+  }
+}
 
 Result<std::unique_ptr<ReadFile>> ReadFile::open(const std::string& root) {
   auto index = IndexCache::shared().get(root);
@@ -70,9 +75,36 @@ std::unique_ptr<ReadFile> ReadFile::with_index(std::string root,
       std::make_shared<const GlobalIndex>(std::move(index))));
 }
 
+bool ReadFile::try_mapped_read(const std::vector<PieceRef>& refs) {
+  auto region = MappedContainerRegistry::shared().acquire(
+      path_join(root_, index_->data_paths()[*mapped_dropping_]));
+  if (!region) return false;
+  const MappedRegion& map = region.value();
+  // All-or-nothing: a piece past the mapping (index ahead of data, torn
+  // tail) sends the whole batch down the pread path rather than mixing.
+  for (const auto& ref : refs) {
+    if (ref.piece.physical + ref.piece.length > map.size()) return false;
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& ref : refs) {
+    std::memcpy(ref.dst, map.data() + ref.piece.physical, ref.piece.length);
+    bytes += ref.piece.length;
+  }
+  stats::add(stats::Counter::kMmapReads);
+  stats::add(stats::Counter::kMmapBytes, bytes);
+  return true;
+}
+
 int ReadFile::read_dropping(std::uint32_t dropping,
                             const std::vector<PieceRef>& refs,
                             std::size_t* failing_seq) {
+  // Zero-copy fast path: a flattened container's one dropping is served
+  // straight from the page cache, no preads at all.
+  if (mapped_dropping_ && dropping == *mapped_dropping_) {
+    if (try_mapped_read(refs)) return 0;
+    stats::add(stats::Counter::kMmapFallbacks);
+  }
+
   auto fd = DroppingFdCache::shared().acquire(
       path_join(root_, index_->data_paths()[dropping]));
   if (!fd) {

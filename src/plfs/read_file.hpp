@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -105,12 +106,22 @@ class ReadFile {
   int read_dropping(std::uint32_t dropping, const std::vector<PieceRef>& refs,
                     std::size_t* failing_seq);
 
+  /// Mapped fast path (LDPLFS_MMAP_READS): serve every piece by memcpy from
+  /// the registry's mapping of the single data dropping — zero preads.
+  /// False (caller falls back to the pread/sieve path and counts
+  /// mmap.fallbacks) when the mapping cannot be acquired or does not cover
+  /// every piece.
+  bool try_mapped_read(const std::vector<PieceRef>& refs);
+
   std::string root_;
   std::shared_ptr<const GlobalIndex> index_;
   unsigned threads_;  // LDPLFS_THREADS at open; <2 forces the serial path
   bool sieve_;                  // LDPLFS_SIEVE at open
   std::size_t sieve_max_hole_;  // LDPLFS_SIEVE_MAX_HOLE at open
   std::size_t sieve_buffer_;    // LDPLFS_SIEVE_BUFFER at open
+  /// Set when LDPLFS_MMAP_READS is on and every extent lives in one data
+  /// dropping (the flattened/compacted shape): that dropping's id.
+  std::optional<std::uint32_t> mapped_dropping_;
 };
 
 }  // namespace ldplfs::plfs

@@ -29,12 +29,17 @@
 
 #include <cerrno>
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hpp"
+#include "common/stats.hpp"
 #include "core/mounts.hpp"
 #include "core/real_calls.hpp"
 #include "core/router.hpp"
+#include "plfs/mapped_container.hpp"
 
 namespace {
 
@@ -497,11 +502,84 @@ int faccessat(int dirfd, const char* path, int amode, int at_flags) {
 // ---------------------------------------------------------------------------
 // fd-to-fd fast paths. copy_file_range/sendfile move bytes entirely inside
 // the kernel, which would bypass PLFS and land data in the shadow tmpfile.
-// When either side is a PLFS fd the copy is emulated with a user-space
-// read/write loop through the router; otherwise the real call runs.
+// A read-only PLFS source over an *identity-flat* container (one compacted
+// data dropping, logical == physical) gets true zero-copy: the real kernel
+// call runs against the backing dropping with the logical offset passed
+// straight through. Every other PLFS combination is emulated with a
+// user-space read/write loop through the router; pure non-PLFS calls pass
+// through untouched.
 // ---------------------------------------------------------------------------
 
+extern "C++" {
 namespace {
+
+/// flat_zero_copy result meaning "not a flat read-only source — emulate".
+constexpr ssize_t kNotFlat = -2;
+
+/// When `fd` is a read-only PLFS fd whose container is identity-flat, an
+/// O_RDONLY real fd on the backing dropping (caller closes); `size_out`
+/// gets the logical size. -1 otherwise.
+int flat_in_fd(int fd, std::uint64_t* size_out) {
+  auto of = router().fd_table().lookup(fd);
+  if (of == nullptr) return -1;
+  if ((of->flags() & O_ACCMODE) != O_RDONLY) return -1;
+  auto flat = ldplfs::plfs::plfs_flat_dropping(of->handle().path());
+  if (!flat) return -1;
+  *size_out = flat.value().size;
+  return real().open(flat.value().dropping_abs.c_str(), O_RDONLY, 0);
+}
+
+/// Shared zero-copy harness: resolve the flat dropping behind `fd_in`,
+/// resolve the source offset (explicit or the shadow cursor), clamp to the
+/// logical EOF, run `do_copy(src_fd, offset, want)` (the real
+/// copy_file_range or sendfile against the dropping), then write back the
+/// offset/cursor. Returns kNotFlat when the source does not qualify; must
+/// run inside the reentry guard.
+template <typename DoCopy>
+ssize_t flat_zero_copy(int fd_in, off64_t* off_in, size_t len,
+                       DoCopy&& do_copy) {
+  std::uint64_t size = 0;
+  const int src = flat_in_fd(fd_in, &size);
+  if (src < 0) return kNotFlat;
+  off64_t local;
+  if (off_in != nullptr) {
+    local = *off_in;
+  } else {
+    const off_t cur = router().lseek(fd_in, 0, SEEK_CUR);
+    if (cur < 0) {
+      const int saved = errno;
+      real().close(src);
+      errno = saved;
+      return -1;
+    }
+    local = cur;
+  }
+  // The dropping holds exactly the logical bytes, so clamping to the
+  // logical size and to the dropping EOF are the same thing.
+  const std::uint64_t avail =
+      (local < 0 || static_cast<std::uint64_t>(local) >= size)
+          ? 0
+          : size - static_cast<std::uint64_t>(local);
+  const size_t want = static_cast<size_t>(std::min<std::uint64_t>(len, avail));
+  ssize_t n = 0;
+  if (want > 0) n = do_copy(src, local, want);
+  const int saved = errno;
+  real().close(src);
+  errno = saved;
+  if (n < 0) return -1;
+  if (n > 0) {
+    if (off_in != nullptr) {
+      *off_in = local + n;
+    } else if (router().lseek(fd_in, static_cast<off_t>(local + n),
+                              SEEK_SET) < 0) {
+      return -1;
+    }
+    ldplfs::stats::add(ldplfs::stats::Counter::kZeroCopyOps);
+    ldplfs::stats::add(ldplfs::stats::Counter::kZeroCopyBytes,
+                       static_cast<std::uint64_t>(n));
+  }
+  return n;
+}
 
 ssize_t emulated_copy(int fd_in, off64_t* off_in, int fd_out,
                       off64_t* off_out, size_t len) {
@@ -536,6 +614,7 @@ ssize_t emulated_copy(int fd_in, off64_t* off_in, int fd_out,
 }
 
 }  // namespace
+}  // extern "C++"
 
 ssize_t copy_file_range(int fd_in, off64_t* off_in, int fd_out,
                         off64_t* off_out, size_t len, unsigned int cfr_flags) {
@@ -544,9 +623,18 @@ ssize_t copy_file_range(int fd_in, off64_t* off_in, int fd_out,
   static CfrFn real_cfr = next_symbol<CfrFn>("copy_file_range");
   {
     ReentryGuard guard;
-    if (!guard.outermost() ||
-        (!router().is_plfs_fd(fd_in) && !router().is_plfs_fd(fd_out))) {
+    const bool in_plfs = guard.outermost() && router().is_plfs_fd(fd_in);
+    const bool out_plfs = guard.outermost() && router().is_plfs_fd(fd_out);
+    if (!guard.outermost() || (!in_plfs && !out_plfs)) {
       return real_cfr(fd_in, off_in, fd_out, off_out, len, cfr_flags);
+    }
+    if (in_plfs && !out_plfs) {
+      const ssize_t n = flat_zero_copy(
+          fd_in, off_in, len, [&](int src, off64_t at, size_t want) {
+            off64_t src_off = at;
+            return real_cfr(src, &src_off, fd_out, off_out, want, cfr_flags);
+          });
+      if (n != kNotFlat) return n;
     }
   }
   // Emulate outside the guard so the per-chunk read/write route normally.
@@ -556,15 +644,29 @@ ssize_t copy_file_range(int fd_in, off64_t* off_in, int fd_out,
 ssize_t sendfile(int out_fd, int in_fd, off_t* offset, size_t count) {
   using SendfileFn = ssize_t (*)(int, int, off_t*, size_t);
   static SendfileFn real_sendfile = next_symbol<SendfileFn>("sendfile");
-  {
-    ReentryGuard guard;
-    if (!guard.outermost() ||
-        (!router().is_plfs_fd(in_fd) && !router().is_plfs_fd(out_fd))) {
-      return real_sendfile(out_fd, in_fd, offset, count);
-    }
-  }
   off64_t off64_local = offset != nullptr ? *offset : 0;
   off64_t* off_in = offset != nullptr ? &off64_local : nullptr;
+  {
+    ReentryGuard guard;
+    const bool in_plfs = guard.outermost() && router().is_plfs_fd(in_fd);
+    const bool out_plfs = guard.outermost() && router().is_plfs_fd(out_fd);
+    if (!guard.outermost() || (!in_plfs && !out_plfs)) {
+      return real_sendfile(out_fd, in_fd, offset, count);
+    }
+    if (in_plfs && !out_plfs) {
+      const ssize_t zn = flat_zero_copy(
+          in_fd, off_in, count, [&](int src, off64_t at, size_t want) {
+            off_t src_off = static_cast<off_t>(at);
+            return real_sendfile(out_fd, src, &src_off, want);
+          });
+      if (zn != kNotFlat) {
+        if (offset != nullptr && zn >= 0) {
+          *offset = static_cast<off_t>(off64_local);
+        }
+        return zn;
+      }
+    }
+  }
   const ssize_t n = emulated_copy(in_fd, off_in, out_fd, nullptr, count);
   if (offset != nullptr && n >= 0) *offset = static_cast<off_t>(off64_local);
   return n;
@@ -575,9 +677,18 @@ ssize_t sendfile64(int out_fd, int in_fd, off64_t* offset, size_t count) {
   static Sendfile64Fn real_sendfile64 = next_symbol<Sendfile64Fn>("sendfile64");
   {
     ReentryGuard guard;
-    if (!guard.outermost() ||
-        (!router().is_plfs_fd(in_fd) && !router().is_plfs_fd(out_fd))) {
+    const bool in_plfs = guard.outermost() && router().is_plfs_fd(in_fd);
+    const bool out_plfs = guard.outermost() && router().is_plfs_fd(out_fd);
+    if (!guard.outermost() || (!in_plfs && !out_plfs)) {
       return real_sendfile64(out_fd, in_fd, offset, count);
+    }
+    if (in_plfs && !out_plfs) {
+      const ssize_t zn = flat_zero_copy(
+          in_fd, offset, count, [&](int src, off64_t at, size_t want) {
+            off64_t src_off = at;
+            return real_sendfile64(out_fd, src, &src_off, want);
+          });
+      if (zn != kNotFlat) return zn;
     }
   }
   const ssize_t n = emulated_copy(in_fd, offset, out_fd, nullptr, count);
@@ -609,23 +720,108 @@ int posix_fallocate(int fd, off_t offset, off_t len) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// mmap. An identity-flat (compacted) container's one data dropping mirrors
+// the logical file byte-for-byte, so a read-only mapping request is served
+// by mapping the dropping itself at the caller's offset — a real,
+// kernel-backed mapping (SplitFS-style data-path split; mmap consumers like
+// GNU grep get the page cache instead of the refusal slow path). Writable
+// MAP_SHARED requests and log-structured containers keep the deterministic
+// ENODEV refusal so callers fall back to read(2). mmap and mmap64 share the
+// off64_t implementation — the old route through mmap truncated large
+// offsets via the off_t cast.
+// ---------------------------------------------------------------------------
+
+extern "C++" {
+namespace {
+
+/// Application mappings served from droppings (base addr → length). Purely
+/// bookkeeping: the kernel owns the pages and munmap works regardless; the
+/// table keeps the served-map population observable (tests, diagnostics).
+std::mutex g_app_maps_mu;
+std::map<void*, size_t>& app_maps() {
+  static auto* maps = new std::map<void*, size_t>();  // never destroyed
+  return *maps;
+}
+
+void* mmap_impl(void* addr, size_t length, int prot, int mmap_flags, int fd,
+                off64_t offset) {
+  using Mmap64Fn = void* (*)(void*, size_t, int, int, int, off64_t);
+  static Mmap64Fn real_mmap64 = [] {
+    auto fn = next_symbol<Mmap64Fn>("mmap64");
+    // LP64 Linux: off_t == off64_t, mmap has the same ABI.
+    return fn != nullptr ? fn : next_symbol<Mmap64Fn>("mmap");
+  }();
+  ReentryGuard guard;
+  if (!guard.outermost() || fd < 0 || (mmap_flags & MAP_ANONYMOUS) != 0 ||
+      !router().is_plfs_fd(fd)) {
+    return real_mmap64(addr, length, prot, mmap_flags, fd, offset);
+  }
+
+  // Serve when nothing can write through the mapping into the dropping:
+  // the fd is read-only and the request is PROT_READ or MAP_PRIVATE (COW
+  // keeps even PROT_WRITE|MAP_PRIVATE stores out of the file).
+  auto of = router().fd_table().lookup(fd);
+  const bool no_shared_writes =
+      (prot & PROT_WRITE) == 0 || (mmap_flags & MAP_PRIVATE) != 0;
+  if (of != nullptr && no_shared_writes &&
+      (of->flags() & O_ACCMODE) == O_RDONLY) {
+    auto flat = ldplfs::plfs::plfs_flat_dropping(of->handle().path());
+    if (flat) {
+      const int dfd = real().open(flat.value().dropping_abs.c_str(),
+                                  O_RDONLY, 0);
+      if (dfd >= 0) {
+        void* base = real_mmap64(addr, length, prot, mmap_flags, dfd, offset);
+        const int saved = errno;
+        real().close(dfd);
+        errno = saved;
+        if (base != MAP_FAILED) {
+          std::lock_guard lock(g_app_maps_mu);
+          app_maps()[base] = length;
+          ldplfs::stats::add(ldplfs::stats::Counter::kMmapAppMaps);
+        }
+        // Success, or the kernel's own verdict (EINVAL for a misaligned
+        // offset behaves exactly as it would on a plain file).
+        return base;
+      }
+    }
+  }
+
+  // Log-structured container (or shared-writable request): mapping the
+  // shadow tmpfile would show garbage; refuse deterministically so callers
+  // (e.g. GNU grep) fall back to read(2).
+  ldplfs::stats::add(ldplfs::stats::Counter::kMmapFallbacks);
+  errno = ENODEV;
+  return MAP_FAILED;
+}
+
+}  // namespace
+}  // extern "C++"
+
 void* mmap(void* addr, size_t length, int prot, int mmap_flags, int fd,
            off_t offset) {
-  using MmapFn = void* (*)(void*, size_t, int, int, int, off_t);
-  static MmapFn real_mmap = next_symbol<MmapFn>("mmap");
-  ReentryGuard guard;
-  if (!guard.outermost() || fd < 0 || !router().is_plfs_fd(fd)) {
-    return real_mmap(addr, length, prot, mmap_flags, fd, offset);
-  }
-  // Mapping the shadow tmpfile would show garbage; refuse so callers
-  // (e.g. GNU grep) fall back to read(2).
-  errno = ENODEV;
-  return reinterpret_cast<void*>(-1);  // MAP_FAILED
+  return mmap_impl(addr, length, prot, mmap_flags, fd,
+                   static_cast<off64_t>(offset));
 }
 
 void* mmap64(void* addr, size_t length, int prot, int mmap_flags, int fd,
              off64_t offset) {
-  return mmap(addr, length, prot, mmap_flags, fd, static_cast<off_t>(offset));
+  return mmap_impl(addr, length, prot, mmap_flags, fd, offset);
+}
+
+int munmap(void* addr, size_t length) {
+  using MunmapFn = int (*)(void*, size_t);
+  static MunmapFn real_munmap = next_symbol<MunmapFn>("munmap");
+  {
+    // Retire bookkeeping for a full unmap of a served base address; partial
+    // unmaps keep the entry (the kernel splits the VMA either way).
+    std::lock_guard lock(g_app_maps_mu);
+    auto& maps = app_maps();
+    if (auto it = maps.find(addr); it != maps.end() && length >= it->second) {
+      maps.erase(it);
+    }
+  }
+  return real_munmap(addr, length);
 }
 
 // ---------------------------------------------------------------------------

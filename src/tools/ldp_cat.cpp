@@ -12,6 +12,20 @@
 
 namespace {
 int cat_one(const std::string& path) {
+  // Flattened container with LDPLFS_MMAP_READS on: stream straight from the
+  // mapped dropping — zero routed preads, no refill loop.
+  if (ldplfs::tools::FlatInput flat(path); flat.valid()) {
+    if (auto s = ldplfs::posix::write_all(
+            STDOUT_FILENO,
+            {reinterpret_cast<const std::byte*>(flat.data()),
+             static_cast<size_t>(flat.size())});
+        !s) {
+      errno = s.error_code();
+      std::perror("ldp-cat: stdout");
+      return 1;
+    }
+    return 0;
+  }
   auto& r = ldplfs::tools::router();
   const int fd = r.open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) {

@@ -8,6 +8,7 @@
 #include <fcntl.h>
 
 #include <cstdio>
+#include <cstring>
 #include <regex>
 #include <string>
 
@@ -20,31 +21,56 @@ struct GrepOptions {
   bool fixed = false;
 };
 
-int grep_one(const std::string& path, const std::string& pattern,
-             const std::regex* re, const GrepOptions& opt, bool show_name) {
-  auto& r = ldplfs::tools::router();
-  const int fd = r.open(path.c_str(), O_RDONLY, 0);
-  if (fd < 0) {
-    std::perror(("ldp-grep: " + path).c_str());
-    return 2;
-  }
-  ldplfs::tools::LineReader reader(fd);
-  std::string line;
-  long long matches = 0;
-  while (reader.next(line)) {
-    const bool hit = opt.fixed ? line.find(pattern) != std::string::npos
-                               : std::regex_search(line, *re);
-    if (!hit) continue;
-    ++matches;
-    if (!opt.count_only) {
-      if (show_name) {
-        std::printf("%s:%s\n", path.c_str(), line.c_str());
-      } else {
-        std::printf("%s\n", line.c_str());
-      }
+long long match_line(const std::string& line, const std::string& pattern,
+                     const std::regex* re, const GrepOptions& opt,
+                     bool show_name, const std::string& path) {
+  const bool hit = opt.fixed ? line.find(pattern) != std::string::npos
+                             : std::regex_search(line, *re);
+  if (!hit) return 0;
+  if (!opt.count_only) {
+    if (show_name) {
+      std::printf("%s:%s\n", path.c_str(), line.c_str());
+    } else {
+      std::printf("%s\n", line.c_str());
     }
   }
-  r.close(fd);
+  return 1;
+}
+
+int grep_one(const std::string& path, const std::string& pattern,
+             const std::regex* re, const GrepOptions& opt, bool show_name) {
+  long long matches = 0;
+  // Flattened container with LDPLFS_MMAP_READS on: split lines straight out
+  // of the mapped dropping — zero routed preads, no LineReader buffering.
+  if (ldplfs::tools::FlatInput flat(path); flat.valid()) {
+    const char* data = flat.data();
+    const std::size_t size = static_cast<std::size_t>(flat.size());
+    std::string line;
+    std::size_t start = 0;
+    while (start < size) {
+      const void* nl = std::memchr(data + start, '\n', size - start);
+      const std::size_t end =
+          nl != nullptr
+              ? static_cast<std::size_t>(static_cast<const char*>(nl) - data)
+              : size;
+      line.assign(data + start, end - start);
+      matches += match_line(line, pattern, re, opt, show_name, path);
+      start = end + 1;
+    }
+  } else {
+    auto& r = ldplfs::tools::router();
+    const int fd = r.open(path.c_str(), O_RDONLY, 0);
+    if (fd < 0) {
+      std::perror(("ldp-grep: " + path).c_str());
+      return 2;
+    }
+    ldplfs::tools::LineReader reader(fd);
+    std::string line;
+    while (reader.next(line)) {
+      matches += match_line(line, pattern, re, opt, show_name, path);
+    }
+    r.close(fd);
+  }
   if (opt.count_only) {
     if (show_name) {
       std::printf("%s:%lld\n", path.c_str(), matches);

@@ -10,9 +10,29 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/units.hpp"
 
 namespace ldplfs::tools {
+
+FlatInput::FlatInput(const std::string& path) {
+  if (!plfs::MappedContainerRegistry::reads_enabled()) return;
+  auto& r = router();
+  if (!r.path_is_container(path.c_str())) return;
+  auto flat = plfs::plfs_flat_dropping(r.resolve_path(path.c_str()));
+  if (!flat) return;  // log-structured (ENODEV) or unreadable: not eligible
+  auto region =
+      plfs::MappedContainerRegistry::shared().acquire(flat.value().dropping_abs);
+  if (!region) {
+    // Eligible but unmappable — the caller's pread loop still works.
+    stats::add(stats::Counter::kMmapFallbacks);
+    return;
+  }
+  region_ = std::move(region).value();
+  size_ = std::min<std::uint64_t>(flat.value().size, region_.size());
+  stats::add(stats::Counter::kMmapReads);
+  stats::add(stats::Counter::kMmapBytes, size_);
+}
 
 std::size_t io_buffer_size(std::size_t fallback) {
   static const std::uint64_t env_bytes = [] {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/router.hpp"
+#include "plfs/mapped_container.hpp"
 
 namespace ldplfs::tools {
 
@@ -39,6 +40,29 @@ std::size_t io_buffer_size(std::size_t fallback = 1u << 20);
 /// `block_size` 0 means io_buffer_size(4 MiB).
 long long copy_path(const std::string& src, const std::string& dst,
                     std::size_t block_size = 0);
+
+/// Whole-file zero-copy view of a flattened container. When
+/// LDPLFS_MMAP_READS is on and `path` is an identity-flat container
+/// (single dropping, logical == physical — the shape compaction produces),
+/// valid() is true and data()/size() expose the logical bytes straight from
+/// the shared mmap registry: the tool walks the page cache with ZERO routed
+/// preads and no per-chunk BatchReader refills. Anything else — plain file,
+/// log-structured container, env off, map failure — leaves valid() false
+/// and the caller keeps its BatchReader loop.
+class FlatInput {
+ public:
+  explicit FlatInput(const std::string& path);
+
+  [[nodiscard]] bool valid() const { return region_.valid(); }
+  [[nodiscard]] const char* data() const {
+    return reinterpret_cast<const char*>(region_.data());
+  }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+ private:
+  plfs::MappedRegion region_;
+  std::uint64_t size_ = 0;  // logical size (≤ mapped length)
+};
 
 /// Batched sequential reader over a router fd: each refill issues ONE
 /// routed preadv whose iovecs slice an io_buffer_size() heap buffer into

@@ -37,9 +37,11 @@ struct BenchResult {
 };
 
 /// Run ldp-bench with `args`; when `faults` is non-empty it is exported as
-/// LDPLFS_FAULTS in the child only.
-BenchResult run_bench(const std::vector<std::string>& args,
-                      const std::string& faults = "") {
+/// LDPLFS_FAULTS in the child only, and `extra_env` name=value pairs are
+/// exported alongside it.
+BenchResult run_bench(
+    const std::vector<std::string>& args, const std::string& faults = "",
+    const std::vector<std::pair<std::string, std::string>>& extra_env = {}) {
   int out_pipe[2];
   EXPECT_EQ(::pipe(out_pipe), 0);
   const pid_t pid = ::fork();
@@ -48,6 +50,9 @@ BenchResult run_bench(const std::vector<std::string>& args,
     ::close(out_pipe[0]);
     ::close(out_pipe[1]);
     if (!faults.empty()) ::setenv("LDPLFS_FAULTS", faults.c_str(), 1);
+    for (const auto& [name, value] : extra_env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
     std::vector<char*> argv;
     const std::string bin = LDPLFS_BENCH_BIN;
     argv.push_back(const_cast<char*>(bin.c_str()));
@@ -145,6 +150,48 @@ TEST_F(RegressionGateTest, ImprovementDirectionDoesNotGate) {
                               "--alpha", "0.01", "--min-effect", "0.5"});
   EXPECT_EQ(cmp.exit_code, 0) << cmp.output;
   EXPECT_NE(cmp.output.find("improvement"), std::string::npos) << cmp.output;
+}
+
+/// One measurement run of the zero-copy scenario (mapped reads pinned on
+/// by the scenario itself).
+BenchResult run_flat(const std::string& json_path,
+                     const std::string& faults = "",
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_env = {}) {
+  return run_bench({"--scenario", "flat_strided_read", "--reps", "6",
+                    "--warmup", "1", "--seed", "7", "--json", json_path},
+                   faults, extra_env);
+}
+
+TEST_F(RegressionGateTest, MmapFallbackStormIsFlaggedAndMappedPathIsImmune) {
+  // Base: mapped reads served from the registry's mapping — zero preads.
+  const auto base = run_flat(dir_->sub("flat_base.json"));
+  ASSERT_EQ(base.exit_code, 0) << base.output;
+  // A per-pread delay cannot move the mapped path (it issues no preads).
+  // The reps are ~100 µs, so the fault machinery's fixed bookkeeping
+  // overhead alone can register as a sub-2x "change"; --min-effect 4.0
+  // ignores that while still catching even a couple of real 2 ms delayed
+  // preads per rep (a >40x swing).
+  const auto mapped = run_flat(dir_->sub("flat_mapped.json"),
+                               "pread:delay=2000");
+  ASSERT_EQ(mapped.exit_code, 0) << mapped.output;
+  const auto immune =
+      run_bench({"--compare", dir_->sub("flat_base.json"),
+                 dir_->sub("flat_mapped.json"), "--alpha", "0.01",
+                 "--min-effect", "4.0"});
+  EXPECT_EQ(immune.exit_code, 0) << immune.output;
+  // ...but a fallback storm (every acquire refused, every read demoted to
+  // the delayed pread path) must be flagged as a regression.
+  const auto storm =
+      run_flat(dir_->sub("flat_storm.json"), "pread:delay=2000",
+               {{"LDPLFS_MMAP_FORCE_FALLBACK", "1"}});
+  ASSERT_EQ(storm.exit_code, 0) << storm.output;
+  const auto cmp =
+      run_bench({"--compare", dir_->sub("flat_base.json"),
+                 dir_->sub("flat_storm.json"), "--alpha", "0.01",
+                 "--min-effect", "0.5"});
+  EXPECT_EQ(cmp.exit_code, 1) << cmp.output;
+  EXPECT_NE(cmp.output.find("REGRESSION"), std::string::npos) << cmp.output;
 }
 
 TEST_F(RegressionGateTest, CompareRejectsInvalidReports) {

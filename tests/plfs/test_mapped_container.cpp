@@ -1,0 +1,367 @@
+// MappedContainer: eligibility classification, registry lifetime
+// (fingerprint staleness, LRU eviction under pins, prefix invalidation),
+// and the engine's mapped-read fast path — including the map-lifetime
+// guarantees: pages outlive registry eviction while pinned
+// (munmap-after-close) and a writer invalidates the map end to end.
+#include "plfs/mapped_container.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "plfs/compaction.hpp"
+#include "plfs/container.hpp"
+#include "plfs/index.hpp"
+#include "plfs/index_cache.hpp"
+#include "plfs/plfs.hpp"
+#include "plfs/read_file.hpp"
+#include "posix/fd.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+using ldplfs::testing::as_bytes;
+
+/// setenv for the test's scope, unsetenv on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+};
+
+void write_container(const std::string& path, const std::string& content,
+                     pid_t pid = 7) {
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, pid);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes(content), 0, pid).ok());
+  ASSERT_TRUE(plfs_close(fd.value(), pid).ok());
+}
+
+std::string read_via_api(const std::string& path) {
+  auto rf = ReadFile::open(path);
+  EXPECT_TRUE(rf.ok());
+  if (!rf.ok()) return {};
+  std::string out(rf.value()->index().size(), '\0');
+  auto n = rf.value()->read(
+      {reinterpret_cast<std::byte*>(out.data()), out.size()}, 0);
+  EXPECT_TRUE(n.ok());
+  out.resize(n.ok() ? n.value() : 0);
+  return out;
+}
+
+std::string region_str(const MappedRegion& region, std::size_t limit) {
+  return {reinterpret_cast<const char*>(region.data()),
+          std::min(region.size(), limit)};
+}
+
+TEST(FlatViewTest, CompactedContainerIsIdentityFlat) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  write_container(path, "hello mapped world");
+  ASSERT_TRUE(plfs_compact(path).ok());
+
+  auto index = GlobalIndex::build(path);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(single_dropping_of(index.value()).has_value());
+  const auto view = identity_flat_view(index.value());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->size, 18u);
+
+  auto flat = plfs_flat_dropping(path);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value().size, 18u);
+  EXPECT_EQ(flat.value().dropping_abs.front(), '/');
+  auto st = posix::stat_path(flat.value().dropping_abs);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(static_cast<std::uint64_t>(st.value().st_size), 18u);
+}
+
+TEST(FlatViewTest, MultiDroppingContainerIsNeitherTier) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  // Two writer pids on one handle → one data dropping per pid.
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("AAAA"), 0, 1).ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("BBBB"), 4, 2).ok());
+  ASSERT_TRUE(fd.value()->close(1).ok());
+  ASSERT_TRUE(plfs_close(fd.value(), 2).ok());
+
+  auto index = GlobalIndex::build(path);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(single_dropping_of(index.value()).has_value());
+  EXPECT_FALSE(identity_flat_view(index.value()).has_value());
+
+  auto flat = plfs_flat_dropping(path);
+  ASSERT_FALSE(flat.ok());
+  EXPECT_EQ(flat.error_code(), ENODEV);
+}
+
+TEST(FlatViewTest, ShuffledSingleDroppingIsMappableButNotIdentityFlat) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  // Coalescing would reorder the log into logical order; pin it off so the
+  // out-of-order layout actually reaches disk.
+  EnvGuard no_coalesce("LDPLFS_COALESCE", "0");
+  auto fd = plfs_open(path, O_CREAT | O_WRONLY, 3);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("BBBB"), 4, 3).ok());
+  ASSERT_TRUE(fd.value()->write(as_bytes("AAAA"), 0, 3).ok());
+  ASSERT_TRUE(plfs_close(fd.value(), 3).ok());
+
+  auto index = GlobalIndex::build(path);
+  ASSERT_TRUE(index.ok());
+  // One dropping — the engine can still serve it from a map by piece
+  // offsets — but logical != physical, so no offset passthrough.
+  EXPECT_TRUE(single_dropping_of(index.value()).has_value());
+  EXPECT_FALSE(identity_flat_view(index.value()).has_value());
+}
+
+TEST(FlatViewTest, TruncateUpTailRejectsIdentityFlat) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  write_container(path, "dense");
+  {
+    auto fd = plfs_open(path, O_WRONLY, 9);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->truncate(64, 9).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 9).ok());
+  }
+  auto index = GlobalIndex::build(path);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index.value().size(), 64u);
+  // The tail [5, 64) has no backing bytes in the dropping.
+  EXPECT_FALSE(identity_flat_view(index.value()).has_value());
+}
+
+TEST(MappedRegistryTest, AcquireHitsThenRemapsOnFingerprintChange) {
+  TempDir tmp;
+  const std::string file = tmp.sub("dropping");
+  ASSERT_TRUE(posix::write_file(file, "first contents").ok());
+
+  MappedContainerRegistry registry(4);
+  auto first = registry.acquire(file);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(region_str(first.value(), 64), "first contents");
+  EXPECT_EQ(registry.stats().misses, 1u);
+
+  auto again = registry.acquire(file);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(registry.stats().hits, 1u);
+
+  // Replace the file the way compaction does — a NEW inode renamed over
+  // the old (droppings are never overwritten in place). Different
+  // (ino, size) → stale fingerprint → remap; the old pin keeps the
+  // unlinked inode's pages (no use-after-unmap for in-flight readers).
+  ASSERT_TRUE(
+      posix::write_file(tmp.sub("next"), "second, longer contents").ok());
+  ASSERT_EQ(::rename(tmp.sub("next").c_str(), file.c_str()), 0);
+  auto fresh = registry.acquire(file);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(region_str(fresh.value(), 64), "second, longer contents");
+  EXPECT_GE(registry.stats().invalidations, 1u);
+  EXPECT_EQ(region_str(first.value(), 64), "first contents");
+}
+
+TEST(MappedRegistryTest, EvictionAndInvalidationKeepPinnedPagesAlive) {
+  TempDir tmp;
+  MappedContainerRegistry registry(2);
+  std::vector<MappedRegion> pins;
+  for (int i = 0; i < 3; ++i) {
+    const std::string file = tmp.sub("f" + std::to_string(i));
+    ASSERT_TRUE(posix::write_file(file, "file " + std::to_string(i)).ok());
+    auto region = registry.acquire(file);
+    ASSERT_TRUE(region.ok());
+    pins.push_back(std::move(region).value());
+  }
+  // Capacity 2: the LRU evicted the oldest entry, but its pin holds on.
+  EXPECT_EQ(registry.mapped_count(), 2u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(region_str(pins[static_cast<std::size_t>(i)], 64),
+              "file " + std::to_string(i));
+  }
+  // Prefix invalidation drops every registry entry; pinned pages survive
+  // until the pins go (munmap happens when the last pin drops).
+  registry.invalidate(tmp.path() + "/");
+  EXPECT_EQ(registry.mapped_count(), 0u);
+  EXPECT_EQ(region_str(pins[2], 64), "file 2");
+  pins.clear();  // last pins drop → mappings unmapped here
+}
+
+TEST(MappedRegistryTest, ForceFallbackAndEmptyFileFail) {
+  TempDir tmp;
+  const std::string file = tmp.sub("f");
+  ASSERT_TRUE(posix::write_file(file, "bytes").ok());
+  MappedContainerRegistry registry(4);
+  {
+    EnvGuard force("LDPLFS_MMAP_FORCE_FALLBACK", "1");
+    auto region = registry.acquire(file);
+    ASSERT_FALSE(region.ok());
+    EXPECT_EQ(region.error_code(), EIO);
+  }
+  const std::string empty = tmp.sub("empty");
+  ASSERT_TRUE(posix::write_file(empty, "").ok());
+  auto region = registry.acquire(empty);
+  ASSERT_FALSE(region.ok());
+  EXPECT_EQ(region.error_code(), ENODATA);
+}
+
+TEST(MappedReadTest, EngineServesFlattenedContainerWithZeroPreads) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  std::string content;
+  for (int i = 0; i < 256; ++i) content += "payload line " + std::to_string(i) + "\n";
+  write_container(path, content);
+  ASSERT_TRUE(plfs_compact(path).ok());
+  const std::string via_pread = read_via_api(path);
+  ASSERT_EQ(via_pread, content);
+
+  EnvGuard mmap_on("LDPLFS_MMAP_READS", "1");
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+  EXPECT_EQ(read_via_api(path), content);
+  const auto delta = stats::snapshot().since(before);
+  EXPECT_GE(delta.get(stats::Counter::kMmapReads), 1u);
+  EXPECT_EQ(delta.get(stats::Counter::kMmapBytes), content.size());
+  EXPECT_EQ(delta.get(stats::Counter::kMmapFallbacks), 0u);
+  // The whole read came from the map: the sieve/pread machinery idled.
+  EXPECT_EQ(delta.get(stats::Counter::kSieveReads), 0u);
+  EXPECT_EQ(delta.get(stats::Counter::kSieveBytesRead), 0u);
+  stats::force_enable(false);
+}
+
+TEST(MappedReadTest, ForcedFallbackCountsAndStillReadsCorrectly) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  write_container(path, "fallback still works");
+  ASSERT_TRUE(plfs_compact(path).ok());
+
+  EnvGuard mmap_on("LDPLFS_MMAP_READS", "1");
+  EnvGuard force("LDPLFS_MMAP_FORCE_FALLBACK", "1");
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+  EXPECT_EQ(read_via_api(path), "fallback still works");
+  const auto delta = stats::snapshot().since(before);
+  EXPECT_EQ(delta.get(stats::Counter::kMmapReads), 0u);
+  EXPECT_GE(delta.get(stats::Counter::kMmapFallbacks), 1u);
+  stats::force_enable(false);
+}
+
+TEST(MappedReadTest, WriterInvalidatesMapAndReadersSeeNewBytes) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  write_container(path, "generation one");
+  ASSERT_TRUE(plfs_compact(path).ok());
+
+  EnvGuard mmap_on("LDPLFS_MMAP_READS", "1");
+  EXPECT_EQ(read_via_api(path), "generation one");  // mapped
+
+  // A writer appends: the container grows a second dropping and the write
+  // path flushes every process-wide cache (index, fds, mappings).
+  {
+    auto fd = plfs_open(path, O_WRONLY, 11);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes(" and two"), 14, 11).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 11).ok());
+  }
+  EXPECT_EQ(read_via_api(path), "generation one and two");
+}
+
+TEST(MappedRegistryTest, ConcurrentAcquireAndInvalidateStaysCoherent) {
+  TempDir tmp;
+  const std::string file = tmp.sub("hot");
+  const std::string content(8192, 'Q');
+  ASSERT_TRUE(posix::write_file(file, content).ok());
+
+  MappedContainerRegistry registry(2);
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        auto region = registry.acquire(file);
+        ASSERT_TRUE(region.ok());
+        // Touch first and last byte of the mapping while an invalidator
+        // races: pins must keep the pages mapped.
+        const auto* bytes =
+            reinterpret_cast<const char*>(region.value().data());
+        ASSERT_EQ(bytes[0], 'Q');
+        ASSERT_EQ(bytes[region.value().size() - 1], 'Q');
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    for (int i = 0; i < kRounds; ++i) registry.invalidate(tmp.path() + "/");
+  });
+  for (auto& t : readers) t.join();
+  invalidator.join();
+  EXPECT_EQ(region_str(registry.acquire(file).value(), 1), "Q");
+}
+
+TEST(AutoFlattenTest, ReadOnlyOpenOfMultiDroppingContainerCompactsInBackground) {
+  TempDir tmp;
+  const std::string path = tmp.sub("f");
+  // Two writer pids -> two data droppings: eligible for background
+  // compaction once nobody holds it open for writing.
+  write_container(path, "generation one ", /*pid=*/7);
+  {
+    auto fd = plfs_open(path, O_WRONLY, 8);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fd.value()->write(as_bytes(std::string("and two")), 15, 8).ok());
+    ASSERT_TRUE(plfs_close(fd.value(), 8).ok());
+  }
+  ASSERT_EQ(find_data_droppings(path).value().size(), 2u);
+
+  EnvGuard auto_on("LDPLFS_AUTO_FLATTEN", "1");
+  stats::force_enable(true);
+  const auto before = stats::snapshot();
+  auto fd = plfs_open(path, O_RDONLY, 9);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(plfs_close(fd.value(), 9).ok());
+  EXPECT_EQ(stats::snapshot().since(before).get(
+                stats::Counter::kAutoFlattenKicked),
+            1u);
+
+  // The compaction runs on the shared pool; poll until it lands.
+  bool flattened = false;
+  for (int i = 0; i < 500 && !flattened; ++i) {
+    auto droppings = find_data_droppings(path);
+    ASSERT_TRUE(droppings.ok());
+    flattened = droppings.value().size() == 1;
+    if (!flattened) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(flattened);
+  EXPECT_EQ(read_via_api(path), "generation one and two");
+
+  // A second read-only open of the same path must not kick again.
+  const auto again = stats::snapshot();
+  auto fd2 = plfs_open(path, O_RDONLY, 10);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(plfs_close(fd2.value(), 10).ok());
+  EXPECT_EQ(stats::snapshot().since(again).get(
+                stats::Counter::kAutoFlattenKicked),
+            0u);
+  stats::force_enable(false);
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

@@ -2,10 +2,13 @@
 // plain POSIX/stdio binary with no LDPLFS linkage — the whole point is that
 // interposition must work on unmodified executables. Scenarios are selected
 // by argv[1]; nonzero exit = scenario assertion failed.
+#include <errno.h>
 #include <fcntl.h>
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
+#include <sys/mman.h>
+#include <sys/sendfile.h>
 #include <sys/stat.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -231,6 +234,128 @@ int scenario_vectored(const char* path) {
   return 0;
 }
 
+int scenario_mmap_cat(const char* path) {
+  // GNU-grep style: try a read-only private map first; on ENODEV fall back
+  // to read(2). Tags the path taken on stderr so tests can assert which
+  // one served the bytes.
+  const int fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open");
+  struct stat st;
+  if (fstat(fd, &st) != 0) return fail("fstat");
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* p = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p == MAP_FAILED) {
+    if (errno != ENODEV) return fail("mmap (expected ENODEV fallback)");
+    fprintf(stderr, "MMAP_FALLBACK\n");
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof buf)) > 0) {
+      if (write(STDOUT_FILENO, buf, static_cast<size_t>(n)) != n) {
+        return fail("stdout");
+      }
+    }
+    if (n < 0) return fail("read");
+  } else {
+    fprintf(stderr, "MMAP_SERVED\n");
+    if (write(STDOUT_FILENO, p, size) != static_cast<ssize_t>(size)) {
+      return fail("stdout");
+    }
+    if (munmap(p, size) != 0) return fail("munmap");
+  }
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
+int scenario_mmap_after_close(const char* path) {
+  // POSIX: closing the fd does not invalidate the mapping.
+  const int fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open");
+  struct stat st;
+  if (fstat(fd, &st) != 0) return fail("fstat");
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* p = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p == MAP_FAILED) return fail("mmap");
+  if (close(fd) != 0) return fail("close");
+  if (write(STDOUT_FILENO, p, size) != static_cast<ssize_t>(size)) {
+    return fail("stdout");
+  }
+  if (munmap(p, size) != 0) return fail("munmap");
+  return 0;
+}
+
+int scenario_mmap_offset(const char* path) {
+  // Map the second page only: the shim must pass the caller's offset
+  // through to the dropping without truncation.
+  const int fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open");
+  struct stat st;
+  if (fstat(fd, &st) != 0) return fail("fstat");
+  if (st.st_size <= 4096) {
+    fprintf(stderr, "file too small for offset map\n");
+    return 1;
+  }
+  const size_t size = static_cast<size_t>(st.st_size) - 4096;
+  void* p = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 4096);
+  if (p == MAP_FAILED) return fail("mmap offset");
+  if (write(STDOUT_FILENO, p, size) != static_cast<ssize_t>(size)) {
+    return fail("stdout");
+  }
+  if (munmap(p, size) != 0) return fail("munmap");
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
+int scenario_copy_out(const char* path) {
+  // copy_file_range and sendfile from the (container) path to plain files
+  // named by $VICTIM_DEST — the kernel-to-kernel fast path cp/install use.
+  const char* dest = getenv("VICTIM_DEST");
+  if (dest == nullptr) {
+    fprintf(stderr, "VICTIM_DEST not set\n");
+    return 2;
+  }
+  const int fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("open");
+  struct stat st;
+  if (fstat(fd, &st) != 0) return fail("fstat");
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  const std::string cfr_dest = std::string(dest) + ".cfr";
+  int out = open(cfr_dest.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out < 0) return fail("open cfr dest");
+  off_t off_in = 0;
+  size_t left = size;
+  while (left > 0) {
+    const ssize_t n = copy_file_range(fd, &off_in, out, nullptr, left, 0);
+    if (n <= 0) return fail("copy_file_range");
+    left -= static_cast<size_t>(n);
+  }
+  if (off_in != st.st_size) {
+    fprintf(stderr, "cfr offset %lld != size\n",
+            static_cast<long long>(off_in));
+    return 1;
+  }
+  if (close(out) != 0) return fail("close cfr dest");
+
+  const std::string sf_dest = std::string(dest) + ".sf";
+  out = open(sf_dest.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out < 0) return fail("open sf dest");
+  off_t off = 0;
+  left = size;
+  while (left > 0) {
+    const ssize_t n = sendfile(out, fd, &off, left);
+    if (n <= 0) return fail("sendfile");
+    left -= static_cast<size_t>(n);
+  }
+  if (off != st.st_size) {
+    fprintf(stderr, "sendfile offset %lld != size\n",
+            static_cast<long long>(off));
+    return 1;
+  }
+  if (close(out) != 0) return fail("close sf dest");
+  if (close(fd) != 0) return fail("close");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +374,10 @@ int main(int argc, char** argv) {
   if (scenario == "pread") return scenario_pread(path);
   if (scenario == "bigblocks") return scenario_bigblocks(path);
   if (scenario == "vectored") return scenario_vectored(path);
+  if (scenario == "mmap_cat") return scenario_mmap_cat(path);
+  if (scenario == "mmap_after_close") return scenario_mmap_after_close(path);
+  if (scenario == "mmap_offset") return scenario_mmap_offset(path);
+  if (scenario == "copy_out") return scenario_copy_out(path);
   fprintf(stderr, "unknown scenario %s\n", scenario.c_str());
   return 2;
 }

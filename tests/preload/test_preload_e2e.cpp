@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "plfs/compaction.hpp"
 #include "plfs/container.hpp"
 #include "plfs/plfs.hpp"
 #include "posix/fd.hpp"
@@ -232,6 +233,122 @@ TEST(PreloadE2eTest, FileOutsideMountIsUntouched) {
   auto content = ldplfs::posix::read_file(file);
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(content.value(), "HELLO world!");
+}
+
+// --- mmap / zero-copy interposition --------------------------------------
+
+/// A container written through the PLFS API, then flattened by compaction
+/// into the identity-flat shape the mmap/zero-copy paths require.
+void make_flat_container(const std::string& path, const std::string& content) {
+  auto fd = ldplfs::plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(ldplfs::testing::as_bytes(content), 0, 1).ok());
+  ASSERT_TRUE(ldplfs::plfs::plfs_close(fd.value(), 1).ok());
+  ASSERT_TRUE(ldplfs::plfs::plfs_compact(path).ok());
+}
+
+/// A container whose extents span two data droppings — not mappable.
+void make_log_container(const std::string& path, const std::string& a,
+                        const std::string& b) {
+  auto fd = ldplfs::plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fd.value()->write(ldplfs::testing::as_bytes(a), 0, 1).ok());
+  ASSERT_TRUE(
+      fd.value()->write(ldplfs::testing::as_bytes(b), a.size(), 2).ok());
+  ASSERT_TRUE(fd.value()->close(1).ok());
+  ASSERT_TRUE(ldplfs::plfs::plfs_close(fd.value(), 2).ok());
+}
+
+TEST(PreloadMmapTest, FlattenedContainerGetsRealMapping) {
+  TempDir mount;
+  const std::string file = mount.sub("flat.dat");
+  const std::string content = "mapped straight from the dropping\n";
+  make_flat_container(file, content);
+  const auto result = run_victim("mmap_cat", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(result.stderr_text, "MMAP_SERVED\n");
+  EXPECT_EQ(result.stdout_text, content);
+}
+
+TEST(PreloadMmapTest, LogContainerRefusalFallsBackToReadLikeGrep) {
+  // The regression the deterministic ENODEV exists for: a GNU-grep-style
+  // caller must see the refusal, fall back to read(2), and still get the
+  // right logical bytes.
+  TempDir mount;
+  const std::string file = mount.sub("log.dat");
+  make_log_container(file, "first dropping, ", "second dropping");
+  const auto result = run_victim("mmap_cat", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(result.stderr_text, "MMAP_FALLBACK\n");
+  EXPECT_EQ(result.stdout_text, "first dropping, second dropping");
+}
+
+TEST(PreloadMmapTest, MappingSurvivesFdClose) {
+  TempDir mount;
+  const std::string file = mount.sub("flat.dat");
+  const std::string content = "pages outlive the fd\n";
+  make_flat_container(file, content);
+  const auto result = run_victim("mmap_after_close", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(result.stdout_text, content);
+}
+
+TEST(PreloadMmapTest, MapAtPageOffsetIsNotTruncated) {
+  // mmap64's offset must reach the dropping untruncated (the old route
+  // through mmap cast it to off_t); a second-page map must see page two.
+  TempDir mount;
+  const std::string file = mount.sub("paged.dat");
+  const std::string content = std::string(4096, 'A') + std::string(4096, 'B');
+  make_flat_container(file, content);
+  const auto result = run_victim("mmap_offset", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(result.stdout_text, std::string(4096, 'B'));
+}
+
+TEST(PreloadZeroCopyTest, CopyFileRangeAndSendfileOutOfFlatContainer) {
+  TempDir mount;
+  TempDir scratch;
+  const std::string file = mount.sub("src.dat");
+  const std::string content = "zero copies of this payload were made\n";
+  make_flat_container(file, content);
+  const std::string dump = scratch.sub("stats.json");
+  const auto result = run_victim(
+      "copy_out", file, mount.path(), true,
+      {{"VICTIM_DEST", scratch.sub("out")}, {"LDPLFS_STATS", dump}});
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  for (const char* suffix : {".cfr", ".sf"}) {
+    auto copied = ldplfs::posix::read_file(scratch.sub("out") + suffix);
+    ASSERT_TRUE(copied.ok()) << suffix;
+    EXPECT_EQ(copied.value(), content) << suffix;
+  }
+  // Both copies must have taken the true kernel-side path, not the
+  // emulated read/write loop.
+  auto body = ldplfs::posix::read_file(dump);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body.value().find("\"zerocopy.ops\": 2"), std::string::npos)
+      << body.value();
+}
+
+TEST(PreloadZeroCopyTest, LogContainerCopiesThroughEmulation) {
+  // Non-flat input keeps the emulated loop — correctness over speed.
+  TempDir mount;
+  TempDir scratch;
+  const std::string file = mount.sub("log.dat");
+  make_log_container(file, "part one and ", "part two");
+  const std::string dump = scratch.sub("stats.json");
+  const auto result = run_victim(
+      "copy_out", file, mount.path(), true,
+      {{"VICTIM_DEST", scratch.sub("out")}, {"LDPLFS_STATS", dump}});
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  for (const char* suffix : {".cfr", ".sf"}) {
+    auto copied = ldplfs::posix::read_file(scratch.sub("out") + suffix);
+    ASSERT_TRUE(copied.ok()) << suffix;
+    EXPECT_EQ(copied.value(), "part one and part two") << suffix;
+  }
+  auto body = ldplfs::posix::read_file(dump);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body.value().find("\"zerocopy.ops\": 0"), std::string::npos)
+      << body.value();
 }
 
 }  // namespace

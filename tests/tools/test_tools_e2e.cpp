@@ -13,6 +13,7 @@
 
 #include "common/md5.hpp"
 #include "common/stats.hpp"
+#include "plfs/compaction.hpp"
 #include "plfs/container.hpp"
 #include "plfs/plfs.hpp"
 #include "posix/fd.hpp"
@@ -366,6 +367,66 @@ TEST_F(ToolsE2eTest, StatsToolPrintsAndDiffsDumps) {
 
   EXPECT_EQ(run_tool("ldp-stats", {}).exit_code, 2);
   EXPECT_EQ(run_tool("ldp-stats", {scratch_.sub("absent.json")}).exit_code, 1);
+}
+
+TEST_F(ToolsE2eTest, FlattenedContainerServedByMappedPathWithZeroPreads) {
+  // With LDPLFS_MMAP_READS on, cat/md5sum/grep on a flattened container
+  // take the whole-file mapped path: identical output to the batched
+  // preadv path, but zero routed preads.
+  std::string content;
+  for (int i = 0; i < 512; ++i) {
+    content += (i % 128 == 0) ? "line with NEEDLE inside\n"
+                              : "plain line of haystack text\n";
+  }
+  const std::string file = mount_.sub("flat.dat");
+  make_container(file, content);
+  ASSERT_TRUE(ldplfs::plfs::plfs_compact(file).ok());
+
+  const auto cat_plain = run_tool("ldp-cat", {mount_flag_, file});
+  const auto md5_plain = run_tool("ldp-md5sum", {mount_flag_, file});
+  const auto grep_plain =
+      run_tool("ldp-grep", {mount_flag_, "-c", "NEEDLE", file});
+
+  const std::string dump = scratch_.sub("mmap_stats.json");
+  ::setenv("LDPLFS_MMAP_READS", "1", 1);
+  const auto cat_mapped = run_tool("ldp-cat", {mount_flag_, file});
+  const auto grep_mapped =
+      run_tool("ldp-grep", {mount_flag_, "-c", "NEEDLE", file});
+  ::setenv("LDPLFS_STATS", dump.c_str(), 1);
+  const auto md5_mapped = run_tool("ldp-md5sum", {mount_flag_, file});
+  ::unsetenv("LDPLFS_STATS");
+  ::unsetenv("LDPLFS_MMAP_READS");
+
+  EXPECT_EQ(cat_mapped.exit_code, 0);
+  EXPECT_EQ(cat_mapped.output, cat_plain.output);
+  EXPECT_EQ(md5_mapped.exit_code, 0);
+  EXPECT_EQ(md5_mapped.output, md5_plain.output);
+  EXPECT_EQ(grep_mapped.exit_code, 0);
+  EXPECT_EQ(grep_mapped.output, grep_plain.output);
+  EXPECT_EQ(grep_mapped.output, "4\n");
+
+  auto body = ldplfs::posix::read_file(dump);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body.value().find("\"mmap.reads\": 1"), std::string::npos)
+      << body.value();
+  EXPECT_NE(body.value().find("\"router.preadv.routed\": 0"),
+            std::string::npos)
+      << body.value();
+}
+
+TEST_F(ToolsE2eTest, MappedPathFallsBackWhenAcquireFails) {
+  // Eligible container but every map acquire refused: the tools must fall
+  // back to the batched reader and still produce correct output.
+  const std::string file = mount_.sub("flat.dat");
+  make_container(file, "fallback bytes\n");
+  ASSERT_TRUE(ldplfs::plfs::plfs_compact(file).ok());
+  ::setenv("LDPLFS_MMAP_READS", "1", 1);
+  ::setenv("LDPLFS_MMAP_FORCE_FALLBACK", "1", 1);
+  const auto result = run_tool("ldp-cat", {mount_flag_, file});
+  ::unsetenv("LDPLFS_MMAP_FORCE_FALLBACK");
+  ::unsetenv("LDPLFS_MMAP_READS");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "fallback bytes\n");
 }
 
 }  // namespace
