@@ -1,5 +1,5 @@
 # Asserts that an ldp-bench --json report carries the versioned schema with
-# per-scenario raw samples and summary statistics for all eight scenario
+# per-scenario raw samples and summary statistics for all nine scenario
 # families. Run as: cmake -DJSON=<path> -P check_bench_suite.cmake
 if(NOT DEFINED JSON)
   message(FATAL_ERROR "pass -DJSON=<path to BENCH_suite json>")
@@ -7,14 +7,14 @@ endif()
 file(READ "${JSON}" body)
 foreach(needle
     # envelope
-    "\"schema_version\": 3"
+    "\"schema_version\": 4"
     "\"tool\": \"ldp-bench\""
     "\"suite\""
     "\"config\""
     "\"seed\""
     "\"reps\""
     "\"scenarios\""
-    # all eight scenario families
+    # all nine scenario families
     "\"family\": \"unix_tools\""
     "\"family\": \"n1_strided\""
     "\"family\": \"list_io\""
@@ -23,6 +23,7 @@ foreach(needle
     "\"family\": \"metadata_storm\""
     "\"family\": \"mixed_rw\""
     "\"family\": \"crash_recovery\""
+    "\"family\": \"multiproc\""
     # the full scenario matrix
     "\"name\": \"unix_cp\""
     "\"name\": \"unix_grep\""
@@ -37,6 +38,8 @@ foreach(needle
     "\"name\": \"metadata_storm\""
     "\"name\": \"mixed_rw\""
     "\"name\": \"crash_recovery\""
+    "\"name\": \"mp_shared_reopen\""
+    "\"name\": \"mp_create_storm\""
     # per-scenario statistics
     "\"samples\""
     "\"mean\""
@@ -50,4 +53,4 @@ foreach(needle
     message(FATAL_ERROR "bench suite schema check failed: '${needle}' not found in ${JSON}")
   endif()
 endforeach()
-message(STATUS "BENCH_suite schema valid: eight families with full statistics in ${JSON}")
+message(STATUS "BENCH_suite schema valid: nine families with full statistics in ${JSON}")

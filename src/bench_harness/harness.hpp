@@ -19,10 +19,18 @@
 //                   slice via readx — data sieving's one-pread-per-dropping
 //                   case) and coalesced_write (permuted small writes via
 //                   writex — flush-boundary extent coalescing's case)
+//   flat_read       zero-copy engine: sequential and strided reads of a
+//                   flattened (single-dropping) container with
+//                   LDPLFS_MMAP_READS on — the mapped-read fast path
 //   nn_per_process  N-N: every rank owns a private file
 //   metadata_storm  mdtest-style create / stat / unlink over many names
 //   mixed_rw        random interleaved reads and writes in one container
 //   crash_recovery  plfs_recover wall time over planted crash debris
+//   multiproc       forked child processes sharing one container: repeated
+//                   re-opens against a warm cache (the shared metadata
+//                   plane's revalidation cost) and an mdtest-style create
+//                   storm (LDPLFS_FAST_CREATE's target) — run bare vs with
+//                   LDPLFS_SHM/LDPLFS_FAST_CREATE and --compare
 //
 // All workload shapes come from the seeded generators in
 // src/workloads/posix_patterns.hpp, so a fixed --seed reproduces the exact
@@ -64,7 +72,7 @@ class Scenario {
   }
 };
 
-/// The full named scenario matrix (seven families). Order is the report
+/// The full named scenario matrix (nine families). Order is the report
 /// order.
 std::vector<std::unique_ptr<Scenario>> make_suite();
 

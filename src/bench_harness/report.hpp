@@ -27,7 +27,9 @@ namespace ldplfs::bench {
 // v2: list_io family (strided_readv, coalesced_write) joined the matrix.
 // v3: flat_read family (flat_seq_read, flat_strided_read) — zero-copy
 //     mapped reads of flattened containers.
-inline constexpr int kSchemaVersion = 3;
+// v4: multiproc family (mp_shared_reopen, mp_create_storm) — forked-child
+//     scenarios for the shared metadata plane and the create fast path.
+inline constexpr int kSchemaVersion = 4;
 
 struct Report {
   std::string suite;  ///< "smoke", "full", or "custom"

@@ -1,6 +1,8 @@
 #include "bench_harness/harness.hpp"
 
 #include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -716,6 +718,146 @@ class CrashRecoveryScenario final : public Scenario {
   int rep_ = 0;
 };
 
+// --- multiproc ------------------------------------------------------------
+// Cross-process coherence costs — the shared metadata plane's measurement
+// surface. Both scenarios fork real child processes, so the ambient
+// environment decides the regime: with LDPLFS_SHM set the children share
+// one generation table and a warm cache revalidates with one atomic load
+// instead of the per-open fingerprint stat storm; with LDPLFS_FAST_CREATE
+// the create storm elides the per-file container scaffolding. Run the suite
+// once bare and once with the knobs set, then `ldp-bench --compare`.
+
+/// Reap every pid, die()ing unless each exited 0.
+void reap_children(const char* who, const std::vector<pid_t>& pids) {
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) die(who, "waitpid");
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) die(who, "child");
+  }
+}
+
+/// N forked readers re-open one multi-writer container over and over. The
+/// parent warms its IndexCache in setup, each child starts from a COW copy
+/// of it, so every open measures pure revalidation work: list hostdirs +
+/// stat every index dropping (baseline) vs one generation load (LDPLFS_SHM).
+class MpSharedReopenScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "mp_shared_reopen";
+  }
+  [[nodiscard]] const char* family() const override { return "multiproc"; }
+
+  void setup(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    block_bytes_ = s.block_bytes;
+    path_ = ws.dir + "/shared";
+    const auto pattern = workloads::make_strided_n1(
+        s.writers, s.blocks_per_writer, s.block_bytes, ws.seed);
+    write_strided_container(name(), path_, pattern);
+    // Warm the parent's cache so forked children inherit a populated entry.
+    auto fd = plfs::plfs_open(path_, O_RDONLY, 1);
+    if (!fd) die(name(), "plfs_open(warm)");
+    std::vector<std::byte> probe(64);
+    if (!fd.value()->read(probe, 0)) die(name(), "read(warm)");
+    if (!plfs::plfs_close(fd.value(), 1).ok()) die(name(), "close(warm)");
+  }
+
+  double run_once(Workspace& ws) override {
+    const int kids = children(ws);
+    const int opens = opens_per_child(ws);
+    const auto start = Clock::now();
+    std::vector<pid_t> pids;
+    for (int c = 0; c < kids; ++c) {
+      const pid_t pid = ::fork();
+      if (pid == 0) run_reader(c, opens);
+      if (pid < 0) die(name(), "fork");
+      pids.push_back(pid);
+    }
+    reap_children(name(), pids);
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    return {{"opens_per_rep",
+             static_cast<double>(children(ws)) * opens_per_child(ws)}};
+  }
+
+ private:
+  static int children(const Workspace& ws) { return ws.smoke ? 2 : 4; }
+  static int opens_per_child(const Workspace& ws) {
+    return ws.smoke ? 24 : 128;
+  }
+
+  [[noreturn]] void run_reader(int child, int opens) {
+    std::vector<std::byte> buf(block_bytes_);
+    for (int i = 0; i < opens; ++i) {
+      auto fd = plfs::plfs_open(path_, O_RDONLY, 1);
+      if (!fd) ::_exit(10);
+      const std::uint64_t offset =
+          static_cast<std::uint64_t>((child + i) % 4) * block_bytes_;
+      if (!fd.value()->read(buf, offset)) ::_exit(11);
+      if (!plfs::plfs_close(fd.value(), 1).ok()) ::_exit(12);
+    }
+    ::_exit(0);
+  }
+
+  std::string path_;
+  std::size_t block_bytes_ = 0;
+};
+
+/// mdtest-style create storm split across forked children, each creating
+/// its own batch of files in a per-rep directory. Measures container
+/// create cost end to end; LDPLFS_FAST_CREATE collapses the per-file
+/// scaffolding to mkdir + one marker write.
+class MpCreateStormScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const override { return "mp_create_storm"; }
+  [[nodiscard]] const char* family() const override { return "multiproc"; }
+
+  double run_once(Workspace& ws) override {
+    const Scale s = scale_for(ws);
+    const int kids = ws.smoke ? 2 : 4;
+    const int files = s.storm_files / kids;
+    // Per-rep unique directory: creates must be creates, never re-opens.
+    const std::string dir = ws.dir + "/storm." + std::to_string(rep_++);
+    if (!posix::make_dir(dir).ok()) die(name(), "mkdir(rep)");
+    const auto start = Clock::now();
+    std::vector<pid_t> pids;
+    for (int c = 0; c < kids; ++c) {
+      const pid_t pid = ::fork();
+      if (pid == 0) run_creator(dir, c, files);
+      if (pid < 0) die(name(), "fork");
+      pids.push_back(pid);
+    }
+    reap_children(name(), pids);
+    return seconds_since(start);
+  }
+
+  [[nodiscard]] std::map<std::string, double> extras(
+      const Workspace& ws) const override {
+    const Scale s = scale_for(ws);
+    const int kids = ws.smoke ? 2 : 4;
+    return {{"creates_per_rep", static_cast<double>(kids * (s.storm_files /
+                                                            kids))}};
+  }
+
+ private:
+  [[noreturn]] static void run_creator(const std::string& dir, int child,
+                                       int files) {
+    for (int i = 0; i < files; ++i) {
+      const std::string path = dir + "/f." + std::to_string(child) + "." +
+                               std::to_string(i);
+      auto fd = plfs::plfs_open(path, O_CREAT | O_WRONLY, 1);
+      if (!fd) ::_exit(10);
+      if (!plfs::plfs_close(fd.value(), 1).ok()) ::_exit(11);
+    }
+    ::_exit(0);
+  }
+
+  int rep_ = 0;
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Scenario>> make_suite() {
@@ -733,6 +875,8 @@ std::vector<std::unique_ptr<Scenario>> make_suite() {
   suite.push_back(std::make_unique<MetadataStormScenario>());
   suite.push_back(std::make_unique<MixedRwScenario>());
   suite.push_back(std::make_unique<CrashRecoveryScenario>());
+  suite.push_back(std::make_unique<MpSharedReopenScenario>());
+  suite.push_back(std::make_unique<MpCreateStormScenario>());
   return suite;
 }
 

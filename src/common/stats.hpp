@@ -105,7 +105,16 @@ namespace ldplfs::stats {
   X(kMmapAppMaps, "mmap.app.maps")                              \
   X(kZeroCopyOps, "zerocopy.ops")                               \
   X(kZeroCopyBytes, "zerocopy.bytes")                           \
-  X(kAutoFlattenKicked, "flatten.auto")
+  X(kAutoFlattenKicked, "flatten.auto")                         \
+  X(kShmGenHit, "shmeta.gen.hit")                               \
+  X(kShmGenStale, "shmeta.gen.stale")                           \
+  X(kShmGenBump, "shmeta.gen.bump")                             \
+  X(kShmStatSkipped, "shmeta.stat.skipped")                     \
+  X(kShmWriterRegistered, "shmeta.writers.registered")          \
+  X(kShmWriterReclaimed, "shmeta.writers.reclaimed")            \
+  X(kShmForeignWriter, "shmeta.writers.foreign")                \
+  X(kShmSlotsExhausted, "shmeta.slots.exhausted")               \
+  X(kShmFastCreate, "shmeta.create.fast")
 
 #define LDPLFS_STATS_HISTOGRAMS(X)                              \
   X(kRouterOpenLatency, "router.open.latency")                  \

@@ -31,6 +31,25 @@ std::shared_ptr<OpenFile> FdTable::find_by_path(
   return nullptr;
 }
 
+std::vector<std::shared_ptr<OpenFile>> FdTable::find_all_by_path(
+    const std::string& path) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::shared_ptr<OpenFile>> out;
+  for (const auto& [fd, file] : table_) {
+    if (file->handle().path() != path) continue;
+    // dup'd fds alias one OpenFile; report each open file once.
+    bool seen = false;
+    for (const auto& f : out) {
+      if (f.get() == file.get()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(file);
+  }
+  return out;
+}
+
 void FdTable::alias(int newfd, std::shared_ptr<OpenFile> file) {
   std::lock_guard lock(mu_);
   table_[newfd] = std::move(file);

@@ -11,9 +11,11 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.hpp"
 #include "plfs/plfs.hpp"
@@ -31,7 +33,14 @@ class OpenFile {
   OpenFile& operator=(const OpenFile&) = delete;
 
   [[nodiscard]] plfs::FileHandle& handle() { return *handle_; }
-  [[nodiscard]] int flags() const { return flags_; }
+  [[nodiscard]] int flags() const {
+    return flags_.load(std::memory_order_relaxed);
+  }
+  /// Replace the open flags (fcntl F_SETFL). The caller masks to the
+  /// settable bits; access mode and creation flags never change post-open.
+  void set_flags(int flags) {
+    flags_.store(flags, std::memory_order_relaxed);
+  }
   [[nodiscard]] pid_t pid() const { return pid_; }
 
   /// Close the writer stream once; later calls are no-ops. Goes through
@@ -44,7 +53,7 @@ class OpenFile {
 
  private:
   std::shared_ptr<plfs::FileHandle> handle_;
-  int flags_;
+  std::atomic<int> flags_;  // F_SETFL may race reads from other threads
   pid_t pid_;
   bool closed_ = false;
 };
@@ -66,6 +75,12 @@ class FdTable {
   /// Any open file whose handle targets `path` (nullptr if none). Used by
   /// stat to prefer live handle state over the on-disk index.
   [[nodiscard]] std::shared_ptr<OpenFile> find_by_path(
+      const std::string& path) const;
+
+  /// Every distinct open file whose handle targets `path`. Used by the
+  /// O_APPEND write paths: the append position is EOF over *all* open
+  /// handles for the path, not just the one being written through.
+  [[nodiscard]] std::vector<std::shared_ptr<OpenFile>> find_all_by_path(
       const std::string& path) const;
 
   [[nodiscard]] bool contains(int fd) const;

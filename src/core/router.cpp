@@ -5,6 +5,7 @@
 
 #include <ctime>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -141,6 +142,16 @@ int Router::open(const char* path, int flags, mode_t mode) {
   const bool container = exists && S_ISDIR(st.st_mode) &&
                          plfs::plfs_is_container(where.path);
   if (container) {
+    if ((flags & O_DIRECTORY) != 0) {
+      // A container is logically a regular file, so O_DIRECTORY must fail
+      // exactly as it would on one. coreutils ≥ 9 probe the copy target
+      // with open(O_PATH|O_DIRECTORY) — letting this succeed makes
+      // `cp src container` try to copy *into* the container.
+      timer.cancel();
+      stats::add(stats::Counter::kRouterOpenRouted);
+      errno = ENOTDIR;
+      return -1;
+    }
     stats::add(stats::Counter::kRouterOpenRouted);
     return open_plfs(where, flags, mode);
   }
@@ -190,6 +201,26 @@ int Router::dup2(int oldfd, int newfd) {
   return result;
 }
 
+Result<std::uint64_t> Router::append_eof(OpenFile& of) {
+  // One process can hold several independent opens of the same logical
+  // file (each with its own writer streams and write-behind buffers).
+  // Appending at *this* handle's size() would place the bytes at a stale
+  // EOF whenever a sibling handle holds a larger buffered tail. Drain and
+  // take the max over every open handle: size() is a drain barrier per
+  // handle, and the calls run sequentially, so the max is the true
+  // EOF-at-flush-time the append must land at.
+  auto eof = of.handle().size();
+  if (!eof) return eof.error();
+  std::uint64_t max_eof = eof.value();
+  for (const auto& other : table_.find_all_by_path(of.handle().path())) {
+    if (other.get() == &of) continue;
+    auto size = other->handle().size();
+    if (!size) return size.error();
+    max_eof = std::max(max_eof, size.value());
+  }
+  return max_eof;
+}
+
 ssize_t Router::read(int fd, void* buf, size_t count) {
   auto of = table_.lookup(fd);
   if (!of) {
@@ -221,7 +252,7 @@ ssize_t Router::write(int fd, const void* buf, size_t count) {
 
   std::uint64_t offset;
   if ((of->flags() & O_APPEND) != 0) {
-    auto size = of->handle().size();
+    auto size = append_eof(*of);
     if (!size) return fail(size.error());
     offset = size.value();
   } else {
@@ -267,7 +298,7 @@ ssize_t Router::pwrite(int fd, const void* buf, size_t count, off_t offset) {
     // Linux quirk (pwrite(2) BUGS): on an O_APPEND descriptor pwrite
     // appends at EOF, ignoring the offset. Interposition must match the
     // platform the application was written against.
-    auto size = of->handle().size();
+    auto size = append_eof(*of);
     if (!size) return fail(size.error());
     target = size.value();
   }
@@ -349,7 +380,7 @@ ssize_t Router::writev(int fd, const struct ::iovec* iov, int iovcnt) {
   stats::add(stats::Counter::kRouterWritevRouted);
   std::uint64_t pos;
   if ((of->flags() & O_APPEND) != 0) {
-    auto size = of->handle().size();
+    auto size = append_eof(*of);
     if (!size) return fail(size.error());
     pos = size.value();
   } else {
@@ -393,7 +424,7 @@ ssize_t Router::pwritev(int fd, const struct ::iovec* iov, int iovcnt,
   if ((of->flags() & O_APPEND) != 0) {
     // Same Linux quirk as pwrite (pwrite(2) BUGS): O_APPEND wins over the
     // explicit offset and the vector appends at EOF.
-    auto size = of->handle().size();
+    auto size = append_eof(*of);
     if (!size) return fail(size.error());
     target = size.value();
   }
@@ -475,6 +506,47 @@ int Router::ftruncate(int fd, off_t length) {
     return fail(s.error());
   }
   return 0;
+}
+
+int Router::fcntl(int fd, int cmd, long arg) {
+  auto of = table_.lookup(fd);
+  if (!of) {
+    stats::add(stats::Counter::kRouterMetaPassthrough);
+    return ::fcntl(fd, cmd, arg);
+  }
+  stats::add(stats::Counter::kRouterMetaRouted);
+  switch (cmd) {
+    case F_DUPFD:
+    case F_DUPFD_CLOEXEC: {
+      // Same bug class as the dup2 fix (PR 4): the kernel duplicates the
+      // shadow fd, and without an alias the duplicate routes nothing — a
+      // later close(newfd) would close the shadow behind the table's back
+      // while read/write on it hit the empty shadow file. Register it like
+      // dup() does; the kernel-shared file description keeps the cursor
+      // aliased for free.
+      const int newfd = ::fcntl(fd, cmd, arg);
+      if (newfd >= 0) table_.alias(newfd, std::move(of));
+      return newfd;
+    }
+    case F_GETFL: {
+      // The shadow fd's kernel flags describe the shadow tmpfile (O_RDWR,
+      // never O_APPEND), not the logical open. Answer from the fd table,
+      // masking the creation-time-only flags the kernel also omits.
+      return of->flags() & ~(O_CREAT | O_EXCL | O_NOCTTY | O_TRUNC);
+    }
+    case F_SETFL: {
+      // POSIX: only O_APPEND, O_NONBLOCK (and kernel-side hints we don't
+      // model) are settable; access mode and creation flags are ignored.
+      constexpr int kSettable = O_APPEND | O_NONBLOCK;
+      of->set_flags((of->flags() & ~kSettable) |
+                    (static_cast<int>(arg) & kSettable));
+      return 0;
+    }
+    default:
+      // F_GETFD/F_SETFD (close-on-exec) and advisory locks act on the
+      // shadow, which *is* the kernel descriptor the application owns.
+      return ::fcntl(fd, cmd, arg);
+  }
 }
 
 void Router::fill_stat(struct ::stat* st, const plfs::FileAttr& attr,

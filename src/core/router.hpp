@@ -45,6 +45,13 @@ class Router {
   int fsync(int fd);
   int fdatasync(int fd);
   int ftruncate(int fd, off_t length);
+  /// fcntl with the variadic argument already fetched (shim does va_arg).
+  /// F_DUPFD/F_DUPFD_CLOEXEC register the duplicate like dup() does;
+  /// F_GETFL/F_SETFL answer from the fd table's flags (the shadow fd's
+  /// kernel flags describe the shadow, not the logical file); everything
+  /// else acts on the shadow fd, which is correct for F_GETFD/F_SETFD and
+  /// advisory locks (the shadow is the real kernel descriptor the app owns).
+  int fcntl(int fd, int cmd, long arg);
 
   // --- path metadata ---
   int stat(const char* path, struct ::stat* st);
@@ -83,6 +90,11 @@ class Router {
   int make_shadow_fd();
 
   int open_plfs(const Resolved& where, int flags, mode_t mode);
+  /// EOF for an O_APPEND write through `of`: the maximum size over every
+  /// open handle for the path. Each size() call drains that handle's
+  /// write-behind buffers, so the result is EOF-at-flush-time — a second
+  /// appender's buffered bytes can no longer be silently overwritten.
+  Result<std::uint64_t> append_eof(OpenFile& of);
   /// Fill a stat answer for a logical file; `backend_path` seeds the
   /// synthesized (st_dev, st_ino) identity.
   void fill_stat(struct ::stat* st, const plfs::FileAttr& attr,

@@ -12,6 +12,7 @@
 #include "plfs/index_cache.hpp"
 #include "plfs/mapped_container.hpp"
 #include "plfs/read_file.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -53,6 +54,7 @@ Result<CompactionStats> plfs_compact(const std::string& path) {
     IndexCache::shared().invalidate(path);
     DroppingFdCache::shared().invalidate(path + "/");
     MappedContainerRegistry::shared().invalidate(path + "/");
+    shmeta::bump(path);
     return stats;
   }
 
@@ -125,6 +127,7 @@ Result<CompactionStats> plfs_compact(const std::string& path) {
   IndexCache::shared().invalidate(path);
   DroppingFdCache::shared().invalidate(path + "/");
   MappedContainerRegistry::shared().invalidate(path + "/");
+  shmeta::bump(path);
 
   stats.droppings_after = 1;
   stats.reclaimed_bytes -= std::min(stats.reclaimed_bytes, stats.live_bytes);

@@ -7,7 +7,11 @@
 #include <cstdio>
 #include <functional>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/paths.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "posix/fd.hpp"
 
@@ -167,6 +171,36 @@ Status create_container(const std::string& path, mode_t mode,
   return Status::success();
 }
 
+bool fast_create_enabled() {
+  const char* env = std::getenv("LDPLFS_FAST_CREATE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+Status create_container_fast(const std::string& path, mode_t mode) {
+  // Metadata-storm create (after posix_2_ime's mknod/open split): publish
+  // the minimum that makes the directory a container — the directory itself
+  // plus the access marker — and defer openhosts/, metadata/ and the
+  // creator file to their first users (WriteFile::open/close create the
+  // dirs on demand; the readers tolerate their absence). Two ops instead
+  // of the staged-rename path's seven. The access marker doubles as the
+  // mode record so getattr needs no creator file.
+  //
+  // Crash window: a crash between mkdir and the marker write leaves a bare
+  // directory that plfs_open reports as EISDIR until removed — the
+  // documented tradeoff (docs/FAILURE_MODEL.md) for the storm path; the
+  // default staged-rename create keeps its all-or-nothing commit.
+  if (auto s = posix::make_dir(path); !s) return s;  // EEXIST passes through
+  char marker[32];
+  std::snprintf(marker, sizeof marker, "mode=%o\n",
+                static_cast<unsigned>(mode));
+  if (auto s = posix::write_file(path_join(path, kAccessFile), marker); !s) {
+    (void)posix::remove_tree(path);
+    return s;
+  }
+  stats::add(stats::Counter::kShmFastCreate);
+  return Status::success();
+}
+
 Status remove_container(const std::string& path) {
   if (!is_container(path)) return Errno{ENOENT};
   return posix::remove_tree(path);
@@ -183,6 +217,11 @@ Result<std::vector<std::string>> find_data_droppings(const std::string& root) {
 Result<std::vector<MetaHint>> read_meta_hints(const std::string& root) {
   ContainerLayout layout(root);
   auto entries = posix::list_dir(layout.metadata_path());
+  // A fast-created container has no metadata/ until a writer closes:
+  // absence means "no hints", not an error.
+  if (!entries && entries.error_code() == ENOENT) {
+    return std::vector<MetaHint>{};
+  }
   if (!entries) return entries.error();
   std::vector<MetaHint> hints;
   for (const auto& name : entries.value()) {
@@ -194,7 +233,13 @@ Result<std::vector<MetaHint>> read_meta_hints(const std::string& root) {
 
 Result<std::vector<std::string>> read_open_hosts(const std::string& root) {
   ContainerLayout layout(root);
-  return posix::list_dir(layout.openhosts_path());
+  auto entries = posix::list_dir(layout.openhosts_path());
+  // No openhosts/ yet (fast-created container, writer never opened): no
+  // registered writers.
+  if (!entries && entries.error_code() == ENOENT) {
+    return std::vector<std::string>{};
+  }
+  return entries;
 }
 
 const std::string& local_hostname() {

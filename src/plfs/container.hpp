@@ -99,6 +99,17 @@ Status create_container(const std::string& path, mode_t mode,
                         const std::string& host, pid_t pid,
                         unsigned hostdirs = kDefaultHostDirs);
 
+/// True when LDPLFS_FAST_CREATE enables the cheap-create path (checked per
+/// create, so tests and per-phase benchmarks can toggle it).
+bool fast_create_enabled();
+
+/// Metadata-storm create: mkdir + access marker (which carries the mode),
+/// deferring openhosts/, metadata/ and the creator file to their first
+/// users. EEXIST if the directory is already there. Crash between the two
+/// ops leaves a bare directory (EISDIR at open) — see the implementation
+/// comment and docs/FAILURE_MODEL.md.
+Status create_container_fast(const std::string& path, mode_t mode);
+
 /// Recursively delete a container. ENOTDIR/ENOENT pass through.
 Status remove_container(const std::string& path);
 

@@ -4,6 +4,7 @@
 
 #include "common/stats.hpp"
 #include "plfs/container.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -43,12 +44,35 @@ Result<std::shared_ptr<const GlobalIndex>> IndexCache::get(
     return std::make_shared<const GlobalIndex>(std::move(index).value());
   }
 
-  auto fp = fingerprint(root);
-  if (!fp) return fp.error();
-  {
+  // Read the shared generation BEFORE validating or building: a bump that
+  // lands between this load and the build only makes the cached entry look
+  // stale earlier than necessary — never fresh when it isn't.
+  const std::optional<std::uint64_t> gen = shmeta::generation(root);
+
+  Fingerprint fp_value;
+  if (gen.has_value()) {
+    // Shared plane active for this root: one atomic load replaces the
+    // list-every-hostdir + stat-every-dropping fingerprint storm.
     std::lock_guard lock(mu_);
     auto it = map_.find(root);
-    if (it != map_.end() && it->second.first.fp == fp.value()) {
+    if (it != map_.end() && it->second.first.gen_valid &&
+        it->second.first.gen == *gen) {
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      it->second.second = lru_.begin();
+      ++stats_.hits;
+      stats::add(stats::Counter::kCacheIndexHit);
+      stats::add(stats::Counter::kShmGenHit);
+      stats::add(stats::Counter::kShmStatSkipped);
+      return it->second.first.index;
+    }
+    if (it != map_.end()) stats::add(stats::Counter::kShmGenStale);
+  } else {
+    auto fp = fingerprint(root);
+    if (!fp) return fp.error();
+    fp_value = std::move(fp).value();
+    std::lock_guard lock(mu_);
+    auto it = map_.find(root);
+    if (it != map_.end() && it->second.first.fp == fp_value) {
       lru_.splice(lru_.begin(), lru_, it->second.second);
       it->second.second = lru_.begin();
       ++stats_.hits;
@@ -65,19 +89,20 @@ Result<std::shared_ptr<const GlobalIndex>> IndexCache::get(
   auto shared_index =
       std::make_shared<const GlobalIndex>(std::move(index).value());
 
+  Entry entry{std::move(fp_value), shared_index, gen.value_or(0),
+              gen.has_value()};
+
   std::lock_guard lock(mu_);
   ++stats_.misses;
   stats::add(stats::Counter::kCacheIndexMiss);
   auto it = map_.find(root);
   if (it != map_.end()) {
-    it->second.first = Entry{std::move(fp).value(), shared_index};
+    it->second.first = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second.second);
     it->second.second = lru_.begin();
   } else {
     lru_.push_front(root);
-    map_.emplace(root,
-                 std::make_pair(Entry{std::move(fp).value(), shared_index},
-                                lru_.begin()));
+    map_.emplace(root, std::make_pair(std::move(entry), lru_.begin()));
     while (map_.size() > capacity_) {
       map_.erase(lru_.back());
       lru_.pop_back();

@@ -11,6 +11,12 @@
 // same-second append leaves mtime unchanged (size still changes; the
 // explicit hook is belt and braces plus prompt memory release).
 //
+// When the shared metadata plane is attached (LDPLFS_SHM, see
+// plfs/shared_meta.hpp) the fingerprint stat storm is replaced by one
+// atomic load: entries record the container's shared generation at build
+// time and a hit is fresh exactly when the slot still holds that value.
+// Containers whose slot table is exhausted fall back to fingerprints.
+//
 // LDPLFS_INDEX_CACHE=0 disables the cache (checked per lookup, so tests
 // can toggle it); entries are LRU-bounded so a process touching thousands
 // of containers cannot hoard every merged index forever.
@@ -69,6 +75,10 @@ class IndexCache {
   struct Entry {
     Fingerprint fp;
     std::shared_ptr<const GlobalIndex> index;
+    // Shared-plane generation observed before the index was built;
+    // meaningful only when gen_valid (plane attached at build time).
+    std::uint64_t gen = 0;
+    bool gen_valid = false;
   };
   using LruList = std::list<std::string>;  // front = most recently used
 

@@ -14,6 +14,7 @@
 #include "common/paths.hpp"
 #include "common/stats.hpp"
 #include "plfs/index_cache.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -58,6 +59,11 @@ std::optional<FlatView> identity_flat_view(const GlobalIndex& index) {
 }
 
 Result<FlatDropping> plfs_flat_dropping(const std::string& root) {
+  // A writer in another process can append (or truncate) between this
+  // snapshot and the caller's use of the dropping bytes — refuse offset
+  // passthrough while any live foreign writer is registered in the shared
+  // plane. Without the plane this keeps today's (stat-revalidated) window.
+  if (shmeta::has_foreign_writers(root)) return Errno{ENODEV};
   auto index = IndexCache::shared().get(root);
   if (!index) return index.error();
   const auto view = identity_flat_view(*index.value());
@@ -99,6 +105,28 @@ Result<MappedRegion> MappedContainerRegistry::acquire(
     const std::string& path) {
   if (force_fallback()) return Errno{EIO};
 
+  // Shared-plane fast path: the dropping lives at <root>/hostdir.N/<file>,
+  // and the container's generation advances whenever its on-disk bytes
+  // change — a gen-validated cached mapping needs no stat at all. Read the
+  // generation before any validation so a concurrent bump can only make us
+  // conservatively remap.
+  const std::string root = path_dirname(path_dirname(path));
+  const std::optional<std::uint64_t> gen = shmeta::generation(root);
+  if (gen.has_value()) {
+    std::lock_guard lock(mu_);
+    if (auto it = by_path_.find(path); it != by_path_.end()) {
+      const EntryPtr& entry = *it->second;
+      if (entry->gen_valid && entry->gen == *gen) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        stats::add(stats::Counter::kShmGenHit);
+        stats::add(stats::Counter::kShmStatSkipped);
+        return MappedRegion(entry);
+      }
+      stats::add(stats::Counter::kShmGenStale);
+    }
+  }
+
   // Validate against the file as it is now; posix::stat_path keeps fault
   // injection and health accounting in the loop.
   auto st = posix::stat_path(path);
@@ -116,6 +144,14 @@ Result<MappedRegion> MappedContainerRegistry::acquire(
         entry->file_size == want_size && entry->mtime_ns == want_mtime) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++stats_.hits;
+      // Stat says the mapping is current: re-anchor it to the generation
+      // read above so the next acquire can skip the stat. Without this, a
+      // single bump (even by an unrelated same-container writer) would
+      // force a stat on every subsequent acquire forever.
+      if (gen.has_value()) {
+        entry->gen = *gen;
+        entry->gen_valid = true;
+      }
       return MappedRegion(entry);
     }
     // Stale (appended-to or replaced): unpin from the registry and remap.
@@ -140,6 +176,8 @@ Result<MappedRegion> MappedContainerRegistry::acquire(
   entry->ino = want_ino;
   entry->file_size = want_size;
   entry->mtime_ns = want_mtime;
+  entry->gen = gen.value_or(0);
+  entry->gen_valid = gen.has_value();
 
   lru_.push_front(entry);
   by_path_[path] = lru_.begin();

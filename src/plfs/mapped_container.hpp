@@ -96,6 +96,10 @@ class MappedRegion {
     std::uint64_t ino = 0;
     std::uint64_t file_size = 0;
     std::uint64_t mtime_ns = 0;
+    // Shared-plane generation of the owning container when the mapping was
+    // (re)validated; lets later acquires skip the stat (see acquire()).
+    std::uint64_t gen = 0;
+    bool gen_valid = false;
     ~Entry();  // munmap
   };
   explicit MappedRegion(std::shared_ptr<Entry> entry)

@@ -16,6 +16,7 @@
 #include "plfs/fd_cache.hpp"
 #include "plfs/index_cache.hpp"
 #include "plfs/mapped_container.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -30,6 +31,9 @@ void drop_container_caches(const std::string& root) {
   IndexCache::shared().invalidate(root);
   DroppingFdCache::shared().invalidate(root + "/");
   MappedContainerRegistry::shared().invalidate(root + "/");
+  // Other processes' caches can only learn of the mutation through the
+  // shared metadata plane.
+  shmeta::bump(root);
 }
 
 /// True when LDPLFS_AUTO_FLATTEN is set and not "0" (default off).
@@ -60,6 +64,9 @@ void maybe_auto_flatten(const std::string& path) {
   if (data.value().size() < 2 && index.value().size() < 2) return;
   auto hosts = read_open_hosts(path);
   if (!hosts || !hosts.value().empty()) return;
+  // The openhosts/ files are warn-only (a writer may fail to register);
+  // the shared plane's registration is authoritative when attached.
+  if (shmeta::has_foreign_writers(path)) return;
   stats::add(stats::Counter::kAutoFlattenKicked);
   // Touch the caches compaction uses while the process is demonstrably
   // alive, so the task never constructs a static during exit processing.
@@ -86,7 +93,19 @@ std::string writer_host(const OpenOptions& opts) {
 }  // namespace
 
 FileHandle::FileHandle(std::string path, int flags, OpenOptions opts)
-    : path_(std::move(path)), flags_(flags), opts_(std::move(opts)) {}
+    : path_(std::move(path)), flags_(flags), opts_(std::move(opts)) {
+  if ((flags_ & O_ACCMODE) != O_RDONLY) {
+    shm_slot_ = shmeta::register_writer(path_);
+  }
+}
+
+FileHandle::~FileHandle() {
+  // Close any streams plfs_close did not reach (their close() bumps the
+  // generation if dirty), then drop the registration — in that order, so a
+  // foreign-writer check can never miss both the registration and the bump.
+  writers_.clear();
+  shmeta::unregister_writer(shm_slot_);
+}
 
 Result<WriteFile*> FileHandle::writer_for(pid_t pid) {
   auto it = writers_.find(pid);
@@ -227,8 +246,10 @@ Result<std::shared_ptr<FileHandle>> plfs_open(const std::string& path,
   }
   if (!container) {
     if ((flags & O_CREAT) == 0) return Errno{ENOENT};
-    if (auto s = create_container(path, mode, writer_host(opts), pid,
-                                  opts.hostdirs);
+    if (auto s = fast_create_enabled()
+                     ? create_container_fast(path, mode)
+                     : create_container(path, mode, writer_host(opts), pid,
+                                        opts.hostdirs);
         !s) {
       // A concurrent creator racing us is fine unless O_EXCL.
       if (s.error_code() != EEXIST || (flags & O_EXCL) != 0) return s.error();
@@ -291,7 +312,10 @@ Result<FileAttr> plfs_getattr(const std::string& path) {
     attr.mtime = std::max(attr.mtime, st.value().st_mtime);
   }
 
+  // The creator file records the mode; fast-created containers have no
+  // creator and carry "mode=..." in the access marker instead.
   auto creator = posix::read_file(path_join(path, kCreatorFile));
+  if (!creator) creator = posix::read_file(path_join(path, kAccessFile));
   if (creator) {
     const auto pos = creator.value().find("mode=");
     if (pos != std::string::npos) {
@@ -419,6 +443,7 @@ Status plfs_flatten(const std::string& path) {
     if (auto s = posix::remove_file(old); !s) return s;
   }
   IndexCache::shared().invalidate(path);
+  shmeta::bump(path);
   return Status::success();
 }
 

@@ -52,7 +52,12 @@ struct FileAttr {
 /// One logical-file open. Analogue of Plfs_fd.
 class FileHandle {
  public:
+  /// A write-capable handle registers in the shared metadata plane for its
+  /// whole lifetime (open → last reference dropped), so other processes'
+  /// foreign-writer checks see it even before its first write materializes
+  /// a WriteFile stream.
   FileHandle(std::string path, int flags, OpenOptions opts);
+  ~FileHandle();
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] int flags() const { return flags_; }
@@ -104,6 +109,7 @@ class FileHandle {
   std::map<pid_t, std::unique_ptr<WriteFile>> writers_;
   std::unique_ptr<ReadFile> reader_;
   std::uint64_t writes_since_snapshot_ = 0;
+  int shm_slot_ = -1;  // shared-plane writer slot (-1: read-only/plane off)
 };
 
 /// plfs_open. Honours O_CREAT / O_EXCL / O_TRUNC / O_RDONLY / O_WRONLY /

@@ -12,6 +12,7 @@
 #include "plfs/fd_cache.hpp"
 #include "plfs/index_cache.hpp"
 #include "plfs/mapped_container.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -56,7 +57,12 @@ ReadFile::ReadFile(std::string root, std::shared_ptr<const GlobalIndex> index)
       sieve_(env_sieve()),
       sieve_max_hole_(env_sieve_max_hole()),
       sieve_buffer_(env_sieve_buffer()) {
-  if (MappedContainerRegistry::reads_enabled()) {
+  // Mapped reads bypass the per-read revalidation preads get for free, so
+  // keep them off while another process holds the container open for write
+  // (registered in the shared plane) — this snapshot would read the live
+  // dropping's pages instead of the index's view of them.
+  if (MappedContainerRegistry::reads_enabled() &&
+      !shmeta::has_foreign_writers(root_)) {
     mapped_dropping_ = single_dropping_of(*index_);
   }
 }

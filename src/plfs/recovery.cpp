@@ -60,11 +60,18 @@ Result<RecoveryStats> plfs_recover(const std::string& path) {
   // 1. Clear openhosts registrations — crashed writers never removed
   //    theirs, and a live writer has no business racing recovery.
   auto open_hosts = posix::list_dir(layout.openhosts_path());
-  if (!open_hosts) return open_hosts.error();
-  for (const auto& name : open_hosts.value()) {
-    if (auto s = posix::remove_file(path_join(layout.openhosts_path(), name));
-        s) {
-      ++stats.stale_openhosts_removed;
+  // A fast-created container scaffolds openhosts/ on first writer open; a
+  // crash before that leaves no directory — nothing stale to clear.
+  if (!open_hosts && open_hosts.error_code() != ENOENT) {
+    return open_hosts.error();
+  }
+  if (open_hosts) {
+    for (const auto& name : open_hosts.value()) {
+      if (auto s =
+              posix::remove_file(path_join(layout.openhosts_path(), name));
+          s) {
+        ++stats.stale_openhosts_removed;
+      }
     }
   }
 
@@ -123,11 +130,17 @@ Result<RecoveryStats> plfs_recover(const std::string& path) {
   }
   MetaHint hint{stats.logical_size, stats.logical_size, local_hostname(),
                 ::getpid()};
-  if (auto s = posix::write_file(
-          path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)),
-          "");
-      !s) {
-    return s.error();
+  const std::string hint_path =
+      path_join(layout.metadata_path(), ContainerLayout::meta_name(hint));
+  if (auto s = posix::write_file(hint_path, ""); !s) {
+    // Fast-created container whose writer died before its first close:
+    // metadata/ was never scaffolded. Create it and retry, same as
+    // WriteFile::close does.
+    if (s.error_code() == ENOENT &&
+        posix::make_dirs(layout.metadata_path()).ok()) {
+      s = posix::write_file(hint_path, "");
+    }
+    if (!s) return s.error();
   }
   stats.hints_rewritten = 1;
   return stats;

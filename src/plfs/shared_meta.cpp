@@ -1,0 +1,319 @@
+#include "plfs/shared_meta.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace ldplfs::plfs::shmeta {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4c44504c46535348ULL;  // "LDPLFSSH"
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Segment layout. A fresh shm segment is zero-filled by ftruncate, and the
+// all-zero state is the valid empty state (magic 0 = "first attacher may
+// stamp it", every slot free, every generation 0) — initialization needs no
+// lock, only one CAS on the magic.
+struct Header {
+  std::atomic<std::uint64_t> magic;
+  std::atomic<std::uint32_t> version;
+  std::atomic<std::uint32_t> reserved;
+  std::atomic<std::uint64_t> reclaims;
+};
+
+struct ContainerSlot {
+  std::atomic<std::uint64_t> key;  // key_of(root); 0 = free. Never released.
+  std::atomic<std::uint64_t> gen;
+};
+
+// Claim order: pid first (CAS 0 -> mypid), then key (release store).
+// Release order: key first, then pid. Readers require key match AND pid !=
+// 0, so a slot mid-claim or mid-release matches nothing.
+struct WriterSlot {
+  std::atomic<std::uint64_t> key;
+  std::atomic<std::int64_t> pid;
+};
+
+constexpr std::size_t kSegmentBytes = sizeof(Header) +
+                                      kContainerSlots * sizeof(ContainerSlot) +
+                                      kWriterSlots * sizeof(WriterSlot);
+
+struct Plane {
+  bool is_active = false;
+  std::string name;
+  Header* header = nullptr;
+  ContainerSlot* containers = nullptr;
+  WriterSlot* writers = nullptr;
+};
+
+std::string default_segment_name() {
+  const char* mounts = std::getenv("LDPLFS_MOUNTS");
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "/ldplfs.%lu.%016llx",
+                static_cast<unsigned long>(::getuid()),
+                static_cast<unsigned long long>(
+                    fnv1a(mounts != nullptr ? mounts : "")));
+  return buf;
+}
+
+Plane* attach() {
+  auto* plane = new Plane();
+  const char* env = std::getenv("LDPLFS_SHM");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) {
+    return plane;  // plane off
+  }
+  plane->name = env[0] == '/' ? std::string(env) : default_segment_name();
+
+  const int fd = ::shm_open(plane->name.c_str(), O_RDWR | O_CREAT, 0600);
+  if (fd < 0) {
+    LDPLFS_LOG_WARN("shmeta: shm_open(%s) failed (errno=%d); plane disabled",
+                    plane->name.c_str(), errno);
+    return plane;
+  }
+  // Concurrent attachers may race the ftruncate; growing to the same size
+  // is idempotent and new pages arrive zero-filled either way.
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      (static_cast<std::size_t>(st.st_size) < kSegmentBytes &&
+       ::ftruncate(fd, static_cast<off_t>(kSegmentBytes)) != 0)) {
+    LDPLFS_LOG_WARN("shmeta: cannot size segment %s (errno=%d); disabled",
+                    plane->name.c_str(), errno);
+    ::close(fd);
+    return plane;
+  }
+  void* base = ::mmap(nullptr, kSegmentBytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) {
+    LDPLFS_LOG_WARN("shmeta: mmap of %s failed (errno=%d); plane disabled",
+                    plane->name.c_str(), errno);
+    return plane;
+  }
+
+  auto* bytes = static_cast<char*>(base);
+  plane->header = reinterpret_cast<Header*>(bytes);
+  plane->containers = reinterpret_cast<ContainerSlot*>(bytes + sizeof(Header));
+  plane->writers = reinterpret_cast<WriterSlot*>(
+      bytes + sizeof(Header) + kContainerSlots * sizeof(ContainerSlot));
+
+  std::uint64_t magic = plane->header->magic.load(std::memory_order_acquire);
+  if (magic == 0) {
+    plane->header->version.store(kVersion, std::memory_order_relaxed);
+    if (!plane->header->magic.compare_exchange_strong(
+            magic, kMagic, std::memory_order_acq_rel)) {
+      // Another attacher stamped it first; fall through to validate.
+    }
+    magic = kMagic;
+  }
+  if (magic != kMagic ||
+      plane->header->version.load(std::memory_order_relaxed) != kVersion) {
+    LDPLFS_LOG_WARN(
+        "shmeta: segment %s has foreign magic/version; plane disabled",
+        plane->name.c_str());
+    ::munmap(base, kSegmentBytes);
+    plane->header = nullptr;
+    plane->containers = nullptr;
+    plane->writers = nullptr;
+    return plane;
+  }
+  plane->is_active = true;
+  return plane;
+}
+
+std::mutex g_attach_mu;
+std::atomic<Plane*> g_plane{nullptr};
+
+Plane* current() {
+  Plane* p = g_plane.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  std::lock_guard lock(g_attach_mu);
+  p = g_plane.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = attach();
+    g_plane.store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+/// Find (or claim) the generation slot for `key`; nullptr when the bounded
+/// probe finds neither the key nor a free slot.
+ContainerSlot* find_or_claim(Plane* p, std::uint64_t key) {
+  const std::size_t start = static_cast<std::size_t>(key) % kContainerSlots;
+  for (std::size_t i = 0; i < kMaxProbe; ++i) {
+    ContainerSlot& slot = p->containers[(start + i) % kContainerSlots];
+    std::uint64_t k = slot.key.load(std::memory_order_acquire);
+    if (k == key) return &slot;
+    if (k == 0) {
+      if (slot.key.compare_exchange_strong(k, key,
+                                           std::memory_order_acq_rel)) {
+        return &slot;
+      }
+      if (k == key) return &slot;  // racing claimer of the same root
+    }
+  }
+  stats::add(stats::Counter::kShmSlotsExhausted);
+  return nullptr;
+}
+
+bool pid_gone(pid_t pid) {
+  return ::kill(pid, 0) != 0 && errno == ESRCH;
+}
+
+/// Reclaim a writer slot whose registrant died without unregistering.
+void reclaim_writer(Plane* p, WriterSlot& slot, std::int64_t dead_pid) {
+  if (slot.pid.compare_exchange_strong(dead_pid, 0,
+                                       std::memory_order_acq_rel)) {
+    slot.key.store(0, std::memory_order_release);
+    p->header->reclaims.fetch_add(1, std::memory_order_relaxed);
+    stats::add(stats::Counter::kShmWriterReclaimed);
+  }
+}
+
+}  // namespace
+
+bool active() { return current()->is_active; }
+
+const std::string& segment_name() { return current()->name; }
+
+std::uint64_t key_of(const std::string& root) {
+  const std::uint64_t key = fnv1a(root);
+  return key == 0 ? 1 : key;  // 0 means "free slot"
+}
+
+std::optional<std::uint64_t> generation(const std::string& root) {
+  Plane* p = current();
+  if (!p->is_active) return std::nullopt;
+  ContainerSlot* slot = find_or_claim(p, key_of(root));
+  if (slot == nullptr) return std::nullopt;
+  return slot->gen.load(std::memory_order_acquire);
+}
+
+void bump(const std::string& root) {
+  Plane* p = current();
+  if (!p->is_active) return;
+  ContainerSlot* slot = find_or_claim(p, key_of(root));
+  if (slot == nullptr) return;  // exhausted: fingerprint path still catches it
+  slot->gen.fetch_add(1, std::memory_order_acq_rel);
+  stats::add(stats::Counter::kShmGenBump);
+}
+
+int register_writer(const std::string& root) {
+  Plane* p = current();
+  if (!p->is_active) return -1;
+  const std::uint64_t key = key_of(root);
+  const auto mypid = static_cast<std::int64_t>(::getpid());
+  const std::size_t start = static_cast<std::size_t>(key) % kWriterSlots;
+  for (std::size_t i = 0; i < kWriterSlots; ++i) {
+    WriterSlot& slot = p->writers[(start + i) % kWriterSlots];
+    std::int64_t pid = slot.pid.load(std::memory_order_acquire);
+    if (pid != 0 && pid != mypid &&
+        pid_gone(static_cast<pid_t>(pid))) {
+      reclaim_writer(p, slot, pid);
+      pid = slot.pid.load(std::memory_order_acquire);
+    }
+    if (pid == 0) {
+      std::int64_t expected = 0;
+      if (slot.pid.compare_exchange_strong(expected, mypid,
+                                           std::memory_order_acq_rel)) {
+        slot.key.store(key, std::memory_order_release);
+        stats::add(stats::Counter::kShmWriterRegistered);
+        return static_cast<int>((start + i) % kWriterSlots);
+      }
+    }
+  }
+  stats::add(stats::Counter::kShmSlotsExhausted);
+  return -1;  // advisory only: callers degrade to openhosts/-file signals
+}
+
+void unregister_writer(int slot) {
+  Plane* p = current();
+  if (!p->is_active || slot < 0 ||
+      static_cast<std::size_t>(slot) >= kWriterSlots) {
+    return;
+  }
+  p->writers[slot].key.store(0, std::memory_order_release);
+  p->writers[slot].pid.store(0, std::memory_order_release);
+}
+
+bool has_foreign_writers(const std::string& root) {
+  Plane* p = current();
+  if (!p->is_active) return false;
+  const std::uint64_t key = key_of(root);
+  const auto mypid = static_cast<std::int64_t>(::getpid());
+  for (std::size_t i = 0; i < kWriterSlots; ++i) {
+    WriterSlot& slot = p->writers[i];
+    const std::int64_t pid = slot.pid.load(std::memory_order_acquire);
+    if (pid == 0 || pid == mypid) continue;
+    if (slot.key.load(std::memory_order_acquire) != key) continue;
+    if (pid_gone(static_cast<pid_t>(pid))) {
+      reclaim_writer(p, slot, pid);
+      continue;
+    }
+    // A recycled pid belonging to an unrelated process reads as a live
+    // writer until that pid exits — conservative (skips an optimization,
+    // never corrupts data).
+    stats::add(stats::Counter::kShmForeignWriter);
+    return true;
+  }
+  return false;
+}
+
+SegmentView inspect() {
+  SegmentView view;
+  Plane* p = current();
+  view.attached = p->is_active;
+  view.name = p->name;
+  if (!p->is_active) return view;
+  view.version = p->header->version.load(std::memory_order_relaxed);
+  view.reclaims = p->header->reclaims.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kContainerSlots; ++i) {
+    if (p->containers[i].key.load(std::memory_order_acquire) != 0) {
+      ++view.containers_used;
+    }
+  }
+  for (std::size_t i = 0; i < kWriterSlots; ++i) {
+    const std::int64_t pid = p->writers[i].pid.load(std::memory_order_acquire);
+    const std::uint64_t key = p->writers[i].key.load(std::memory_order_acquire);
+    if (pid == 0 || key == 0) continue;
+    view.writers.push_back(WriterView{key, static_cast<pid_t>(pid),
+                                      !pid_gone(static_cast<pid_t>(pid))});
+  }
+  return view;
+}
+
+void reattach_for_testing() {
+  std::lock_guard lock(g_attach_mu);
+  // Leak the previous Plane and its mapping: a background pool task may
+  // still dereference them. Segments are ~100 KiB; tests reattach a
+  // handful of times.
+  g_plane.store(attach(), std::memory_order_release);
+}
+
+bool unlink_segment() {
+  Plane* p = current();
+  if (p->name.empty()) return false;
+  return ::shm_unlink(p->name.c_str()) == 0;
+}
+
+}  // namespace ldplfs::plfs::shmeta

@@ -1,0 +1,112 @@
+// Cross-process metadata plane (LDPLFS_SHM): one shm_open'd, mmap'd segment
+// shared by every preloaded process of a job, making the per-process caches
+// (IndexCache, MappedContainerRegistry) cross-process coherent.
+//
+// The segment holds two fixed tables of lock-free atomics:
+//
+//   * container generations — one slot per container (keyed by an FNV-1a
+//     hash of the container root). Writers bump the generation whenever new
+//     on-disk index state becomes visible (sync, close, truncate, unlink,
+//     rename, flatten, compaction, recovery). A cache entry that recorded
+//     the generation at build time is fresh exactly when the slot still
+//     holds that value — one atomic load instead of the stat storm the
+//     fingerprint validation pays per open (list every hostdir + stat every
+//     index dropping).
+//   * writer registration — each open-for-write claims a slot with its pid,
+//     so eligibility checks that must see *other processes'* writers
+//     (mapped-read/zero-copy gating, LDPLFS_AUTO_FLATTEN) no longer depend
+//     on the warn-only openhosts/ files.
+//
+// Crash safety by construction: there is no mutex to wedge. Every slot
+// transition is a CAS or a release store, a zero-filled fresh segment is the
+// valid empty state, and a SIGKILL'd process leaves at worst (a) a pid slot
+// that scans reclaim once kill(pid, 0) reports ESRCH and (b) a container
+// slot whose generation simply stops advancing — both harmless. Generations
+// only ever grow (fetch_add), so a stale cache can never be revalidated by
+// a wrapped or reused value.
+//
+// LDPLFS_SHM (latched at first use, like the other engine knobs):
+//   unset / "0"        plane off — caches keep fingerprint validation
+//   "1" (or any value) on, segment "/ldplfs.<uid>.<hash of LDPLFS_MOUNTS>"
+//   "/name"            on, with an explicit segment name (tests use this)
+//
+// Every cooperating process of a job must agree on the setting: a writer
+// running without the plane never bumps generations, so mixing LDPLFS_SHM
+// on/off across processes of one job is unsupported (documented in
+// docs/FAILURE_MODEL.md). Hash collisions between container roots are safe:
+// a shared slot only means spurious bumps, i.e. a spurious rebuild.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ldplfs::plfs::shmeta {
+
+inline constexpr std::uint32_t kVersion = 1;
+/// Distinct container roots the segment can track; roots that lose the
+/// bounded probe fall back to fingerprint validation (shmeta.slots.exhausted).
+inline constexpr std::size_t kContainerSlots = 2048;
+inline constexpr std::size_t kWriterSlots = 512;
+/// Linear-probe bound for container slots.
+inline constexpr std::size_t kMaxProbe = 64;
+
+/// True when LDPLFS_SHM enabled the plane *and* the segment attached.
+bool active();
+
+/// Segment name in use ("" when inactive).
+const std::string& segment_name();
+
+/// Slot key for a container root (FNV-1a, never 0). Exposed for tests.
+std::uint64_t key_of(const std::string& root);
+
+/// Current generation of `root`, claiming a slot on first sight. nullopt
+/// when the plane is inactive or the slot table is exhausted for this root
+/// (callers then fall back to fingerprint validation).
+std::optional<std::uint64_t> generation(const std::string& root);
+
+/// Advance `root`'s generation: new on-disk index state is visible. No-op
+/// (counted) when inactive or exhausted.
+void bump(const std::string& root);
+
+/// Register this process as a writer of `root`. Returns the claimed slot
+/// (pass to unregister_writer) or -1 when inactive or the writer table is
+/// full — registration is advisory, so -1 is not an error.
+int register_writer(const std::string& root);
+
+/// Release a slot claimed by register_writer. Safe with -1.
+void unregister_writer(int slot);
+
+/// True when another *live* process is registered as a writer of `root`.
+/// Dead registrants (kill(pid, 0) == ESRCH) are reclaimed on the way.
+bool has_foreign_writers(const std::string& root);
+
+/// Point-in-time view of the segment for ldp-inspect --shm and tests.
+struct WriterView {
+  std::uint64_t key = 0;
+  pid_t pid = 0;
+  bool alive = false;
+};
+struct SegmentView {
+  bool attached = false;
+  std::string name;
+  std::uint32_t version = 0;
+  std::uint64_t reclaims = 0;       // dead-registrant slots reclaimed
+  std::size_t containers_used = 0;  // claimed generation slots
+  std::vector<WriterView> writers;  // registered writer slots
+};
+SegmentView inspect();
+
+/// Re-latch LDPLFS_SHM and re-attach (tests toggle the env per fixture).
+/// The previous mapping is deliberately leaked — a pool task may still
+/// hold a pointer into it.
+void reattach_for_testing();
+
+/// shm_unlink the current segment name (test teardown). False when
+/// inactive or the unlink failed.
+bool unlink_segment();
+
+}  // namespace ldplfs::plfs::shmeta

@@ -17,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "plfs/shared_meta.hpp"
 #include "posix/fd.hpp"
 
 namespace ldplfs::plfs {
@@ -112,8 +113,16 @@ Result<std::unique_ptr<WriteFile>> WriteFile::open(const std::string& root,
   }
 
   if (auto s = posix::write_file(layout.openhost_path(writer), ""); !s) {
-    LDPLFS_LOG_WARN("could not register openhost for %s: %s",
-                    root.c_str(), s.error().message().c_str());
+    // Fast-created containers (see create_container_fast) defer openhosts/
+    // scaffolding to the first writer — create it on demand and retry.
+    if (s.error_code() == ENOENT &&
+        posix::make_dirs(layout.openhosts_path()).ok()) {
+      s = posix::write_file(layout.openhost_path(writer), "");
+    }
+    if (!s) {
+      LDPLFS_LOG_WARN("could not register openhost for %s: %s",
+                      root.c_str(), s.error().message().c_str());
+    }
   }
   stats::add(stats::Counter::kPlfsWriterOpened);
   stats::add(stats::Counter::kPlfsDroppingsOpened);  // the data dropping
@@ -136,6 +145,7 @@ Result<std::size_t> WriteFile::write_through(std::span<const std::byte> data,
   physical_end_ += data.size();
   active_base_ = physical_end_;  // active_ is empty; keep its base at the tail
   max_eof_ = std::max(max_eof_, offset + data.size());
+  index_dirty_ = true;
   return data.size();
 }
 
@@ -463,6 +473,7 @@ Result<std::size_t> WriteFile::write(std::span<const std::byte> data,
     stats::add(stats::Counter::kWbBufferedBytes, take);
   }
   max_eof_ = std::max(max_eof_, offset + data.size());
+  index_dirty_ = true;
   return data.size();
 }
 
@@ -483,6 +494,8 @@ Status WriteFile::truncate(std::uint64_t size) {
     for (const auto& name : names.value()) {
       (void)posix::remove_file(path_join(layout.metadata_path(), name));
     }
+  } else if (names.error_code() == ENOENT) {
+    // Fast-created container: no metadata/ dir yet means no hints to drop.
   } else {
     // Failing to drop stale hints does not lose data, but it can let the
     // getattr fast path serve a pre-truncate size until the next writer
@@ -496,6 +509,10 @@ Status WriteFile::truncate(std::uint64_t size) {
     deferred_errno_ = s.error_code();
     return s;
   }
+  // The truncate record is on disk: other processes' cached indexes are
+  // stale regardless of whether any bytes were staged since the last bump.
+  shmeta::bump(root_);
+  index_dirty_ = false;
   return Status::success();
 }
 
@@ -512,6 +529,10 @@ Status WriteFile::sync() {
   if (auto s = posix::fsync_fd(data_fd_); !s) {
     deferred_errno_ = s.error_code();
     return s;
+  }
+  if (index_dirty_) {
+    shmeta::bump(root_);
+    index_dirty_ = false;
   }
   return Status::success();
 }
@@ -549,14 +570,28 @@ Status WriteFile::close() {
         root_.c_str(), s.error_code(), s.error().message().c_str());
   }
   MetaHint hint{max_eof_, physical_end_, writer_.host, writer_.pid};
-  if (auto s = posix::write_file(
-          path_join(layout.metadata_path(), ContainerLayout::meta_name(hint)),
-          "");
-      !s) {
-    LDPLFS_LOG_WARN(
-        "close(%s): metadata size hint not written (errno=%d %s); "
-        "stat of this container will need a full index merge",
-        root_.c_str(), s.error_code(), s.error().message().c_str());
+  const std::string hint_path =
+      path_join(layout.metadata_path(), ContainerLayout::meta_name(hint));
+  if (auto s = posix::write_file(hint_path, ""); !s) {
+    // Fast-created containers defer metadata/ to the first closing writer.
+    if (s.error_code() == ENOENT &&
+        posix::make_dirs(layout.metadata_path()).ok()) {
+      s = posix::write_file(hint_path, "");
+    }
+    if (!s) {
+      LDPLFS_LOG_WARN(
+          "close(%s): metadata size hint not written (errno=%d %s); "
+          "stat of this container will need a full index merge",
+          root_.c_str(), s.error_code(), s.error().message().c_str());
+    }
+  }
+  // Everything this stream made visible is on disk: tell the other
+  // processes' caches. The writer *registration* outlives this stream —
+  // it is held by the owning FileHandle for the whole open, so a
+  // foreign-writer check can never miss both the registration and the bump.
+  if (index_dirty_) {
+    shmeta::bump(root_);
+    index_dirty_ = false;
   }
   return result;
 }

@@ -164,6 +164,13 @@ class WriteFile {
   std::uint64_t max_eof_ = 0;       // highest logical offset+len written
   int deferred_errno_ = 0;          // first failed append poisons the stream
   bool closed_ = false;
+  // Shared metadata plane (plfs/shared_meta.hpp): the writer-registration
+  // Whether bytes were accepted since the last generation bump —
+  // sync/truncate/close bump the container's generation only when new index
+  // state actually became visible, so read-your-writes sync loops don't
+  // thrash other processes' caches. (The shared-plane writer *registration*
+  // lives on the owning FileHandle, which spans every per-pid stream.)
+  bool index_dirty_ = false;
 
   // --- write-behind engine (unused when write_behind_ is false) ---------
   // The in-flight flush is a self-contained heap task: it owns the buffer

@@ -276,6 +276,40 @@ int dup2(int oldfd, int newfd) {
   return router().dup2(oldfd, newfd);
 }
 
+// fcntl is variadic; the integer-argument commands (F_DUPFD, F_SETFL, ...)
+// and the pointer-argument ones (F_SETLK, F_GETOWN_EX, ...) all fit in a
+// long on the platforms we support, so fetch one long unconditionally and
+// pass it through. F_DUPFD on a routed fd must register the duplicate in
+// the fd table exactly like dup() — missing that was the same bug class as
+// the dup2 aliasing fix.
+int fcntl(int fd, int cmd, ...) {
+  va_list args;
+  va_start(args, cmd);
+  const long arg = va_arg(args, long);
+  va_end(args);
+  static const auto real_fcntl =
+      next_symbol<int (*)(int, int, long)>("fcntl");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_fcntl(fd, cmd, arg);
+  }
+  return router().fcntl(fd, cmd, arg);
+}
+
+int fcntl64(int fd, int cmd, ...) {
+  va_list args;
+  va_start(args, cmd);
+  const long arg = va_arg(args, long);
+  va_end(args);
+  static const auto real_fcntl64 =
+      next_symbol<int (*)(int, int, long)>("fcntl64");
+  ReentryGuard guard;
+  if (!guard.outermost() || !router().is_plfs_fd(fd)) {
+    return real_fcntl64(fd, cmd, arg);
+  }
+  return router().fcntl(fd, cmd, arg);
+}
+
 int fsync(int fd) {
   ReentryGuard guard;
   if (!guard.outermost()) return real().fsync(fd);
@@ -330,17 +364,47 @@ int fstat(int fd, struct ::stat* st) {
   return router().fstat(fd, st);
 }
 
+// The *64 variants used to reinterpret_cast stat64* to stat* and fill the
+// 32-bit-layout path directly — an accident of LP64 glibc defining the two
+// structs identically, not a contract (and wrong wherever they differ,
+// e.g. 32-bit with _LARGEFILE64_SOURCE). Fill a proper struct stat and
+// convert field by field instead.
+static void copy_stat_to_stat64(const struct ::stat& in, struct ::stat64* out) {
+  *out = {};
+  out->st_dev = in.st_dev;
+  out->st_ino = static_cast<decltype(out->st_ino)>(in.st_ino);
+  out->st_mode = in.st_mode;
+  out->st_nlink = static_cast<decltype(out->st_nlink)>(in.st_nlink);
+  out->st_uid = in.st_uid;
+  out->st_gid = in.st_gid;
+  out->st_rdev = in.st_rdev;
+  out->st_size = static_cast<decltype(out->st_size)>(in.st_size);
+  out->st_blksize = static_cast<decltype(out->st_blksize)>(in.st_blksize);
+  out->st_blocks = static_cast<decltype(out->st_blocks)>(in.st_blocks);
+  out->st_atim = in.st_atim;
+  out->st_mtim = in.st_mtim;
+  out->st_ctim = in.st_ctim;
+}
+
 int stat64(const char* path, struct ::stat64* st) {
-  // On LP64 Linux struct stat64 == struct stat; route through stat.
-  return stat(path, reinterpret_cast<struct ::stat*>(st));
+  struct ::stat tmp{};
+  const int rc = stat(path, &tmp);  // the interposer above; guard inside
+  if (rc == 0) copy_stat_to_stat64(tmp, st);
+  return rc;
 }
 
 int lstat64(const char* path, struct ::stat64* st) {
-  return lstat(path, reinterpret_cast<struct ::stat*>(st));
+  struct ::stat tmp{};
+  const int rc = lstat(path, &tmp);
+  if (rc == 0) copy_stat_to_stat64(tmp, st);
+  return rc;
 }
 
 int fstat64(int fd, struct ::stat64* st) {
-  return fstat(fd, reinterpret_cast<struct ::stat*>(st));
+  struct ::stat tmp{};
+  const int rc = fstat(fd, &tmp);
+  if (rc == 0) copy_stat_to_stat64(tmp, st);
+  return rc;
 }
 
 int __xstat(int ver, const char* path, struct ::stat* st) {
@@ -425,7 +489,12 @@ int fstatat(int dirfd, const char* path, struct ::stat* st, int at_flags) {
 }
 
 int fstatat64(int dirfd, const char* path, struct ::stat64* st, int at_flags) {
-  return fstatat(dirfd, path, reinterpret_cast<struct ::stat*>(st), at_flags);
+  // Same layout bug as the stat64 family above: never alias the stat64
+  // buffer as a struct stat — fill one properly and convert.
+  struct ::stat tmp{};
+  const int rc = fstatat(dirfd, path, &tmp, at_flags);
+  if (rc == 0) copy_stat_to_stat64(tmp, st);
+  return rc;
 }
 
 int newfstatat(int dirfd, const char* path, struct ::stat* st, int at_flags) {

@@ -3,8 +3,11 @@
 // into the layout the paper's Fig. 1 draws.
 //
 //   ldp-inspect [--mount DIR]... [-v] CONTAINER...
+//   ldp-inspect --shm
 //
-// -v  also print every merged extent (logical → dropping@physical)
+// -v     also print every merged extent (logical → dropping@physical)
+// --shm  print the shared metadata plane (LDPLFS_SHM segment) instead:
+//        attachment state, claimed generation slots, registered writers
 #include <cstdio>
 
 #include "common/units.hpp"
@@ -12,9 +15,39 @@
 #include "plfs/index.hpp"
 #include "plfs/plfs.hpp"
 #include "plfs/recovery.hpp"
+#include "plfs/shared_meta.hpp"
 #include "tools/tool_common.hpp"
 
 namespace {
+
+int inspect_shm() {
+  namespace shmeta = ldplfs::plfs::shmeta;
+  const auto view = shmeta::inspect();
+  if (!view.attached) {
+    if (view.name.empty()) {
+      std::printf("shared metadata plane: off (LDPLFS_SHM unset)\n");
+    } else {
+      std::printf("shared metadata plane: NOT attached (segment %s)\n",
+                  view.name.c_str());
+    }
+    return view.name.empty() ? 0 : 1;
+  }
+  std::printf("shared metadata plane: attached\n");
+  std::printf("  segment:           %s\n", view.name.c_str());
+  std::printf("  version:           %u\n", view.version);
+  std::printf("  generation slots:  %zu / %zu in use\n", view.containers_used,
+              shmeta::kContainerSlots);
+  std::printf("  writer slots:      %zu / %zu registered\n",
+              view.writers.size(), shmeta::kWriterSlots);
+  std::printf("  dead reclaims:     %llu\n",
+              static_cast<unsigned long long>(view.reclaims));
+  for (const auto& w : view.writers) {
+    std::printf("    writer pid=%ld key=%016llx %s\n", static_cast<long>(w.pid),
+                static_cast<unsigned long long>(w.key),
+                w.alive ? "(alive)" : "(DEAD, reclaimable)");
+  }
+  return 0;
+}
 
 int inspect_one(const std::string& path, bool verbose) {
   namespace plfs = ldplfs::plfs;
@@ -97,16 +130,22 @@ int inspect_one(const std::string& path, bool verbose) {
 int main(int argc, char** argv) {
   auto parsed = ldplfs::tools::parse_common(argc, argv);
   bool verbose = false;
+  bool shm = false;
   std::vector<std::string> paths;
   for (const auto& arg : parsed.args) {
     if (arg == "-v") {
       verbose = true;
+    } else if (arg == "--shm") {
+      shm = true;
     } else {
       paths.push_back(arg);
     }
   }
+  if (shm && !parsed.help) return inspect_shm();
   if (parsed.help || paths.empty()) {
-    std::fprintf(stderr, "usage: ldp-inspect [--mount DIR]... [-v] CONTAINER...\n");
+    std::fprintf(stderr,
+                 "usage: ldp-inspect [--mount DIR]... [-v] CONTAINER...\n"
+                 "       ldp-inspect --shm\n");
     return parsed.help ? 0 : 2;
   }
   int rc = 0;

@@ -303,8 +303,55 @@ void print_resilience(const Dump& dump) {
               static_cast<unsigned long long>(flush_timeout));
 }
 
+// One-line digest of the shared metadata plane (LDPLFS_SHM): generation
+// validation outcomes, stat calls avoided, writer-registry traffic. Printed
+// only when any shmeta.* counter is nonzero, so plane-off dumps are
+// unchanged.
+void print_shmeta(const Dump& dump) {
+  const auto get = [&dump](const char* key) -> std::uint64_t {
+    const auto it = dump.counters.find(key);
+    return it == dump.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t hit = get("shmeta.gen.hit");
+  const std::uint64_t stale = get("shmeta.gen.stale");
+  const std::uint64_t bumps = get("shmeta.gen.bump");
+  const std::uint64_t skipped = get("shmeta.stat.skipped");
+  const std::uint64_t registered = get("shmeta.writers.registered");
+  const std::uint64_t reclaimed = get("shmeta.writers.reclaimed");
+  const std::uint64_t foreign = get("shmeta.writers.foreign");
+  const std::uint64_t exhausted = get("shmeta.slots.exhausted");
+  const std::uint64_t fast_create = get("shmeta.create.fast");
+  if ((hit | stale | bumps | skipped | registered | reclaimed | foreign |
+       exhausted | fast_create) == 0) {
+    return;
+  }
+  std::printf("shared metadata plane:\n");
+  std::printf(
+      "  generations  %llu hits, %llu stale, %llu bumps published\n",
+      static_cast<unsigned long long>(hit),
+      static_cast<unsigned long long>(stale),
+      static_cast<unsigned long long>(bumps));
+  std::printf("  stat storms  %llu fingerprint validations skipped\n",
+              static_cast<unsigned long long>(skipped));
+  std::printf(
+      "  writers      %llu registered, %llu dead-reclaimed, "
+      "%llu foreign-writer sightings\n",
+      static_cast<unsigned long long>(registered),
+      static_cast<unsigned long long>(reclaimed),
+      static_cast<unsigned long long>(foreign));
+  if (exhausted != 0) {
+    std::printf("  slots        %llu lookups fell back (table exhausted)\n",
+                static_cast<unsigned long long>(exhausted));
+  }
+  if (fast_create != 0) {
+    std::printf("  fast create  %llu containers via the cheap-create path\n",
+                static_cast<unsigned long long>(fast_create));
+  }
+}
+
 void print_dump(const Dump& dump) {
   print_resilience(dump);
+  print_shmeta(dump);
   std::printf("counters:\n");
   for (const auto& [key, value] : dump.counters) {
     if (value == 0) continue;

@@ -209,6 +209,105 @@ TEST_F(RouterTest, DupSharesCursor) {
   EXPECT_EQ(router_.close(fd2), 0);
 }
 
+TEST_F(RouterTest, FcntlDupfdRegistersAlias) {
+  // F_DUPFD must register the duplicate in the fd table exactly like dup():
+  // before the fix the new fd silently passed through to the shadow file.
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "abcdef");
+  router_.lseek(fd, 0, SEEK_SET);
+  const int fd2 = router_.fcntl(fd, F_DUPFD, 0);
+  ASSERT_GE(fd2, 0);
+  EXPECT_TRUE(router_.is_plfs_fd(fd2));
+  EXPECT_EQ(read_str(fd, 2), "ab");
+  EXPECT_EQ(read_str(fd2, 2), "cd");  // shared kernel offset on the shadow
+  EXPECT_EQ(router_.close(fd), 0);
+  EXPECT_EQ(read_str(fd2, 2), "ef");
+  EXPECT_EQ(router_.close(fd2), 0);
+}
+
+TEST_F(RouterTest, FcntlGetflReportsLogicalFlags) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  const int fl = router_.fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(fl, 0);
+  EXPECT_EQ(fl & O_ACCMODE, O_RDWR);
+  EXPECT_EQ(fl & O_APPEND, 0);
+  EXPECT_EQ(fl & O_CREAT, 0);  // creation flags are not reported back
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, FcntlSetflTurnsOnAppendSemantics) {
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "abc");
+  router_.lseek(fd, 0, SEEK_SET);
+  const int fl = router_.fcntl(fd, F_GETFL, 0);
+  ASSERT_EQ(router_.fcntl(fd, F_SETFL, fl | O_APPEND), 0);
+  EXPECT_EQ(router_.fcntl(fd, F_GETFL, 0) & O_APPEND, O_APPEND);
+  // The write must now land at EOF even though the cursor sits at 0.
+  write_str(fd, "def");
+  router_.lseek(fd, 0, SEEK_SET);
+  EXPECT_EQ(read_str(fd, 8), "abcdef");
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, DirectoryOpenOfContainerFailsNotdir) {
+  // A container is logically a regular file: open with O_DIRECTORY must
+  // fail ENOTDIR just as it would on one. coreutils >= 9 probe the copy
+  // target with open(O_PATH|O_DIRECTORY) — before the fix the probe
+  // succeeded and `cp src container` copied *into* the container.
+  const int fd = router_.open(mpath("f").c_str(), O_RDWR | O_CREAT, 0644);
+  write_str(fd, "abc");
+  EXPECT_EQ(router_.close(fd), 0);
+  errno = 0;
+  EXPECT_EQ(router_.open(mpath("f").c_str(), O_DIRECTORY | O_RDONLY, 0), -1);
+  EXPECT_EQ(errno, ENOTDIR);
+#ifdef O_PATH
+  errno = 0;
+  EXPECT_EQ(router_.open(mpath("f").c_str(), O_PATH | O_DIRECTORY, 0), -1);
+  EXPECT_EQ(errno, ENOTDIR);
+#endif
+  // The mount root is a real directory — the probe must keep succeeding.
+  const int dirfd =
+      router_.open(mount_.path().c_str(), O_DIRECTORY | O_RDONLY, 0);
+  EXPECT_GE(dirfd, 0);
+  if (dirfd >= 0) EXPECT_EQ(router_.close(dirfd), 0);
+}
+
+TEST_F(RouterTest, FcntlPassthroughOutsideMount) {
+  const std::string path = outside_.sub("plain");
+  const int fd = router_.open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_FALSE(router_.is_plfs_fd(fd));
+  const int fl = router_.fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(fl, 0);
+  EXPECT_EQ(fl & O_ACCMODE, O_RDWR);
+  EXPECT_EQ(router_.close(fd), 0);
+}
+
+TEST_F(RouterTest, TwoAppendersInterleaveAtEof) {
+  // Two O_APPEND handles on one logical file in one process. Each handle
+  // buffers through its own write-behind stream, so the append position
+  // must be EOF over *all* open handles at flush time — before the fix a
+  // handle only drained itself and overwrote the other's buffered bytes.
+  const int fd1 =
+      router_.open(mpath("f").c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  ASSERT_GE(fd1, 0);
+  const int fd2 = router_.open(mpath("f").c_str(), O_WRONLY | O_APPEND, 0644);
+  ASSERT_GE(fd2, 0);
+
+  EXPECT_EQ(write_str(fd1, "aaa"), 3);
+  EXPECT_EQ(write_str(fd2, "bb"), 2);   // must land at 3, not 0
+  EXPECT_EQ(write_str(fd1, "c"), 1);    // must land at 5
+  EXPECT_EQ(router_.close(fd1), 0);
+  EXPECT_EQ(router_.close(fd2), 0);
+
+  const int rd = router_.open(mpath("f").c_str(), O_RDONLY, 0);
+  EXPECT_EQ(read_str(rd, 16), "aaabbc");
+  struct ::stat st{};
+  ASSERT_EQ(router_.fstat(rd, &st), 0);
+  EXPECT_EQ(st.st_size, 6);
+  EXPECT_EQ(router_.close(rd), 0);
+}
+
 TEST_F(RouterTest, RenameWithinMount) {
   const int fd = router_.open(mpath("a").c_str(), O_WRONLY | O_CREAT, 0644);
   write_str(fd, "data");

@@ -1,0 +1,227 @@
+// Fork-based multi-process soak for the shared metadata plane: N children
+// write disjoint regions of ONE container while the parent keeps a warm
+// IndexCache; rounds inject LDPLFS_FAULTS crash plans into a child and
+// SIGKILL a registered writer outright. The invariants under test:
+//
+//   * no stale-generation reads — after every round the parent (whose cache
+//     was warmed the round before) must see exactly the bytes the surviving
+//     children wrote, without dropping its caches by hand;
+//   * byte-identical recovery — plfs_recover after a crashed/killed writer
+//     leaves every completed region intact, and the crashed writer's region
+//     only ever holds old-round or new-round bytes (no third value);
+//   * the segment survives kill -9 of a registrant — writer slots are
+//     reclaimed and registration/bumps/opens keep working.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "plfs/plfs.hpp"
+#include "plfs/recovery.hpp"
+#include "plfs/shared_meta.hpp"
+#include "posix/faults.hpp"
+#include "testing/temp_dir.hpp"
+
+namespace ldplfs::plfs {
+namespace {
+
+using ldplfs::testing::TempDir;
+
+constexpr int kWriters = 4;
+constexpr std::size_t kChunk = 4096;
+constexpr std::size_t kChunksPerRegion = 4;
+constexpr std::size_t kRegion = kChunk * kChunksPerRegion;
+constexpr std::size_t kFileSize = kRegion * kWriters;
+
+char fill_of(int writer, int round) {
+  return static_cast<char>('A' + writer * 4 + round);
+}
+
+class MultiprocSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    name_ = "/ldplfs.soak." + std::to_string(::getpid()) + "." +
+            std::to_string(counter++);
+    ::setenv("LDPLFS_SHM", name_.c_str(), 1);
+    ::unsetenv("LDPLFS_FAULTS");
+    posix::faults::clear();
+    shmeta::reattach_for_testing();
+    ASSERT_TRUE(shmeta::active());
+  }
+
+  void TearDown() override {
+    posix::faults::clear();
+    ::unsetenv("LDPLFS_FAULTS");
+    shmeta::unlink_segment();
+    ::unsetenv("LDPLFS_SHM");
+    shmeta::reattach_for_testing();
+  }
+
+  /// Child body: write this writer's region chunk by chunk, syncing after
+  /// each chunk so every index record describes completed data. When the
+  /// parent toggled LDPLFS_FAULTS before the fork, install that plan first
+  /// (fork copies the parent's already-latched empty plan, so the child
+  /// must re-read the environment itself).
+  [[noreturn]] static void run_writer(const std::string& path, int writer,
+                                      int round) {
+    const char* spec = std::getenv("LDPLFS_FAULTS");
+    posix::faults::clear();
+    if (spec != nullptr && *spec != '\0' &&
+        !posix::faults::configure(spec)) {
+      ::_exit(2);
+    }
+    auto fd = plfs_open(path, O_CREAT | O_WRONLY, ::getpid());
+    if (!fd.ok()) ::_exit(3);
+    const std::uint64_t base = static_cast<std::uint64_t>(writer) * kRegion;
+    const std::string chunk(kChunk, fill_of(writer, round));
+    for (std::size_t i = 0; i < kChunksPerRegion; ++i) {
+      const auto data = testing::as_bytes(chunk);
+      if (!fd.value()->write(data, base + i * kChunk, ::getpid()).ok()) {
+        ::_exit(4);
+      }
+      if (!plfs_sync(*fd.value(), ::getpid()).ok()) ::_exit(5);
+    }
+    if (!plfs_close(fd.value(), ::getpid()).ok()) ::_exit(6);
+    ::_exit(0);
+  }
+
+  /// Fork the full crew for one round; `doomed` (if >= 0) runs under the
+  /// LDPLFS_FAULTS plan the parent set. Returns each child's exit code
+  /// (137 = injected crash).
+  std::vector<int> run_round(const std::string& path, int round, int doomed,
+                             const std::string& fault_spec) {
+    std::vector<pid_t> pids(kWriters, -1);
+    for (int w = 0; w < kWriters; ++w) {
+      if (w == doomed) {
+        ::setenv("LDPLFS_FAULTS", fault_spec.c_str(), 1);
+      } else {
+        ::unsetenv("LDPLFS_FAULTS");
+      }
+      const pid_t pid = ::fork();
+      if (pid == 0) run_writer(path, w, round);
+      EXPECT_GT(pid, 0);
+      pids[w] = pid;
+    }
+    ::unsetenv("LDPLFS_FAULTS");
+    std::vector<int> codes(kWriters, -1);
+    for (int w = 0; w < kWriters; ++w) {
+      if (pids[w] <= 0) continue;
+      int status = 0;
+      EXPECT_EQ(::waitpid(pids[w], &status, 0), pids[w]);
+      if (WIFEXITED(status)) codes[w] = WEXITSTATUS(status);
+    }
+    return codes;
+  }
+
+  /// Read the whole logical file through a fresh handle (the parent's warm
+  /// caches validate against the shared generation, never a manual drop).
+  std::string read_file(const std::string& path) {
+    auto fd = plfs_open(path, O_RDONLY, ::getpid());
+    EXPECT_TRUE(fd.ok());
+    if (!fd.ok()) return {};
+    std::string out(kFileSize, '\0');
+    auto n = fd.value()->read(
+        std::span<std::byte>(reinterpret_cast<std::byte*>(out.data()),
+                             out.size()),
+        0);
+    EXPECT_TRUE(n.ok());
+    out.resize(n.ok() ? n.value() : 0);
+    EXPECT_TRUE(plfs_close(fd.value(), ::getpid()).ok());
+    return out;
+  }
+
+  std::string name_;
+};
+
+TEST_F(MultiprocSoakTest, WritersCrashesAndKillsLeaveCoherentState) {
+  TempDir tmp;
+  const std::string path = tmp.sub("shared");
+
+  // --- round 0: clean concurrent write of all regions -------------------
+  for (const int code : run_round(path, 0, -1, "")) EXPECT_EQ(code, 0);
+  std::string round0 = read_file(path);
+  ASSERT_EQ(round0.size(), kFileSize);
+  for (std::size_t off = 0; off < kFileSize; ++off) {
+    ASSERT_EQ(round0[off], fill_of(static_cast<int>(off / kRegion), 0))
+        << "round 0 byte " << off;
+  }
+
+  // --- round 1: rewrite everything; one child crashes mid-region --------
+  // The crash clause fires after enough instrumented ops for the doomed
+  // child to have opened the container and landed some (but typically not
+  // all) of its chunks.
+  const int doomed = 2;
+  const auto codes = run_round(path, 1, doomed, "crash:after=10");
+  for (int w = 0; w < kWriters; ++w) {
+    if (w == doomed) {
+      EXPECT_TRUE(codes[w] == 137 || codes[w] == 0)
+          << "doomed writer exited " << codes[w];
+    } else {
+      EXPECT_EQ(codes[w], 0) << "writer " << w;
+    }
+  }
+
+  // Recover the container (cleans the crashed writer's leavings) and check
+  // every byte: survivors must show round-1 fill exactly; the crashed
+  // writer's region holds old or new fill and nothing else.
+  ASSERT_TRUE(plfs_recover(path).ok());
+  const std::string round1 = read_file(path);
+  ASSERT_EQ(round1.size(), kFileSize);
+  for (std::size_t off = 0; off < kFileSize; ++off) {
+    const int w = static_cast<int>(off / kRegion);
+    if (w == doomed) {
+      ASSERT_TRUE(round1[off] == fill_of(w, 0) || round1[off] == fill_of(w, 1))
+          << "crashed writer's byte " << off << " is neither round's fill";
+    } else {
+      ASSERT_EQ(round1[off], fill_of(w, 1)) << "round 1 byte " << off;
+    }
+  }
+
+  // --- round 2: kill -9 a registered writer, then keep using everything --
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t victim = ::fork();
+  ASSERT_GE(victim, 0);
+  if (victim == 0) {
+    ::close(ready[0]);
+    auto fd = plfs_open(path, O_WRONLY, ::getpid());
+    char byte = fd.ok() ? 'k' : 'e';
+    (void)!::write(ready[1], &byte, 1);
+    ::pause();
+    ::_exit(0);
+  }
+  ::close(ready[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ::close(ready[0]);
+  ASSERT_EQ(byte, 'k');
+  EXPECT_TRUE(shmeta::has_foreign_writers(path));
+
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Segment must be fully usable: the dead registrant reclaims, new
+  // registrations and bumps succeed, and recovery + reads still give the
+  // exact bytes round 1 left behind.
+  EXPECT_FALSE(shmeta::has_foreign_writers(path));
+  const int slot = shmeta::register_writer(path);
+  EXPECT_GE(slot, 0);
+  shmeta::unregister_writer(slot);
+  shmeta::bump(path);
+  EXPECT_TRUE(shmeta::generation(path).has_value());
+
+  ASSERT_TRUE(plfs_recover(path).ok());
+  const std::string round2 = read_file(path);
+  ASSERT_EQ(round2, round1) << "kill -9 of an idle registrant changed bytes";
+}
+
+}  // namespace
+}  // namespace ldplfs::plfs

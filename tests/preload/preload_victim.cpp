@@ -356,6 +356,86 @@ int scenario_copy_out(const char* path) {
   return 0;
 }
 
+int scenario_statat64(const char* path) {
+  // The LFS64 stat family: glibc's stat64/fstatat64 entry points must fill
+  // a real struct stat64 (the shim used to alias the buffer as struct stat).
+  struct stat64 st;
+  memset(&st, 0xAA, sizeof st);  // poison: stale bytes must be overwritten
+  if (fstatat64(AT_FDCWD, path, &st, 0) != 0) return fail("fstatat64");
+  if (!S_ISREG(st.st_mode)) {
+    fprintf(stderr, "fstatat64: not a regular file (mode %o)\n", st.st_mode);
+    return 1;
+  }
+  struct stat64 st2;
+  memset(&st2, 0x55, sizeof st2);
+  if (stat64(path, &st2) != 0) return fail("stat64");
+  if (st2.st_size != st.st_size || st2.st_mode != st.st_mode) {
+    fprintf(stderr, "stat64 and fstatat64 disagree\n");
+    return 1;
+  }
+  struct stat plain;
+  if (stat(path, &plain) != 0) return fail("stat");
+  if (st.st_size != plain.st_size || st.st_ino != (ino64_t)plain.st_ino) {
+    fprintf(stderr, "stat64 and stat disagree\n");
+    return 1;
+  }
+  printf("%lld\n", static_cast<long long>(st.st_size));
+  return 0;
+}
+
+int scenario_fcntl(const char* path) {
+  // fcntl on a routed fd: F_DUPFD must alias the PLFS handle (shared
+  // cursor), F_GETFL must report the logical open flags, F_SETFL O_APPEND
+  // must change write placement, and F_SETFD must keep working.
+  int fd = open(path, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("open");
+  if (write(fd, "0123456789", 10) != 10) return fail("write");
+  if (lseek(fd, 0, SEEK_SET) != 0) return fail("lseek");
+
+  const int fd2 = fcntl(fd, F_DUPFD, 10);
+  if (fd2 < 10) return fail("fcntl F_DUPFD");
+  char a[5], b[5];
+  if (read(fd, a, 5) != 5) return fail("read fd");
+  if (read(fd2, b, 5) != 5) return fail("read fd2");
+  if (memcmp(a, "01234", 5) != 0 || memcmp(b, "56789", 5) != 0) {
+    fprintf(stderr, "dup'd fd does not share the cursor\n");
+    return 1;
+  }
+
+  const int fl = fcntl(fd2, F_GETFL);
+  if (fl < 0) return fail("fcntl F_GETFL");
+  if ((fl & O_ACCMODE) != O_RDWR) {
+    fprintf(stderr, "F_GETFL accmode %d, want O_RDWR\n", fl & O_ACCMODE);
+    return 1;
+  }
+  if (fcntl(fd2, F_SETFL, fl | O_APPEND) != 0) return fail("fcntl F_SETFL");
+  if ((fcntl(fd2, F_GETFL) & O_APPEND) == 0) {
+    fprintf(stderr, "F_SETFL O_APPEND did not stick\n");
+    return 1;
+  }
+  if (lseek(fd2, 0, SEEK_SET) != 0) return fail("lseek fd2");
+  if (write(fd2, "END", 3) != 3) return fail("append write");
+
+  if (fcntl(fd, F_SETFD, FD_CLOEXEC) != 0) return fail("fcntl F_SETFD");
+  if ((fcntl(fd, F_GETFD) & FD_CLOEXEC) == 0) {
+    fprintf(stderr, "F_SETFD FD_CLOEXEC did not stick\n");
+    return 1;
+  }
+  if (close(fd) != 0) return fail("close fd");
+  if (close(fd2) != 0) return fail("close fd2");
+
+  fd = open(path, O_RDONLY);
+  if (fd < 0) return fail("reopen");
+  char all[32] = {0};
+  const ssize_t n = read(fd, all, sizeof all);
+  if (n != 13 || memcmp(all, "0123456789END", 13) != 0) {
+    fprintf(stderr, "expected 0123456789END, got %zd bytes: %s\n", n, all);
+    return 1;
+  }
+  close(fd);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,6 +458,8 @@ int main(int argc, char** argv) {
   if (scenario == "mmap_after_close") return scenario_mmap_after_close(path);
   if (scenario == "mmap_offset") return scenario_mmap_offset(path);
   if (scenario == "copy_out") return scenario_copy_out(path);
+  if (scenario == "statat64") return scenario_statat64(path);
+  if (scenario == "fcntl") return scenario_fcntl(path);
   fprintf(stderr, "unknown scenario %s\n", scenario.c_str());
   return 2;
 }

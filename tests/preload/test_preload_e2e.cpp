@@ -153,6 +153,27 @@ TEST(PreloadE2eTest, StatReportsLogicalSize) {
   EXPECT_EQ(result.stdout_text, "12\n");
 }
 
+TEST(PreloadE2eTest, Stat64FamilyReportsLogicalSize) {
+  // stat64/fstatat64 used to alias the caller's stat64 buffer as a struct
+  // stat; the victim poisons the buffer and cross-checks all three entry
+  // points, so a layout regression shows up as a size/mode mismatch.
+  TempDir mount;
+  const std::string file = mount.sub("s64.dat");
+  ASSERT_EQ(run_victim("write", file, mount.path()).exit_code, 0);
+  const auto result = run_victim("statat64", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_EQ(result.stdout_text, "12\n");
+}
+
+TEST(PreloadE2eTest, FcntlDupflagsAndAppendOnRoutedFd) {
+  TempDir mount;
+  const std::string file = mount.sub("fcntl.dat");
+  const auto result = run_victim("fcntl", file, mount.path());
+  EXPECT_EQ(result.exit_code, 0) << result.stderr_text;
+  EXPECT_TRUE(ldplfs::plfs::is_container(file));
+  EXPECT_EQ(plfs_content(file), "0123456789END");
+}
+
 TEST(PreloadE2eTest, UnlinkRemovesContainer) {
   TempDir mount;
   const std::string file = mount.sub("u.dat");
